@@ -1,0 +1,26 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build vet test bench run-experiments cover fmt
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+run-experiments:
+	go run ./cmd/mrmsim
+
+cover:
+	go test -coverprofile=cover.out ./... && go tool cover -func=cover.out | tail -1
+
+fmt:
+	gofmt -w .

@@ -1,0 +1,366 @@
+package mrm
+
+// Ablations and extension experiments (E13–E18): the design-choice studies
+// DESIGN.md calls out, plus scenarios for the paper's §4/§5 discussion points
+// (keep-vs-recompute, idle KV offload, model swap, multi-level cells).
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mrm/internal/cellphys"
+	"mrm/internal/dist"
+	"mrm/internal/kvcache"
+	"mrm/internal/llm"
+	"mrm/internal/memdev"
+	"mrm/internal/report"
+	"mrm/internal/units"
+)
+
+// ---- E13: retention-class-count ablation ----
+
+// ClassCountPoint is one ablation measurement.
+type ClassCountPoint struct {
+	Classes int
+	// MeanStoreJPerGB is the average write(+refresh) energy to store 1 GB
+	// for its sampled lifetime.
+	MeanStoreJPerGB float64
+	// MeanRetentionWaste is mean(class retention / data lifetime) — how
+	// overprovisioned the chosen class is.
+	MeanRetentionWaste float64
+}
+
+// RunClassCountAblation samples data lifetimes from a lognormal (median
+// 30 min, heavy tail — a KV-cache lifetime distribution) and measures how
+// the number of available retention classes affects DCM's energy saving.
+// Classes are geometrically spaced between minRet and maxRet.
+func RunClassCountAblation(tech cellphys.Technology, classCounts []int, samples int, seed uint64) ([]ClassCountPoint, *report.Table, error) {
+	if samples <= 0 {
+		return nil, nil, fmt.Errorf("mrm: need positive sample count")
+	}
+	tr := cellphys.ForTechnology(tech)
+	minRet, maxRet := 10*time.Minute, 7*24*time.Hour
+	lifetimes := make([]time.Duration, samples)
+	rng := dist.NewRNG(seed)
+	ln := dist.Lognormal{Median: 30, Sigma: 1.0} // minutes
+	for i := range lifetimes {
+		m := dist.Clamp(ln.Sample(rng), 1, maxRet.Minutes())
+		lifetimes[i] = time.Duration(m * float64(time.Minute))
+	}
+	tab := report.NewTable(fmt.Sprintf("E13: retention-class-count ablation (%s)", tech),
+		"classes", "store_J_per_GB", "retention_waste")
+	var pts []ClassCountPoint
+	for _, k := range classCounts {
+		if k < 1 {
+			return nil, nil, fmt.Errorf("mrm: class count %d", k)
+		}
+		classes := geomSpace(minRet, maxRet, k)
+		var sumJ, sumWaste float64
+		for _, life := range lifetimes {
+			class := classes[len(classes)-1]
+			for _, c := range classes {
+				if c >= life {
+					class = c
+					break
+				}
+			}
+			op, err := tr.At(class)
+			if err != nil {
+				return nil, nil, err
+			}
+			writes := 1.0
+			if class < life {
+				writes = math.Ceil(float64(life) / float64(class))
+			}
+			sumJ += float64(op.WriteEnergy) * 8e9 * writes
+			if class >= life {
+				sumWaste += float64(class) / float64(life)
+			} else {
+				sumWaste += 1 // refreshed exactly to fit
+			}
+		}
+		p := ClassCountPoint{
+			Classes:            k,
+			MeanStoreJPerGB:    sumJ / float64(samples),
+			MeanRetentionWaste: sumWaste / float64(samples),
+		}
+		pts = append(pts, p)
+		tab.AddRow(k, p.MeanStoreJPerGB, p.MeanRetentionWaste)
+	}
+	return pts, tab, nil
+}
+
+// geomSpace returns k durations geometrically spaced over [lo, hi]
+// inclusive (k == 1 yields just hi, which must cover everything).
+func geomSpace(lo, hi time.Duration, k int) []time.Duration {
+	if k == 1 {
+		return []time.Duration{hi}
+	}
+	out := make([]time.Duration, k)
+	ratio := math.Pow(float64(hi)/float64(lo), 1/float64(k-1))
+	v := float64(lo)
+	for i := 0; i < k; i++ {
+		out[i] = time.Duration(v)
+		v *= ratio
+	}
+	out[k-1] = hi
+	return out
+}
+
+// ---- E14: KV page-size ablation ----
+
+// PageSizePoint is one page-size measurement.
+type PageSizePoint struct {
+	PageTokens    int
+	Utilization   float64 // filled bytes / allocated bytes
+	RangesPerRead float64 // read-plan entries per decode read (metadata cost)
+	Sequentiality float64
+}
+
+// RunPageSizeAblation sweeps KV page sizes over a population of sequences
+// with lognormal lengths: small pages waste little capacity but fragment the
+// read stream; big pages read perfectly sequentially but strand capacity in
+// partial pages. The paper's ">10 vectors per page" sits at the knee.
+func RunPageSizeAblation(model llm.ModelConfig, pageSizes []int, nSeqs int, seed uint64) ([]PageSizePoint, *report.Table, error) {
+	tab := report.NewTable(fmt.Sprintf("E14: KV page-size ablation (%s, %d seqs)", model.Name, nSeqs),
+		"page_tokens", "utilization", "ranges_per_read", "sequentiality")
+	var pts []PageSizePoint
+	for _, pt := range pageSizes {
+		rng := dist.NewRNG(seed)
+		ln := dist.Lognormal{Median: 512, Sigma: 0.8}
+		cache, err := kvcache.New(kvcache.Config{
+			PageTokens:      pt,
+			KVBytesPerToken: model.KVBytesPerToken(),
+			CapacityPages:   nSeqs * (8192/pt + 2),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		totalRanges, reads := 0, 0
+		seqFrac := 0.0
+		for i := 0; i < nSeqs; i++ {
+			id := kvcache.SeqID(i)
+			if err := cache.NewSequence(id); err != nil {
+				return nil, nil, err
+			}
+			n := int(dist.Clamp(ln.Sample(rng), 1, 8192))
+			if err := cache.Append(id, n); err != nil {
+				return nil, nil, err
+			}
+			plan, err := cache.ReadPlan(id)
+			if err != nil {
+				return nil, nil, err
+			}
+			totalRanges += len(plan)
+			reads++
+			// Sequential fraction within this read plan: ranges that start
+			// exactly where the previous ended.
+			if len(plan) > 1 {
+				seq := 0
+				for j := 1; j < len(plan); j++ {
+					if plan[j].Addr == plan[j-1].Addr+plan[j-1].Size {
+						seq++
+					}
+				}
+				seqFrac += float64(seq) / float64(len(plan)-1)
+			} else {
+				seqFrac += 1
+			}
+		}
+		st := cache.Stats()
+		p := PageSizePoint{
+			PageTokens:    pt,
+			Utilization:   st.Utilization,
+			RangesPerRead: float64(totalRanges) / float64(reads),
+			Sequentiality: seqFrac / float64(reads),
+		}
+		pts = append(pts, p)
+		tab.AddRow(pt, p.Utilization, p.RangesPerRead, p.Sequentiality)
+	}
+	return pts, tab, nil
+}
+
+// ---- E15: keep vs recompute (expiry-policy ablation) ----
+
+// KeepRecomputePoint compares the energy of keeping an idle KV cache alive
+// against dropping and recomputing it on return.
+type KeepRecomputePoint struct {
+	IdleTime   time.Duration
+	KeepJ      float64 // refresh writes to hold the data through the idle period
+	RecomputeJ float64 // prefill compute + KV rewrite on return
+	KeepWins   bool
+}
+
+// RunKeepVsRecompute quantifies the paper's §2 judgment ("the token rate per
+// second is usually quite low (thus expensive) so caching and using the KV
+// cache is usually preferable to recalculation") and finds the idle-time
+// crossover given an MRM retention class.
+func RunKeepVsRecompute(model llm.ModelConfig, acc llm.Accelerator, tech cellphys.Technology,
+	class time.Duration, ctx int, idleTimes []time.Duration) ([]KeepRecomputePoint, *report.Table, error) {
+	op, err := cellphys.ForTechnology(tech).At(class)
+	if err != nil {
+		return nil, nil, err
+	}
+	kvBytes := model.KVCacheBytes(ctx)
+	kvBits := float64(kvBytes.Bits())
+	writeJ := float64(op.WriteEnergy) * kvBits
+	// Recompute: a full prefill of ctx tokens (compute energy at the
+	// accelerator's J/FLOP) plus writing the KV cache again.
+	var prefillFLOPs float64
+	for n := 1; n <= ctx; n += 64 { // sample the quadratic attention term
+		prefillFLOPs += 64 * (2*model.Params + 4*float64(model.Layers*model.KVHeads*model.HeadDim)*float64(n))
+	}
+	recomputeJ := prefillFLOPs*acc.JoulesPerFLOP() + writeJ
+	tab := report.NewTable(fmt.Sprintf("E15: keep vs recompute (%s, ctx=%d, %s@%s)",
+		model.Name, ctx, tech, shortDur(class)),
+		"idle", "keep_J", "recompute_J", "winner")
+	var pts []KeepRecomputePoint
+	for _, idle := range idleTimes {
+		// Holding through the idle period costs one refresh rewrite per
+		// retention period that elapses.
+		refreshes := math.Floor(float64(idle) / float64(class))
+		keepJ := refreshes * writeJ
+		p := KeepRecomputePoint{
+			IdleTime: idle, KeepJ: keepJ, RecomputeJ: recomputeJ,
+			KeepWins: keepJ < recomputeJ,
+		}
+		pts = append(pts, p)
+		winner := "recompute"
+		if p.KeepWins {
+			winner = "keep"
+		}
+		tab.AddRow(shortDur(idle), keepJ, recomputeJ, winner)
+	}
+	return pts, tab, nil
+}
+
+// ---- E16: multi-level-cell sweep ----
+
+// MLCPoint is one bits-per-cell design point.
+type MLCPoint struct {
+	BitsPerCell int
+	Retention   time.Duration
+	Endurance   float64
+	WriteEnergy units.Energy // per bit
+	// CapacityFactor is the density multiplier over SLC.
+	CapacityFactor float64
+}
+
+// RunMLCSweep explores multi-level encoding ([10]): more bits per cell
+// multiplies density but derates retention and endurance; the MRM question
+// is which points still cover a one-day KV lifetime.
+func RunMLCSweep(tech cellphys.Technology, baseRetention time.Duration) ([]MLCPoint, *report.Table, error) {
+	base, err := cellphys.ForTechnology(tech).At(baseRetention)
+	if err != nil {
+		return nil, nil, err
+	}
+	tab := report.NewTable(fmt.Sprintf("E16: multi-level cells (%s, SLC@%s)", tech, shortDur(baseRetention)),
+		"bits/cell", "retention", "endurance", "write_pJ/bit", "capacity_x")
+	var pts []MLCPoint
+	for bits := 1; bits <= 4; bits++ {
+		op, err := cellphys.MLCDerate(base, bits)
+		if err != nil {
+			return nil, nil, err
+		}
+		p := MLCPoint{
+			BitsPerCell: bits, Retention: op.Retention, Endurance: op.Endurance,
+			WriteEnergy: op.WriteEnergy, CapacityFactor: float64(bits),
+		}
+		pts = append(pts, p)
+		tab.AddRow(bits, shortDur(op.Retention), fmt.Sprintf("%.1e", op.Endurance),
+			float64(op.WriteEnergy)/1e-12, float64(bits))
+	}
+	return pts, tab, nil
+}
+
+// ---- E17: model-swap cost ----
+
+// ModelSwapPoint is the cost of a bulk weight overwrite on one device class.
+type ModelSwapPoint struct {
+	Device   string
+	LoadTime time.Duration
+	LoadJ    units.Energy
+	// HourlyDuty is load time as a fraction of an hourly update period —
+	// the paper's conservative weight-update cadence.
+	HourlyDuty float64
+}
+
+// RunModelSwap measures what MRM's sacrificed write throughput costs when a
+// new model is deployed (§2: the cluster drains, then loads new weights):
+// bulk-writing the full weights on each memory system.
+func RunModelSwap(model llm.ModelConfig) ([]ModelSwapPoint, *report.Table) {
+	wb := model.WeightBytes()
+	systems := []struct {
+		name   string
+		wbw    units.Bandwidth
+		energy units.Energy
+	}{
+		// Aggregate package write bandwidth (8 HBM stacks; 8 MRM stacks).
+		{"HBM3E x8", 8 * units.TBps, memdev.HBM3E.WriteEnergyPerBit},
+		{"LPDDR5X tier", 500 * units.GBps, memdev.LPDDR5X.WriteEnergyPerBit},
+		{"MRM-RRAM x8", 8 * 150 * units.GBps, memdev.MRMSpec(cellphys.RRAM, 24*time.Hour).WriteEnergyPerBit},
+		{"NAND-SLC SSD", 1 * units.GBps, memdev.NANDSLC.WriteEnergyPerBit},
+	}
+	tab := report.NewTable(fmt.Sprintf("E17: model swap — bulk-writing %s of weights (%s)",
+		wb.String(), model.Name),
+		"device", "load_time", "load_J", "duty_of_hourly_update")
+	var pts []ModelSwapPoint
+	for _, s := range systems {
+		t := s.wbw.Time(wb)
+		p := ModelSwapPoint{
+			Device:     s.name,
+			LoadTime:   t,
+			LoadJ:      s.energy.PerBit(wb),
+			HourlyDuty: t.Seconds() / 3600,
+		}
+		pts = append(pts, p)
+		tab.AddRow(s.name, t.Round(time.Millisecond).String(), float64(p.LoadJ), p.HourlyDuty)
+	}
+	return pts, tab
+}
+
+// ---- E18: idle KV retention cost across tiers ----
+
+// IdleKVPoint is the cost of parking one idle context on a tier.
+type IdleKVPoint struct {
+	Tier string
+	// ParkJ is migration (write) energy to move the KV there.
+	ParkJ units.Energy
+	// HoldJPerHour is the per-context share of idle power plus any refresh
+	// rewrites needed per hour.
+	HoldJPerHour units.Energy
+}
+
+// RunIdleKVOffload compares parking idle KV caches (§5: offloading idle KV
+// to other tiers) in HBM, LPDDR, and MRM: migration cost vs holding cost.
+func RunIdleKVOffload(model llm.ModelConfig, ctx int) ([]IdleKVPoint, *report.Table) {
+	kv := model.KVCacheBytes(ctx)
+	type sys struct {
+		name     string
+		spec     memdev.Spec
+		contexts float64 // contexts the device capacity can park
+	}
+	mrmSpec := memdev.MRMSpec(cellphys.RRAM, 24*time.Hour)
+	systems := []sys{
+		{"HBM3E", memdev.HBM3E, float64(memdev.HBM3E.Capacity) / float64(kv)},
+		{"LPDDR5X", memdev.LPDDR5X, float64(memdev.LPDDR5X.Capacity) / float64(kv)},
+		{"MRM-RRAM@1d", mrmSpec, float64(mrmSpec.Capacity) / float64(kv)},
+	}
+	tab := report.NewTable(fmt.Sprintf("E18: parking an idle KV cache (%s, ctx=%d → %s)",
+		model.Name, ctx, kv.String()),
+		"tier", "park_J", "hold_J_per_hour", "note")
+	var pts []IdleKVPoint
+	for _, s := range systems {
+		park := s.spec.WriteEnergyPerBit.PerBit(kv)
+		// Idle power share attributable to this context's slice of capacity.
+		hold := units.Energy(float64(s.spec.IdlePower().Over(time.Hour)) / s.contexts)
+		note := "refresh-coupled idle power"
+		if s.spec.Class == memdev.Managed {
+			note = "no refresh; retention covers idleness"
+		}
+		pts = append(pts, IdleKVPoint{Tier: s.name, ParkJ: park, HoldJPerHour: hold})
+		tab.AddRow(s.name, float64(park), float64(hold), note)
+	}
+	return pts, tab
+}

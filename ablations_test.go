@@ -1,0 +1,186 @@
+package mrm
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mrm/internal/cellphys"
+	"mrm/internal/llm"
+)
+
+// E13: more retention classes → tighter lifetime fit → less energy & waste.
+func TestClassCountAblation(t *testing.T) {
+	counts := []int{1, 2, 4, 8}
+	pts, tab, err := RunClassCountAblation(cellphys.RRAM, counts, 2000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != len(counts) {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].MeanStoreJPerGB > pts[i-1].MeanStoreJPerGB {
+			t.Errorf("%d classes cost more energy than %d: %v > %v",
+				pts[i].Classes, pts[i-1].Classes, pts[i].MeanStoreJPerGB, pts[i-1].MeanStoreJPerGB)
+		}
+		if pts[i].MeanRetentionWaste > pts[i-1].MeanRetentionWaste {
+			t.Errorf("%d classes waste more retention than %d", pts[i].Classes, pts[i-1].Classes)
+		}
+	}
+	// A single class (one-size-fits-all SCM) must be dramatically worse
+	// than 8 classes.
+	if pts[0].MeanStoreJPerGB < 1.5*pts[len(pts)-1].MeanStoreJPerGB {
+		t.Errorf("single class (%v J/GB) should lose clearly to 8 classes (%v J/GB)",
+			pts[0].MeanStoreJPerGB, pts[len(pts)-1].MeanStoreJPerGB)
+	}
+	if _, _, err := RunClassCountAblation(cellphys.RRAM, []int{0}, 10, 1); err == nil {
+		t.Error("class count 0 should error")
+	}
+	if _, _, err := RunClassCountAblation(cellphys.RRAM, counts, 0, 1); err == nil {
+		t.Error("zero samples should error")
+	}
+}
+
+// E14: the page-size fragmentation/sequentiality trade-off.
+func TestPageSizeAblation(t *testing.T) {
+	sizes := []int{1, 4, 16, 64, 256}
+	pts, tab, err := RunPageSizeAblation(llm.Llama2_70B, sizes, 64, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != len(sizes) {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	if first.Utilization < last.Utilization {
+		t.Errorf("1-token pages should utilize better than 256-token pages: %v vs %v",
+			first.Utilization, last.Utilization)
+	}
+	if first.RangesPerRead < last.RangesPerRead {
+		t.Errorf("1-token pages should need more ranges per read: %v vs %v",
+			first.RangesPerRead, last.RangesPerRead)
+	}
+	// The paper's ">10 vectors" geometry (16 tokens): high utilization AND
+	// few ranges.
+	mid := pts[2]
+	if mid.Utilization < 0.9 {
+		t.Errorf("16-token pages utilization = %v, want >= 0.9", mid.Utilization)
+	}
+	if mid.RangesPerRead > 64 {
+		t.Errorf("16-token pages ranges/read = %v, want modest", mid.RangesPerRead)
+	}
+}
+
+// E15: keeping a KV cache beats recomputing it until very long idle times.
+func TestKeepVsRecompute(t *testing.T) {
+	idles := []time.Duration{
+		time.Minute, time.Hour, 24 * time.Hour, 7 * 24 * time.Hour, 60 * 24 * time.Hour,
+	}
+	pts, tab, err := RunKeepVsRecompute(llm.Llama2_70B, llm.B200, cellphys.RRAM,
+		24*time.Hour, 2048, idles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != len(idles) {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	// Short idle: keep wins (zero or few refreshes vs an expensive prefill).
+	if !pts[0].KeepWins || !pts[1].KeepWins {
+		t.Error("keep should win for short idle periods (the paper's judgment)")
+	}
+	// Keep-energy must be monotone in idle time.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].KeepJ < pts[i-1].KeepJ {
+			t.Error("keep energy should grow with idle time")
+		}
+		if pts[i].RecomputeJ != pts[0].RecomputeJ {
+			t.Error("recompute energy should be idle-independent")
+		}
+	}
+	if _, _, err := RunKeepVsRecompute(llm.Llama2_70B, llm.B200, cellphys.RRAM,
+		time.Nanosecond, 2048, idles); err == nil {
+		t.Error("invalid class should error")
+	}
+}
+
+// E16: MLC multiplies capacity but derates retention/endurance monotonically.
+func TestMLCSweep(t *testing.T) {
+	pts, tab, err := RunMLCSweep(cellphys.RRAM, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 4 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Retention >= pts[i-1].Retention {
+			t.Error("retention should shrink with bits/cell")
+		}
+		if pts[i].Endurance >= pts[i-1].Endurance {
+			t.Error("endurance should shrink with bits/cell")
+		}
+		if pts[i].CapacityFactor <= pts[i-1].CapacityFactor {
+			t.Error("capacity should grow with bits/cell")
+		}
+	}
+	if _, _, err := RunMLCSweep(cellphys.RRAM, time.Nanosecond); err == nil {
+		t.Error("bad retention should error")
+	}
+}
+
+// E17: MRM loads a model slower than HBM but still a trivial fraction of an
+// hourly update period — the write-throughput sacrifice is affordable.
+func TestModelSwap(t *testing.T) {
+	pts, tab := RunModelSwap(llm.Llama2_70B)
+	if tab.NumRows() != len(pts) || len(pts) != 4 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	by := map[string]ModelSwapPoint{}
+	for _, p := range pts {
+		by[p.Device] = p
+	}
+	hbm, mrm, ssd := by["HBM3E x8"], by["MRM-RRAM x8"], by["NAND-SLC SSD"]
+	if mrm.LoadTime <= hbm.LoadTime {
+		t.Error("MRM bulk load should be slower than HBM (the sacrificed metric)")
+	}
+	if mrm.HourlyDuty > 0.01 {
+		t.Errorf("MRM load duty %v should still be <1%% of an hourly update", mrm.HourlyDuty)
+	}
+	if ssd.LoadTime <= mrm.LoadTime {
+		t.Error("flash should be far slower than MRM")
+	}
+}
+
+// E18: parking idle KV on MRM avoids the refresh-coupled holding cost.
+func TestIdleKVOffload(t *testing.T) {
+	pts, tab := RunIdleKVOffload(llm.Llama2_70B, 4096)
+	if tab.NumRows() != 3 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	by := map[string]IdleKVPoint{}
+	for _, p := range pts {
+		by[p.Tier] = p
+	}
+	hbm, mrm := by["HBM3E"], by["MRM-RRAM@1d"]
+	if mrm.HoldJPerHour >= hbm.HoldJPerHour {
+		t.Errorf("MRM hold cost %v should beat HBM %v", mrm.HoldJPerHour, hbm.HoldJPerHour)
+	}
+	out := tab.String()
+	if !strings.Contains(out, "no refresh") {
+		t.Error("table should note the refresh-free hold")
+	}
+}
+
+func TestGeomSpace(t *testing.T) {
+	got := geomSpace(time.Minute, time.Hour, 3)
+	if len(got) != 3 || got[0] != time.Minute || got[2] != time.Hour {
+		t.Fatalf("geomSpace = %v", got)
+	}
+	if got[1] <= got[0] || got[1] >= got[2] {
+		t.Fatalf("middle point %v not between endpoints", got[1])
+	}
+	if one := geomSpace(time.Minute, time.Hour, 1); len(one) != 1 || one[0] != time.Hour {
+		t.Fatalf("k=1 should yield the max: %v", one)
+	}
+}

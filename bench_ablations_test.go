@@ -1,0 +1,315 @@
+package mrm
+
+// Benchmarks for the ablations and extension experiments E13–E18.
+
+import (
+	"testing"
+	"time"
+
+	"mrm/internal/cellphys"
+	"mrm/internal/llm"
+)
+
+// BenchmarkClassCountAblation (E13) reports the energy penalty of a single
+// one-size-fits-all retention class vs eight DCM classes.
+func BenchmarkClassCountAblation(b *testing.B) {
+	var pts []ClassCountPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, _, err = RunClassCountAblation(cellphys.RRAM, []int{1, 2, 4, 8}, 2000, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(pts[0].MeanStoreJPerGB/pts[len(pts)-1].MeanStoreJPerGB, "1class/8class-energy")
+	b.ReportMetric(pts[len(pts)-1].MeanRetentionWaste, "8class-retention-waste")
+}
+
+// BenchmarkPageSizeAblation (E14) reports the knee geometry.
+func BenchmarkPageSizeAblation(b *testing.B) {
+	var pts []PageSizePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, _, err = RunPageSizeAblation(llm.Llama2_70B, []int{1, 4, 16, 64, 256}, 64, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range pts {
+		if p.PageTokens == 16 {
+			b.ReportMetric(p.Utilization, "16tok-utilization")
+			b.ReportMetric(p.RangesPerRead, "16tok-ranges/read")
+		}
+	}
+}
+
+// BenchmarkKeepVsRecompute (E15) reports the energy gap at a one-day idle.
+func BenchmarkKeepVsRecompute(b *testing.B) {
+	idles := []time.Duration{24 * time.Hour}
+	var pts []KeepRecomputePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, _, err = RunKeepVsRecompute(llm.Llama2_70B, llm.B200, cellphys.RRAM,
+			24*time.Hour, 2048, idles)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if pts[0].KeepJ > 0 {
+		b.ReportMetric(pts[0].RecomputeJ/pts[0].KeepJ, "recompute/keep-energy")
+	} else {
+		b.ReportMetric(pts[0].RecomputeJ, "recompute-J(keep-free)")
+	}
+}
+
+// BenchmarkMLC (E16) reports the TLC design point.
+func BenchmarkMLC(b *testing.B) {
+	var pts []MLCPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, _, err = RunMLCSweep(cellphys.RRAM, 24*time.Hour)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	tlc := pts[2]
+	b.ReportMetric(tlc.CapacityFactor, "tlc-capacity-x")
+	b.ReportMetric(tlc.Retention.Seconds(), "tlc-retention-s")
+}
+
+// BenchmarkModelSwap (E17) reports MRM's bulk-load duty cycle.
+func BenchmarkModelSwap(b *testing.B) {
+	var pts []ModelSwapPoint
+	for i := 0; i < b.N; i++ {
+		pts, _ = RunModelSwap(llm.Llama2_70B)
+	}
+	for _, p := range pts {
+		if p.Device == "MRM-RRAM x8" {
+			b.ReportMetric(p.LoadTime.Seconds(), "mrm-load-s")
+			b.ReportMetric(p.HourlyDuty, "mrm-hourly-duty")
+		}
+	}
+}
+
+// BenchmarkIdleKV (E18) reports the HBM:MRM idle-hold cost ratio.
+func BenchmarkIdleKV(b *testing.B) {
+	var pts []IdleKVPoint
+	for i := 0; i < b.N; i++ {
+		pts, _ = RunIdleKVOffload(llm.Llama2_70B, 4096)
+	}
+	var hbm, mrm IdleKVPoint
+	for _, p := range pts {
+		switch p.Tier {
+		case "HBM3E":
+			hbm = p
+		case "MRM-RRAM@1d":
+			mrm = p
+		}
+	}
+	if mrm.HoldJPerHour > 0 {
+		b.ReportMetric(float64(hbm.HoldJPerHour)/float64(mrm.HoldJPerHour), "hbm/mrm-hold-cost")
+	}
+}
+
+// BenchmarkFleetScaleOut (E19) reports 4-node scaling efficiency.
+func BenchmarkFleetScaleOut(b *testing.B) {
+	p := DefaultServingParams()
+	p.NumReqs = 12
+	var pts []FleetPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, _, err = RunFleetScaleOut(p, []int{1, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(pts[1].TokensPerSec/pts[0].TokensPerSec, "4node-speedup")
+	b.ReportMetric(pts[1].Balance, "4node-balance")
+}
+
+// BenchmarkWearoutLifetime (E20) reports the lifetime flip between
+// non-volatile and managed retention on RRAM.
+func BenchmarkWearoutLifetime(b *testing.B) {
+	rets := []time.Duration{24 * time.Hour, 10 * 365 * 24 * time.Hour}
+	var pts []WearoutPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, _, err = RunWearoutLifetime(llm.SplitwiseConv, llm.Llama2_70B, 48*1<<30, rets)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range pts {
+		switch p.Device {
+		case "RRAM@1d":
+			b.ReportMetric(p.Years, "rram-1d-years")
+		case "RRAM@10y":
+			b.ReportMetric(p.Years, "rram-10y-years")
+		}
+	}
+}
+
+// BenchmarkChunkedPrefill (E21) reports the TBT-tail reduction from chunking.
+func BenchmarkChunkedPrefill(b *testing.B) {
+	p := DefaultServingParams()
+	p.NumReqs = 4
+	var pts []ChunkedPrefillPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, _, err = RunChunkedPrefill(p, []int{0, 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if pts[1].TBTMax > 0 {
+		b.ReportMetric(pts[0].TBTMax/pts[1].TBTMax, "mono/chunked-tbt-max")
+	}
+	b.ReportMetric(pts[1].TokensPerSec, "chunked-tokens/s")
+}
+
+// BenchmarkPrefixSharing (E22) reports capacity saved by prefix caching.
+func BenchmarkPrefixSharing(b *testing.B) {
+	var res PrefixSharingResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = RunPrefixSharing(llm.Llama2_70B, 5, 256, 40, 64, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.CapacitySaved, "capacity-saved")
+	b.ReportMetric(float64(res.ReadBytesPerStep)/1e9, "read-GB/step")
+}
+
+// BenchmarkMoE (E23) reports the small-batch weight-traffic saving.
+func BenchmarkMoE(b *testing.B) {
+	var pts []MoEPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, _, err = RunMoEComparison(llm.B200, 2048, []int{1, 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(pts[0].DenseWeightRead)/float64(pts[0].MoEWeightRead), "dense/moe-batch1-read")
+	b.ReportMetric(pts[0].MoETokensPerSec/pts[0].DenseTokensPerSec, "moe/dense-batch1-speed")
+}
+
+// BenchmarkServingTCO (E24) reports the tokens-per-dollar advantage.
+func BenchmarkServingTCO(b *testing.B) {
+	p := DefaultServingParams()
+	p.NumReqs = 10
+	var pts []TCOPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, _, err = RunServingTCO(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var hbm, mrm TCOPoint
+	for _, pt := range pts {
+		switch pt.Config {
+		case HBMOnly:
+			hbm = pt
+		case HBMPlusMRM:
+			mrm = pt
+		}
+	}
+	if hbm.TokensPerDollar > 0 {
+		b.ReportMetric(mrm.TokensPerDollar/hbm.TokensPerDollar, "mrm/hbm-tokens/$")
+	}
+}
+
+// BenchmarkControllerBandwidth (E25) reports achieved bandwidth and the
+// refresh tax at the bank/channel level.
+func BenchmarkControllerBandwidth(b *testing.B) {
+	var pts []BandwidthPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, _, err = RunControllerBandwidth(2 << 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range pts {
+		switch p.Device {
+		case "HBM3E":
+			b.ReportMetric(p.RefreshShare, "hbm-refresh-tax")
+		case "MRM-RRAM@1d":
+			b.ReportMetric(float64(p.Achieved)/1e9, "mrm-achieved-GB/s")
+		}
+	}
+}
+
+// BenchmarkQuantization (E26) reports the int4:fp16 capacity and speed deltas.
+func BenchmarkQuantization(b *testing.B) {
+	var pts []QuantPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, _, err = RunQuantizationSweep(llm.Frontier500B, llm.B200, 4096, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var fp16, int4 QuantPoint
+	for _, p := range pts {
+		switch p.Precision {
+		case llm.FP16:
+			fp16 = p
+		case llm.INT4:
+			int4 = p
+		}
+	}
+	b.ReportMetric(float64(fp16.WeightBytes)/float64(int4.WeightBytes), "fp16/int4-capacity")
+	b.ReportMetric(int4.TokensPerSec/fp16.TokensPerSec, "int4/fp16-speed")
+}
+
+// BenchmarkPhaseSplit (E27) reports the TBT-tail win of dedicated prefill
+// nodes.
+func BenchmarkPhaseSplit(b *testing.B) {
+	p := DefaultServingParams()
+	p.NumReqs = 12
+	p.RatePerSec = 20
+	var outs []SplitResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		outs, _, err = RunPhaseSplit(p, 1, 1, 200*1e9)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if outs[1].TBTMax > 0 {
+		b.ReportMetric(outs[0].TBTMax/outs[1].TBTMax, "agg/split-tbt-max")
+	}
+	b.ReportMetric(float64(outs[1].TransferBytes)/1e9, "kv-transfer-GB")
+}
+
+// BenchmarkSpeculative (E28) reports the k=4, α=0.8 design point.
+func BenchmarkSpeculative(b *testing.B) {
+	var pts []SpecPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, _, err = RunSpeculative(llm.Llama2_70B, llm.Llama27B, llm.B200, 2048,
+			[]int{4}, []float64{0.8})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(pts[0].Speedup, "speedup")
+	b.ReportMetric(float64(pts[0].WeightReadPerToken)/1e9, "weight-GB/token")
+}
+
+// BenchmarkAcceleratorCount (E29) reports the frontier-model density win.
+func BenchmarkAcceleratorCount(b *testing.B) {
+	var pts []PlacementPoint
+	for i := 0; i < b.N; i++ {
+		pts, _ = RunAcceleratorCount(8192, 8)
+	}
+	for _, p := range pts {
+		if p.Model == "Frontier-500B" {
+			b.ReportMetric(float64(p.HBMNodes), "frontier-hbm-nodes")
+			b.ReportMetric(float64(p.MRMNodes), "frontier-mrm-nodes")
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package mrm
+
+// The benchmark harness: one benchmark per experiment in EXPERIMENTS.md.
+// Each benchmark regenerates the corresponding figure/claim of the paper and
+// reports its headline quantity via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the full reproduction. Absolute times measure the simulator, not
+// the hardware under study; the custom metrics carry the results.
+
+import (
+	"testing"
+	"time"
+
+	"mrm/internal/cellphys"
+	"mrm/internal/llm"
+	"mrm/internal/units"
+)
+
+// BenchmarkFigure1 regenerates Figure 1 (E1) and reports the gap between the
+// KV-cache endurance requirement and RRAM product endurance (decades).
+func BenchmarkFigure1(b *testing.B) {
+	var res Figure1Result
+	for i := 0; i < b.N; i++ {
+		res = RunFigure1(48 * units.GiB)
+	}
+	kv := res.Data.Requirements[2].WritesPerCell
+	b.ReportMetric(kv, "kv-writes/cell")
+	for _, t := range res.Data.Technologies {
+		if t.Name == "ReRAM(product)" {
+			b.ReportMetric(kv/t.Product, "kv-req/rram-product")
+		}
+	}
+}
+
+// BenchmarkReadWriteRatio measures E2's decode read:write ratio.
+func BenchmarkReadWriteRatio(b *testing.B) {
+	var pts []RatioPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, _, err = RunReadWriteRatio(llm.Llama2_70B, llm.B200,
+			[]int{1, 8, 32}, []int{1024, 4096, 16384})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	minR, maxR := pts[0].Ratio, pts[0].Ratio
+	for _, p := range pts {
+		if p.Ratio < minR {
+			minR = p.Ratio
+		}
+		if p.Ratio > maxR {
+			maxR = p.Ratio
+		}
+	}
+	b.ReportMetric(minR, "min-read:write")
+	b.ReportMetric(maxR, "max-read:write")
+}
+
+// BenchmarkCapacityBreakdown regenerates E3.
+func BenchmarkCapacityBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := RunCapacityBreakdown(8192, 16); tab.NumRows() == 0 {
+			b.Fatal("empty table")
+		}
+	}
+	b.ReportMetric(llm.Frontier500B.WeightBytes().GB(), "frontier-weights-GB")
+	b.ReportMetric(llm.Llama2_70B.KVCacheBytes(4096).GB(), "70b-kv-4k-GB")
+}
+
+// BenchmarkSequentiality measures E4's trace properties.
+func BenchmarkSequentiality(b *testing.B) {
+	var res SequentialityResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = RunSequentiality(llm.Llama2_70B, 16, 8, 512, 32, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Stats.Sequentiality, "sequentiality")
+	b.ReportMetric(res.Stats.AppendOnly, "append-only")
+	b.ReportMetric(res.Stats.ReadWriteRatio, "read:write")
+}
+
+// BenchmarkRefreshOverhead measures E5: HBM idle housekeeping vs MRM.
+func BenchmarkRefreshOverhead(b *testing.B) {
+	var res RefreshOverheadResult
+	for i := 0; i < b.N; i++ {
+		res = RunRefreshOverhead()
+	}
+	var hbm, mrm RefreshRow
+	for _, r := range res.Rows {
+		switch r.Name {
+		case "HBM3E":
+			hbm = r
+		case "MRM-RRAM@1d":
+			mrm = r
+		}
+	}
+	b.ReportMetric(hbm.RefreshShare, "hbm-refresh-share")
+	b.ReportMetric(float64(hbm.IdlePerTBDay)/float64(mrm.IdlePerTBDay), "hbm/mrm-idle-energy")
+}
+
+// BenchmarkDeviceComparison regenerates E6 and reports the MRM:HBM read
+// efficiency advantage.
+func BenchmarkDeviceComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := RunDeviceComparison(); tab.NumRows() == 0 {
+			b.Fatal("empty table")
+		}
+	}
+	mrm := cellphysMRM()
+	b.ReportMetric(mrm.BytesPerSecPerWatt()/hbmSpec().BytesPerSecPerWatt(), "mrm/hbm-read-eff")
+	b.ReportMetric(float64(mrm.Capacity)/float64(hbmSpec().Capacity), "mrm/hbm-density")
+}
+
+// BenchmarkTieringPolicies runs E7: serving on the three memory systems.
+func BenchmarkTieringPolicies(b *testing.B) {
+	p := DefaultServingParams()
+	p.NumReqs = 16
+	var outs []ServingOutcome
+	for i := 0; i < b.N; i++ {
+		var err error
+		outs, _, err = RunServingComparison(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var hbm, mrm ServingOutcome
+	for _, o := range outs {
+		switch o.Config {
+		case HBMOnly:
+			hbm = o
+		case HBMPlusMRM:
+			mrm = o
+		}
+	}
+	b.ReportMetric(hbm.Result.TokensPerSec, "hbm-tokens/s")
+	b.ReportMetric(mrm.Result.TokensPerSec, "mrm-tokens/s")
+	if hbm.Result.TokensPerJoule > 0 {
+		b.ReportMetric(mrm.Result.TokensPerJoule/hbm.Result.TokensPerJoule, "mrm/hbm-tokens/J")
+	}
+}
+
+// BenchmarkDCM runs E8: the programmable-retention sweep, reporting the
+// write-energy saving of right-provisioned retention vs non-volatile writes.
+func BenchmarkDCM(b *testing.B) {
+	classes := []time.Duration{
+		10 * time.Minute, time.Hour, 24 * time.Hour, 7 * 24 * time.Hour, 10 * units.Year,
+	}
+	var pts []DCMPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, _, err = RunDCMSweep(cellphys.RRAM, 24*time.Hour, classes)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	nv := pts[len(pts)-1]
+	day := pts[2]
+	b.ReportMetric(float64(nv.WriteEnergy)/float64(day.WriteEnergy), "write-energy-saving")
+	b.ReportMetric(day.Endurance/nv.Endurance, "endurance-gain")
+}
+
+// BenchmarkECCBlockSize runs E9 and reports the long-code advantage.
+func BenchmarkECCBlockSize(b *testing.B) {
+	var pts []ECCPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, _, err = RunECCBlockSweep(cellphys.RRAM, 24*time.Hour, 1e-18)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var small, large float64
+	for _, p := range pts {
+		switch p.Name {
+		case "RS(63,55)":
+			small = p.MaxBER
+		case "RS(255,223)":
+			large = p.MaxBER
+		}
+	}
+	b.ReportMetric(large/small, "rs255/rs63-ber-budget")
+}
+
+// BenchmarkControlPlane runs E10: device FTL vs MRM software control plane.
+func BenchmarkControlPlane(b *testing.B) {
+	var res ControlPlaneResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = RunControlPlane(3, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.FTLWriteAmp, "ftl-write-amp")
+	b.ReportMetric(res.MRMWriteAmp, "mrm-write-amp")
+}
+
+// BenchmarkDensityRoadmap runs E11.
+func BenchmarkDensityRoadmap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := RunDensityRoadmap(llm.Frontier500B); tab.NumRows() != 3 {
+			b.Fatal("bad table")
+		}
+	}
+	b.ReportMetric(float64(cellphysMRM().Capacity)/float64(hbmSpec().Capacity), "mrm/hbm-stack-capacity")
+}
+
+// BenchmarkBatchingLimits runs E12.
+func BenchmarkBatchingLimits(b *testing.B) {
+	var pts []BatchPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, _, err = RunBatchingLimits(llm.GPT3_175B, llm.B200, 4096, []int{1, 4, 16, 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(pts[len(pts)-1].TokensPerSec/pts[0].TokensPerSec, "batch64/batch1-speedup")
+	b.ReportMetric(pts[len(pts)-1].Ratio, "batch64-read:write")
+}

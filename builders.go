@@ -1,0 +1,92 @@
+package mrm
+
+import (
+	"fmt"
+	"time"
+
+	"mrm/internal/core"
+	"mrm/internal/memdev"
+	"mrm/internal/tier"
+	"mrm/internal/units"
+)
+
+// MemorySystem is a built tiered memory plus the metadata the serving
+// simulator needs (which tier holds scratch/partial pages).
+type MemorySystem struct {
+	Manager     *tier.Manager
+	ScratchTier int
+	Description string
+}
+
+// buildMemory assembles the three E7 memory configurations. Capacities are
+// sized for a single-accelerator simulation of a 7B–70B model:
+//
+//	hbm-only:   192 GiB HBM3E @ 8 TB/s aggregate (a B200 package)
+//	hbm+lpddr:  96 GiB HBM + 384 GiB LPDDR5X (a GB200-style capacity tier)
+//	hbm+mrm:    24 GiB HBM (activations/scratch) + 384 GiB MRM-RRAM
+func buildMemory(cfg MemoryConfig) (*MemorySystem, error) {
+	hbmSpec := func(capacity units.Bytes) memdev.Spec {
+		s := memdev.HBM3E
+		s.Capacity = capacity
+		s.ReadBW = 8 * units.TBps
+		s.WriteBW = 8 * units.TBps
+		s.StaticPower = 16 // eight-stack package
+		return s
+	}
+	lpddrSpec := func(capacity units.Bytes) memdev.Spec {
+		s := memdev.LPDDR5X
+		s.Capacity = capacity
+		s.ReadBW = 500 * units.GBps // multi-package capacity tier
+		s.WriteBW = 500 * units.GBps
+		s.StaticPower = 4
+		return s
+	}
+	switch cfg {
+	case HBMOnly:
+		hbm, err := tier.NewDeviceTier("hbm", hbmSpec(192*units.GiB))
+		if err != nil {
+			return nil, err
+		}
+		m, err := tier.NewManager(tier.StaticPolicy{}, hbm)
+		if err != nil {
+			return nil, err
+		}
+		return &MemorySystem{Manager: m, ScratchTier: 0, Description: "192 GiB HBM3E"}, nil
+	case HBMPlusLPDDR:
+		hbm, err := tier.NewDeviceTier("hbm", hbmSpec(96*units.GiB))
+		if err != nil {
+			return nil, err
+		}
+		lp, err := tier.NewDeviceTier("lpddr", lpddrSpec(384*units.GiB))
+		if err != nil {
+			return nil, err
+		}
+		m, err := tier.NewManager(tier.StaticPolicy{}, hbm, lp)
+		if err != nil {
+			return nil, err
+		}
+		return &MemorySystem{Manager: m, ScratchTier: 0, Description: "96 GiB HBM + 384 GiB LPDDR5X"}, nil
+	case HBMPlusMRM:
+		hbm, err := tier.NewDeviceTier("hbm", hbmSpec(24*units.GiB))
+		if err != nil {
+			return nil, err
+		}
+		mcfg := core.DefaultConfig()
+		mcfg.Capacity = 384 * units.GiB
+		mcfg.ZoneSize = 64 * units.MiB
+		mcfg.Classes = []time.Duration{
+			10 * time.Minute, time.Hour, 24 * time.Hour, 7 * 24 * time.Hour,
+		}
+		mr, err := core.New(mcfg)
+		if err != nil {
+			return nil, err
+		}
+		m, err := tier.NewManager(tier.RetentionAwarePolicy{}, hbm, tier.NewMRMTier("mrm", mr))
+		if err != nil {
+			return nil, err
+		}
+		return &MemorySystem{Manager: m, ScratchTier: 0, Description: "24 GiB HBM + 384 GiB MRM-RRAM"}, nil
+	default:
+		return nil, fmt.Errorf("mrm: unknown memory config %d", int(cfg))
+	}
+}

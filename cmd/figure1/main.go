@@ -1,0 +1,30 @@
+// Command figure1 regenerates the paper's Figure 1: endurance requirements
+// for KV-cache and model-weight writes over a 5-year service life vs the
+// endurance of memory technologies (product and demonstrated potential).
+//
+// Usage:
+//
+//	figure1 [-kv-gib 48] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"mrm"
+	"mrm/internal/units"
+)
+
+func main() {
+	kvGiB := flag.Uint64("kv-gib", 48, "KV region capacity in GiB")
+	csv := flag.Bool("csv", false, "emit the verdict table as CSV")
+	flag.Parse()
+
+	res := mrm.RunFigure1(units.Bytes(*kvGiB) * units.GiB)
+	fmt.Println(res.Chart)
+	if *csv {
+		fmt.Print(res.Table.CSV())
+	} else {
+		fmt.Println(res.Table)
+	}
+}

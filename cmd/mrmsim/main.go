@@ -1,0 +1,267 @@
+// Command mrmsim runs the MRM reproduction experiments and prints their
+// tables. With no flags it runs every experiment.
+//
+// Usage:
+//
+//	mrmsim [-exp e1,e7] [-kv-gib 48] [-reqs 24] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mrm"
+	"mrm/internal/cellphys"
+	"mrm/internal/llm"
+	"mrm/internal/units"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiments to run (e1..e29, or all)")
+	kvGiB := flag.Uint64("kv-gib", 48, "KV region capacity in GiB for Figure 1")
+	reqs := flag.Int("reqs", 24, "requests for the serving comparison (e7)")
+	seed := flag.Uint64("seed", 42, "deterministic seed")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+	run := func(name string) bool { return all || want[name] }
+	var failed bool
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		failed = true
+	}
+
+	if run("e1") {
+		res := mrm.RunFigure1(units.Bytes(*kvGiB) * units.GiB)
+		fmt.Println(res.Chart)
+		fmt.Println(res.Table)
+	}
+	if run("e2") {
+		_, tab, err := mrm.RunReadWriteRatio(llm.Llama2_70B, llm.B200,
+			[]int{1, 8, 32}, []int{1024, 4096, 16384})
+		if err != nil {
+			fail("e2", err)
+		} else {
+			fmt.Println(tab)
+		}
+	}
+	if run("e3") {
+		fmt.Println(mrm.RunCapacityBreakdown(8192, 16))
+	}
+	if run("e4") {
+		res, err := mrm.RunSequentiality(llm.Llama2_70B, 16, 8, 512, 32, *seed)
+		if err != nil {
+			fail("e4", err)
+		} else {
+			fmt.Println(res.Table)
+		}
+	}
+	if run("e5") {
+		fmt.Println(mrm.RunRefreshOverhead().Table)
+	}
+	if run("e6") {
+		fmt.Println(mrm.RunDeviceComparison())
+	}
+	if run("e7") {
+		p := mrm.DefaultServingParams()
+		p.NumReqs = *reqs
+		p.Seed = *seed
+		_, tab, err := mrm.RunServingComparison(p)
+		if err != nil {
+			fail("e7", err)
+		} else {
+			fmt.Println(tab)
+		}
+	}
+	if run("e8") {
+		classes := []time.Duration{
+			10 * time.Minute, time.Hour, 24 * time.Hour, 7 * 24 * time.Hour, 10 * units.Year,
+		}
+		_, tab, err := mrm.RunDCMSweep(cellphys.RRAM, 24*time.Hour, classes)
+		if err != nil {
+			fail("e8", err)
+		} else {
+			fmt.Println(tab)
+		}
+	}
+	if run("e9") {
+		_, tab, err := mrm.RunECCBlockSweep(cellphys.RRAM, 24*time.Hour, 1e-18)
+		if err != nil {
+			fail("e9", err)
+		} else {
+			fmt.Println(tab)
+		}
+	}
+	if run("e10") {
+		res, err := mrm.RunControlPlane(*seed, 30)
+		if err != nil {
+			fail("e10", err)
+		} else {
+			fmt.Println(res.Table)
+		}
+	}
+	if run("e11") {
+		fmt.Println(mrm.RunDensityRoadmap(llm.Frontier500B))
+	}
+	if run("e12") {
+		_, tab, err := mrm.RunBatchingLimits(llm.GPT3_175B, llm.B200, 4096, []int{1, 4, 16, 64})
+		if err != nil {
+			fail("e12", err)
+		} else {
+			fmt.Println(tab)
+		}
+	}
+	if run("e13") {
+		_, tab, err := mrm.RunClassCountAblation(cellphys.RRAM, []int{1, 2, 4, 8}, 5000, *seed)
+		if err != nil {
+			fail("e13", err)
+		} else {
+			fmt.Println(tab)
+		}
+	}
+	if run("e14") {
+		_, tab, err := mrm.RunPageSizeAblation(llm.Llama2_70B, []int{1, 4, 16, 64, 256}, 64, *seed)
+		if err != nil {
+			fail("e14", err)
+		} else {
+			fmt.Println(tab)
+		}
+	}
+	if run("e15") {
+		idles := []time.Duration{
+			time.Minute, time.Hour, 24 * time.Hour, 7 * 24 * time.Hour, 60 * 24 * time.Hour,
+		}
+		_, tab, err := mrm.RunKeepVsRecompute(llm.Llama2_70B, llm.B200, cellphys.RRAM,
+			24*time.Hour, 2048, idles)
+		if err != nil {
+			fail("e15", err)
+		} else {
+			fmt.Println(tab)
+		}
+	}
+	if run("e16") {
+		_, tab, err := mrm.RunMLCSweep(cellphys.RRAM, 24*time.Hour)
+		if err != nil {
+			fail("e16", err)
+		} else {
+			fmt.Println(tab)
+		}
+	}
+	if run("e17") {
+		_, tab := mrm.RunModelSwap(llm.Llama2_70B)
+		fmt.Println(tab)
+	}
+	if run("e18") {
+		_, tab := mrm.RunIdleKVOffload(llm.Llama2_70B, 4096)
+		fmt.Println(tab)
+	}
+	if run("e19") {
+		p := mrm.DefaultServingParams()
+		p.NumReqs = *reqs
+		p.Seed = *seed
+		_, tab, err := mrm.RunFleetScaleOut(p, []int{1, 2, 4})
+		if err != nil {
+			fail("e19", err)
+		} else {
+			fmt.Println(tab)
+		}
+	}
+	if run("e20") {
+		rets := []time.Duration{time.Hour, 24 * time.Hour, 7 * 24 * time.Hour, 10 * units.Year}
+		_, tab, err := mrm.RunWearoutLifetime(llm.SplitwiseConv, llm.Llama2_70B,
+			units.Bytes(*kvGiB)*units.GiB, rets)
+		if err != nil {
+			fail("e20", err)
+		} else {
+			fmt.Println(tab)
+		}
+	}
+	if run("e21") {
+		p := mrm.DefaultServingParams()
+		p.NumReqs = 4
+		_, tab, err := mrm.RunChunkedPrefill(p, []int{0, 64, 256})
+		if err != nil {
+			fail("e21", err)
+		} else {
+			fmt.Println(tab)
+		}
+	}
+	if run("e22") {
+		res, err := mrm.RunPrefixSharing(llm.Llama2_70B, 5, 256, 40, 64, *seed)
+		if err != nil {
+			fail("e22", err)
+		} else {
+			fmt.Println(res.Table)
+		}
+	}
+	if run("e23") {
+		_, tab, err := mrm.RunMoEComparison(llm.B200, 2048, []int{1, 4, 16, 64})
+		if err != nil {
+			fail("e23", err)
+		} else {
+			fmt.Println(tab)
+		}
+	}
+	if run("e24") {
+		p := mrm.DefaultServingParams()
+		p.NumReqs = *reqs
+		p.Seed = *seed
+		_, tab, err := mrm.RunServingTCO(p)
+		if err != nil {
+			fail("e24", err)
+		} else {
+			fmt.Println(tab)
+		}
+	}
+	if run("e25") {
+		_, tab, err := mrm.RunControllerBandwidth(8 * units.GiB)
+		if err != nil {
+			fail("e25", err)
+		} else {
+			fmt.Println(tab)
+		}
+	}
+	if run("e26") {
+		_, tab, err := mrm.RunQuantizationSweep(llm.Frontier500B, llm.B200, 4096, 4)
+		if err != nil {
+			fail("e26", err)
+		} else {
+			fmt.Println(tab)
+		}
+	}
+	if run("e27") {
+		p := mrm.DefaultServingParams()
+		p.NumReqs = *reqs
+		p.RatePerSec = 20
+		p.Seed = *seed
+		_, tab, err := mrm.RunPhaseSplit(p, 1, 1, 200*units.GBps)
+		if err != nil {
+			fail("e27", err)
+		} else {
+			fmt.Println(tab)
+		}
+	}
+	if run("e28") {
+		_, tab, err := mrm.RunSpeculative(llm.Llama2_70B, llm.Llama27B, llm.B200, 2048,
+			[]int{2, 4, 8}, []float64{0.5, 0.7, 0.9})
+		if err != nil {
+			fail("e28", err)
+		} else {
+			fmt.Println(tab)
+		}
+	}
+	if run("e29") {
+		_, tab := mrm.RunAcceleratorCount(8192, 8)
+		fmt.Println(tab)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

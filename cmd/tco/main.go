@@ -1,0 +1,28 @@
+// Command tco prints the device-comparison and total-cost-of-ownership
+// tables: read bandwidth, energy per bit, density, endurance, $/GB, and
+// $/TB/month across the memory technologies the paper discusses.
+//
+// Usage:
+//
+//	tco [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"mrm"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "emit CSV instead of a table")
+	flag.Parse()
+
+	tab := mrm.RunDeviceComparison()
+	if *csv {
+		fmt.Print(tab.CSV())
+	} else {
+		fmt.Println(tab)
+	}
+	fmt.Println(mrm.RunRefreshOverhead().Table)
+}

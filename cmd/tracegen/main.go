@@ -1,0 +1,65 @@
+// Command tracegen emits a simulated inference memory-access trace as CSV
+// (at_ns,stream,op,addr,size) together with a summary of its properties, for
+// consumption by external analysis tools.
+//
+// Usage:
+//
+//	tracegen [-model Llama2-70B] [-seqs 8] [-prompt 512] [-steps 32] [-o trace.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mrm"
+	"mrm/internal/llm"
+)
+
+func main() {
+	modelName := flag.String("model", "Llama2-70B", "model preset")
+	seqs := flag.Int("seqs", 8, "concurrent sequences")
+	prompt := flag.Int("prompt", 512, "prompt length scale (tokens)")
+	steps := flag.Int("steps", 32, "decode steps to trace")
+	pageTokens := flag.Int("page-tokens", 16, "KV page size in vectors")
+	seed := flag.Uint64("seed", 1, "deterministic seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	format := flag.String("format", "csv", "output format: csv or jsonl")
+	flag.Parse()
+
+	model, err := llm.ModelByName(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := mrm.RunSequentiality(model, *pageTokens, *seqs, *prompt, *steps, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	switch *format {
+	case "csv":
+		if err := res.Log.WriteCSV(w); err != nil {
+			log.Fatal(err)
+		}
+	case "jsonl":
+		if err := res.Log.WriteJSONL(w); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown format %q (want csv or jsonl)", *format)
+	}
+	fmt.Fprintln(os.Stderr, res.Table)
+}

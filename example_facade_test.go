@@ -1,0 +1,37 @@
+package mrm_test
+
+import (
+	"fmt"
+	"time"
+
+	"mrm"
+	"mrm/internal/cellphys"
+	"mrm/internal/endurance"
+	"mrm/internal/units"
+)
+
+// Regenerate the paper's Figure 1 and classify one technology against the
+// KV-cache endurance requirement.
+func ExampleRunFigure1() {
+	res := mrm.RunFigure1(48 * units.GiB)
+	kv := res.Data.Requirements[2] // KV churn, splitwise-conv
+	for _, tech := range res.Data.Technologies {
+		if tech.Name == "Optane-PCM" {
+			fmt.Printf("%s vs %q: %v\n", tech.Name, kv.Name, endurance.Classify(tech, kv))
+		}
+	}
+	// Output: Optane-PCM vs "KV cache (Llama2-70B, splitwise-conv)": potential-only
+}
+
+// Ask the DCM sweep what writing one-day data at the right retention saves
+// over SCM-style non-volatile writes.
+func ExampleRunDCMSweep() {
+	classes := []time.Duration{24 * time.Hour, 10 * units.Year}
+	pts, _, err := mrm.RunDCMSweep(cellphys.RRAM, 24*time.Hour, classes)
+	if err != nil {
+		panic(err)
+	}
+	saving := float64(pts[1].WriteEnergy) / float64(pts[0].WriteEnergy)
+	fmt.Printf("write-energy saving: %.1fx\n", saving)
+	// Output: write-energy saving: 5.2x
+}

@@ -1,0 +1,40 @@
+// Inference serving on tiered memory: run the same request stream over an
+// HBM-only node and an HBM+MRM node and compare tokens/s, latency, and
+// tokens/joule — the paper's §4 "retention-aware placement" experiment at
+// example scale.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mrm"
+)
+
+func main() {
+	p := mrm.DefaultServingParams()
+	p.NumReqs = 24
+
+	outs, tab, err := mrm.RunServingComparison(p, mrm.HBMOnly, mrm.HBMPlusMRM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tab)
+
+	var hbm, withMRM mrm.ServingOutcome
+	for _, o := range outs {
+		switch o.Config {
+		case mrm.HBMOnly:
+			hbm = o
+		case mrm.HBMPlusMRM:
+			withMRM = o
+		}
+	}
+	fmt.Printf("throughput: %.0f tok/s (hbm) vs %.0f tok/s (hbm+mrm)\n",
+		hbm.Result.TokensPerSec, withMRM.Result.TokensPerSec)
+	if hbm.Result.TokensPerJoule > 0 {
+		fmt.Printf("efficiency: hbm+mrm generates %.2fx more tokens per joule\n",
+			withMRM.Result.TokensPerJoule/hbm.Result.TokensPerJoule)
+	}
+	fmt.Printf("per-tier reads with MRM: %v\n", withMRM.Result.PerTierReads)
+}

@@ -1,0 +1,82 @@
+// Quickstart: build a Managed-Retention Memory, store data with lifetime
+// hints, watch the control plane expire soft state and refresh durable
+// state, and read the energy ledger.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"mrm/internal/core"
+	"mrm/internal/units"
+)
+
+func main() {
+	// An RRAM-based MRM with four retention classes (10m / 1h / 1d / 7d),
+	// protected by RS(255,223), targeting an UBER of 1e-18.
+	cfg := core.DefaultConfig()
+	cfg.Capacity = 4 * units.GiB
+	cfg.ZoneSize = 32 * units.MiB
+	m, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MRM: %v of %v, retention classes %v\n",
+		m.Capacity(), m.Spec().Tech, m.Classes())
+
+	// A KV cache is soft state: tag it with its real lifetime and let it
+	// decay — the write is cheaper because retention is right-provisioned.
+	kv, lat, err := m.Put(256*units.MiB, core.WriteOptions{
+		Kind:     core.KindKVCache,
+		Lifetime: 30 * time.Minute,
+		Policy:   core.PolicyDrop,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stored 256 MiB of KV cache in %v\n", lat)
+
+	// Weights must stay resident: the control plane refreshes them before
+	// each retention deadline.
+	weights, _, err := m.Put(1*units.GiB, core.WriteOptions{
+		Kind:     core.KindWeights,
+		Lifetime: 90 * 24 * time.Hour,
+		Policy:   core.PolicyRefresh,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Reads are the cheap, fast path.
+	if _, err := m.Get(kv); err != nil {
+		log.Fatal(err)
+	}
+
+	// Two hours later the KV cache has expired (its class was 1h)...
+	if err := m.Tick(2 * time.Hour); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := m.Get(kv); errors.Is(err, core.ErrExpired) {
+		fmt.Println("KV cache expired as scheduled - soft state is recomputed, not refreshed")
+	}
+
+	// ...while the weights survive week after week via refresh.
+	for i := 0; i < 30; i++ {
+		if err := m.Tick(24 * time.Hour); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := m.Get(weights); err != nil {
+		log.Fatal(err)
+	}
+	st := m.Stats()
+	fmt.Printf("after 30 days: %d refreshes, %v rewritten, %d expirations\n",
+		st.Refreshes, st.BytesRefreshed, st.Expirations)
+
+	e := m.Energy()
+	fmt.Printf("energy: host writes %v, refresh writes %v, reads %v, static %v\n",
+		e.HostWrite, e.RefreshWrite, e.Read, e.Static)
+	fmt.Printf("device wear: %.6f%% of life used\n", m.Wear().LifeUsed*100)
+}

@@ -1,0 +1,269 @@
+package mrm
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mrm/internal/llm"
+	"mrm/internal/units"
+)
+
+// E19: throughput scales with nodes; balance stays near 1.
+func TestFleetScaleOut(t *testing.T) {
+	p := DefaultServingParams()
+	p.NumReqs = 12
+	counts := []int{1, 2, 4}
+	pts, tab, err := RunFleetScaleOut(p, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != len(counts) {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	if pts[2].TokensPerSec < 2*pts[0].TokensPerSec {
+		t.Errorf("4 nodes (%v tok/s) should at least double 1 node (%v tok/s)",
+			pts[2].TokensPerSec, pts[0].TokensPerSec)
+	}
+	for _, pt := range pts {
+		if pt.Balance < 0.5 {
+			t.Errorf("%d nodes: balance %v too skewed", pt.Nodes, pt.Balance)
+		}
+		if pt.TokensPerJoule <= 0 {
+			t.Errorf("%d nodes: no efficiency", pt.Nodes)
+		}
+	}
+	// Tail TTFT should improve with more capacity.
+	if pts[2].TTFTP99 > pts[0].TTFTP99 {
+		t.Errorf("4-node TTFT p99 %v should not exceed 1-node %v", pts[2].TTFTP99, pts[0].TTFTP99)
+	}
+}
+
+// E20: the MRM thesis in lifetime form — relaxed retention survives the
+// 5-year service life where 10-year (SCM) operation does not.
+func TestWearoutLifetime(t *testing.T) {
+	retentions := []time.Duration{24 * time.Hour, 10 * units.Year}
+	pts, tab, err := RunWearoutLifetime(llm.SplitwiseConv, llm.Llama2_70B, 48*units.GiB, retentions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() == 0 {
+		t.Fatal("empty table")
+	}
+	by := map[string]WearoutPoint{}
+	for _, p := range pts {
+		by[p.Device] = p
+	}
+	if !by["RRAM@1d"].MeetsLife {
+		t.Errorf("RRAM@1d should survive 5y: %.2f years", by["RRAM@1d"].Years)
+	}
+	if by["RRAM@10y"].MeetsLife {
+		t.Errorf("RRAM at non-volatile retention should NOT survive 5y of KV churn: %.2f years",
+			by["RRAM@10y"].Years)
+	}
+	if by["PCM@10y"].MeetsLife {
+		t.Errorf("PCM (Optane-style) should wear out: %.2f years", by["PCM@10y"].Years)
+	}
+	// Flash gains almost nothing from relaxed retention.
+	if by["NAND-Flash@1d"].MeetsLife {
+		t.Errorf("flash must fail even at relaxed retention: %.2f years", by["NAND-Flash@1d"].Years)
+	}
+	if _, _, err := RunWearoutLifetime(llm.SplitwiseConv, llm.Llama2_70B, 0, retentions); err == nil {
+		t.Error("zero capacity should error")
+	}
+	if _, _, err := RunWearoutLifetime(llm.SplitwiseConv, llm.Llama2_70B, units.GiB,
+		[]time.Duration{time.Nanosecond}); err == nil {
+		t.Error("no valid points should error")
+	}
+	out := tab.String()
+	if !strings.Contains(out, "RRAM@1d") {
+		t.Error("table missing rows")
+	}
+}
+
+// E21: chunking bounds the TBT tail that monolithic prefill inflates.
+func TestChunkedPrefillSweep(t *testing.T) {
+	p := DefaultServingParams()
+	p.NumReqs = 4
+	chunks := []int{0, 64, 256}
+	pts, tab, err := RunChunkedPrefill(p, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != len(chunks) {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	mono, chunked := pts[0], pts[1]
+	if chunked.TBTMax >= mono.TBTMax {
+		t.Errorf("chunk=64 TBT max %v should beat monolithic %v", chunked.TBTMax, mono.TBTMax)
+	}
+	for _, pt := range pts {
+		if pt.TokensPerSec <= 0 {
+			t.Errorf("chunk %d: no throughput", pt.Chunk)
+		}
+	}
+}
+
+// E22: prefix sharing saves capacity but not read traffic.
+func TestPrefixSharing(t *testing.T) {
+	res, err := RunPrefixSharing(llm.Llama2_70B, 5, 256, 40, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CapacitySaved < 0.5 {
+		t.Errorf("capacity saved = %v, want > 0.5 with 5 popular prefixes over 40 requests",
+			res.CapacitySaved)
+	}
+	if res.PagesShared >= res.PagesUnshared {
+		t.Error("sharing should reduce pages")
+	}
+	// Reads stay per-request: every request reads its full context, so read
+	// bytes must be at least nReqs * prefix KV size.
+	minRead := units.Bytes(40*256) * llm.Llama2_70B.KVBytesPerToken()
+	if res.ReadBytesPerStep < minRead {
+		t.Errorf("read bytes %v below per-request floor %v: sharing must not dedup reads",
+			res.ReadBytesPerStep, minRead)
+	}
+	if res.Table.NumRows() != 4 {
+		t.Error("table incomplete")
+	}
+}
+
+// E23: MoE reads fewer weight bytes at small batch, converging to dense at
+// large batch, while capacity demand stays dense-sized.
+func TestMoEComparison(t *testing.T) {
+	batches := []int{1, 4, 64}
+	pts, tab, err := RunMoEComparison(llm.B200, 2048, batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != len(batches) {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	if pts[0].MoEWeightRead >= pts[0].DenseWeightRead {
+		t.Error("batch-1 MoE should read fewer weight bytes")
+	}
+	// Convergence at large batch.
+	ratio := float64(pts[2].MoEWeightRead) / float64(pts[2].DenseWeightRead)
+	if ratio < 0.95 {
+		t.Errorf("batch-64 MoE weight read should approach dense: ratio %v", ratio)
+	}
+	if pts[0].MoETokensPerSec <= pts[0].DenseTokensPerSec {
+		t.Error("batch-1 MoE decode should be faster")
+	}
+	// Capacity is identical regardless of routing.
+	if llm.Mixtral8x7B.WeightBytes() == 0 {
+		t.Fatal("sanity")
+	}
+}
+
+// E24: the MRM configuration must win tokens per dollar as well as per joule.
+func TestServingTCO(t *testing.T) {
+	p := DefaultServingParams()
+	p.NumReqs = 10
+	pts, tab, err := RunServingTCO(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 3 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	by := map[MemoryConfig]TCOPoint{}
+	for _, pt := range pts {
+		by[pt.Config] = pt
+	}
+	if by[HBMPlusMRM].MemoryCapex >= by[HBMOnly].MemoryCapex*2 {
+		t.Errorf("MRM config capex %v should be in the same ballpark as HBM-only %v",
+			by[HBMPlusMRM].MemoryCapex, by[HBMOnly].MemoryCapex)
+	}
+	if by[HBMPlusMRM].TokensPerDollar <= by[HBMOnly].TokensPerDollar {
+		t.Errorf("tokens/$: hbm+mrm %v should beat hbm-only %v",
+			by[HBMPlusMRM].TokensPerDollar, by[HBMOnly].TokensPerDollar)
+	}
+}
+
+// E25: both controllers achieve high utilization on sequential streams; the
+// HBM controller loses a slice to refresh, the MRM controller loses none.
+func TestControllerBandwidth(t *testing.T) {
+	pts, tab, err := RunControllerBandwidth(8 * units.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 2 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	by := map[string]BandwidthPoint{}
+	for _, p := range pts {
+		by[p.Device] = p
+	}
+	hbm := by["HBM3E"]
+	mrm := by["MRM-RRAM@1d"]
+	if hbm.Utilization < 0.6 || hbm.Utilization > 1.01 {
+		t.Errorf("HBM utilization = %v", hbm.Utilization)
+	}
+	if hbm.RefreshShare <= 0 {
+		t.Error("HBM must lose bank time to refresh")
+	}
+	if mrm.RefreshShare != 0 {
+		t.Error("MRM controller must not refresh")
+	}
+	if mrm.Achieved <= hbm.Achieved {
+		t.Errorf("MRM achieved bandwidth %v should exceed HBM %v (higher peak, no refresh)",
+			mrm.Achieved, hbm.Achieved)
+	}
+	if hbm.RefreshShare < 0.02 || hbm.RefreshShare > 0.2 {
+		t.Errorf("HBM refresh tax = %v, want a high-single-digit percentage", hbm.RefreshShare)
+	}
+}
+
+// E26: quantization shrinks capacity and raises bandwidth-bound throughput.
+func TestQuantizationSweep(t *testing.T) {
+	pts, tab, err := RunQuantizationSweep(llm.Frontier500B, llm.B200, 4096, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 4 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	// The paper's range: ~250 GB at int4 up to ~1 TB at fp16 for >500B.
+	var fp16, int4 QuantPoint
+	for _, p := range pts {
+		switch p.Precision {
+		case llm.FP16:
+			fp16 = p
+		case llm.INT4:
+			int4 = p
+		}
+	}
+	if int4.WeightBytes < 230*units.GiB || int4.WeightBytes > 260*units.GiB {
+		t.Errorf("int4 weights = %v, want ~250 GB", int4.WeightBytes)
+	}
+	if fp16.WeightBytes < 900*units.GiB {
+		t.Errorf("fp16 weights = %v, want ~1 TB", fp16.WeightBytes)
+	}
+	// Monotone: lower precision → higher decode throughput.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].TokensPerSec <= pts[i-1].TokensPerSec {
+			t.Errorf("throughput should rise from %v to %v", pts[i-1].Precision, pts[i].Precision)
+		}
+	}
+}
+
+// The E5 table now includes hot-HBM rows with worse idle economics.
+func TestRefreshOverheadThermalRows(t *testing.T) {
+	res := RunRefreshOverhead()
+	byName := map[string]RefreshRow{}
+	for _, r := range res.Rows {
+		byName[r.Name] = r
+	}
+	base, hot := byName["HBM3E"], byName["HBM3E@105C"]
+	if hot.Name == "" {
+		t.Fatal("no 105C row")
+	}
+	if hot.RefreshPower <= base.RefreshPower {
+		t.Error("105C refresh power should exceed 85C rating point")
+	}
+	if hot.RefreshShare <= base.RefreshShare {
+		t.Error("refresh share should grow with temperature")
+	}
+}

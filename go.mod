@@ -1,0 +1,3 @@
+module mrm
+
+go 1.22

@@ -1,0 +1,13 @@
+package mrm
+
+import (
+	"time"
+
+	"mrm/internal/cellphys"
+	"mrm/internal/memdev"
+)
+
+// hbmSpec and cellphysMRM are shared spec shorthands for the benchmarks.
+func hbmSpec() memdev.Spec { return memdev.HBM3E }
+
+func cellphysMRM() memdev.Spec { return memdev.MRMSpec(cellphys.RRAM, 24*time.Hour) }

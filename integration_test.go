@@ -1,0 +1,237 @@
+package mrm
+
+// Cross-module integration tests: end-to-end paths that single-package unit
+// tests cannot cover — the wear/error model feeding real ECC decodes, the
+// serving simulator driving MRM expiry under long timelines, and the CSV
+// trace path round-tripping through analysis.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"mrm/internal/cellphys"
+	"mrm/internal/cluster"
+	"mrm/internal/core"
+	"mrm/internal/dist"
+	"mrm/internal/ecc"
+	"mrm/internal/llm"
+	"mrm/internal/memdev"
+	"mrm/internal/tier"
+	"mrm/internal/trace"
+	"mrm/internal/units"
+)
+
+// Fault injection end to end: sample bit flips at the rate the cell model
+// predicts for aged, worn MRM cells, push real codewords through them, and
+// check that RS(255,223) delivers the UBER the scrub plan promised.
+func TestECCSurvivesCellModelErrors(t *testing.T) {
+	op := cellphys.ForTechnology(cellphys.RRAM).MustAt(24 * time.Hour)
+	// Heavily worn cells read close to their retention deadline: the worst
+	// case the scrub planner must cover.
+	wear := cellphys.WearState{Cycles: op.Endurance * 0.5}
+	ber := cellphys.RawBER(op, wear, 23*time.Hour, cellphys.DefaultBER)
+	if ber <= 0 || ber > 1e-3 {
+		t.Fatalf("model BER = %g, outside the regime this test targets", ber)
+	}
+	code, err := ecc.NewRS(255, 223)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := dist.NewRNG(99)
+	words, failures, flips := 2000, 0, 0
+	for w := 0; w < words; w++ {
+		data := make([]byte, 223)
+		for i := range data {
+			data[i] = byte(rng.Uint64())
+		}
+		cw, err := code.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Flip each bit independently with probability ber.
+		for i := range cw {
+			for b := 0; b < 8; b++ {
+				if rng.Float64() < ber {
+					cw[i] ^= 1 << b
+					flips++
+				}
+			}
+		}
+		got, _, err := code.Decode(cw)
+		if err != nil {
+			failures++
+			continue
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				t.Fatalf("word %d: silent miscorrection", w)
+			}
+		}
+	}
+	if flips == 0 {
+		t.Fatal("error injection produced no flips; test is vacuous")
+	}
+	// The analytical failure probability at this BER.
+	pFail := ecc.RSSpec(255, 223).CodewordFailureProb(ber)
+	maxExpected := float64(words)*pFail*10 + 3 // generous slack
+	if float64(failures) > maxExpected {
+		t.Fatalf("decode failures = %d, analytical bound ~%.2f (ber=%g)",
+			failures, maxExpected, pFail*float64(words))
+	}
+}
+
+// A serving run on HBM+MRM whose timeline spans KV retention: expired pages
+// are tolerated (requests completed long before), energy ledgers stay
+// consistent, and the MRM reclaims its zones.
+func TestServingThenExpiryLifecycle(t *testing.T) {
+	hbmSpec := memdev.HBM3E
+	hbmSpec.Capacity = 24 * units.GiB
+	hbmSpec.ReadBW = 8 * units.TBps
+	hbm, err := tier.NewDeviceTier("hbm", hbmSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := core.DefaultConfig()
+	mcfg.Capacity = 64 * units.GiB
+	mcfg.ZoneSize = 64 * units.MiB
+	mr, err := core.New(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := tier.NewManager(tier.RetentionAwarePolicy{}, hbm, tier.NewMRMTier("mrm", mr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := cluster.NewSim(cluster.Config{
+		Model: llm.Llama27B, Acc: llm.B200, Memory: mgr,
+		PageTokens: 16, MaxBatch: 4, KVLifetime: 10 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]cluster.Request, 6)
+	for i := range reqs {
+		reqs[i] = cluster.Request{ID: uint64(i), PromptTokens: 96, OutputTokens: 16}
+	}
+	res, err := sim.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 6 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	// Long after the serving burst, the MRM should have expired and
+	// reclaimed everything except the weights, which the 7-day class
+	// refreshes once its deadline margin is reached.
+	for i := 0; i < 8*24; i++ {
+		if err := mgr.Tick(time.Hour); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := mr.Stats()
+	if st.Refreshes == 0 {
+		t.Error("weights on MRM should have been refreshed over 8 days (7d class)")
+	}
+	free := mr.FreeBytes()
+	want := mr.Capacity() - llm.Llama27B.WeightBytes()
+	// All KV zones reclaimed: free space within one zone of the ideal.
+	if free < want-2*mcfg.ZoneSize {
+		t.Errorf("free = %v, want ~%v (KV zones reclaimed)", free, want)
+	}
+	if mr.Energy().Total() <= 0 {
+		t.Error("energy ledger empty")
+	}
+}
+
+// The weights survive indefinitely on MRM under PolicyRefresh while the
+// control plane reports the refresh traffic the DCM sweep predicts.
+func TestWeightsRefreshEnergyMatchesPrediction(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Capacity = 8 * units.GiB
+	cfg.ZoneSize = 64 * units.MiB
+	m, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = units.GiB
+	if _, _, err := m.Put(size, core.WriteOptions{
+		Kind: core.KindWeights, Lifetime: 90 * 24 * time.Hour, Policy: core.PolicyRefresh,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	hostWrite := m.Energy().HostWrite
+	// 28 days with a 7d class → 4+ refreshes (margin pulls them earlier).
+	for i := 0; i < 28; i++ {
+		if err := m.Tick(24 * time.Hour); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.Stats()
+	if st.Refreshes < 4 {
+		t.Fatalf("refreshes = %d, want >= 4", st.Refreshes)
+	}
+	perRefresh := m.Energy().RefreshWrite / units.Energy(st.Refreshes)
+	// Each refresh rewrites the same bytes at the same class: its energy
+	// must equal the original host write.
+	ratio := float64(perRefresh) / float64(hostWrite)
+	if ratio < 0.99 || ratio > 1.01 {
+		t.Errorf("per-refresh energy %v vs host write %v (ratio %v)", perRefresh, hostWrite, ratio)
+	}
+}
+
+// Trace CSV round trip at scale through the real workload generator.
+func TestTraceCSVEndToEnd(t *testing.T) {
+	res, err := RunSequentiality(llm.Llama2_70B, 16, 4, 128, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.Log.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.ReadCSV(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, st2 := res.Log.Analyze(), back.Analyze()
+	if st1 != st2 {
+		t.Fatalf("analysis changed across CSV round trip:\n%+v\n%+v", st1, st2)
+	}
+}
+
+// Soft-state drop and recompute path: a KV object expires, the caller
+// detects ErrExpired, re-puts it, and the zone accounting stays exact.
+func TestDropRecomputeCycle(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Capacity = 512 * units.MiB
+	cfg.ZoneSize = 16 * units.MiB
+	m, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 10; round++ {
+		id, _, err := m.Put(64*units.MiB, core.WriteOptions{
+			Kind: core.KindKVCache, Lifetime: 10 * time.Minute, Policy: core.PolicyDrop,
+		})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if _, err := m.Get(id); err != nil {
+			t.Fatalf("round %d: fresh read: %v", round, err)
+		}
+		if err := m.Tick(time.Hour); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Get(id); !errors.Is(err, core.ErrExpired) {
+			t.Fatalf("round %d: want ErrExpired, got %v", round, err)
+		}
+	}
+	if m.FreeBytes() != m.Capacity() {
+		t.Fatalf("all soft state expired, yet free = %v of %v", m.FreeBytes(), m.Capacity())
+	}
+	if m.Stats().Expirations != 10 {
+		t.Fatalf("expirations = %d", m.Stats().Expirations)
+	}
+}

@@ -1,0 +1,315 @@
+// Package cellphys models memory-cell physics at the level of abstraction the
+// MRM paper argues from: for resistive technologies (PCM, RRAM, STT-MRAM),
+// retention time, write energy, write latency, and endurance are coupled —
+// writing "harder" (higher voltage / longer pulse) buys longer retention but
+// costs energy, time, and cell wear.
+//
+// The model is phenomenological: each technology has a reference operating
+// point taken from device spec sheets (the non-volatile, 10-year-retention
+// configuration shipped in SCM products) plus per-decade sensitivity slopes
+// fitted to the directions and magnitudes reported in the device literature
+// the paper cites:
+//
+//   - STT-MRAM: Smullen et al., HPCA'11 ("Relaxing non-volatility...") —
+//     reducing retention 10y→1s cut write energy ~5-10x and latency ~2-3x.
+//   - RRAM: Nail et al., IEDM'16 — endurance/retention/window trade-off,
+//     roughly a decade of endurance per decade of retention given up.
+//   - PCM: Lee et al., ISCA'09 — partial-SET programming trades retention
+//     for write latency/energy.
+//
+// Relaxing retention by one decade multiplies write energy by
+// 10^-EnergySlope, write latency by 10^-LatencySlope, and endurance by
+// 10^+EnduranceSlope. DRAM gets a degenerate trade-off (retention is fixed by
+// the capacitor; there is nothing to manage), and Flash gets a very stiff one
+// (tunnel-oxide damage dominates regardless of retention target).
+package cellphys
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mrm/internal/units"
+)
+
+// Technology identifies a memory cell technology.
+type Technology int
+
+// Cell technologies modeled by the simulator.
+const (
+	DRAM Technology = iota
+	PCM
+	RRAM
+	STTMRAM
+	NANDFlash
+	NORFlash
+)
+
+// String returns the conventional name of the technology.
+func (t Technology) String() string {
+	switch t {
+	case DRAM:
+		return "DRAM"
+	case PCM:
+		return "PCM"
+	case RRAM:
+		return "RRAM"
+	case STTMRAM:
+		return "STT-MRAM"
+	case NANDFlash:
+		return "NAND-Flash"
+	case NORFlash:
+		return "NOR-Flash"
+	default:
+		return fmt.Sprintf("Technology(%d)", int(t))
+	}
+}
+
+// Tradeoff couples retention to write energy, write latency, and endurance
+// for one technology. The zero value is not useful; obtain instances from
+// ForTechnology.
+type Tradeoff struct {
+	Tech Technology
+
+	// Reference (spec-sheet, non-volatile) operating point.
+	RefRetention    time.Duration
+	RefWriteEnergy  units.Energy // per bit
+	RefWriteLatency time.Duration
+	RefEndurance    float64 // program/erase or write cycles per cell
+
+	// Per-decade sensitivities when *relaxing* retention below RefRetention.
+	EnergySlope    float64 // write energy decades saved per retention decade given up
+	LatencySlope   float64 // write latency decades saved per retention decade
+	EnduranceSlope float64 // endurance decades gained per retention decade
+
+	// Legal retention range for the technology. At() clamps error outside it.
+	MinRetention time.Duration
+	MaxRetention time.Duration
+}
+
+// OperatingPoint is a concrete cell configuration chosen on the trade-off
+// curve: the result of deciding how long a write must be retained.
+type OperatingPoint struct {
+	Tech         Technology
+	Retention    time.Duration
+	WriteEnergy  units.Energy // per bit
+	WriteLatency time.Duration
+	Endurance    float64 // cycles per cell at this point
+}
+
+// ForTechnology returns the calibrated trade-off curve for tech.
+// Reference values carry provenance comments; they are spec-sheet estimates,
+// not measurements (no MRM silicon exists — that is the paper's point).
+func ForTechnology(tech Technology) Tradeoff {
+	switch tech {
+	case DRAM:
+		// DRAM retention is fixed by capacitor leakage; JEDEC refresh window
+		// 64 ms (32 ms at high temperature). Endurance effectively unlimited.
+		return Tradeoff{
+			Tech:            DRAM,
+			RefRetention:    64 * time.Millisecond,
+			RefWriteEnergy:  0.5 * units.PicoJoule, // array access energy share
+			RefWriteLatency: 15 * time.Nanosecond,
+			RefEndurance:    1e16,
+			EnergySlope:     0, LatencySlope: 0, EnduranceSlope: 0,
+			MinRetention: 64 * time.Millisecond,
+			MaxRetention: 64 * time.Millisecond,
+		}
+	case PCM:
+		// Reference: Intel Optane-class PCM, 10y retention, ~1e6 media-level
+		// cycles (blocksandfiles.com Optane DIMM endurance analysis [5]),
+		// ~100 pJ/bit RESET energy, ~150 ns write (Lee et al. ISCA'09 [24]).
+		return Tradeoff{
+			Tech:            PCM,
+			RefRetention:    10 * units.Year,
+			RefWriteEnergy:  100 * units.PicoJoule,
+			RefWriteLatency: 150 * time.Nanosecond,
+			RefEndurance:    1e6,
+			EnergySlope:     0.25, // partial-SET: ~1.8x energy per decade
+			LatencySlope:    0.12,
+			EnduranceSlope:  0.55, // melt-stress reduction dominates wear
+			MinRetention:    time.Second,
+			MaxRetention:    10 * units.Year,
+		}
+	case RRAM:
+		// Reference: Weebit-class embedded ReRAM product: 10y retention,
+		// ~1e5-1e6 cycles [32]; HfOx devices demonstrated 1e10 cycles at
+		// reduced retention (Lee et al. IEDM'10 [25]; Nail et al. IEDM'16 [34]).
+		return Tradeoff{
+			Tech:            RRAM,
+			RefRetention:    10 * units.Year,
+			RefWriteEnergy:  20 * units.PicoJoule,
+			RefWriteLatency: 100 * time.Nanosecond,
+			RefEndurance:    1e6,
+			EnergySlope:     0.20,
+			LatencySlope:    0.15,
+			EnduranceSlope:  0.60, // ~decade endurance per retention decade [34]
+			MinRetention:    time.Second,
+			MaxRetention:    10 * units.Year,
+		}
+	case STTMRAM:
+		// Reference: Everspin-class STT-MRAM: 10y retention (thermal
+		// stability Δ≈60), ~1e10 product cycles [39]; >1e15 demonstrated.
+		// Smullen'11 [43]: retention relaxation cuts write energy/latency.
+		return Tradeoff{
+			Tech:            STTMRAM,
+			RefRetention:    10 * units.Year,
+			RefWriteEnergy:  1.0 * units.PicoJoule,
+			RefWriteLatency: 10 * time.Nanosecond,
+			RefEndurance:    1e10,
+			EnergySlope:     0.15,
+			LatencySlope:    0.08,
+			EnduranceSlope:  0.50,
+			MinRetention:    time.Millisecond,
+			MaxRetention:    10 * units.Year,
+		}
+	case NANDFlash:
+		// Reference: SLC NAND, 10y retention, ~1e5 P/E cycles [7]; tunnel
+		// oxide wear is intrinsic to the program mechanism, so relaxing
+		// retention buys almost nothing — the "curse of Flash" in the paper.
+		return Tradeoff{
+			Tech:            NANDFlash,
+			RefRetention:    10 * units.Year,
+			RefWriteEnergy:  2000 * units.PicoJoule, // incl. program/erase amortization
+			RefWriteLatency: 200 * time.Microsecond,
+			RefEndurance:    1e5,
+			EnergySlope:     0.02,
+			LatencySlope:    0.02,
+			EnduranceSlope:  0.10,
+			MinRetention:    24 * time.Hour,
+			MaxRetention:    10 * units.Year,
+		}
+	case NORFlash:
+		return Tradeoff{
+			Tech:            NORFlash,
+			RefRetention:    20 * units.Year,
+			RefWriteEnergy:  5000 * units.PicoJoule,
+			RefWriteLatency: 10 * time.Microsecond,
+			RefEndurance:    1e5,
+			EnergySlope:     0.02,
+			LatencySlope:    0.02,
+			EnduranceSlope:  0.10,
+			MinRetention:    24 * time.Hour,
+			MaxRetention:    20 * units.Year,
+		}
+	default:
+		panic(fmt.Sprintf("cellphys: unknown technology %d", int(tech)))
+	}
+}
+
+// At returns the operating point for the requested retention target.
+// Retention outside [MinRetention, MaxRetention] is an error: the caller
+// (the MRM control plane) must pick a representable retention class.
+func (tr Tradeoff) At(retention time.Duration) (OperatingPoint, error) {
+	if retention < tr.MinRetention || retention > tr.MaxRetention {
+		return OperatingPoint{}, fmt.Errorf(
+			"cellphys: %v retention %v outside [%v, %v]",
+			tr.Tech, retention, tr.MinRetention, tr.MaxRetention)
+	}
+	// Decades of retention given up relative to the reference point.
+	decades := math.Log10(float64(tr.RefRetention) / float64(retention))
+	if decades < 0 {
+		decades = 0
+	}
+	energy := float64(tr.RefWriteEnergy) * math.Pow(10, -tr.EnergySlope*decades)
+	latency := float64(tr.RefWriteLatency) * math.Pow(10, -tr.LatencySlope*decades)
+	endurance := tr.RefEndurance * math.Pow(10, tr.EnduranceSlope*decades)
+	return OperatingPoint{
+		Tech:         tr.Tech,
+		Retention:    retention,
+		WriteEnergy:  units.Energy(energy),
+		WriteLatency: time.Duration(latency),
+		Endurance:    endurance,
+	}, nil
+}
+
+// MustAt is At for statically known-valid retentions; it panics on error.
+func (tr Tradeoff) MustAt(retention time.Duration) OperatingPoint {
+	op, err := tr.At(retention)
+	if err != nil {
+		panic(err)
+	}
+	return op
+}
+
+// MLCDerate adjusts an operating point for multi-level-cell encoding with
+// bitsPerCell bits. Narrower level margins shrink retention and endurance;
+// write energy per *bit* improves because one physical write stores several
+// bits. bitsPerCell must be in [1, 4].
+func MLCDerate(op OperatingPoint, bitsPerCell int) (OperatingPoint, error) {
+	if bitsPerCell < 1 || bitsPerCell > 4 {
+		return OperatingPoint{}, fmt.Errorf("cellphys: bitsPerCell %d outside [1,4]", bitsPerCell)
+	}
+	if bitsPerCell == 1 {
+		return op, nil
+	}
+	// Each extra bit halves the level margin: retention and endurance drop
+	// ~10x per extra bit (consistent with SLC→MLC→TLC NAND ratios), while
+	// per-bit write energy falls by the sharing factor (iterative program
+	// steps claw some of that back: use 0.7/bit instead of 1/bit).
+	extra := float64(bitsPerCell - 1)
+	op.Retention = time.Duration(float64(op.Retention) * math.Pow(0.1, extra))
+	op.Endurance *= math.Pow(0.1, extra)
+	op.WriteEnergy = units.Energy(float64(op.WriteEnergy) * math.Pow(0.7, extra) / float64(bitsPerCell))
+	op.WriteLatency = time.Duration(float64(op.WriteLatency) * math.Pow(1.5, extra))
+	return op, nil
+}
+
+// WearState tracks accumulated write cycles for a cell population (a block
+// or zone) and answers bit-error-rate queries.
+type WearState struct {
+	Cycles float64 // writes per cell so far
+}
+
+// RawBERParams configures the error model. The defaults (DefaultBER) are
+// typical of the resistive-memory reliability literature.
+type RawBERParams struct {
+	Floor     float64 // BER of a fresh cell immediately after write
+	WearCoeff float64 // BER added at end of life (Cycles == Endurance)
+	WearExp   float64 // super-linearity of wear damage
+	DecayBeta float64 // Weibull shape of retention loss over time
+}
+
+// DefaultBER is the standard error-model calibration.
+var DefaultBER = RawBERParams{
+	Floor:     1e-9,
+	WearCoeff: 1e-3,
+	WearExp:   3,
+	DecayBeta: 2,
+}
+
+// RawBER returns the expected raw bit error rate for cells written at
+// operating point op, with wear state w, read sinceWrite after being written.
+// Three additive terms: a floor, wear damage, and retention decay. Retention
+// decay follows a Weibull CDF with characteristic life = op.Retention scaled
+// so that BER at t == Retention equals the retention-failure criterion 1e-4
+// (the usual specification point for "data retained").
+func RawBER(op OperatingPoint, w WearState, sinceWrite time.Duration, p RawBERParams) float64 {
+	ber := p.Floor
+	if op.Endurance > 0 && w.Cycles > 0 {
+		frac := w.Cycles / op.Endurance
+		ber += p.WearCoeff * math.Pow(frac, p.WearExp)
+	}
+	if sinceWrite > 0 && op.Retention > 0 {
+		x := float64(sinceWrite) / float64(op.Retention)
+		// Weibull CDF scaled to hit 1e-4 at x == 1.
+		decay := 1e-4 * (1 - math.Exp(-math.Pow(x, p.DecayBeta))) / (1 - math.Exp(-1))
+		ber += decay
+	}
+	if ber > 0.5 {
+		ber = 0.5 // beyond this the data is noise
+	}
+	return ber
+}
+
+// LifetimeWrites returns how many full-device overwrite cycles the operating
+// point survives over the given service life if writes arrive at
+// writesPerCellPerSec. It returns +Inf when endurance is not the binding
+// constraint within the horizon.
+func LifetimeWrites(op OperatingPoint, writesPerCellPerSec float64, horizon time.Duration) float64 {
+	demanded := writesPerCellPerSec * horizon.Seconds()
+	if demanded <= 0 {
+		return math.Inf(1)
+	}
+	return op.Endurance / demanded
+}

@@ -1,0 +1,239 @@
+package cellphys
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mrm/internal/units"
+)
+
+func TestTechnologyString(t *testing.T) {
+	for tech, want := range map[Technology]string{
+		DRAM: "DRAM", PCM: "PCM", RRAM: "RRAM",
+		STTMRAM: "STT-MRAM", NANDFlash: "NAND-Flash", NORFlash: "NOR-Flash",
+	} {
+		if got := tech.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+	if got := Technology(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown technology String() = %q", got)
+	}
+}
+
+func TestForTechnologyPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ForTechnology(Technology(42))
+}
+
+func TestReferencePointIsIdentity(t *testing.T) {
+	for _, tech := range []Technology{PCM, RRAM, STTMRAM, NANDFlash, NORFlash, DRAM} {
+		tr := ForTechnology(tech)
+		op, err := tr.At(tr.RefRetention)
+		if err != nil {
+			t.Fatalf("%v: %v", tech, err)
+		}
+		if op.WriteEnergy != tr.RefWriteEnergy {
+			t.Errorf("%v: energy %v != ref %v", tech, op.WriteEnergy, tr.RefWriteEnergy)
+		}
+		if op.Endurance != tr.RefEndurance {
+			t.Errorf("%v: endurance %v != ref %v", tech, op.Endurance, tr.RefEndurance)
+		}
+		if op.WriteLatency != tr.RefWriteLatency {
+			t.Errorf("%v: latency %v != ref %v", tech, op.WriteLatency, tr.RefWriteLatency)
+		}
+	}
+}
+
+// The central MRM claim: relaxing retention improves endurance and write
+// energy for the SCM technologies.
+func TestRelaxingRetentionHelps(t *testing.T) {
+	for _, tech := range []Technology{PCM, RRAM, STTMRAM} {
+		tr := ForTechnology(tech)
+		nv := tr.MustAt(10 * units.Year)
+		day := tr.MustAt(24 * time.Hour)
+		if day.Endurance <= nv.Endurance {
+			t.Errorf("%v: 1-day endurance %g not above 10y %g", tech, day.Endurance, nv.Endurance)
+		}
+		if day.WriteEnergy >= nv.WriteEnergy {
+			t.Errorf("%v: 1-day write energy %v not below 10y %v", tech, day.WriteEnergy, nv.WriteEnergy)
+		}
+		if day.WriteLatency >= nv.WriteLatency {
+			t.Errorf("%v: 1-day latency %v not below 10y %v", tech, day.WriteLatency, nv.WriteLatency)
+		}
+	}
+}
+
+// RRAM calibration: ~0.6 decade endurance per decade of retention means
+// 10y→1h (≈4.9 decades) should buy roughly 3 decades (≈870x) of endurance.
+func TestRRAMEnduranceMagnitude(t *testing.T) {
+	tr := ForTechnology(RRAM)
+	hour := tr.MustAt(time.Hour)
+	gain := hour.Endurance / tr.RefEndurance
+	if gain < 100 || gain > 1e5 {
+		t.Errorf("RRAM 10y→1h endurance gain = %g, want within [1e2, 1e5]", gain)
+	}
+	// An MRM-class RRAM at hour retention should exceed 1e8 cycles,
+	// comfortably above the KV-cache requirement band in Figure 1.
+	if hour.Endurance < 1e8 {
+		t.Errorf("RRAM@1h endurance = %g, want >= 1e8", hour.Endurance)
+	}
+}
+
+func TestFlashGainsAlmostNothing(t *testing.T) {
+	tr := ForTechnology(NANDFlash)
+	day := tr.MustAt(24 * time.Hour)
+	if day.Endurance > tr.RefEndurance*10 {
+		t.Errorf("flash endurance gain %g too large; oxide wear should dominate",
+			day.Endurance/tr.RefEndurance)
+	}
+}
+
+func TestAtRangeErrors(t *testing.T) {
+	tr := ForTechnology(RRAM)
+	if _, err := tr.At(time.Millisecond); err == nil {
+		t.Error("sub-minimum retention should error")
+	}
+	if _, err := tr.At(100 * units.Year); err == nil {
+		t.Error("super-maximum retention should error")
+	}
+}
+
+func TestMustAtPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ForTechnology(RRAM).MustAt(time.Nanosecond)
+}
+
+func TestDRAMDegenerate(t *testing.T) {
+	tr := ForTechnology(DRAM)
+	if tr.MinRetention != tr.MaxRetention {
+		t.Error("DRAM should have a single legal retention")
+	}
+	op := tr.MustAt(tr.RefRetention)
+	if op.Endurance < 1e15 {
+		t.Error("DRAM endurance should be effectively unlimited")
+	}
+}
+
+func TestMLCDerate(t *testing.T) {
+	op := ForTechnology(RRAM).MustAt(10 * units.Year)
+	mlc, err := MLCDerate(op, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mlc.Retention >= op.Retention {
+		t.Error("MLC should shrink retention")
+	}
+	if mlc.Endurance >= op.Endurance {
+		t.Error("MLC should shrink endurance")
+	}
+	if mlc.WriteEnergy >= op.WriteEnergy {
+		t.Error("MLC should cut per-bit write energy")
+	}
+	same, err := MLCDerate(op, 1)
+	if err != nil || same != op {
+		t.Error("bitsPerCell=1 must be identity")
+	}
+	if _, err := MLCDerate(op, 0); err == nil {
+		t.Error("bitsPerCell=0 should error")
+	}
+	if _, err := MLCDerate(op, 5); err == nil {
+		t.Error("bitsPerCell=5 should error")
+	}
+}
+
+func TestRawBERFreshCell(t *testing.T) {
+	op := ForTechnology(RRAM).MustAt(24 * time.Hour)
+	ber := RawBER(op, WearState{}, 0, DefaultBER)
+	if ber != DefaultBER.Floor {
+		t.Errorf("fresh cell BER = %g, want floor %g", ber, DefaultBER.Floor)
+	}
+}
+
+func TestRawBERGrowsWithWear(t *testing.T) {
+	op := ForTechnology(RRAM).MustAt(24 * time.Hour)
+	low := RawBER(op, WearState{Cycles: op.Endurance * 0.1}, 0, DefaultBER)
+	high := RawBER(op, WearState{Cycles: op.Endurance}, 0, DefaultBER)
+	if high <= low {
+		t.Errorf("BER should grow with wear: %g <= %g", high, low)
+	}
+	if high < 1e-4 {
+		t.Errorf("end-of-life BER %g should be substantial", high)
+	}
+}
+
+func TestRawBERGrowsWithAge(t *testing.T) {
+	op := ForTechnology(RRAM).MustAt(24 * time.Hour)
+	young := RawBER(op, WearState{}, time.Hour, DefaultBER)
+	atRet := RawBER(op, WearState{}, 24*time.Hour, DefaultBER)
+	stale := RawBER(op, WearState{}, 96*time.Hour, DefaultBER)
+	if !(young < atRet && atRet < stale) {
+		t.Errorf("BER should grow with age: %g, %g, %g", young, atRet, stale)
+	}
+	// At exactly the retention target the decay term should be ~1e-4.
+	if atRet < 0.5e-4 || atRet > 2e-4 {
+		t.Errorf("BER at retention target = %g, want ~1e-4", atRet)
+	}
+}
+
+func TestRawBERCapped(t *testing.T) {
+	op := ForTechnology(RRAM).MustAt(24 * time.Hour)
+	ber := RawBER(op, WearState{Cycles: op.Endurance * 100}, 1000*time.Hour, DefaultBER)
+	if ber > 0.5 {
+		t.Errorf("BER %g exceeds cap", ber)
+	}
+}
+
+func TestLifetimeWrites(t *testing.T) {
+	op := OperatingPoint{Endurance: 1e6}
+	// 1 write/cell/sec over ~11.6 days = 1e6 writes: exactly life end.
+	life := LifetimeWrites(op, 1, time.Duration(1e6)*time.Second)
+	if math.Abs(life-1) > 1e-9 {
+		t.Errorf("LifetimeWrites = %v, want 1", life)
+	}
+	if !math.IsInf(LifetimeWrites(op, 0, units.Year), 1) {
+		t.Error("zero write rate should be unconstrained")
+	}
+}
+
+// Property: for SCM technologies, endurance is monotone non-increasing in
+// retention and write energy is monotone non-decreasing.
+func TestMonotoneTradeoff(t *testing.T) {
+	techs := []Technology{PCM, RRAM, STTMRAM}
+	f := func(techIdx uint8, h1, h2 uint16) bool {
+		tr := ForTechnology(techs[int(techIdx)%len(techs)])
+		r1 := time.Duration(int(h1)%87600+1) * time.Hour // up to 10y
+		r2 := time.Duration(int(h2)%87600+1) * time.Hour
+		if r1 > r2 {
+			r1, r2 = r2, r1
+		}
+		p1, p2 := tr.MustAt(r1), tr.MustAt(r2)
+		return p1.Endurance >= p2.Endurance && p1.WriteEnergy <= p2.WriteEnergy
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RawBER is always within [floor, 0.5].
+func TestRawBERBounds(t *testing.T) {
+	op := ForTechnology(PCM).MustAt(time.Hour)
+	f := func(cyc uint32, hrs uint16) bool {
+		ber := RawBER(op, WearState{Cycles: float64(cyc)}, time.Duration(hrs)*time.Hour, DefaultBER)
+		return ber >= DefaultBER.Floor && ber <= 0.5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

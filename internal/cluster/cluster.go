@@ -1,0 +1,506 @@
+// Package cluster simulates a foundation-model serving node: requests with
+// SLA classes arrive (Poisson), get admitted into a continuous batch, run a
+// prefill, then decode token by token. Every byte the workload moves flows
+// through a tier.Manager, so placement policy (static vs retention-aware,
+// HBM-only vs HBM+MRM) changes both the step time (per-tier bandwidth) and
+// the energy bill — the quantities experiment E7 compares.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mrm/internal/core"
+	"mrm/internal/dist"
+	"mrm/internal/llm"
+	"mrm/internal/metrics"
+	"mrm/internal/tier"
+	"mrm/internal/units"
+)
+
+// SLAClass is a request's service class (§4: diversified requirements).
+type SLAClass int
+
+// SLA classes.
+const (
+	Interactive SLAClass = iota // user-in-the-loop: tight time-between-tokens
+	Throughput                  // batch-friendly
+	BestEffort                  // background jobs (meeting recap)
+)
+
+// String names the class.
+func (c SLAClass) String() string {
+	switch c {
+	case Interactive:
+		return "interactive"
+	case Throughput:
+		return "throughput"
+	case BestEffort:
+		return "best-effort"
+	default:
+		return fmt.Sprintf("SLAClass(%d)", int(c))
+	}
+}
+
+// Request is one inference query.
+type Request struct {
+	ID           uint64
+	Arrival      time.Duration
+	PromptTokens int
+	OutputTokens int
+	Class        SLAClass
+	// Prefilled marks a request whose KV cache was computed elsewhere
+	// (phase-split serving à la Splitwise [37]): admission writes the
+	// transferred KV pages but charges no prefill compute.
+	Prefilled bool
+}
+
+// Generator produces a request stream from a workload description.
+type Generator struct {
+	Workload llm.Workload
+	// RatePerSec is the mean arrival rate (Poisson process).
+	RatePerSec float64
+	// Mix is the probability of each class (Interactive, Throughput,
+	// BestEffort); it must sum to ~1.
+	Mix [3]float64
+	// MaxContext clamps prompt+output.
+	MaxContext int
+}
+
+// Generate returns n requests with increasing arrival times.
+func (g Generator) Generate(rng *dist.RNG, n int) ([]Request, error) {
+	if g.RatePerSec <= 0 || n <= 0 {
+		return nil, fmt.Errorf("cluster: need positive rate and count")
+	}
+	sum := g.Mix[0] + g.Mix[1] + g.Mix[2]
+	if sum < 0.99 || sum > 1.01 {
+		return nil, fmt.Errorf("cluster: class mix sums to %v", sum)
+	}
+	if g.MaxContext <= 1 {
+		return nil, fmt.Errorf("cluster: MaxContext too small")
+	}
+	inter := dist.Exponential{Rate: g.RatePerSec}
+	prompt := dist.Lognormal{Median: g.Workload.PromptMedian, Sigma: g.Workload.PromptSigma}
+	output := dist.Lognormal{Median: g.Workload.OutputMedian, Sigma: g.Workload.OutputSigma}
+	reqs := make([]Request, n)
+	var clock time.Duration
+	for i := range reqs {
+		clock += time.Duration(inter.Sample(rng) * float64(time.Second))
+		p := int(dist.Clamp(prompt.Sample(rng), 1, float64(g.MaxContext-1)))
+		maxOut := g.MaxContext - p
+		o := int(dist.Clamp(output.Sample(rng), 1, float64(maxOut)))
+		u := rng.Float64()
+		var cl SLAClass
+		switch {
+		case u < g.Mix[0]:
+			cl = Interactive
+		case u < g.Mix[0]+g.Mix[1]:
+			cl = Throughput
+		default:
+			cl = BestEffort
+		}
+		reqs[i] = Request{
+			ID: uint64(i), Arrival: clock,
+			PromptTokens: p, OutputTokens: o, Class: cl,
+		}
+	}
+	return reqs, nil
+}
+
+// Config assembles a serving simulation.
+type Config struct {
+	Model llm.ModelConfig
+	Acc   llm.Accelerator
+	// Memory is the tiered memory; the simulator places weights once and KV
+	// pages continuously.
+	Memory *tier.Manager
+	// PageTokens is the KV page size in vectors (PagedAttention geometry).
+	PageTokens int
+	// MaxBatch bounds the continuous batch.
+	MaxBatch int
+	// KVLifetime is the lifetime hint for KV pages (how long a context is
+	// expected to stay useful).
+	KVLifetime time.Duration
+	// ScratchTier is the tier index holding partial KV pages and activations
+	// (the HBM tier).
+	ScratchTier int
+	// PrefillChunk, when positive, enables SARATHI-style chunked prefill
+	// [3]: prompt ingestion proceeds PrefillChunk tokens per decode step,
+	// piggybacked on the running batch, instead of a monolithic prefill
+	// that stalls every running decode.
+	PrefillChunk int
+}
+
+type running struct {
+	req         Request
+	ctx         int // current context length in tokens
+	generated   int
+	prefillLeft int // prompt tokens not yet ingested (chunked prefill)
+	pages       []tier.ObjectID
+	pageTiers   []int
+	partial     int // tokens accumulated in the scratch partial page
+	firstTok    time.Duration
+	lastTok     time.Duration
+}
+
+// Result summarizes a simulation.
+type Result struct {
+	SimTime         time.Duration
+	Completed       int
+	Truncated       int // requests cut short by memory pressure
+	TokensOut       int64
+	TTFT            metrics.Snapshot // seconds
+	TBT             metrics.Snapshot // seconds, time between tokens
+	Energy          units.Energy
+	TokensPerSec    float64
+	TokensPerJoule  float64
+	PerTierReads    map[string]units.Bytes
+	DecodeSteps     int64
+	MemoryBoundFrac float64
+}
+
+// Sim runs a serving workload to completion.
+type Sim struct {
+	cfg     Config
+	eng     *llm.Engine
+	weights tier.ObjectID
+	wTier   int
+
+	clock   time.Duration
+	pending []Request
+	batch   []*running
+
+	ttft *metrics.Histogram
+	tbt  *metrics.Histogram
+
+	tokensOut    int64
+	completed    int
+	truncated    int
+	decodeSteps  int64
+	memBoundHits int64
+	perTierReads map[int]units.Bytes
+}
+
+// NewSim builds a simulator and places the model weights.
+func NewSim(cfg Config) (*Sim, error) {
+	if cfg.Memory == nil {
+		return nil, fmt.Errorf("cluster: no memory manager")
+	}
+	if cfg.PageTokens <= 0 || cfg.MaxBatch <= 0 {
+		return nil, fmt.Errorf("cluster: need positive PageTokens and MaxBatch")
+	}
+	if cfg.KVLifetime <= 0 {
+		cfg.KVLifetime = 30 * time.Minute
+	}
+	eng, err := llm.NewEngine(cfg.Model, cfg.Acc)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		cfg:          cfg,
+		eng:          eng,
+		ttft:         metrics.NewHistogram(1e-6, 1.05),
+		tbt:          metrics.NewHistogram(1e-6, 1.05),
+		perTierReads: make(map[int]units.Bytes),
+	}
+	// Weights: read-hot, effectively immortal (refreshed if on MRM).
+	id, _, err := cfg.Memory.Put(tier.Meta{
+		Kind:     core.KindWeights,
+		Size:     cfg.Model.WeightBytes(),
+		Lifetime: 365 * 24 * time.Hour,
+		ReadHot:  true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: placing weights: %w", err)
+	}
+	s.weights = id
+	s.wTier, err = cfg.Memory.TierOf(id)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// WeightsTier reports where the weights landed.
+func (s *Sim) WeightsTier() int { return s.wTier }
+
+// Run executes the request stream to completion and returns the result.
+func (s *Sim) Run(reqs []Request) (Result, error) {
+	s.pending = append(s.pending, reqs...)
+	sort.SliceStable(s.pending, func(i, j int) bool {
+		return s.pending[i].Arrival < s.pending[j].Arrival
+	})
+	for len(s.pending) > 0 || len(s.batch) > 0 {
+		if err := s.admit(); err != nil {
+			return Result{}, err
+		}
+		if len(s.batch) == 0 {
+			// Idle: jump to the next arrival.
+			if len(s.pending) == 0 {
+				break
+			}
+			idle := s.pending[0].Arrival - s.clock
+			if idle > 0 {
+				s.clock += idle
+				if err := s.cfg.Memory.Tick(idle); err != nil {
+					return Result{}, err
+				}
+			}
+			continue
+		}
+		if err := s.decodeStep(); err != nil {
+			return Result{}, err
+		}
+	}
+	return s.result(), nil
+}
+
+// admit pulls arrived requests into the batch (interactive first) and runs
+// their prefill.
+func (s *Sim) admit() error {
+	// Stable priority: class, then arrival.
+	sort.SliceStable(s.pending, func(i, j int) bool {
+		if s.pending[i].Class != s.pending[j].Class {
+			return s.pending[i].Class < s.pending[j].Class
+		}
+		return s.pending[i].Arrival < s.pending[j].Arrival
+	})
+	for len(s.pending) > 0 && len(s.batch) < s.cfg.MaxBatch {
+		req := s.pending[0]
+		if req.Arrival > s.clock && len(s.batch) > 0 {
+			break // not here yet; keep decoding
+		}
+		if req.Arrival > s.clock {
+			s.clock = req.Arrival
+		}
+		if s.cfg.PrefillChunk > 0 {
+			// Chunked prefill: the request joins the batch immediately and
+			// ingests its prompt alongside decode steps.
+			s.pending = s.pending[1:]
+			s.batch = append(s.batch, &running{
+				req: req, prefillLeft: req.PromptTokens, lastTok: s.clock,
+			})
+			continue
+		}
+		r := &running{req: req, ctx: req.PromptTokens}
+		var prefillTime time.Duration
+		if !req.Prefilled {
+			cost, err := s.eng.Prefill([]int{req.PromptTokens})
+			if err != nil {
+				return err
+			}
+			prefillTime = cost.Time()
+		}
+		// Write the prompt's KV pages.
+		fullPages := req.PromptTokens / s.cfg.PageTokens
+		if err := s.flushPages(r, fullPages); err != nil {
+			// Memory pressure at admission: release anything partially
+			// allocated, then requeue unless nothing is running (in which
+			// case the request can never fit: truncate it).
+			for _, pid := range r.pages {
+				if derr := s.cfg.Memory.Delete(pid); derr != nil {
+					s.cfg.Memory.Forget(pid)
+				}
+			}
+			if len(s.batch) == 0 {
+				s.pending = s.pending[1:]
+				s.truncated++
+				continue
+			}
+			return nil
+		}
+		r.partial = req.PromptTokens % s.cfg.PageTokens
+		s.pending = s.pending[1:]
+		s.clock += prefillTime
+		if err := s.cfg.Memory.Tick(prefillTime); err != nil {
+			return err
+		}
+		r.firstTok = s.clock
+		r.lastTok = s.clock
+		s.ttft.Observe((s.clock - req.Arrival).Seconds())
+		s.batch = append(s.batch, r)
+	}
+	return nil
+}
+
+// flushPages writes n full KV pages for the request into the tiered store.
+func (s *Sim) flushPages(r *running, n int) error {
+	pageBytes := s.cfg.Model.KVBytesPerToken() * units.Bytes(s.cfg.PageTokens)
+	for i := 0; i < n; i++ {
+		id, _, err := s.cfg.Memory.Put(tier.Meta{
+			Kind:     core.KindKVCache,
+			Size:     pageBytes,
+			Lifetime: s.cfg.KVLifetime,
+			ReadHot:  true,
+		})
+		if err != nil {
+			return err
+		}
+		ti, _ := s.cfg.Memory.TierOf(id)
+		r.pages = append(r.pages, id)
+		r.pageTiers = append(r.pageTiers, ti)
+	}
+	return nil
+}
+
+// decodeStep generates one token for every decoding request and, under
+// chunked prefill, ingests one prompt chunk for every prefilling request,
+// fused into the same step.
+func (s *Sim) decodeStep() error {
+	var decoding, prefilling []*running
+	var ctxs []int
+	for _, r := range s.batch {
+		if r.prefillLeft > 0 {
+			prefilling = append(prefilling, r)
+		} else {
+			decoding = append(decoding, r)
+			ctxs = append(ctxs, r.ctx)
+		}
+	}
+	var flops float64
+	if len(decoding) > 0 {
+		cost, err := s.eng.DecodeStep(ctxs)
+		if err != nil {
+			return err
+		}
+		flops = cost.FLOPs
+	}
+	chunks := make(map[*running]int, len(prefilling))
+	for _, r := range prefilling {
+		chunk := s.cfg.PrefillChunk
+		if chunk > r.prefillLeft {
+			chunk = r.prefillLeft
+		}
+		chunks[r] = chunk
+		// Quadratic attention inside the prompt, sampled at mid-chunk.
+		flops += float64(chunk) * s.cfg.Model.FLOPsPerToken(r.ctx+chunk/2)
+	}
+	// Per-tier read traffic: weights + every full KV page of decoding
+	// requests + partial pages and activations from scratch.
+	perTier := map[int]units.Bytes{s.wTier: s.cfg.Model.WeightBytes()}
+	kvPerTok := s.cfg.Model.KVBytesPerToken()
+	for _, r := range decoding {
+		for i, pid := range r.pages {
+			if _, _, err := s.cfg.Memory.Get(pid); err != nil {
+				return fmt.Errorf("cluster: KV page read: %w", err)
+			}
+			pageBytes := kvPerTok * units.Bytes(s.cfg.PageTokens)
+			perTier[r.pageTiers[i]] += pageBytes
+		}
+		perTier[s.cfg.ScratchTier] += kvPerTok * units.Bytes(r.partial)
+	}
+	// Account the weights read against the device.
+	if _, _, err := s.cfg.Memory.Get(s.weights); err != nil {
+		return fmt.Errorf("cluster: weights read: %w", err)
+	}
+	memTime := s.cfg.Memory.ReadTime(perTier)
+	stepTime := s.eng.TimeForFLOPs(flops)
+	if memTime > stepTime {
+		stepTime = memTime
+		s.memBoundHits++
+	}
+	s.decodeSteps++
+	for t, b := range perTier {
+		s.perTierReads[t] += b
+	}
+	s.clock += stepTime
+	if err := s.cfg.Memory.Tick(stepTime); err != nil {
+		return err
+	}
+	// Advance prefilling requests by their chunk; flush filled pages.
+	survivors := s.batch[:0]
+	for _, r := range prefilling {
+		chunk := chunks[r]
+		r.ctx += chunk
+		r.prefillLeft -= chunk
+		r.partial += chunk
+		ok := true
+		for r.partial >= s.cfg.PageTokens {
+			if err := s.flushPages(r, 1); err != nil {
+				s.truncated++
+				s.finish(r)
+				ok = false
+				break
+			}
+			r.partial -= s.cfg.PageTokens
+		}
+		if ok {
+			survivors = append(survivors, r)
+		}
+	}
+	// Append one token per decoding request; flush pages as they fill.
+	for _, r := range decoding {
+		r.ctx++
+		r.generated++
+		r.partial++
+		s.tokensOut++
+		if r.generated == 1 {
+			// The first token's latency is TTFT, not a between-token gap:
+			// under chunked prefill it spans the whole prompt ingestion.
+			if s.cfg.PrefillChunk > 0 {
+				s.ttft.Observe((s.clock - r.req.Arrival).Seconds())
+				r.firstTok = s.clock
+			}
+		} else {
+			s.tbt.Observe((s.clock - r.lastTok).Seconds())
+		}
+		r.lastTok = s.clock
+		done := r.generated >= r.req.OutputTokens || r.ctx >= s.cfg.Model.MaxContext
+		if !done && r.partial >= s.cfg.PageTokens {
+			if err := s.flushPages(r, 1); err != nil {
+				// Out of KV memory: finish the request early.
+				done = true
+				s.truncated++
+			} else {
+				r.partial = 0
+			}
+		}
+		if done {
+			s.finish(r)
+		} else {
+			survivors = append(survivors, r)
+		}
+	}
+	s.batch = survivors
+	return nil
+}
+
+// finish releases a request's pages and records completion.
+func (s *Sim) finish(r *running) {
+	for _, pid := range r.pages {
+		// Pages may have already expired inside an MRM tier; tolerate it.
+		if err := s.cfg.Memory.Delete(pid); err != nil {
+			s.cfg.Memory.Forget(pid)
+		}
+	}
+	s.completed++
+}
+
+func (s *Sim) result() Result {
+	res := Result{
+		SimTime:      s.clock,
+		Completed:    s.completed,
+		Truncated:    s.truncated,
+		TokensOut:    s.tokensOut,
+		TTFT:         s.ttft.Snapshot(),
+		TBT:          s.tbt.Snapshot(),
+		Energy:       s.cfg.Memory.TotalEnergy(),
+		DecodeSteps:  s.decodeSteps,
+		PerTierReads: make(map[string]units.Bytes),
+	}
+	infos := s.cfg.Memory.Tiers()
+	for idx, b := range s.perTierReads {
+		res.PerTierReads[infos[idx].Name] = b
+	}
+	if s.clock > 0 {
+		res.TokensPerSec = float64(s.tokensOut) / s.clock.Seconds()
+	}
+	if res.Energy > 0 {
+		res.TokensPerJoule = float64(s.tokensOut) / float64(res.Energy)
+	}
+	if s.decodeSteps > 0 {
+		res.MemoryBoundFrac = float64(s.memBoundHits) / float64(s.decodeSteps)
+	}
+	return res
+}

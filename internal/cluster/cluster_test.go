@@ -1,0 +1,396 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mrm/internal/core"
+	"mrm/internal/dist"
+	"mrm/internal/llm"
+	"mrm/internal/memdev"
+	"mrm/internal/tier"
+	"mrm/internal/units"
+)
+
+func TestSLAClassString(t *testing.T) {
+	if Interactive.String() != "interactive" || Throughput.String() != "throughput" ||
+		BestEffort.String() != "best-effort" {
+		t.Fatal("class names wrong")
+	}
+	if !strings.Contains(SLAClass(9).String(), "9") {
+		t.Fatal("unknown class should include number")
+	}
+}
+
+func testGenerator() Generator {
+	return Generator{
+		Workload:   llm.SplitwiseConv,
+		RatePerSec: 2,
+		Mix:        [3]float64{0.5, 0.3, 0.2},
+		MaxContext: 4096,
+	}
+}
+
+func TestGeneratorProducesValidStream(t *testing.T) {
+	rng := dist.NewRNG(1)
+	reqs, err := testGenerator().Generate(rng, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 200 {
+		t.Fatalf("got %d requests", len(reqs))
+	}
+	var prev time.Duration
+	counts := map[SLAClass]int{}
+	for _, r := range reqs {
+		if r.Arrival < prev {
+			t.Fatal("arrivals must be non-decreasing")
+		}
+		prev = r.Arrival
+		if r.PromptTokens < 1 || r.OutputTokens < 1 {
+			t.Fatalf("bad lengths: %+v", r)
+		}
+		if r.PromptTokens+r.OutputTokens > 4096 {
+			t.Fatalf("context overflow: %+v", r)
+		}
+		counts[r.Class]++
+	}
+	if counts[Interactive] == 0 || counts[Throughput] == 0 || counts[BestEffort] == 0 {
+		t.Fatalf("class mix missing a class: %v", counts)
+	}
+	// Mean arrival rate ~2/s: 200 requests in ~100s.
+	if reqs[len(reqs)-1].Arrival < 50*time.Second || reqs[len(reqs)-1].Arrival > 200*time.Second {
+		t.Errorf("last arrival %v implausible for 2/s", reqs[len(reqs)-1].Arrival)
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	rng := dist.NewRNG(1)
+	g := testGenerator()
+	g.RatePerSec = 0
+	if _, err := g.Generate(rng, 10); err == nil {
+		t.Error("zero rate should error")
+	}
+	g = testGenerator()
+	g.Mix = [3]float64{0.5, 0.1, 0.1}
+	if _, err := g.Generate(rng, 10); err == nil {
+		t.Error("bad mix should error")
+	}
+	g = testGenerator()
+	g.MaxContext = 1
+	if _, err := g.Generate(rng, 10); err == nil {
+		t.Error("tiny context should error")
+	}
+}
+
+// hbmOnly builds an HBM-only memory manager big enough for Llama2-7B.
+func hbmOnly(t *testing.T) *tier.Manager {
+	t.Helper()
+	spec := memdev.HBM3E
+	spec.Capacity = 64 * units.GiB
+	spec.ReadBW = 8 * units.TBps // aggregate of 8 stacks
+	hbm, err := tier.NewDeviceTier("hbm", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := tier.NewManager(tier.StaticPolicy{}, hbm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// hbmPlusMRM builds a small HBM + large MRM manager with retention-aware
+// placement.
+func hbmPlusMRM(t *testing.T) *tier.Manager {
+	t.Helper()
+	spec := memdev.HBM3E
+	spec.Capacity = 24 * units.GiB
+	spec.ReadBW = 8 * units.TBps
+	hbm, err := tier.NewDeviceTier("hbm", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Capacity = 64 * units.GiB
+	cfg.ZoneSize = 64 * units.MiB
+	mrm, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := tier.NewManager(tier.RetentionAwarePolicy{}, hbm, tier.NewMRMTier("mrm", mrm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func shortRequests(n int) []Request {
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{
+			ID:           uint64(i),
+			Arrival:      time.Duration(i) * 100 * time.Millisecond,
+			PromptTokens: 64,
+			OutputTokens: 24,
+			Class:        SLAClass(i % 3),
+		}
+	}
+	return reqs
+}
+
+func TestNewSimValidation(t *testing.T) {
+	if _, err := NewSim(Config{}); err == nil {
+		t.Error("no memory should error")
+	}
+	if _, err := NewSim(Config{Memory: hbmOnly(t)}); err == nil {
+		t.Error("zero PageTokens should error")
+	}
+	cfg := Config{
+		Model: llm.Llama27B, Acc: llm.B200,
+		Memory: hbmOnly(t), PageTokens: 16, MaxBatch: 4,
+	}
+	if _, err := NewSim(cfg); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestSimCompletesAllRequests(t *testing.T) {
+	cfg := Config{
+		Model: llm.Llama27B, Acc: llm.B200,
+		Memory: hbmOnly(t), PageTokens: 16, MaxBatch: 8,
+	}
+	s, err := NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := shortRequests(12)
+	res, err := s.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 12 || res.Truncated != 0 {
+		t.Fatalf("completed %d truncated %d, want 12/0", res.Completed, res.Truncated)
+	}
+	wantTokens := int64(12 * 24)
+	if res.TokensOut != wantTokens {
+		t.Fatalf("tokens out = %d, want %d", res.TokensOut, wantTokens)
+	}
+	if res.TokensPerSec <= 0 || res.TokensPerJoule <= 0 {
+		t.Fatalf("efficiency not computed: %+v", res)
+	}
+	if res.TTFT.Count != 12 {
+		t.Fatalf("TTFT count = %d", res.TTFT.Count)
+	}
+	// Every token after each request's first contributes a TBT sample.
+	if res.TBT.Count != wantTokens-12 {
+		t.Fatalf("TBT count = %d, want %d", res.TBT.Count, wantTokens-12)
+	}
+	if res.PerTierReads["hbm"] == 0 {
+		t.Fatal("per-tier reads not recorded")
+	}
+	if res.DecodeSteps < 24 {
+		t.Fatalf("decode steps = %d", res.DecodeSteps)
+	}
+}
+
+func TestSimWeightsPlacement(t *testing.T) {
+	m := hbmPlusMRM(t)
+	cfg := Config{
+		Model: llm.Llama27B, Acc: llm.B200,
+		Memory: m, PageTokens: 16, MaxBatch: 4,
+	}
+	s, err := NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Retention-aware placement sends read-hot weights to the MRM tier (1).
+	if s.WeightsTier() != 1 {
+		t.Fatalf("weights tier = %d, want 1 (mrm)", s.WeightsTier())
+	}
+}
+
+func TestSimOnTieredMemory(t *testing.T) {
+	m := hbmPlusMRM(t)
+	cfg := Config{
+		Model: llm.Llama27B, Acc: llm.B200,
+		Memory: m, PageTokens: 16, MaxBatch: 8,
+		KVLifetime: time.Hour,
+	}
+	s, err := NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(shortRequests(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 8 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	if res.PerTierReads["mrm"] == 0 {
+		t.Fatal("MRM tier should serve KV/weight reads")
+	}
+}
+
+// Decode on a single B200-class node must be memory bound (§2.1).
+func TestDecodeMemoryBound(t *testing.T) {
+	cfg := Config{
+		Model: llm.Llama27B, Acc: llm.B200,
+		Memory: hbmOnly(t), PageTokens: 16, MaxBatch: 2,
+	}
+	s, err := NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(shortRequests(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemoryBoundFrac < 0.9 {
+		t.Fatalf("memory-bound fraction = %v, want ~1", res.MemoryBoundFrac)
+	}
+}
+
+// Interactive requests should see admission priority (lower TTFT on average
+// than best-effort) when the system queues.
+func TestSLAPriority(t *testing.T) {
+	cfg := Config{
+		Model: llm.Llama27B, Acc: llm.B200,
+		Memory: hbmOnly(t), PageTokens: 16, MaxBatch: 2, // force queueing
+	}
+	s, err := NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All arrive at once: priority decides order.
+	reqs := make([]Request, 10)
+	for i := range reqs {
+		cl := BestEffort
+		if i >= 5 {
+			cl = Interactive
+		}
+		reqs[i] = Request{ID: uint64(i), PromptTokens: 64, OutputTokens: 16, Class: cl}
+	}
+	res, err := s.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 10 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	// The interactive half should include the very first admissions; assert
+	// indirectly: TTFT p50 < max (queueing spread exists).
+	if res.TTFT.P50 >= res.TTFT.Max {
+		t.Errorf("expected TTFT spread, p50=%v max=%v", res.TTFT.P50, res.TTFT.Max)
+	}
+}
+
+// Memory pressure truncates rather than deadlocks.
+func TestMemoryPressureTruncates(t *testing.T) {
+	spec := memdev.HBM3E
+	spec.Capacity = 14 * units.GiB // weights (13.4 GB) barely fit; KV won't
+	hbm, err := tier.NewDeviceTier("hbm", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := tier.NewManager(tier.StaticPolicy{}, hbm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Model: llm.Llama27B, Acc: llm.B200,
+		Memory: m, PageTokens: 16, MaxBatch: 4,
+	}
+	s, err := NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := shortRequests(4)
+	for i := range reqs {
+		reqs[i].PromptTokens = 1024
+		reqs[i].OutputTokens = 512
+	}
+	res, err := s.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated == 0 {
+		t.Fatal("expected truncation under memory pressure")
+	}
+	if res.Completed+res.Truncated < 4 {
+		t.Fatalf("requests lost: %+v", res)
+	}
+}
+
+// Chunked prefill completes the same work and improves time-between-tokens
+// for decoding requests that would otherwise stall behind monolithic
+// prefills (SARATHI [3]).
+func TestChunkedPrefillCompletes(t *testing.T) {
+	cfg := Config{
+		Model: llm.Llama27B, Acc: llm.B200,
+		Memory: hbmOnly(t), PageTokens: 16, MaxBatch: 8,
+		PrefillChunk: 32,
+	}
+	s, err := NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(shortRequests(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 12 || res.Truncated != 0 {
+		t.Fatalf("completed %d truncated %d", res.Completed, res.Truncated)
+	}
+	if res.TokensOut != 12*24 {
+		t.Fatalf("tokens = %d", res.TokensOut)
+	}
+	if res.TTFT.Count != 12 {
+		t.Fatalf("TTFT count = %d", res.TTFT.Count)
+	}
+}
+
+func TestChunkedPrefillImprovesTBTTail(t *testing.T) {
+	// A steady decode stream interrupted by late long-prompt arrivals: the
+	// monolithic prefill stalls every running decode, inflating TBT max.
+	mkReqs := func() []Request {
+		reqs := []Request{
+			{ID: 0, PromptTokens: 64, OutputTokens: 400},
+			{ID: 1, PromptTokens: 64, OutputTokens: 400},
+		}
+		for i := 2; i < 6; i++ {
+			reqs = append(reqs, Request{
+				ID: uint64(i), Arrival: 200 * time.Millisecond,
+				PromptTokens: 2048, OutputTokens: 8,
+			})
+		}
+		return reqs
+	}
+	run := func(chunk int) Result {
+		cfg := Config{
+			Model: llm.Llama27B, Acc: llm.B200,
+			Memory: hbmOnly(t), PageTokens: 16, MaxBatch: 8,
+			PrefillChunk: chunk,
+		}
+		s, err := NewSim(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(mkReqs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Completed != 6 {
+			t.Fatalf("chunk %d: completed = %d", chunk, res.Completed)
+		}
+		return res
+	}
+	mono := run(0)
+	chunked := run(64)
+	if chunked.TBT.Max >= mono.TBT.Max {
+		t.Errorf("chunked prefill should cut the TBT tail: max %v vs monolithic %v",
+			chunked.TBT.Max, mono.TBT.Max)
+	}
+}

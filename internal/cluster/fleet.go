@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mrm/internal/units"
+)
+
+// Fleet schedules a request stream across multiple serving nodes — the
+// rack-scale orchestration layer the paper's §4 describes as "building up
+// towards a rack-scale OS for foundation model inference". Placement is
+// token-balanced: each request goes to the node with the least assigned
+// work, the static analogue of join-shortest-queue.
+type Fleet struct {
+	nodes []*Sim
+}
+
+// NewFleet constructs n nodes with the given factory.
+func NewFleet(n int, mk func(node int) (*Sim, error)) (*Fleet, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one node")
+	}
+	f := &Fleet{nodes: make([]*Sim, n)}
+	for i := range f.nodes {
+		s, err := mk(i)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: building node %d: %w", i, err)
+		}
+		f.nodes[i] = s
+	}
+	return f, nil
+}
+
+// NumNodes returns the fleet size.
+func (f *Fleet) NumNodes() int { return len(f.nodes) }
+
+// FleetResult aggregates per-node results.
+type FleetResult struct {
+	PerNode []Result
+	// Aggregates.
+	Completed      int
+	Truncated      int
+	TokensOut      int64
+	Energy         units.Energy
+	WallTime       time.Duration // max node sim time (nodes run in parallel)
+	TokensPerSec   float64
+	TokensPerJoule float64
+	// Balance is min/max of per-node token output (1 = perfectly even).
+	Balance float64
+}
+
+// Run partitions the stream (token-balanced, arrival order preserved per
+// node) and runs every node to completion.
+func (f *Fleet) Run(reqs []Request) (FleetResult, error) {
+	shards := make([][]Request, len(f.nodes))
+	load := make([]int64, len(f.nodes))
+	ordered := make([]Request, len(reqs))
+	copy(ordered, reqs)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Arrival < ordered[j].Arrival })
+	for _, r := range ordered {
+		// Least-loaded placement by assigned token volume.
+		best := 0
+		for i := 1; i < len(load); i++ {
+			if load[i] < load[best] {
+				best = i
+			}
+		}
+		shards[best] = append(shards[best], r)
+		load[best] += int64(r.PromptTokens + r.OutputTokens)
+	}
+	out := FleetResult{PerNode: make([]Result, len(f.nodes))}
+	var minTok, maxTok int64 = 1<<62 - 1, 0
+	for i, node := range f.nodes {
+		res, err := node.Run(shards[i])
+		if err != nil {
+			return FleetResult{}, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		out.PerNode[i] = res
+		out.Completed += res.Completed
+		out.Truncated += res.Truncated
+		out.TokensOut += res.TokensOut
+		out.Energy += res.Energy
+		if res.SimTime > out.WallTime {
+			out.WallTime = res.SimTime
+		}
+		if res.TokensOut < minTok {
+			minTok = res.TokensOut
+		}
+		if res.TokensOut > maxTok {
+			maxTok = res.TokensOut
+		}
+	}
+	if out.WallTime > 0 {
+		out.TokensPerSec = float64(out.TokensOut) / out.WallTime.Seconds()
+	}
+	if out.Energy > 0 {
+		out.TokensPerJoule = float64(out.TokensOut) / float64(out.Energy)
+	}
+	if maxTok > 0 {
+		out.Balance = float64(minTok) / float64(maxTok)
+	}
+	return out, nil
+}

@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mrm/internal/llm"
+)
+
+func fleetOf(t *testing.T, n int) *Fleet {
+	t.Helper()
+	f, err := NewFleet(n, func(int) (*Sim, error) {
+		return NewSim(Config{
+			Model: llm.Llama27B, Acc: llm.B200,
+			Memory: hbmOnly(t), PageTokens: 16, MaxBatch: 4,
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewFleetValidation(t *testing.T) {
+	if _, err := NewFleet(0, nil); err == nil {
+		t.Fatal("zero nodes should error")
+	}
+	wantErr := errors.New("boom")
+	if _, err := NewFleet(2, func(int) (*Sim, error) { return nil, wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("factory error not propagated: %v", err)
+	}
+}
+
+func TestFleetCompletesEverything(t *testing.T) {
+	f := fleetOf(t, 3)
+	if f.NumNodes() != 3 {
+		t.Fatal("node count wrong")
+	}
+	reqs := shortRequests(18)
+	res, err := f.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 18 || res.Truncated != 0 {
+		t.Fatalf("completed %d truncated %d", res.Completed, res.Truncated)
+	}
+	if res.TokensOut != 18*24 {
+		t.Fatalf("tokens = %d", res.TokensOut)
+	}
+	if len(res.PerNode) != 3 {
+		t.Fatal("per-node results missing")
+	}
+	if res.TokensPerSec <= 0 || res.TokensPerJoule <= 0 {
+		t.Fatal("aggregate efficiency missing")
+	}
+}
+
+func TestFleetBalances(t *testing.T) {
+	f := fleetOf(t, 3)
+	// Uniform requests: token-balanced placement should split evenly.
+	res, err := f.Run(shortRequests(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Balance < 0.95 {
+		t.Fatalf("balance = %v, want ~1 for uniform requests", res.Balance)
+	}
+}
+
+func TestFleetScalesThroughput(t *testing.T) {
+	reqs := shortRequests(16)
+	for i := range reqs {
+		reqs[i].Arrival = 0 // saturate
+	}
+	r1, err := fleetOf(t, 1).Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := fleetOf(t, 4).Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.TokensPerSec < 2.5*r1.TokensPerSec {
+		t.Fatalf("4 nodes (%v tok/s) should well exceed 1 node (%v tok/s)",
+			r4.TokensPerSec, r1.TokensPerSec)
+	}
+	if r4.WallTime >= r1.WallTime {
+		t.Fatalf("4-node wall time %v should beat 1-node %v", r4.WallTime, r1.WallTime)
+	}
+}
+
+func TestFleetSkewedRequestsStillAssignLeastLoaded(t *testing.T) {
+	f := fleetOf(t, 2)
+	// One huge request plus many small: the big one should not share a node
+	// with most of the small ones.
+	reqs := []Request{{ID: 0, PromptTokens: 2000, OutputTokens: 512}}
+	for i := 1; i <= 8; i++ {
+		reqs = append(reqs, Request{ID: uint64(i), Arrival: time.Duration(i) * time.Millisecond,
+			PromptTokens: 64, OutputTokens: 16})
+	}
+	res, err := f.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 9 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	// The node with the big request should have far fewer completions.
+	a, b := res.PerNode[0].Completed, res.PerNode[1].Completed
+	if a > b {
+		a, b = b, a
+	}
+	if a > 3 {
+		t.Fatalf("load balancing failed: completions %d vs %d", a, b)
+	}
+}

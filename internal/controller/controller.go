@@ -1,0 +1,389 @@
+// Package controller models memory controllers at two levels of complexity,
+// mirroring the paper's §4 argument:
+//
+//   - Sched: a conventional DRAM/HBM-style controller with channels, banks,
+//     queueing, and mandatory periodic refresh — the machinery MRM gets to
+//     delete.
+//   - Zoned: the lightweight block-level MRM controller the paper proposes,
+//     modeled on zoned storage interfaces (ZNS [60]): append-only zones with
+//     per-zone retention programming (the DCM hardware hook). All policy
+//     (refresh, wear-leveling, GC) lives in software above this interface.
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mrm/internal/memdev"
+	"mrm/internal/units"
+)
+
+// Request is one memory command presented to a scheduler.
+type Request struct {
+	Kind   memdev.AccessKind
+	Addr   units.Bytes
+	Size   units.Bytes
+	Arrive time.Duration // submission time
+}
+
+// Completion reports when and how a request finished.
+type Completion struct {
+	Start  time.Duration // when service began (>= Arrive)
+	Finish time.Duration
+}
+
+// Latency is the request's total latency including queueing.
+func (c Completion) Latency(r Request) time.Duration { return c.Finish - r.Arrive }
+
+// SchedConfig configures a conventional bank/channel controller.
+type SchedConfig struct {
+	Spec            memdev.Spec
+	Channels        int
+	BanksPerChannel int
+	// RefreshDuration is how long one per-bank refresh blocks the bank
+	// (tRFC-class, ~350 ns for modern DRAM). Refreshes recur every
+	// Spec.RefreshInterval / RefreshSlices to spread the array refresh.
+	RefreshDuration time.Duration
+	RefreshSlices   int
+}
+
+// DefaultSchedConfig returns a typical configuration for the spec: 8 channels
+// x 4 banks for HBM-class parts, refresh spread over 8192 slices like DRAM.
+func DefaultSchedConfig(spec memdev.Spec) SchedConfig {
+	return SchedConfig{
+		Spec:            spec,
+		Channels:        8,
+		BanksPerChannel: 4,
+		RefreshDuration: 350 * time.Nanosecond,
+		RefreshSlices:   8192,
+	}
+}
+
+// Sched is a simplified FCFS-per-bank memory scheduler. Requests are striped
+// across channels by address; each bank serves one request at a time; the
+// channel bus serializes data transfer. Refresh periodically steals bank
+// time on refreshing devices. Sched is not safe for concurrent use.
+type Sched struct {
+	cfg       SchedConfig
+	bankFree  [][]time.Duration // [channel][bank] next-free time
+	busFree   []time.Duration   // [channel]
+	stripe    units.Bytes
+	bankBW    units.Bandwidth
+	refresh   time.Duration // per-bank refresh period (0 = none)
+	completed int
+	busyUntil time.Duration
+	refTime   time.Duration // cumulative time banks spent refreshing
+	svcTime   time.Duration // cumulative bank service time (incl. refresh)
+}
+
+// NewSched builds a scheduler. The channel stripe is 256 B (HBM pseudo-
+// channel granularity rounded to a power of two).
+func NewSched(cfg SchedConfig) (*Sched, error) {
+	if cfg.Channels <= 0 || cfg.BanksPerChannel <= 0 {
+		return nil, fmt.Errorf("controller: need positive channels/banks")
+	}
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sched{
+		cfg:      cfg,
+		bankFree: make([][]time.Duration, cfg.Channels),
+		busFree:  make([]time.Duration, cfg.Channels),
+		stripe:   256,
+		bankBW:   cfg.Spec.ReadBW / units.Bandwidth(cfg.Channels*cfg.BanksPerChannel),
+	}
+	for i := range s.bankFree {
+		s.bankFree[i] = make([]time.Duration, cfg.BanksPerChannel)
+	}
+	if cfg.Spec.RefreshInterval > 0 && cfg.RefreshSlices > 0 {
+		s.refresh = cfg.Spec.RefreshInterval / time.Duration(cfg.RefreshSlices)
+	}
+	return s, nil
+}
+
+// Submit schedules one request and returns its completion. Requests should
+// be submitted in non-decreasing Arrive order.
+func (s *Sched) Submit(r Request) (Completion, error) {
+	if r.Size == 0 {
+		return Completion{}, fmt.Errorf("controller: zero-size request")
+	}
+	ch := int(r.Addr/s.stripe) % s.cfg.Channels
+	bank := int(r.Addr/(s.stripe*units.Bytes(s.cfg.Channels))) % s.cfg.BanksPerChannel
+
+	start := maxDur(r.Arrive, s.bankFree[ch][bank], s.busFree[ch])
+	var lat time.Duration
+	var bw units.Bandwidth
+	if r.Kind == memdev.Read {
+		lat = s.cfg.Spec.ReadLatency
+		bw = s.bankBW
+	} else {
+		lat = s.cfg.Spec.WriteLatency
+		bw = s.bankBW * units.Bandwidth(float64(s.cfg.Spec.WriteBW)/float64(s.cfg.Spec.ReadBW))
+	}
+	service := lat + bw.Time(r.Size)
+	// Refresh tax: every tREFI window (RefreshInterval / RefreshSlices)
+	// steals one RefreshDuration (tRFC) of bank time. Refreshes overlapping
+	// idle banks are free; only the share proportional to busy time delays
+	// requests — the standard utilization derating.
+	if s.refresh > 0 {
+		steal := time.Duration(float64(service) *
+			float64(s.cfg.RefreshDuration) / float64(s.refresh))
+		service += steal
+		s.refTime += steal
+	}
+	finish := start + service
+	s.svcTime += service
+	s.bankFree[ch][bank] = finish
+	// The shared bus is busy only for the transfer portion.
+	s.busFree[ch] = start + (s.cfg.Spec.ReadBW / units.Bandwidth(s.cfg.Channels)).Time(r.Size)
+	s.completed++
+	if finish > s.busyUntil {
+		s.busyUntil = finish
+	}
+	return Completion{Start: start, Finish: finish}, nil
+}
+
+// Completed returns the number of requests served.
+func (s *Sched) Completed() int { return s.completed }
+
+// BusyUntil returns the time the last scheduled request finishes.
+func (s *Sched) BusyUntil() time.Duration { return s.busyUntil }
+
+// RefreshTime returns cumulative bank time stolen by refresh.
+func (s *Sched) RefreshTime() time.Duration { return s.refTime }
+
+// BankBusyTime returns cumulative bank service time across all banks
+// (refresh included); RefreshTime/BankBusyTime is the refresh tax.
+func (s *Sched) BankBusyTime() time.Duration { return s.svcTime }
+
+func maxDur(ds ...time.Duration) time.Duration {
+	m := ds[0]
+	for _, d := range ds[1:] {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// ZoneState is the lifecycle state of an MRM zone.
+type ZoneState int
+
+// Zone states.
+const (
+	ZoneEmpty ZoneState = iota
+	ZoneOpen
+	ZoneFull
+	ZoneExpired // retention deadline passed; contents unreliable
+)
+
+// String names the state.
+func (z ZoneState) String() string {
+	switch z {
+	case ZoneEmpty:
+		return "empty"
+	case ZoneOpen:
+		return "open"
+	case ZoneFull:
+		return "full"
+	case ZoneExpired:
+		return "expired"
+	default:
+		return fmt.Sprintf("ZoneState(%d)", int(z))
+	}
+}
+
+// Zone is one append-only region of an MRM device.
+type Zone struct {
+	ID        int
+	Start     units.Bytes
+	Size      units.Bytes
+	WritePtr  units.Bytes // offset of next append within the zone
+	State     ZoneState
+	Retention time.Duration // retention programmed for this zone's writes
+	WrittenAt time.Duration // device time of the first append
+	Resets    int           // wear proxy: zone reset count
+}
+
+// Remaining returns the unwritten capacity of the zone.
+func (z *Zone) Remaining() units.Bytes { return z.Size - z.WritePtr }
+
+// Zoned is the lightweight MRM block controller: fixed-size append-only
+// zones, explicit reset, per-zone retention programming. It owns a
+// memdev.Device for cost accounting. Zoned is not safe for concurrent use;
+// the control plane above serializes access.
+type Zoned struct {
+	dev      *memdev.Device
+	zoneSize units.Bytes
+	zones    []Zone
+}
+
+// NewZoned carves the device into zones of zoneSize bytes.
+func NewZoned(dev *memdev.Device, zoneSize units.Bytes) (*Zoned, error) {
+	if zoneSize == 0 {
+		return nil, fmt.Errorf("controller: zero zone size")
+	}
+	cap := dev.Spec().Capacity
+	n := int(cap / zoneSize)
+	if n == 0 {
+		return nil, fmt.Errorf("controller: zone size %v exceeds capacity %v", zoneSize, cap)
+	}
+	z := &Zoned{dev: dev, zoneSize: zoneSize, zones: make([]Zone, n)}
+	for i := range z.zones {
+		z.zones[i] = Zone{ID: i, Start: units.Bytes(i) * zoneSize, Size: zoneSize}
+	}
+	return z, nil
+}
+
+// NumZones returns the zone count.
+func (z *Zoned) NumZones() int { return len(z.zones) }
+
+// Zone returns a snapshot of zone id.
+func (z *Zoned) Zone(id int) (Zone, error) {
+	if id < 0 || id >= len(z.zones) {
+		return Zone{}, fmt.Errorf("controller: zone %d out of range", id)
+	}
+	return z.zones[id], nil
+}
+
+// Device exposes the underlying device (for energy/wear accounting).
+func (z *Zoned) Device() *memdev.Device { return z.dev }
+
+// Open transitions an empty zone to open with the given retention class.
+// Retention is programmed per zone: this is the hardware half of DCM.
+func (z *Zoned) Open(id int, retention time.Duration) error {
+	zn, err := z.zoneRef(id)
+	if err != nil {
+		return err
+	}
+	if zn.State != ZoneEmpty {
+		return fmt.Errorf("controller: zone %d is %v, not empty", id, zn.State)
+	}
+	zn.State = ZoneOpen
+	zn.Retention = retention
+	return nil
+}
+
+// Append writes size bytes at the zone's write pointer and advances it.
+// The zone must be open and have room.
+func (z *Zoned) Append(id int, size units.Bytes) (memdev.Result, error) {
+	zn, err := z.zoneRef(id)
+	if err != nil {
+		return memdev.Result{}, err
+	}
+	if zn.State != ZoneOpen {
+		return memdev.Result{}, fmt.Errorf("controller: append to zone %d in state %v", id, zn.State)
+	}
+	if size == 0 || size > zn.Remaining() {
+		return memdev.Result{}, fmt.Errorf("controller: append %v exceeds zone %d remaining %v", size, id, zn.Remaining())
+	}
+	if zn.WritePtr == 0 {
+		zn.WrittenAt = z.dev.Now()
+	}
+	res, err := z.dev.WriteAt(zn.Start+zn.WritePtr, size)
+	if err != nil {
+		return memdev.Result{}, err
+	}
+	zn.WritePtr += size
+	if zn.Remaining() == 0 {
+		zn.State = ZoneFull
+	}
+	return res, nil
+}
+
+// Read reads size bytes at offset within zone id. Reading an expired zone
+// is an error — the control plane must have refreshed or dropped it.
+func (z *Zoned) Read(id int, off, size units.Bytes) (memdev.Result, error) {
+	zn, err := z.zoneRef(id)
+	if err != nil {
+		return memdev.Result{}, err
+	}
+	if zn.State == ZoneEmpty {
+		return memdev.Result{}, fmt.Errorf("controller: read from empty zone %d", id)
+	}
+	if zn.State == ZoneExpired {
+		return memdev.Result{}, fmt.Errorf("controller: read from expired zone %d", id)
+	}
+	if off+size > zn.WritePtr {
+		return memdev.Result{}, fmt.Errorf("controller: read [%v,%v) beyond write pointer %v", off, off+size, zn.WritePtr)
+	}
+	return z.dev.ReadAt(zn.Start+off, size)
+}
+
+// Reset returns a zone to empty, incrementing its reset (wear) counter.
+func (z *Zoned) Reset(id int) error {
+	zn, err := z.zoneRef(id)
+	if err != nil {
+		return err
+	}
+	if zn.State == ZoneEmpty {
+		return fmt.Errorf("controller: reset of already-empty zone %d", id)
+	}
+	zn.State = ZoneEmpty
+	zn.WritePtr = 0
+	zn.Retention = 0
+	zn.Resets++
+	return nil
+}
+
+// ExpireDue marks zones whose retention deadline has passed as expired and
+// returns their ids. The control plane calls this after advancing time.
+func (z *Zoned) ExpireDue() []int {
+	now := z.dev.Now()
+	var expired []int
+	for i := range z.zones {
+		zn := &z.zones[i]
+		if (zn.State == ZoneOpen || zn.State == ZoneFull) && zn.WritePtr > 0 &&
+			zn.Retention > 0 && now-zn.WrittenAt >= zn.Retention {
+			zn.State = ZoneExpired
+			expired = append(expired, i)
+		}
+	}
+	return expired
+}
+
+// LeastWornEmpty returns the id of the empty zone with the fewest resets,
+// or -1 if no zone is empty. This is the software wear-leveling primitive.
+func (z *Zoned) LeastWornEmpty() int {
+	best, bestResets := -1, int(^uint(0)>>1)
+	for i := range z.zones {
+		if z.zones[i].State == ZoneEmpty && z.zones[i].Resets < bestResets {
+			best, bestResets = i, z.zones[i].Resets
+		}
+	}
+	return best
+}
+
+// WearSpread returns max and mean zone reset counts; a host wear-leveler
+// tries to keep max close to mean.
+func (z *Zoned) WearSpread() (maxResets int, meanResets float64) {
+	sum := 0
+	for i := range z.zones {
+		r := z.zones[i].Resets
+		sum += r
+		if r > maxResets {
+			maxResets = r
+		}
+	}
+	return maxResets, float64(sum) / float64(len(z.zones))
+}
+
+// ZonesInState returns ids of zones in the given state, sorted.
+func (z *Zoned) ZonesInState(st ZoneState) []int {
+	var ids []int
+	for i := range z.zones {
+		if z.zones[i].State == st {
+			ids = append(ids, i)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func (z *Zoned) zoneRef(id int) (*Zone, error) {
+	if id < 0 || id >= len(z.zones) {
+		return nil, fmt.Errorf("controller: zone %d out of range", id)
+	}
+	return &z.zones[id], nil
+}

@@ -1,0 +1,810 @@
+// Package core implements the paper's primary contribution: Managed-
+// Retention Memory (MRM) — a memory device whose retention time is a
+// per-write software decision — together with the software control plane the
+// paper's §4 sketches:
+//
+//   - Retention classes: each write is tagged with a data-lifetime hint and
+//     lands in a zone programmed for the cheapest retention that covers it
+//     (Dynamically Configurable Memory).
+//   - Expiry tracking: the control plane tracks when every zone's data
+//     becomes unreliable and decides, per object policy, whether to refresh
+//     it (rewrite), drop it (soft state that can be recomputed), or surface
+//     it to a higher-level migrator.
+//   - Software wear-leveling: new zones are allocated least-worn-first;
+//     there is no device FTL (contrast: internal/ftl).
+//   - Retention-aware scrub: given the ECC code protecting the array and a
+//     target uncorrectable bit error rate, the control plane derives the
+//     scrub interval from the cell error model and accounts its cost.
+//
+// The device below an MRM is a zoned block controller (internal/controller)
+// over a simulated memory device (internal/memdev); the retention↔energy↔
+// endurance arithmetic comes from internal/cellphys.
+package core
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"mrm/internal/cellphys"
+	"mrm/internal/controller"
+	"mrm/internal/ecc"
+	"mrm/internal/memdev"
+	"mrm/internal/units"
+)
+
+// DataKind is the workload-level role of an object; placement and expiry
+// policies key off it.
+type DataKind int
+
+// Data kinds from the paper's workload characterization (§2).
+const (
+	KindWeights    DataKind = iota // immutable, persisted elsewhere, long-lived
+	KindKVCache                    // soft state, append-only, lives for a context
+	KindActivation                 // transient, lives for one forward pass
+	KindOther
+)
+
+// String names the kind.
+func (k DataKind) String() string {
+	switch k {
+	case KindWeights:
+		return "weights"
+	case KindKVCache:
+		return "kvcache"
+	case KindActivation:
+		return "activation"
+	default:
+		return "other"
+	}
+}
+
+// ExpiryPolicy says what the control plane does when an object's retention
+// deadline approaches.
+type ExpiryPolicy int
+
+// Expiry policies.
+const (
+	// PolicyRefresh rewrites the data into a fresh zone before it decays
+	// (for data that must stay resident, e.g. weights).
+	PolicyRefresh ExpiryPolicy = iota
+	// PolicyDrop lets the data decay; readers get ErrExpired and recompute
+	// (KV cache soft state).
+	PolicyDrop
+)
+
+// String names the policy.
+func (p ExpiryPolicy) String() string {
+	if p == PolicyRefresh {
+		return "refresh"
+	}
+	return "drop"
+}
+
+// ErrExpired is returned by Get for data whose retention lapsed under
+// PolicyDrop.
+var ErrExpired = errors.New("core: object expired (soft state must be recomputed)")
+
+// ErrNoSpace is returned when no zone can hold a write.
+var ErrNoSpace = errors.New("core: device out of zones")
+
+// Config assembles an MRM.
+type Config struct {
+	Tech     cellphys.Technology
+	Capacity units.Bytes
+	ZoneSize units.Bytes
+	// Classes are the retention durations the device can program, ascending.
+	Classes []time.Duration
+	// Code is the ECC protecting the array; UBERTarget the reliability goal.
+	Code       ecc.CodeSpec
+	UBERTarget float64
+	// RefreshMargin is the fraction of a retention period before the
+	// deadline at which PolicyRefresh objects are rewritten (default 0.05).
+	RefreshMargin float64
+}
+
+// DefaultConfig returns an RRAM-based MRM with four retention classes
+// spanning the KV-cache-to-weights lifetime range the paper discusses.
+func DefaultConfig() Config {
+	return Config{
+		Tech:     cellphys.RRAM,
+		Capacity: 48 * units.GiB,
+		ZoneSize: 64 * units.MiB,
+		Classes: []time.Duration{
+			10 * time.Minute, time.Hour, 24 * time.Hour, 7 * 24 * time.Hour,
+		},
+		Code:          ecc.RSSpec(255, 223),
+		UBERTarget:    1e-18,
+		RefreshMargin: 0.05,
+	}
+}
+
+// Class is an index into Config.Classes.
+type Class int
+
+// ObjectID names a stored object.
+type ObjectID uint64
+
+// WriteOptions describe a Put.
+type WriteOptions struct {
+	Kind     DataKind
+	Lifetime time.Duration // how long the data must stay readable
+	Policy   ExpiryPolicy
+}
+
+type extent struct {
+	zone int
+	off  units.Bytes
+	size units.Bytes
+}
+
+type objState int
+
+const (
+	objLive objState = iota
+	objExpired
+	objDeleted
+)
+
+type object struct {
+	id       ObjectID
+	size     units.Bytes
+	class    Class
+	opts     WriteOptions
+	extents  []extent
+	deadline time.Duration // when the data must be refreshed or dropped
+	state    objState
+}
+
+type zoneMeta struct {
+	class   Class
+	objects map[ObjectID]bool // live objects with extents here
+}
+
+// deadlineHeap orders object ids by deadline.
+type deadlineItem struct {
+	id       ObjectID
+	deadline time.Duration
+}
+type deadlineHeap []deadlineItem
+
+func (h deadlineHeap) Len() int            { return len(h) }
+func (h deadlineHeap) Less(i, j int) bool  { return h[i].deadline < h[j].deadline }
+func (h deadlineHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *deadlineHeap) Push(x interface{}) { *h = append(*h, x.(deadlineItem)) }
+func (h *deadlineHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// EnergyAccount breaks down MRM energy by cause. Write energy varies per
+// retention class (the DCM saving), so the account is kept here, not in the
+// generic device model.
+type EnergyAccount struct {
+	HostWrite    units.Energy
+	RefreshWrite units.Energy // rewrites performed to extend retention
+	Read         units.Energy
+	ScrubRead    units.Energy
+	Static       units.Energy
+}
+
+// Total sums the account.
+func (e EnergyAccount) Total() units.Energy {
+	return e.HostWrite + e.RefreshWrite + e.Read + e.ScrubRead + e.Static
+}
+
+// Stats reports control-plane activity.
+type Stats struct {
+	Puts, Gets, Deletes int64
+	BytesWritten        units.Bytes
+	BytesRead           units.Bytes
+	BytesRefreshed      units.Bytes
+	Refreshes           int64 // object refresh/relocation events
+	Expirations         int64 // objects dropped at deadline
+	ScrubPasses         int64
+	ZoneResets          int64
+	Compactions         int64 // zones reclaimed by Compact
+}
+
+// MRM is a managed-retention memory with its control plane. Not safe for
+// concurrent use: the simulator drives it from one goroutine per device.
+type MRM struct {
+	cfg      Config
+	tradeoff cellphys.Tradeoff
+	ops      []cellphys.OperatingPoint // per class
+	scrub    []ecc.ScrubPlan           // per class
+	zoned    *controller.Zoned
+
+	openZone map[Class]int // currently filling zone per class, -1 if none
+	zones    []zoneMeta
+	objects  map[ObjectID]*object
+	nextID   ObjectID
+	heap     deadlineHeap
+
+	lastScrub time.Duration
+	energy    EnergyAccount
+	stats     Stats
+}
+
+// New builds an MRM from cfg.
+func New(cfg Config) (*MRM, error) {
+	if len(cfg.Classes) == 0 {
+		return nil, fmt.Errorf("core: need at least one retention class")
+	}
+	if !sort.SliceIsSorted(cfg.Classes, func(i, j int) bool { return cfg.Classes[i] < cfg.Classes[j] }) {
+		return nil, fmt.Errorf("core: retention classes must be ascending")
+	}
+	if cfg.RefreshMargin <= 0 {
+		cfg.RefreshMargin = 0.05
+	}
+	if cfg.RefreshMargin >= 0.5 {
+		return nil, fmt.Errorf("core: refresh margin %v too large", cfg.RefreshMargin)
+	}
+	tr := cellphys.ForTechnology(cfg.Tech)
+	ops := make([]cellphys.OperatingPoint, len(cfg.Classes))
+	plans := make([]ecc.ScrubPlan, len(cfg.Classes))
+	for i, d := range cfg.Classes {
+		op, err := tr.At(d)
+		if err != nil {
+			return nil, fmt.Errorf("core: class %d: %w", i, err)
+		}
+		ops[i] = op
+		// Retention-aware scrub: plan against the class's BER-over-time
+		// curve for a fresh (unworn) cell population.
+		berAt := func(age time.Duration) float64 {
+			return cellphys.RawBER(op, cellphys.WearState{}, age, cellphys.DefaultBER)
+		}
+		plan, err := ecc.PlanScrub(cfg.Code, berAt, cfg.UBERTarget, d)
+		if err != nil {
+			return nil, fmt.Errorf("core: class %d scrub plan: %w", i, err)
+		}
+		plans[i] = plan
+	}
+	// The device spec is the MRM design point at the *longest* class: its
+	// read path, bandwidth and capacity; per-class write costs are applied
+	// by the control plane below.
+	spec := memdev.MRMSpec(cfg.Tech, cfg.Classes[len(cfg.Classes)-1])
+	// Scale per-stack bandwidth and background power with the number of
+	// stacks the requested capacity implies (like HBM, aggregate bandwidth
+	// grows with stack count).
+	stacks := float64(cfg.Capacity) / float64(spec.Capacity)
+	if stacks > 1 {
+		spec.ReadBW *= units.Bandwidth(stacks)
+		spec.WriteBW *= units.Bandwidth(stacks)
+		spec.StaticPower *= units.Power(stacks)
+	}
+	spec.Capacity = cfg.Capacity
+	spec.BlockSize = cfg.ZoneSize
+	dev, err := memdev.NewDevice(spec)
+	if err != nil {
+		return nil, err
+	}
+	zoned, err := controller.NewZoned(dev, cfg.ZoneSize)
+	if err != nil {
+		return nil, err
+	}
+	m := &MRM{
+		cfg:      cfg,
+		tradeoff: tr,
+		ops:      ops,
+		scrub:    plans,
+		zoned:    zoned,
+		openZone: make(map[Class]int, len(cfg.Classes)),
+		zones:    make([]zoneMeta, zoned.NumZones()),
+		objects:  make(map[ObjectID]*object),
+	}
+	for c := range cfg.Classes {
+		m.openZone[Class(c)] = -1
+	}
+	for i := range m.zones {
+		m.zones[i].objects = make(map[ObjectID]bool)
+	}
+	return m, nil
+}
+
+// Classes returns the configured retention classes.
+func (m *MRM) Classes() []time.Duration {
+	out := make([]time.Duration, len(m.cfg.Classes))
+	copy(out, m.cfg.Classes)
+	return out
+}
+
+// OperatingPoint returns the cell operating point of a class.
+func (m *MRM) OperatingPoint(c Class) (cellphys.OperatingPoint, error) {
+	if int(c) < 0 || int(c) >= len(m.ops) {
+		return cellphys.OperatingPoint{}, fmt.Errorf("core: class %d out of range", c)
+	}
+	return m.ops[int(c)], nil
+}
+
+// ScrubPlan returns the scrub plan of a class.
+func (m *MRM) ScrubPlan(c Class) (ecc.ScrubPlan, error) {
+	if int(c) < 0 || int(c) >= len(m.scrub) {
+		return ecc.ScrubPlan{}, fmt.Errorf("core: class %d out of range", c)
+	}
+	return m.scrub[int(c)], nil
+}
+
+// ChooseClass picks the cheapest class whose retention covers lifetime, or
+// the longest class (with refreshes) when lifetime exceeds every class.
+// refreshes is how many in-place rewrites the object will need.
+func (m *MRM) ChooseClass(lifetime time.Duration) (c Class, refreshes int) {
+	for i, d := range m.cfg.Classes {
+		if d >= lifetime {
+			return Class(i), 0
+		}
+	}
+	last := len(m.cfg.Classes) - 1
+	d := m.cfg.Classes[last]
+	n := int((lifetime + d - 1) / d)
+	return Class(last), n - 1
+}
+
+// Now returns device time.
+func (m *MRM) Now() time.Duration { return m.zoned.Device().Now() }
+
+// Capacity returns total device capacity.
+func (m *MRM) Capacity() units.Bytes { return m.cfg.Capacity }
+
+// FreeBytes returns capacity not yet owned by open/full zones.
+func (m *MRM) FreeBytes() units.Bytes {
+	empty := len(m.zoned.ZonesInState(controller.ZoneEmpty))
+	free := units.Bytes(empty) * m.cfg.ZoneSize
+	// Plus remaining space in open zones.
+	for _, id := range m.zoned.ZonesInState(controller.ZoneOpen) {
+		zn, _ := m.zoned.Zone(id)
+		free += zn.Remaining()
+	}
+	return free
+}
+
+// Put stores an object of the given size with the requested lifetime.
+// It returns the object id and the write latency of the slowest extent.
+func (m *MRM) Put(size units.Bytes, opts WriteOptions) (ObjectID, time.Duration, error) {
+	if size == 0 {
+		return 0, 0, fmt.Errorf("core: zero-size object")
+	}
+	class, _ := m.ChooseClass(opts.Lifetime)
+	id := m.nextID
+	m.nextID++
+	obj := &object{
+		id:    id,
+		size:  size,
+		class: class,
+		opts:  opts,
+	}
+	lat, err := m.appendObject(obj, size, false)
+	if err != nil {
+		return 0, 0, err
+	}
+	obj.deadline = m.objectDeadline(obj)
+	m.objects[id] = obj
+	heap.Push(&m.heap, deadlineItem{id: id, deadline: obj.deadline})
+	m.stats.Puts++
+	m.stats.BytesWritten += size
+	return id, lat, nil
+}
+
+// appendObject writes size bytes for obj into zones of its class, recording
+// extents. refresh marks the energy as refresh housekeeping.
+func (m *MRM) appendObject(obj *object, size units.Bytes, refresh bool) (time.Duration, error) {
+	op := m.ops[obj.class]
+	var worst time.Duration
+	remaining := size
+	for remaining > 0 {
+		zid := m.openZone[obj.class]
+		if zid < 0 {
+			zid = m.zoned.LeastWornEmpty() // software wear-leveling
+			if zid < 0 {
+				return 0, ErrNoSpace
+			}
+			if err := m.zoned.Open(zid, m.cfg.Classes[obj.class]); err != nil {
+				return 0, err
+			}
+			m.zones[zid].class = obj.class
+			m.openZone[obj.class] = zid
+		}
+		zn, err := m.zoned.Zone(zid)
+		if err != nil {
+			return 0, err
+		}
+		chunk := remaining
+		if chunk > zn.Remaining() {
+			chunk = zn.Remaining()
+		}
+		off := zn.WritePtr
+		res, err := m.zoned.Append(zid, chunk)
+		if err != nil {
+			return 0, err
+		}
+		// Replace the device's generic write energy with the class's DCM
+		// write energy (the whole point of programmable retention).
+		e := op.WriteEnergy.PerBit(chunk)
+		if refresh {
+			m.energy.RefreshWrite += e
+		} else {
+			m.energy.HostWrite += e
+		}
+		// Write latency: class-specific cell write time + transfer.
+		lat := op.WriteLatency + m.zoned.Device().Spec().WriteBW.Time(chunk)
+		_ = res
+		if lat > worst {
+			worst = lat
+		}
+		obj.extents = append(obj.extents, extent{zone: zid, off: off, size: chunk})
+		m.zones[zid].objects[obj.id] = true
+		remaining -= chunk
+		zn, _ = m.zoned.Zone(zid)
+		if zn.State == controller.ZoneFull {
+			m.openZone[obj.class] = -1
+		}
+	}
+	return worst, nil
+}
+
+// objectDeadline computes when the object's data becomes unreliable: the
+// earliest (zone birth + class retention) over its extents. Zone retention is
+// anchored at the zone's first write, so data appended into an older zone
+// inherits the shorter remaining window.
+func (m *MRM) objectDeadline(obj *object) time.Duration {
+	ret := m.cfg.Classes[obj.class]
+	var deadline time.Duration = 1<<62 - 1
+	for _, ext := range obj.extents {
+		zn, err := m.zoned.Zone(ext.zone)
+		if err != nil {
+			continue
+		}
+		if d := zn.WrittenAt + ret; d < deadline {
+			deadline = d
+		}
+	}
+	return deadline
+}
+
+// Get reads an object in full, returning read latency. Expired soft state
+// yields ErrExpired.
+func (m *MRM) Get(id ObjectID) (time.Duration, error) {
+	obj, ok := m.objects[id]
+	if !ok || obj.state == objDeleted {
+		return 0, fmt.Errorf("core: no object %d", id)
+	}
+	if obj.state == objExpired {
+		return 0, ErrExpired
+	}
+	var total time.Duration
+	for _, ext := range obj.extents {
+		res, err := m.zoned.Read(ext.zone, ext.off, ext.size)
+		if err != nil {
+			return 0, err
+		}
+		m.energy.Read += res.Energy
+		total += res.Latency
+	}
+	m.stats.Gets++
+	m.stats.BytesRead += obj.size
+	return total, nil
+}
+
+// Delete removes an object, releasing zones whose objects are all gone.
+func (m *MRM) Delete(id ObjectID) error {
+	obj, ok := m.objects[id]
+	if !ok || obj.state == objDeleted {
+		return fmt.Errorf("core: no object %d", id)
+	}
+	m.dropExtents(obj)
+	obj.state = objDeleted
+	m.stats.Deletes++
+	return nil
+}
+
+// dropExtents removes the object from zone membership and resets zones that
+// become dead. Open zones are never reset mid-fill.
+func (m *MRM) dropExtents(obj *object) {
+	for _, ext := range obj.extents {
+		zm := &m.zones[ext.zone]
+		delete(zm.objects, obj.id)
+		zn, _ := m.zoned.Zone(ext.zone)
+		if len(zm.objects) == 0 && zn.State != controller.ZoneEmpty && zn.State != controller.ZoneOpen {
+			m.resetZone(ext.zone)
+		}
+	}
+	obj.extents = nil
+}
+
+// Tick advances simulated time, performing due housekeeping: refreshing
+// objects under PolicyRefresh whose deadline is within the refresh margin,
+// expiring PolicyDrop objects whose deadline passed, accounting scrub energy,
+// and reclaiming dead zones.
+func (m *MRM) Tick(dt time.Duration) error {
+	if err := m.zoned.Device().Advance(dt); err != nil {
+		return err
+	}
+	now := m.Now()
+	// Static energy mirrors the device account (kept here so EnergyAccount
+	// is self-contained).
+	m.energy.Static += m.zoned.Device().Spec().StaticPower.Over(dt)
+
+	// Scrub accounting: each class's occupied bytes are read once per scrub
+	// interval. Modeled statistically rather than per-zone events.
+	m.accountScrub(dt)
+
+	// Process deadlines.
+	for m.heap.Len() > 0 {
+		top := m.heap[0]
+		obj, ok := m.objects[top.id]
+		if !ok || obj.state == objDeleted || top.deadline != obj.deadline {
+			heap.Pop(&m.heap) // stale entry
+			continue
+		}
+		margin := time.Duration(float64(m.cfg.Classes[obj.class]) * m.cfg.RefreshMargin)
+		if obj.opts.Policy == PolicyRefresh {
+			if top.deadline-margin > now {
+				break
+			}
+			heap.Pop(&m.heap)
+			if err := m.refreshObject(obj); err != nil {
+				return err
+			}
+			heap.Push(&m.heap, deadlineItem{id: obj.id, deadline: obj.deadline})
+		} else {
+			if top.deadline > now {
+				break
+			}
+			heap.Pop(&m.heap)
+			if obj.state == objLive {
+				m.dropExtents(obj)
+				obj.state = objExpired
+				m.stats.Expirations++
+			}
+		}
+	}
+	// Let the zoned layer mark anything else expired (defensive); reclaim
+	// dead zones.
+	for _, zid := range m.zoned.ExpireDue() {
+		// An expired zone can no longer take appends: if it was a class's
+		// open zone, rotate away from it.
+		for c, open := range m.openZone {
+			if open == zid {
+				m.openZone[c] = -1
+			}
+		}
+		if len(m.zones[zid].objects) == 0 {
+			m.resetZone(zid)
+		}
+	}
+	return nil
+}
+
+// resetZone returns a zone to the empty state, fixing up any open-zone
+// pointer that referenced it.
+func (m *MRM) resetZone(zid int) {
+	for c, open := range m.openZone {
+		if open == zid {
+			m.openZone[c] = -1
+		}
+	}
+	if err := m.zoned.Reset(zid); err == nil {
+		m.stats.ZoneResets++
+	}
+}
+
+// refreshObject rewrites the object into fresh zones, extending its deadline
+// by one retention period.
+func (m *MRM) refreshObject(obj *object) error {
+	// Read the live data (energy), then rewrite.
+	for _, ext := range obj.extents {
+		res, err := m.zoned.Read(ext.zone, ext.off, ext.size)
+		if err != nil {
+			return fmt.Errorf("core: refresh read: %w", err)
+		}
+		m.energy.Read += res.Energy
+	}
+	m.dropExtents(obj)
+	// Rotate to a fresh zone: appending into the aging open zone would give
+	// the rewrite less than a full retention period.
+	m.openZone[obj.class] = -1
+	if _, err := m.appendObject(obj, obj.size, true); err != nil {
+		return fmt.Errorf("core: refresh write: %w", err)
+	}
+	obj.deadline = m.objectDeadline(obj)
+	m.stats.Refreshes++
+	m.stats.BytesRefreshed += obj.size
+	return nil
+}
+
+// accountScrub charges scrub read energy for dt of elapsed time.
+func (m *MRM) accountScrub(dt time.Duration) {
+	spec := m.zoned.Device().Spec()
+	for c := range m.cfg.Classes {
+		plan := m.scrub[c]
+		if plan.Interval <= 0 {
+			continue
+		}
+		var occupied units.Bytes
+		for zid := range m.zones {
+			zn, _ := m.zoned.Zone(zid)
+			if m.zones[zid].class == Class(c) &&
+				(zn.State == controller.ZoneOpen || zn.State == controller.ZoneFull) {
+				occupied += zn.WritePtr
+			}
+		}
+		if occupied == 0 {
+			continue
+		}
+		passes := dt.Seconds() / plan.Interval.Seconds()
+		m.energy.ScrubRead += units.Energy(float64(spec.ReadEnergyPerBit.PerBit(occupied)) * passes)
+		m.stats.ScrubPasses += int64(passes)
+	}
+}
+
+// Compact relocates live data out of zones whose live fraction has fallen
+// to or below threshold (0 < threshold < 1), then resets them — the
+// cluster-level garbage collection §4 assigns to the software control plane.
+// Unlike an FTL, compaction here is rare: most zones die wholesale because
+// retention classes segregate lifetimes; compaction only recovers space
+// stranded by early deletes. It returns the number of zones reclaimed.
+func (m *MRM) Compact(threshold float64) (int, error) {
+	if threshold <= 0 || threshold >= 1 {
+		return 0, fmt.Errorf("core: compaction threshold %v outside (0,1)", threshold)
+	}
+	// Identify victim zones: full (not open — the writer still owns those),
+	// some live data, live fraction <= threshold.
+	type victim struct {
+		id   int
+		live units.Bytes
+	}
+	var victims []victim
+	for zid := range m.zones {
+		zn, err := m.zoned.Zone(zid)
+		if err != nil || zn.State != controller.ZoneFull {
+			continue
+		}
+		var live units.Bytes
+		for oid := range m.zones[zid].objects {
+			obj := m.objects[oid]
+			if obj == nil || obj.state != objLive {
+				continue
+			}
+			for _, ext := range obj.extents {
+				if ext.zone == zid {
+					live += ext.size
+				}
+			}
+		}
+		if live > 0 && float64(live)/float64(zn.Size) <= threshold {
+			victims = append(victims, victim{id: zid, live: live})
+		}
+	}
+	reclaimed := 0
+	for _, v := range victims {
+		// Relocate every live object that has extents in this zone.
+		// (Objects may span zones; the whole object moves, which also
+		// defragments it.)
+		var movers []*object
+		for oid := range m.zones[v.id].objects {
+			obj := m.objects[oid]
+			if obj != nil && obj.state == objLive {
+				movers = append(movers, obj)
+			}
+		}
+		ok := true
+		for _, obj := range movers {
+			if err := m.refreshObject(obj); err != nil {
+				// Out of space mid-compaction: stop; nothing is lost, the
+				// zone simply stays uncompacted.
+				ok = false
+				break
+			}
+			// refreshObject re-pushes deadlines via the caller normally;
+			// here we must record the new deadline in the heap ourselves.
+			heap.Push(&m.heap, deadlineItem{id: obj.id, deadline: obj.deadline})
+		}
+		if !ok {
+			break
+		}
+		// dropExtents inside refreshObject reset the zone once it emptied.
+		zn, err := m.zoned.Zone(v.id)
+		if err == nil && zn.State == controller.ZoneEmpty {
+			reclaimed++
+			m.stats.Compactions++
+		}
+	}
+	return reclaimed, nil
+}
+
+// CheckInvariants verifies control-plane consistency: every live extent
+// lies inside a written region of a non-expired zone, zone membership
+// matches object extents, and FreeBytes accounting is exact. Tests call it
+// after workloads.
+func (m *MRM) CheckInvariants() error {
+	// Object extents vs zone membership.
+	members := make(map[int]map[ObjectID]bool, len(m.zones))
+	for id, obj := range m.objects {
+		if obj.state != objLive {
+			if len(obj.extents) != 0 {
+				return fmt.Errorf("core: non-live object %d retains extents", id)
+			}
+			continue
+		}
+		var total units.Bytes
+		for _, ext := range obj.extents {
+			zn, err := m.zoned.Zone(ext.zone)
+			if err != nil {
+				return fmt.Errorf("core: object %d references bad zone %d", id, ext.zone)
+			}
+			if zn.State == controller.ZoneEmpty {
+				return fmt.Errorf("core: object %d has extent in empty zone %d", id, ext.zone)
+			}
+			if ext.off+ext.size > zn.WritePtr {
+				return fmt.Errorf("core: object %d extent beyond write pointer in zone %d", id, ext.zone)
+			}
+			if members[ext.zone] == nil {
+				members[ext.zone] = make(map[ObjectID]bool)
+			}
+			members[ext.zone][id] = true
+			total += ext.size
+		}
+		if total != obj.size {
+			return fmt.Errorf("core: object %d extents sum to %v, size is %v", id, total, obj.size)
+		}
+	}
+	for zid := range m.zones {
+		for oid := range m.zones[zid].objects {
+			obj := m.objects[oid]
+			if obj == nil || obj.state != objLive {
+				return fmt.Errorf("core: zone %d lists dead object %d", zid, oid)
+			}
+			if !members[zid][oid] {
+				return fmt.Errorf("core: zone %d lists object %d with no extent there", zid, oid)
+			}
+		}
+		if got, want := len(m.zones[zid].objects), len(members[zid]); got != want {
+			return fmt.Errorf("core: zone %d membership %d != extent owners %d", zid, got, want)
+		}
+	}
+	// FreeBytes accounting: empty zones + open-zone remainders.
+	var want units.Bytes
+	for zid := 0; zid < m.zoned.NumZones(); zid++ {
+		zn, _ := m.zoned.Zone(zid)
+		switch zn.State {
+		case controller.ZoneEmpty:
+			want += zn.Size
+		case controller.ZoneOpen:
+			want += zn.Remaining()
+		}
+	}
+	if got := m.FreeBytes(); got != want {
+		return fmt.Errorf("core: FreeBytes %v != recomputed %v", got, want)
+	}
+	return nil
+}
+
+// Energy returns the energy account.
+func (m *MRM) Energy() EnergyAccount { return m.energy }
+
+// Stats returns control-plane statistics.
+func (m *MRM) Stats() Stats { return m.stats }
+
+// Wear returns the underlying device wear summary (write cycles per zone).
+func (m *MRM) Wear() memdev.WearSummary { return m.zoned.Device().Wear() }
+
+// ZoneWearSpread returns max/mean zone reset counts (software WL quality).
+func (m *MRM) ZoneWearSpread() (int, float64) { return m.zoned.WearSpread() }
+
+// Spec exposes the device spec backing this MRM.
+func (m *MRM) Spec() memdev.Spec { return m.zoned.Device().Spec() }
+
+// WriteCost returns the per-bit write energy and cell write latency of a
+// class — the quantities DCM trades against retention.
+func (m *MRM) WriteCost(c Class) (units.Energy, time.Duration, error) {
+	op, err := m.OperatingPoint(c)
+	if err != nil {
+		return 0, 0, err
+	}
+	return op.WriteEnergy, op.WriteLatency, nil
+}

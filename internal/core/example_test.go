@@ -1,0 +1,54 @@
+package core_test
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mrm/internal/core"
+	"mrm/internal/units"
+)
+
+// Store soft state with its true lifetime and let the control plane expire
+// it; store durable state and let the control plane refresh it.
+func Example() {
+	cfg := core.DefaultConfig()
+	cfg.Capacity = units.GiB
+	cfg.ZoneSize = 16 * units.MiB
+	m, err := core.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	kv, _, _ := m.Put(64*units.MiB, core.WriteOptions{
+		Kind: core.KindKVCache, Lifetime: 30 * time.Minute, Policy: core.PolicyDrop,
+	})
+	weights, _, _ := m.Put(128*units.MiB, core.WriteOptions{
+		Kind: core.KindWeights, Lifetime: 90 * 24 * time.Hour, Policy: core.PolicyRefresh,
+	})
+
+	if err := m.Tick(2 * time.Hour); err != nil {
+		panic(err)
+	}
+	_, kvErr := m.Get(kv)
+	_, wErr := m.Get(weights)
+	fmt.Printf("kv expired: %v\n", errors.Is(kvErr, core.ErrExpired))
+	fmt.Printf("weights alive: %v\n", wErr == nil)
+	fmt.Printf("expirations: %d\n", m.Stats().Expirations)
+	// Output:
+	// kv expired: true
+	// weights alive: true
+	// expirations: 1
+}
+
+// Pick the cheapest retention class covering a data lifetime (the DCM
+// decision) and inspect its write cost.
+func ExampleMRM_ChooseClass() {
+	m, err := core.New(core.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	class, refreshes := m.ChooseClass(3 * time.Hour)
+	fmt.Printf("class retention=%v refreshes=%d\n", m.Classes()[class], refreshes)
+	// Output: class retention=24h0m0s refreshes=0
+}

@@ -1,0 +1,221 @@
+// Package dist provides deterministic, seedable random distributions used by
+// the workload generators: exponential inter-arrival times (Poisson
+// processes), lognormal context lengths, Zipf popularity, and a handful of
+// helpers. Every distribution draws from an explicit *RNG so simulations are
+// reproducible from a single seed.
+package dist
+
+import (
+	"math"
+)
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xoshiro256** by Blackman & Vigna). We implement it ourselves rather than
+// using math/rand so that streams can be split (Fork) with stable semantics
+// across Go versions.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from seed via splitmix64, which maps any
+// seed (including 0) to a full-entropy internal state.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	x := seed
+	for i := range r.s {
+		// splitmix64 step.
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Fork derives an independent child stream. Calling Fork twice yields two
+// distinct streams; the parent advances.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Uint64() ^ 0xa3ec647659359acd)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next raw 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0,n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("dist: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a standard normal variate (Box–Muller, one branch cached).
+func (r *RNG) Norm() float64 {
+	// Marsaglia polar method.
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Perm returns a random permutation of [0,n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Exponential samples an exponential distribution with the given rate
+// (events per unit time). The mean of the returned value is 1/rate.
+type Exponential struct {
+	Rate float64
+}
+
+// Sample draws one variate.
+func (e Exponential) Sample(r *RNG) float64 {
+	if e.Rate <= 0 {
+		panic("dist: Exponential with non-positive rate")
+	}
+	u := r.Float64()
+	// Guard against log(0).
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -math.Log(1-u) / e.Rate
+}
+
+// Lognormal samples a lognormal distribution parameterized by its *median*
+// and the sigma of the underlying normal. This parameterization matches how
+// serving papers (e.g. Splitwise) report context lengths: a median plus a
+// heavy tail.
+type Lognormal struct {
+	Median float64
+	Sigma  float64
+}
+
+// Sample draws one variate.
+func (l Lognormal) Sample(r *RNG) float64 {
+	if l.Median <= 0 {
+		panic("dist: Lognormal with non-positive median")
+	}
+	return l.Median * math.Exp(l.Sigma*r.Norm())
+}
+
+// Mean returns the analytic mean median*exp(sigma^2/2).
+func (l Lognormal) Mean() float64 {
+	return l.Median * math.Exp(l.Sigma*l.Sigma/2)
+}
+
+// Zipf samples ranks 1..N with probability proportional to 1/rank^S.
+// Used for model/prefix popularity.
+type Zipf struct {
+	N int
+	S float64
+
+	cdf []float64 // lazily built cumulative distribution
+}
+
+// NewZipf precomputes the CDF for N items with exponent s.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("dist: Zipf with non-positive N")
+	}
+	z := &Zipf{N: n, S: s}
+	z.cdf = make([]float64, n)
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), s)
+		z.cdf[i-1] = sum
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= sum
+	}
+	return z
+}
+
+// Sample draws a rank in [1, N].
+func (z *Zipf) Sample(r *RNG) int {
+	u := r.Float64()
+	// Binary search the CDF.
+	lo, hi := 0, z.N-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// Poisson samples a Poisson-distributed count with the given mean (Knuth's
+// algorithm for small means, normal approximation above 30).
+type Poisson struct {
+	Mean float64
+}
+
+// Sample draws one count.
+func (p Poisson) Sample(r *RNG) int {
+	if p.Mean < 0 {
+		panic("dist: Poisson with negative mean")
+	}
+	if p.Mean > 30 {
+		v := p.Mean + math.Sqrt(p.Mean)*r.Norm()
+		if v < 0 {
+			return 0
+		}
+		return int(math.Round(v))
+	}
+	l := math.Exp(-p.Mean)
+	k, prod := 0, 1.0
+	for {
+		prod *= r.Float64()
+		if prod <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Bernoulli returns true with probability p.
+func Bernoulli(r *RNG, p float64) bool { return r.Float64() < p }
+
+// Clamp bounds v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

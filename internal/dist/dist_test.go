@@ -1,0 +1,226 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := NewRNG(7)
+	c1 := r.Fork()
+	c2 := r.Fork()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("forked streams start identically")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestIntnRangeAndPanic(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	r := NewRNG(11)
+	n := 100000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(13)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := NewRNG(17)
+	e := Exponential{Rate: 4}
+	n := 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += e.Sample(r)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.25) > 0.01 {
+		t.Errorf("exponential mean = %v, want ~0.25", mean)
+	}
+}
+
+func TestExponentialPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for rate<=0")
+		}
+	}()
+	Exponential{Rate: 0}.Sample(NewRNG(1))
+}
+
+func TestLognormalMedian(t *testing.T) {
+	r := NewRNG(19)
+	l := Lognormal{Median: 1000, Sigma: 1}
+	n := 50001
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = l.Sample(r)
+	}
+	// The sample median should approximate the configured median.
+	// Partial selection: count how many fall below the configured median.
+	below := 0
+	for _, v := range vals {
+		if v < 1000 {
+			below++
+		}
+	}
+	frac := float64(below) / float64(n)
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Errorf("fraction below median = %v, want ~0.5", frac)
+	}
+}
+
+func TestLognormalMean(t *testing.T) {
+	l := Lognormal{Median: 100, Sigma: 0.5}
+	want := 100 * math.Exp(0.125)
+	if math.Abs(l.Mean()-want) > 1e-9 {
+		t.Errorf("Mean() = %v, want %v", l.Mean(), want)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(23)
+	z := NewZipf(100, 1.0)
+	counts := make([]int, 101)
+	for i := 0; i < 100000; i++ {
+		k := z.Sample(r)
+		if k < 1 || k > 100 {
+			t.Fatalf("Zipf out of range: %d", k)
+		}
+		counts[k]++
+	}
+	if counts[1] < counts[2] || counts[2] < counts[10] {
+		t.Errorf("Zipf not rank-skewed: c1=%d c2=%d c10=%d", counts[1], counts[2], counts[10])
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := NewRNG(29)
+	for _, mean := range []float64{0.5, 5, 80} {
+		p := Poisson{Mean: mean}
+		n := 20000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += p.Sample(r)
+		}
+		got := float64(sum) / float64(n)
+		if math.Abs(got-mean) > 0.05*mean+0.05 {
+			t.Errorf("Poisson(%v) sample mean = %v", mean, got)
+		}
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := NewRNG(31)
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if Bernoulli(r, 0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / 10000
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Errorf("Bernoulli(0.3) rate = %v", frac)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Fatal("Clamp wrong")
+	}
+}
+
+// Property: lognormal samples are always positive.
+func TestLognormalPositive(t *testing.T) {
+	r := NewRNG(37)
+	f := func(med uint16, sig uint8) bool {
+		l := Lognormal{Median: float64(med%1000) + 1, Sigma: float64(sig%30) / 10}
+		return l.Sample(r) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Clamp output is always within bounds.
+func TestClampProperty(t *testing.T) {
+	f := func(v, lo, hi float64) bool {
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		got := Clamp(v, lo, hi)
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

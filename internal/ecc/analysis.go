@@ -1,0 +1,155 @@
+package ecc
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// CodeSpec abstractly describes a block code for reliability analysis
+// without instantiating a codec: N symbols per codeword, K of them data,
+// SymbolBits bits per symbol, correcting T symbol errors.
+type CodeSpec struct {
+	N, K       int
+	SymbolBits int
+	T          int
+}
+
+// RSSpec describes an RS(n,k) over GF(2^8).
+func RSSpec(n, k int) CodeSpec {
+	return CodeSpec{N: n, K: k, SymbolBits: 8, T: (n - k) / 2}
+}
+
+// HammingSpec describes the (72,64) SECDED code (T=1 over bit symbols).
+func HammingSpec() CodeSpec { return CodeSpec{N: 72, K: 64, SymbolBits: 1, T: 1} }
+
+// Overhead is the parity fraction of the stored bits.
+func (c CodeSpec) Overhead() float64 { return float64(c.N-c.K) / float64(c.N) }
+
+// DataBits returns the payload bits per codeword.
+func (c CodeSpec) DataBits() int { return c.K * c.SymbolBits }
+
+// SymbolErrorProb converts a raw bit error rate into the probability that a
+// symbol is corrupted (any of its bits flipped).
+func (c CodeSpec) SymbolErrorProb(ber float64) float64 {
+	if ber <= 0 {
+		return 0
+	}
+	if ber >= 1 {
+		return 1
+	}
+	// 1 - (1-ber)^bits, computed stably.
+	return -math.Expm1(float64(c.SymbolBits) * math.Log1p(-ber))
+}
+
+// CodewordFailureProb returns the probability that a codeword has more than
+// T symbol errors, i.e. is uncorrectable, given a raw bit error rate.
+// Computed as a binomial tail in log space for numerical stability.
+func (c CodeSpec) CodewordFailureProb(ber float64) float64 {
+	p := c.SymbolErrorProb(ber)
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	// P(X > T) = 1 - sum_{i=0}^{T} C(N,i) p^i (1-p)^(N-i).
+	// Sum the head in log space; if the head is ~1 use the complement of the
+	// largest tail terms instead to avoid cancellation.
+	logP, logQ := math.Log(p), math.Log1p(-p)
+	head := 0.0
+	for i := 0; i <= c.T && i <= c.N; i++ {
+		head += math.Exp(logChoose(c.N, i) + float64(i)*logP + float64(c.N-i)*logQ)
+	}
+	if head < 0.5 {
+		return 1 - head
+	}
+	tail := 0.0
+	for i := c.T + 1; i <= c.N; i++ {
+		term := math.Exp(logChoose(c.N, i) + float64(i)*logP + float64(c.N-i)*logQ)
+		tail += term
+		if term < tail*1e-16 && i > c.T+3 {
+			break
+		}
+	}
+	return tail
+}
+
+// UBER returns the uncorrectable bit error rate: uncorrectable-codeword
+// events per data bit read.
+func (c CodeSpec) UBER(ber float64) float64 {
+	return c.CodewordFailureProb(ber) / float64(c.DataBits())
+}
+
+// logChoose returns log C(n, k) via lgamma.
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	ln1, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return ln1 - lk - lnk
+}
+
+// MaxBERForUBER returns the highest raw BER the code tolerates while keeping
+// UBER at or below target (bisection over [1e-15, 0.5]).
+func (c CodeSpec) MaxBERForUBER(target float64) float64 {
+	lo, hi := 1e-15, 0.5
+	if c.UBER(lo) > target {
+		return 0
+	}
+	for i := 0; i < 100; i++ {
+		mid := math.Sqrt(lo * hi) // geometric bisection over decades
+		if c.UBER(mid) <= target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ScrubPlan is the output of the retention-aware scrub planner: how often
+// data must be re-read (and rewritten if degraded) so the code's UBER target
+// holds, and what that costs.
+type ScrubPlan struct {
+	Interval      time.Duration // scrub period; 0 means "no scrub needed within horizon"
+	MaxBER        float64       // the BER ceiling the code can absorb
+	ScrubsPerYear float64
+}
+
+// PlanScrub computes the scrub interval for data protected by code c whose
+// raw BER over time is given by berAt (monotone non-decreasing), with the
+// given UBER target, up to horizon. If the BER at the horizon stays within
+// the code's budget, no scrubbing is needed.
+func PlanScrub(c CodeSpec, berAt func(time.Duration) float64, uberTarget float64, horizon time.Duration) (ScrubPlan, error) {
+	maxBER := c.MaxBERForUBER(uberTarget)
+	if maxBER <= 0 {
+		return ScrubPlan{}, fmt.Errorf("ecc: code %dx%d cannot meet UBER %g at any BER", c.N, c.K, uberTarget)
+	}
+	if berAt(0) > maxBER {
+		return ScrubPlan{}, fmt.Errorf("ecc: fresh-data BER %g already above budget %g", berAt(0), maxBER)
+	}
+	if berAt(horizon) <= maxBER {
+		return ScrubPlan{MaxBER: maxBER}, nil
+	}
+	// Bisect the first time BER crosses the budget.
+	lo, hi := time.Duration(0), horizon
+	for i := 0; i < 64 && hi-lo > time.Millisecond; i++ {
+		mid := lo + (hi-lo)/2
+		if berAt(mid) <= maxBER {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	if lo <= 0 {
+		return ScrubPlan{}, fmt.Errorf("ecc: BER crosses budget immediately")
+	}
+	return ScrubPlan{
+		Interval:      lo,
+		MaxBER:        maxBER,
+		ScrubsPerYear: (365 * 24 * time.Hour).Seconds() / lo.Seconds(),
+	}, nil
+}

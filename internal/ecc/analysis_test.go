@@ -1,0 +1,139 @@
+package ecc
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSymbolErrorProb(t *testing.T) {
+	c := RSSpec(255, 223)
+	if got := c.SymbolErrorProb(0); got != 0 {
+		t.Fatalf("p(0) = %v", got)
+	}
+	if got := c.SymbolErrorProb(1); got != 1 {
+		t.Fatalf("p(1) = %v", got)
+	}
+	// Small BER: p_sym ≈ 8*ber.
+	got := c.SymbolErrorProb(1e-9)
+	if math.Abs(got-8e-9)/8e-9 > 1e-6 {
+		t.Fatalf("p_sym(1e-9) = %g, want ~8e-9", got)
+	}
+}
+
+func TestCodewordFailureProbLimits(t *testing.T) {
+	c := RSSpec(255, 223)
+	if c.CodewordFailureProb(0) != 0 {
+		t.Fatal("zero BER must never fail")
+	}
+	if c.CodewordFailureProb(1) != 1 {
+		t.Fatal("BER 1 must always fail")
+	}
+	// Monotone in BER.
+	prev := 0.0
+	for _, ber := range []float64{1e-9, 1e-7, 1e-5, 1e-3, 1e-1} {
+		p := c.CodewordFailureProb(ber)
+		if p < prev {
+			t.Fatalf("failure prob not monotone at %g: %g < %g", ber, p, prev)
+		}
+		prev = p
+	}
+}
+
+// The paper's §4 / ref [8] claim: at equal overhead, a longer code sustains a
+// higher raw BER for the same UBER target.
+func TestLargerBlocksWinAtEqualOverhead(t *testing.T) {
+	small := RSSpec(63, 55)   // 12.7% overhead, t=4
+	large := RSSpec(255, 223) // 12.5% overhead, t=16
+	target := 1e-18
+	bSmall := small.MaxBERForUBER(target)
+	bLarge := large.MaxBERForUBER(target)
+	if bLarge <= bSmall {
+		t.Fatalf("RS(255,223) budget %g should beat RS(63,55) %g", bLarge, bSmall)
+	}
+	if bLarge/bSmall < 2 {
+		t.Errorf("expected a substantial (>2x) BER budget win, got %g", bLarge/bSmall)
+	}
+}
+
+func TestHammingSpecWeakerThanRS(t *testing.T) {
+	h := HammingSpec()
+	rs := RSSpec(255, 223)
+	target := 1e-18
+	if h.MaxBERForUBER(target) >= rs.MaxBERForUBER(target) {
+		t.Fatal("SECDED should tolerate less raw BER than RS(255,223)")
+	}
+}
+
+func TestUBERScalesWithFailureProb(t *testing.T) {
+	c := RSSpec(255, 223)
+	ber := 1e-3
+	if got, want := c.UBER(ber), c.CodewordFailureProb(ber)/float64(c.DataBits()); got != want {
+		t.Fatalf("UBER = %g, want %g", got, want)
+	}
+}
+
+func TestMaxBERForUBERConsistency(t *testing.T) {
+	c := RSSpec(255, 223)
+	target := 1e-15
+	b := c.MaxBERForUBER(target)
+	if b <= 0 {
+		t.Fatal("budget should be positive")
+	}
+	if c.UBER(b) > target*1.01 {
+		t.Fatalf("UBER at budget %g is %g > target %g", b, c.UBER(b), target)
+	}
+	if c.UBER(b*3) < target {
+		t.Fatalf("budget %g not tight: 3x higher BER still meets target", b)
+	}
+}
+
+func TestPlanScrubNoScrubNeeded(t *testing.T) {
+	c := RSSpec(255, 223)
+	flat := func(time.Duration) float64 { return 1e-9 }
+	plan, err := PlanScrub(c, flat, 1e-18, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Interval != 0 {
+		t.Fatalf("flat low BER should need no scrub, got %v", plan.Interval)
+	}
+}
+
+func TestPlanScrubFindsCrossing(t *testing.T) {
+	c := RSSpec(255, 223)
+	// BER ramps linearly to 1e-2 over 10 hours: crosses any sane budget.
+	ramp := func(d time.Duration) float64 { return 1e-9 + 1e-2*d.Hours()/10 }
+	plan, err := PlanScrub(c, ramp, 1e-18, 10*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Interval <= 0 || plan.Interval >= 10*time.Hour {
+		t.Fatalf("interval = %v", plan.Interval)
+	}
+	// The BER at the planned interval must be within budget.
+	if ramp(plan.Interval) > plan.MaxBER*1.001 {
+		t.Fatalf("BER at interval %g exceeds budget %g", ramp(plan.Interval), plan.MaxBER)
+	}
+	if plan.ScrubsPerYear <= 0 {
+		t.Fatal("scrubs/year should be positive")
+	}
+}
+
+func TestPlanScrubErrors(t *testing.T) {
+	c := RSSpec(255, 223)
+	high := func(time.Duration) float64 { return 0.4 }
+	if _, err := PlanScrub(c, high, 1e-18, time.Hour); err == nil {
+		t.Fatal("fresh BER above budget should error")
+	}
+}
+
+func TestLogChoose(t *testing.T) {
+	// C(5,2) = 10.
+	if got := math.Exp(logChoose(5, 2)); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("C(5,2) = %v", got)
+	}
+	if !math.IsInf(logChoose(5, 6), -1) {
+		t.Fatal("C(5,6) should be -Inf in log space")
+	}
+}

@@ -1,0 +1,44 @@
+package ecc_test
+
+import (
+	"fmt"
+
+	"mrm/internal/ecc"
+)
+
+// Correct a single flipped bit in a 64-bit word with the DRAM-style
+// SECDED code.
+func ExampleHammingDecode() {
+	cw := ecc.HammingEncode(0xdeadbeef)
+	cw.FlipBit(17)
+	data, corrected, err := ecc.HammingDecode(cw)
+	fmt.Printf("data=%#x corrected=%d err=%v\n", data, corrected, err)
+	// Output: data=0xdeadbeef corrected=1 err=<nil>
+}
+
+// Protect a 223-byte block with RS(255,223) and repair a burst of errors.
+func ExampleRS_Decode() {
+	code, err := ecc.NewRS(255, 223)
+	if err != nil {
+		panic(err)
+	}
+	data := make([]byte, 223)
+	copy(data, "managed-retention memory")
+	cw, _ := code.Encode(data)
+	for i := 0; i < 10; i++ { // corrupt 10 of the 255 symbols
+		cw[i*7] ^= 0x5a
+	}
+	got, corrected, err := code.Decode(cw)
+	fmt.Printf("corrected=%d err=%v payload=%q\n", corrected, err, got[:24])
+	// Output: corrected=10 err=<nil> payload="managed-retention memory"
+}
+
+// How much raw bit-error rate can codes of equal overhead absorb at a
+// target UBER? Longer blocks win (the paper's §4 / ref [8]).
+func ExampleCodeSpec_MaxBERForUBER() {
+	small := ecc.RSSpec(63, 55)
+	large := ecc.RSSpec(255, 223)
+	ratio := large.MaxBERForUBER(1e-18) / small.MaxBERForUBER(1e-18)
+	fmt.Printf("RS(255,223) tolerates %.0fx the raw BER of RS(63,55)\n", ratio)
+	// Output: RS(255,223) tolerates 115x the raw BER of RS(63,55)
+}

@@ -1,0 +1,85 @@
+package ecc
+
+// GF(2^8) arithmetic with the primitive polynomial x^8+x^4+x^3+x^2+1 (0x11d),
+// the field used by standard Reed–Solomon codes (CD, DVD, RAID-6, QR).
+
+const gfPoly = 0x11d
+
+var (
+	gfExp [512]byte // exp table doubled to avoid mod in Mul
+	gfLog [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= gfPoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+// gfMul multiplies two field elements.
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+// gfDiv divides a by b; b must be nonzero.
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("ecc: division by zero in GF(256)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+// gfPow raises the generator's power: alpha^n.
+func gfPow(n int) byte {
+	n %= 255
+	if n < 0 {
+		n += 255
+	}
+	return gfExp[n]
+}
+
+// gfInv returns the multiplicative inverse.
+func gfInv(a byte) byte {
+	if a == 0 {
+		panic("ecc: inverse of zero in GF(256)")
+	}
+	return gfExp[255-int(gfLog[a])]
+}
+
+// polyEval evaluates polynomial p (coefficients highest degree first) at x.
+func polyEval(p []byte, x byte) byte {
+	var y byte
+	for _, c := range p {
+		y = gfMul(y, x) ^ c
+	}
+	return y
+}
+
+// polyMul multiplies two polynomials (highest degree first).
+func polyMul(a, b []byte) []byte {
+	out := make([]byte, len(a)+len(b)-1)
+	for i, ca := range a {
+		if ca == 0 {
+			continue
+		}
+		for j, cb := range b {
+			out[i+j] ^= gfMul(ca, cb)
+		}
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+// Package ecc implements the error-correction substrate for the MRM
+// simulator: a Hamming(72,64) SECDED code (the classic DRAM sideband code),
+// a Reed–Solomon code over GF(2^8) with a full Berlekamp–Massey decoder
+// (the large-block code family the paper's §4 proposes for MRM), reliability
+// analysis (code rate vs block size vs uncorrectable-bit-error rate), and a
+// retention-aware scrub planner.
+package ecc
+
+import (
+	"errors"
+	"math/bits"
+)
+
+// Hamming72/64 encodes a 64-bit word into 72 bits: 8 parity bits provide
+// single-error correction and double-error detection (SECDED). The layout is
+// the textbook one: codeword positions 1..72, parity bits at positions
+// 1,2,4,8,16,32,64 plus an overall parity at position 0.
+
+// ErrDoubleBit reports an uncorrectable double-bit error.
+var ErrDoubleBit = errors.New("ecc: double-bit error detected")
+
+// HammingCodeword is a 72-bit SECDED codeword (stored in the low 72 bits).
+type HammingCodeword struct {
+	// Lo holds codeword bits 0..63, Hi holds bits 64..71.
+	Lo uint64
+	Hi uint8
+}
+
+func (c HammingCodeword) bit(i uint) uint {
+	if i < 64 {
+		return uint(c.Lo>>i) & 1
+	}
+	return uint(c.Hi>>(i-64)) & 1
+}
+
+func (c *HammingCodeword) setBit(i, v uint) {
+	if i < 64 {
+		c.Lo = c.Lo&^(1<<i) | uint64(v&1)<<i
+	} else {
+		c.Hi = c.Hi&^(1<<(i-64)) | uint8(v&1)<<(i-64)
+	}
+}
+
+// FlipBit toggles codeword bit i (0..71); used by tests and fault injection.
+func (c *HammingCodeword) FlipBit(i uint) {
+	if i >= 72 {
+		panic("ecc: bit index out of range")
+	}
+	c.setBit(i, c.bit(i)^1)
+}
+
+// dataPositions lists the codeword positions (1-based within the Hamming
+// numbering, stored at index+1 here) that hold data bits: every position in
+// 1..72 that is not a power of two, excluding position 0 (overall parity).
+var dataPositions = func() []uint {
+	var ps []uint
+	for p := uint(1); len(ps) < 64; p++ {
+		if p&(p-1) != 0 { // not a power of two
+			ps = append(ps, p)
+		}
+	}
+	return ps
+}()
+
+// HammingEncode encodes a 64-bit word.
+func HammingEncode(data uint64) HammingCodeword {
+	var c HammingCodeword
+	// Scatter data bits into non-power-of-two positions (position p maps to
+	// storage bit p, with storage bit 0 reserved for overall parity).
+	for i, p := range dataPositions {
+		c.setBit(p, uint(data>>uint(i))&1)
+	}
+	// Compute the 7 Hamming parity bits.
+	for k := uint(0); k < 7; k++ {
+		pp := uint(1) << k
+		parity := uint(0)
+		for p := uint(1); p < 72; p++ {
+			if p&pp != 0 && p != pp {
+				parity ^= c.bit(p)
+			}
+		}
+		c.setBit(pp, parity)
+	}
+	// Overall parity over all 72 bits.
+	all := uint(bits.OnesCount64(c.Lo)+bits.OnesCount8(c.Hi)) & 1
+	c.setBit(0, c.bit(0)^all) // bit 0 currently 0; set so total parity is even
+	return c
+}
+
+// syndrome returns the Hamming syndrome (the XOR of the positions of bits
+// failing parity) and the overall parity of the received word.
+func (c HammingCodeword) syndrome() (syn uint, parity uint) {
+	for p := uint(1); p < 72; p++ {
+		if c.bit(p) == 1 {
+			syn ^= p
+		}
+	}
+	par := uint(bits.OnesCount64(c.Lo)+bits.OnesCount8(c.Hi)) & 1
+	return syn, par
+}
+
+// HammingDecode decodes a codeword, correcting up to one flipped bit.
+// It returns the data word, the number of corrected bits (0 or 1), or
+// ErrDoubleBit when two bit errors are detected.
+func HammingDecode(c HammingCodeword) (data uint64, corrected int, err error) {
+	syn, par := c.syndrome()
+	switch {
+	case syn == 0 && par == 0:
+		// clean
+	case par == 1:
+		// Odd number of errors: single-bit error. If syn==0 the flipped bit
+		// is the overall parity bit itself.
+		c.setBit(syn, c.bit(syn)^1)
+		corrected = 1
+	default:
+		// Even error count with nonzero syndrome: double-bit error.
+		return 0, 0, ErrDoubleBit
+	}
+	for i, p := range dataPositions {
+		data |= uint64(c.bit(p)) << uint(i)
+	}
+	return data, corrected, nil
+}
+
+// HammingOverhead is the storage overhead of the (72,64) code.
+const HammingOverhead = 8.0 / 72.0

@@ -1,0 +1,90 @@
+package ecc
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestHammingRoundTrip(t *testing.T) {
+	for _, d := range []uint64{0, 1, 0xdeadbeefcafebabe, ^uint64(0), 0x5555555555555555} {
+		cw := HammingEncode(d)
+		got, n, err := HammingDecode(cw)
+		if err != nil || n != 0 || got != d {
+			t.Errorf("round trip %#x: got %#x, corrected %d, err %v", d, got, n, err)
+		}
+	}
+}
+
+func TestHammingCorrectsEverySingleBit(t *testing.T) {
+	d := uint64(0x0123456789abcdef)
+	for i := uint(0); i < 72; i++ {
+		cw := HammingEncode(d)
+		cw.FlipBit(i)
+		got, n, err := HammingDecode(cw)
+		if err != nil {
+			t.Fatalf("bit %d: unexpected error %v", i, err)
+		}
+		if n != 1 {
+			t.Fatalf("bit %d: corrected %d bits, want 1", i, n)
+		}
+		if got != d {
+			t.Fatalf("bit %d: data %#x, want %#x", i, got, d)
+		}
+	}
+}
+
+func TestHammingDetectsEveryDoubleBit(t *testing.T) {
+	d := uint64(0xfeedface12345678)
+	// All pairs is 72*71/2 = 2556 cases; cheap enough to run exhaustively.
+	for i := uint(0); i < 72; i++ {
+		for j := i + 1; j < 72; j++ {
+			cw := HammingEncode(d)
+			cw.FlipBit(i)
+			cw.FlipBit(j)
+			if _, _, err := HammingDecode(cw); !errors.Is(err, ErrDoubleBit) {
+				t.Fatalf("bits (%d,%d): double error not detected (err=%v)", i, j, err)
+			}
+		}
+	}
+}
+
+func TestHammingFlipBitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var cw HammingCodeword
+	cw.FlipBit(72)
+}
+
+func TestHammingOverhead(t *testing.T) {
+	if HammingOverhead <= 0.11 || HammingOverhead >= 0.12 {
+		t.Fatalf("overhead = %v", HammingOverhead)
+	}
+}
+
+// Property: encode/decode is the identity for random words.
+func TestHammingRoundTripProperty(t *testing.T) {
+	f := func(d uint64) bool {
+		got, n, err := HammingDecode(HammingEncode(d))
+		return err == nil && n == 0 && got == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any single flipped bit is corrected back for random words.
+func TestHammingSingleBitProperty(t *testing.T) {
+	f := func(d uint64, bit uint8) bool {
+		cw := HammingEncode(d)
+		cw.FlipBit(uint(bit) % 72)
+		got, n, err := HammingDecode(cw)
+		return err == nil && n == 1 && got == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

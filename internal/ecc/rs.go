@@ -1,0 +1,213 @@
+package ecc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RS is a systematic Reed–Solomon code RS(n, k) over GF(2^8): k data bytes
+// are followed by n-k parity bytes, correcting up to (n-k)/2 byte errors per
+// codeword. n must be at most 255.
+type RS struct {
+	n, k int
+	gen  []byte // generator polynomial, highest degree first
+}
+
+// ErrUncorrectable reports more errors than the code can correct.
+var ErrUncorrectable = errors.New("ecc: uncorrectable codeword")
+
+// NewRS builds an RS(n, k) code. It returns an error unless
+// 0 < k < n <= 255 and n-k is even (so t = (n-k)/2 is whole).
+func NewRS(n, k int) (*RS, error) {
+	if n > 255 || k <= 0 || k >= n {
+		return nil, fmt.Errorf("ecc: invalid RS(%d,%d)", n, k)
+	}
+	if (n-k)%2 != 0 {
+		return nil, fmt.Errorf("ecc: RS(%d,%d) parity count must be even", n, k)
+	}
+	// Generator g(x) = prod_{i=0}^{n-k-1} (x - alpha^i).
+	gen := []byte{1}
+	for i := 0; i < n-k; i++ {
+		gen = polyMul(gen, []byte{1, gfPow(i)})
+	}
+	return &RS{n: n, k: k, gen: gen}, nil
+}
+
+// N returns the codeword length in symbols.
+func (r *RS) N() int { return r.n }
+
+// K returns the data length in symbols.
+func (r *RS) K() int { return r.k }
+
+// T returns the number of correctable symbol errors.
+func (r *RS) T() int { return (r.n - r.k) / 2 }
+
+// Overhead returns the fraction of the codeword that is parity.
+func (r *RS) Overhead() float64 { return float64(r.n-r.k) / float64(r.n) }
+
+// Encode appends n-k parity bytes to the k data bytes and returns the
+// codeword. data must be exactly k bytes.
+func (r *RS) Encode(data []byte) ([]byte, error) {
+	if len(data) != r.k {
+		return nil, fmt.Errorf("ecc: Encode wants %d bytes, got %d", r.k, len(data))
+	}
+	cw := make([]byte, r.n)
+	copy(cw, data)
+	// Systematic encoding: remainder of data(x)*x^(n-k) divided by g(x).
+	rem := make([]byte, r.n-r.k)
+	for _, d := range data {
+		factor := d ^ rem[0]
+		copy(rem, rem[1:])
+		rem[len(rem)-1] = 0
+		if factor != 0 {
+			for j := 1; j < len(r.gen); j++ {
+				rem[j-1] ^= gfMul(r.gen[j], factor)
+			}
+		}
+	}
+	copy(cw[r.k:], rem)
+	return cw, nil
+}
+
+// syndromes computes the 2t syndromes of a received codeword; allZero
+// reports whether the word is (apparently) clean.
+func (r *RS) syndromes(cw []byte) (syn []byte, allZero bool) {
+	nsyn := r.n - r.k
+	syn = make([]byte, nsyn)
+	allZero = true
+	for i := 0; i < nsyn; i++ {
+		syn[i] = polyEval(cw, gfPow(i))
+		if syn[i] != 0 {
+			allZero = false
+		}
+	}
+	return syn, allZero
+}
+
+// Decode corrects up to T() byte errors in place and returns the data bytes
+// along with the number of corrected symbols. It returns ErrUncorrectable if
+// the error count exceeds the code's capability.
+func (r *RS) Decode(cw []byte) (data []byte, corrected int, err error) {
+	if len(cw) != r.n {
+		return nil, 0, fmt.Errorf("ecc: Decode wants %d bytes, got %d", r.n, len(cw))
+	}
+	syn, clean := r.syndromes(cw)
+	if clean {
+		return cw[:r.k], 0, nil
+	}
+	// Berlekamp–Massey: find the error-locator polynomial sigma
+	// (lowest degree first here).
+	sigma := []byte{1}
+	prev := []byte{1}
+	var l, m = 0, 1
+	var b byte = 1
+	for i := 0; i < len(syn); i++ {
+		var d byte = syn[i]
+		for j := 1; j <= l; j++ {
+			if j < len(sigma) {
+				d ^= gfMul(sigma[j], syn[i-j])
+			}
+		}
+		if d == 0 {
+			m++
+			continue
+		}
+		if 2*l <= i {
+			tmp := make([]byte, len(sigma))
+			copy(tmp, sigma)
+			coef := gfDiv(d, b)
+			sigma = polyAddShift(sigma, prev, coef, m)
+			l = i + 1 - l
+			prev = tmp
+			b = d
+			m = 1
+		} else {
+			coef := gfDiv(d, b)
+			sigma = polyAddShift(sigma, prev, coef, m)
+			m++
+		}
+	}
+	numErrs := l
+	if numErrs > r.T() {
+		return nil, 0, ErrUncorrectable
+	}
+	// Chien search: roots of sigma give error locations. Position j in the
+	// codeword (0 = first byte transmitted) corresponds to alpha^(n-1-j).
+	var errPos []int
+	for j := 0; j < r.n; j++ {
+		xinv := gfPow(-(r.n - 1 - j))
+		var v byte
+		for deg := len(sigma) - 1; deg >= 0; deg-- {
+			v = gfMul(v, xinv) ^ sigma[deg]
+		}
+		if v == 0 {
+			errPos = append(errPos, j)
+		}
+	}
+	if len(errPos) != numErrs {
+		return nil, 0, ErrUncorrectable
+	}
+	// Forney: error magnitudes. Build the error-evaluator polynomial
+	// omega(x) = [S(x) * sigma(x)] mod x^(2t), with S lowest-degree-first.
+	omega := make([]byte, len(syn))
+	for i := range omega {
+		var v byte
+		for j := 0; j <= i && j < len(sigma); j++ {
+			v ^= gfMul(sigma[j], syn[i-j])
+		}
+		omega[i] = v
+	}
+	// sigma' (formal derivative): odd-degree coefficients only.
+	for _, pos := range errPos {
+		xinv := gfPow(-(r.n - 1 - pos)) // X_i^{-1}
+		// omega(X_i^{-1})
+		var om byte
+		for deg := len(omega) - 1; deg >= 0; deg-- {
+			om = gfMul(om, xinv) ^ omega[deg]
+		}
+		// sigma'(X_i^{-1}) = sum over odd i of sigma[i] * x^(i-1)
+		var sp byte
+		for d := 1; d < len(sigma); d += 2 {
+			term := sigma[d]
+			for p := 0; p < d-1; p++ {
+				term = gfMul(term, xinv)
+			}
+			sp ^= term
+		}
+		if sp == 0 {
+			return nil, 0, ErrUncorrectable
+		}
+		// With consecutive roots starting at alpha^0 (b=0), Forney picks up
+		// a factor X_i = alpha^(n-1-pos).
+		mag := gfMul(gfPow(r.n-1-pos), gfDiv(om, sp))
+		cw[pos] ^= mag
+		corrected++
+	}
+	// Verify the correction took.
+	if _, ok := r.syndromes(cw); !ok {
+		return nil, 0, ErrUncorrectable
+	}
+	return cw[:r.k], corrected, nil
+}
+
+// polyAddShift returns a + coef * b * x^shift where polynomials are
+// lowest-degree-first.
+func polyAddShift(a, b []byte, coef byte, shift int) []byte {
+	out := make([]byte, maxInt(len(a), len(b)+shift))
+	copy(out, a)
+	for i, c := range b {
+		out[i+shift] ^= gfMul(c, coef)
+	}
+	// Trim trailing zeros but keep at least degree 0.
+	for len(out) > 1 && out[len(out)-1] == 0 {
+		out = out[:len(out)-1]
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

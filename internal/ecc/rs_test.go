@@ -1,0 +1,194 @@
+package ecc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"mrm/internal/dist"
+)
+
+func mustRS(t *testing.T, n, k int) *RS {
+	t.Helper()
+	r, err := NewRS(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRSValidation(t *testing.T) {
+	for _, c := range []struct{ n, k int }{{256, 200}, {10, 0}, {10, 10}, {10, 11}, {10, 7}} {
+		if _, err := NewRS(c.n, c.k); err == nil {
+			t.Errorf("RS(%d,%d) should be rejected", c.n, c.k)
+		}
+	}
+	r := mustRS(t, 255, 223)
+	if r.N() != 255 || r.K() != 223 || r.T() != 16 {
+		t.Fatalf("RS(255,223) geometry wrong: n=%d k=%d t=%d", r.N(), r.K(), r.T())
+	}
+	if o := r.Overhead(); o < 0.125 || o > 0.126 {
+		t.Fatalf("overhead = %v", o)
+	}
+}
+
+func TestRSEncodeLengthCheck(t *testing.T) {
+	r := mustRS(t, 15, 11)
+	if _, err := r.Encode(make([]byte, 10)); err == nil {
+		t.Fatal("wrong-length data should error")
+	}
+	if _, _, err := r.Decode(make([]byte, 10)); err == nil {
+		t.Fatal("wrong-length codeword should error")
+	}
+}
+
+func TestRSCleanRoundTrip(t *testing.T) {
+	r := mustRS(t, 255, 223)
+	rng := dist.NewRNG(1)
+	data := make([]byte, 223)
+	for i := range data {
+		data[i] = byte(rng.Uint64())
+	}
+	cw, err := r.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := r.Decode(cw)
+	if err != nil || n != 0 {
+		t.Fatalf("clean decode: corrected=%d err=%v", n, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("clean decode corrupted data")
+	}
+}
+
+func TestRSCorrectsUpToT(t *testing.T) {
+	r := mustRS(t, 255, 223)
+	rng := dist.NewRNG(2)
+	for trial := 0; trial < 50; trial++ {
+		data := make([]byte, 223)
+		for i := range data {
+			data[i] = byte(rng.Uint64())
+		}
+		cw, err := r.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nerr := 1 + rng.Intn(r.T())
+		positions := rng.Perm(r.N())[:nerr]
+		for _, p := range positions {
+			cw[p] ^= byte(rng.Uint64()) | 1 // guaranteed nonzero flip
+		}
+		got, n, err := r.Decode(cw)
+		if err != nil {
+			t.Fatalf("trial %d (%d errors): %v", trial, nerr, err)
+		}
+		if n != nerr {
+			t.Fatalf("trial %d: corrected %d, injected %d", trial, n, nerr)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("trial %d: wrong data after correcting %d errors", trial, nerr)
+		}
+	}
+}
+
+func TestRSSmallCode(t *testing.T) {
+	// RS(15,11): t=2; exercise a different geometry than the big code.
+	r := mustRS(t, 15, 11)
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	cw, err := r.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw[0] ^= 0xff
+	cw[14] ^= 0x55
+	got, n, err := r.Decode(cw)
+	if err != nil || n != 2 || !bytes.Equal(got, data) {
+		t.Fatalf("got=%v corrected=%d err=%v", got, n, err)
+	}
+}
+
+func TestRSRejectsBeyondT(t *testing.T) {
+	r := mustRS(t, 63, 55) // t = 4
+	rng := dist.NewRNG(3)
+	rejected := 0
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		data := make([]byte, 55)
+		for i := range data {
+			data[i] = byte(rng.Uint64())
+		}
+		cw, _ := r.Encode(data)
+		// Inject t+2 errors: decoder must either flag uncorrectable or
+		// (rarely) miscorrect — it must never claim success with the
+		// original data unless it actually fixed it.
+		for _, p := range rng.Perm(r.N())[:r.T()+2] {
+			cw[p] ^= byte(rng.Uint64()) | 1
+		}
+		got, _, err := r.Decode(cw)
+		if errors.Is(err, ErrUncorrectable) {
+			rejected++
+			continue
+		}
+		if err == nil && bytes.Equal(got, data) {
+			t.Fatalf("trial %d: decoder claimed to fix more than t errors", trial)
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("decoder never reported uncorrectable for t+2 errors")
+	}
+}
+
+func TestGF256Basics(t *testing.T) {
+	// alpha^255 = 1.
+	if gfPow(255) != 1 || gfPow(0) != 1 {
+		t.Fatal("gfPow identity wrong")
+	}
+	// Multiplicative inverse round trip for all nonzero elements.
+	for a := 1; a < 256; a++ {
+		if gfMul(byte(a), gfInv(byte(a))) != 1 {
+			t.Fatalf("inv(%d) wrong", a)
+		}
+		if gfDiv(byte(a), byte(a)) != 1 {
+			t.Fatalf("div(%d,%d) != 1", a, a)
+		}
+	}
+	if gfMul(0, 5) != 0 || gfMul(5, 0) != 0 || gfDiv(0, 7) != 0 {
+		t.Fatal("zero handling wrong")
+	}
+}
+
+func TestGFDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	gfDiv(1, 0)
+}
+
+func TestGFInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	gfInv(0)
+}
+
+func TestGFDistributive(t *testing.T) {
+	rng := dist.NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		a, b, c := byte(rng.Uint64()), byte(rng.Uint64()), byte(rng.Uint64())
+		if gfMul(a, b^c) != gfMul(a, b)^gfMul(a, c) {
+			t.Fatalf("distributivity fails: a=%d b=%d c=%d", a, b, c)
+		}
+	}
+}
+
+func TestPolyEval(t *testing.T) {
+	// p(x) = x^2 + 1 at x=2 (GF arithmetic): 2*2 ^ 1 = 4^1 = 5.
+	if got := polyEval([]byte{1, 0, 1}, 2); got != 5 {
+		t.Fatalf("polyEval = %d, want 5", got)
+	}
+}

@@ -1,0 +1,189 @@
+// Package endurance reproduces the paper's Figure 1: the endurance (write
+// cycles per cell over a five-year service life) that foundation-model
+// inference demands of its memory — for model-weight updates and KV-cache
+// churn — compared against the endurance of shipping memory/storage products
+// and the demonstrated potential of their underlying technologies.
+package endurance
+
+import (
+	"fmt"
+	"time"
+
+	"mrm/internal/cellphys"
+	"mrm/internal/llm"
+	"mrm/internal/memdev"
+	"mrm/internal/report"
+	"mrm/internal/units"
+)
+
+// Requirement is one workload bar in Figure 1.
+type Requirement struct {
+	Name          string
+	WritesPerCell float64
+}
+
+// WeightUpdateRequirement computes writes/cell for bulk weight overwrites at
+// the given update period over the service life. Every update rewrites every
+// weight cell once.
+func WeightUpdateRequirement(update, life time.Duration) Requirement {
+	name := fmt.Sprintf("weights (update %s)", shortDur(update))
+	if update <= 0 {
+		panic("endurance: non-positive update period")
+	}
+	return Requirement{Name: name, WritesPerCell: life.Seconds() / update.Seconds()}
+}
+
+// KVRequirement computes writes/cell for KV-cache churn: the sustained KV
+// append rate (prefill + decode tokens/s times bytes/token) spread over the
+// KV region of capacity kvBytes, accumulated over the service life. The
+// arithmetic follows §3's description using Splitwise throughputs and
+// context lengths for Llama2-70B.
+func KVRequirement(w llm.Workload, model llm.ModelConfig, kvBytes units.Bytes, life time.Duration) Requirement {
+	if kvBytes == 0 {
+		panic("endurance: zero KV capacity")
+	}
+	tokensPerSec := w.PrefillTokensPerSec + w.DecodeTokensPerSec
+	bytesPerSec := tokensPerSec * float64(model.KVBytesPerToken())
+	writesPerCellPerSec := bytesPerSec / float64(kvBytes)
+	return Requirement{
+		Name:          fmt.Sprintf("KV cache (%s, %s)", model.Name, w.Name),
+		WritesPerCell: writesPerCellPerSec * life.Seconds(),
+	}
+}
+
+// TechEndurance is one technology bar-pair in Figure 1.
+type TechEndurance struct {
+	Name      string
+	Product   float64 // endurance of the shipping device
+	Potential float64 // endurance demonstrated for the technology
+}
+
+// Technologies returns the Figure 1 comparison set from the spec database.
+func Technologies() []TechEndurance {
+	pick := func(s memdev.Spec) TechEndurance {
+		return TechEndurance{Name: s.Name, Product: s.Endurance, Potential: s.EndurancePotential}
+	}
+	mrm := memdev.MRMSpec(cellphys.RRAM, 24*time.Hour)
+	return []TechEndurance{
+		pick(memdev.HBM3E),
+		pick(memdev.NANDSLC),
+		pick(memdev.NANDTLC),
+		pick(memdev.OptanePCM),
+		pick(memdev.WeebitRRAM),
+		pick(memdev.EverspinSTT),
+		{Name: mrm.Name, Product: mrm.Endurance, Potential: mrm.EndurancePotential},
+	}
+}
+
+// Figure1 is the full dataset behind the figure.
+type Figure1 struct {
+	Requirements []Requirement
+	Technologies []TechEndurance
+}
+
+// Compute builds the Figure 1 dataset with the paper's parameterization:
+// hourly and once-per-second weight updates, and KV churn for Llama2-70B
+// under the Splitwise workloads, over a 5-year life. kvBytes is the KV
+// region capacity per device (the paper's "few tens of GBs" working set).
+func Compute(kvBytes units.Bytes) Figure1 {
+	life := llm.ServiceLife
+	return Figure1{
+		Requirements: []Requirement{
+			WeightUpdateRequirement(llm.WeightUpdateHourly, life),
+			WeightUpdateRequirement(llm.WeightUpdatePerSecond, life),
+			KVRequirement(llm.SplitwiseConv, llm.Llama2_70B, kvBytes, life),
+			KVRequirement(llm.SplitwiseCode, llm.Llama2_70B, kvBytes, life),
+		},
+		Technologies: Technologies(),
+	}
+}
+
+// Verdict classifies one technology against one requirement.
+type Verdict int
+
+// Verdicts.
+const (
+	Insufficient    Verdict = iota // neither product nor technology meets it
+	PotentialOnly                  // technology could, product does not
+	Meets                          // shipping product meets it
+	Overprovisioned                // product exceeds it by > 10^3
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Insufficient:
+		return "insufficient"
+	case PotentialOnly:
+		return "potential-only"
+	case Meets:
+		return "meets"
+	case Overprovisioned:
+		return "overprovisioned"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Classify compares a technology against a requirement.
+func Classify(t TechEndurance, r Requirement) Verdict {
+	switch {
+	case t.Product >= r.WritesPerCell*1e3:
+		return Overprovisioned
+	case t.Product >= r.WritesPerCell:
+		return Meets
+	case t.Potential >= r.WritesPerCell:
+		return PotentialOnly
+	default:
+		return Insufficient
+	}
+}
+
+// Chart renders the log-scale bar chart: requirement bars ('#'),
+// product endurance ('='), technology potential ('+').
+func (f Figure1) Chart() string {
+	var b report.BarChart
+	b.Title = "Figure 1: endurance requirements vs memory technologies (writes/cell, 5y, log scale)"
+	b.Log10 = true
+	b.Width = 50
+	for _, r := range f.Requirements {
+		b.AddMark("req: "+r.Name, r.WritesPerCell, '#')
+	}
+	for _, t := range f.Technologies {
+		b.AddMark(t.Name+" product", t.Product, '=')
+		if t.Potential > t.Product {
+			b.AddMark(t.Name+" potential", t.Potential, '+')
+		}
+	}
+	return b.String()
+}
+
+// Table renders the verdict matrix: one row per technology, one column per
+// requirement.
+func (f Figure1) Table() *report.Table {
+	headers := []string{"technology", "product", "potential"}
+	for _, r := range f.Requirements {
+		headers = append(headers, r.Name)
+	}
+	t := report.NewTable("Figure 1 verdicts", headers...)
+	for _, tech := range f.Technologies {
+		row := []interface{}{tech.Name,
+			fmt.Sprintf("%.1e", tech.Product), fmt.Sprintf("%.1e", tech.Potential)}
+		for _, r := range f.Requirements {
+			row = append(row, Classify(tech, r).String())
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+func shortDur(d time.Duration) string {
+	switch {
+	case d >= time.Hour:
+		return fmt.Sprintf("%.0fh", d.Hours())
+	case d >= time.Minute:
+		return fmt.Sprintf("%.0fm", d.Minutes())
+	default:
+		return d.String()
+	}
+}

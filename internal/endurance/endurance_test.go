@@ -1,0 +1,139 @@
+package endurance
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"mrm/internal/llm"
+	"mrm/internal/units"
+)
+
+func TestWeightUpdateRequirement(t *testing.T) {
+	// Hourly updates over 5 years: 5*365*24 = 43800 writes.
+	r := WeightUpdateRequirement(time.Hour, llm.ServiceLife)
+	if math.Abs(r.WritesPerCell-43800) > 1 {
+		t.Fatalf("hourly = %v, want 43800", r.WritesPerCell)
+	}
+	// Per-second: ~1.58e8.
+	r = WeightUpdateRequirement(time.Second, llm.ServiceLife)
+	if r.WritesPerCell < 1.5e8 || r.WritesPerCell > 1.6e8 {
+		t.Fatalf("per-second = %g, want ~1.58e8", r.WritesPerCell)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero period should panic")
+		}
+	}()
+	WeightUpdateRequirement(0, llm.ServiceLife)
+}
+
+func TestKVRequirementMagnitude(t *testing.T) {
+	// The paper's Figure 1 places KV churn in the 1e6–1e8 band: well above
+	// SCM product endurance (1e5–1e6), well below HBM (1e15+).
+	r := KVRequirement(llm.SplitwiseConv, llm.Llama2_70B, 48*units.GiB, llm.ServiceLife)
+	if r.WritesPerCell < 1e6 || r.WritesPerCell > 1e9 {
+		t.Fatalf("KV requirement = %g, want 1e6..1e9", r.WritesPerCell)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity should panic")
+		}
+	}()
+	KVRequirement(llm.SplitwiseConv, llm.Llama2_70B, 0, llm.ServiceLife)
+}
+
+func TestKVRequirementScalesInverselyWithCapacity(t *testing.T) {
+	small := KVRequirement(llm.SplitwiseConv, llm.Llama2_70B, 16*units.GiB, llm.ServiceLife)
+	large := KVRequirement(llm.SplitwiseConv, llm.Llama2_70B, 64*units.GiB, llm.ServiceLife)
+	ratio := small.WritesPerCell / large.WritesPerCell
+	if math.Abs(ratio-4) > 0.01 {
+		t.Fatalf("capacity scaling ratio = %v, want 4", ratio)
+	}
+}
+
+func TestComputeFigure1Findings(t *testing.T) {
+	f := Compute(48 * units.GiB)
+	if len(f.Requirements) != 4 || len(f.Technologies) < 6 {
+		t.Fatalf("dataset shape: %d reqs, %d techs", len(f.Requirements), len(f.Technologies))
+	}
+	byName := map[string]TechEndurance{}
+	for _, tech := range f.Technologies {
+		byName[tech.Name] = tech
+	}
+	kv := f.Requirements[2] // conv KV churn
+
+	// Paper finding 1: HBM is vastly overprovisioned on endurance.
+	if v := Classify(byName["HBM3E"], kv); v != Overprovisioned {
+		t.Errorf("HBM vs KV churn = %v, want overprovisioned", v)
+	}
+	// Paper finding 2: existing SCM products don't meet the KV requirement,
+	// but the underlying technologies do.
+	if v := Classify(byName["Optane-PCM"], kv); v == Meets || v == Overprovisioned {
+		t.Errorf("Optane product should not meet KV churn, got %v", v)
+	}
+	if v := Classify(byName["ReRAM(product)"], kv); v != PotentialOnly && v != Insufficient {
+		t.Errorf("ReRAM product vs KV churn = %v", v)
+	}
+	if byName["ReRAM(product)"].Potential < kv.WritesPerCell {
+		t.Error("RRAM technology potential should cover KV churn")
+	}
+	// Flash cannot: SLC endurance 1e5 < 1e6+ requirement.
+	if v := Classify(byName["NAND-SLC"], kv); v == Meets || v == Overprovisioned {
+		t.Errorf("SLC flash should fail the KV requirement, got %v", v)
+	}
+	// The MRM design point meets the KV requirement as a product.
+	var mrm TechEndurance
+	for name, tech := range byName {
+		if strings.HasPrefix(name, "MRM-") {
+			mrm = tech
+		}
+	}
+	if mrm.Name == "" {
+		t.Fatal("no MRM entry in figure")
+	}
+	if v := Classify(mrm, kv); v != Meets && v != Overprovisioned {
+		t.Errorf("MRM vs KV churn = %v, want meets", v)
+	}
+	// Everything meets the hourly weight-update requirement except nothing
+	// fancy: even flash SLC does (4.4e4 < 1e5).
+	hourly := f.Requirements[0]
+	if v := Classify(byName["NAND-SLC"], hourly); v != Meets && v != Overprovisioned {
+		t.Errorf("SLC vs hourly weights = %v", v)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	for v, want := range map[Verdict]string{
+		Insufficient: "insufficient", PotentialOnly: "potential-only",
+		Meets: "meets", Overprovisioned: "overprovisioned",
+	} {
+		if v.String() != want {
+			t.Errorf("%d -> %q", v, v.String())
+		}
+	}
+	if !strings.Contains(Verdict(9).String(), "9") {
+		t.Error("unknown verdict should include number")
+	}
+}
+
+func TestChartAndTableRender(t *testing.T) {
+	f := Compute(48 * units.GiB)
+	chart := f.Chart()
+	for _, want := range []string{"Figure 1", "HBM3E", "req: weights", "KV cache"} {
+		if !strings.Contains(chart, want) {
+			t.Errorf("chart missing %q", want)
+		}
+	}
+	tab := f.Table()
+	out := tab.String()
+	for _, want := range []string{"technology", "overprovisioned", "HBM3E"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if tab.NumRows() != len(f.Technologies) {
+		t.Errorf("table rows = %d", tab.NumRows())
+	}
+}

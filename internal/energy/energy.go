@@ -1,0 +1,123 @@
+// Package energy accounts cluster-level energy and cost: per-component
+// energy ledgers, device TCO (capex amortization + power), and the
+// figure-of-merit the paper optimizes — tokens per joule and tokens per
+// dollar.
+package energy
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mrm/internal/memdev"
+	"mrm/internal/units"
+)
+
+// Account is a named-component energy ledger.
+type Account struct {
+	components map[string]units.Energy
+}
+
+// NewAccount returns an empty ledger.
+func NewAccount() *Account {
+	return &Account{components: make(map[string]units.Energy)}
+}
+
+// Add accrues energy under a component name. Negative energy panics.
+func (a *Account) Add(component string, e units.Energy) {
+	if e < 0 {
+		panic(fmt.Sprintf("energy: negative energy %v for %s", e, component))
+	}
+	a.components[component] += e
+}
+
+// Component returns one component's total.
+func (a *Account) Component(name string) units.Energy { return a.components[name] }
+
+// Total sums all components.
+func (a *Account) Total() units.Energy {
+	var t units.Energy
+	for _, e := range a.components {
+		t += e
+	}
+	return t
+}
+
+// Components returns names in sorted order.
+func (a *Account) Components() []string {
+	out := make([]string, 0, len(a.components))
+	for n := range a.components {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TCOModel prices hardware and power.
+type TCOModel struct {
+	// PowerCostPerKWh is the electricity price (datacenter all-in, including
+	// cooling PUE), default $0.12/kWh.
+	PowerCostPerKWh units.Cost
+	// AmortizationYears spreads capex, default 5 (the paper's service life).
+	AmortizationYears float64
+}
+
+// DefaultTCO returns the standard pricing.
+func DefaultTCO() TCOModel {
+	return TCOModel{PowerCostPerKWh: 0.12, AmortizationYears: 5}
+}
+
+// EnergyCost prices an amount of energy.
+func (m TCOModel) EnergyCost(e units.Energy) units.Cost {
+	kwh := float64(e) / 3.6e6
+	return units.Cost(kwh * float64(m.PowerCostPerKWh))
+}
+
+// Capex returns the purchase cost of a device.
+func (m TCOModel) Capex(spec memdev.Spec) units.Cost {
+	return units.Cost(spec.Capacity.GB() * float64(spec.CostPerGB))
+}
+
+// DeviceCost returns the cost of owning and running one device for the given
+// duration: amortized capex plus the device's energy over the period.
+func (m TCOModel) DeviceCost(spec memdev.Spec, avgPower units.Power, d time.Duration) units.Cost {
+	amortized := m.Capex(spec) * units.Cost(d.Hours()/(m.AmortizationYears*365*24))
+	return amortized + m.EnergyCost(avgPower.Over(d))
+}
+
+// CostPerTBPerMonth is the paper's storage-style TCO metric: owning one TB
+// of this memory for a month, idle.
+func (m TCOModel) CostPerTBPerMonth(spec memdev.Spec) units.Cost {
+	month := 30 * 24 * time.Hour
+	perDevice := m.DeviceCost(spec, spec.IdlePower(), month)
+	tbs := float64(spec.Capacity) / 1e12
+	return units.Cost(float64(perDevice) / tbs)
+}
+
+// Efficiency aggregates serving output against its inputs.
+type Efficiency struct {
+	Tokens float64
+	Energy units.Energy
+	Cost   units.Cost
+}
+
+// TokensPerJoule returns tokens generated per joule (0 when no energy).
+func (e Efficiency) TokensPerJoule() float64 {
+	if e.Energy <= 0 {
+		return 0
+	}
+	return e.Tokens / float64(e.Energy)
+}
+
+// TokensPerDollar returns tokens generated per dollar (0 when no cost).
+func (e Efficiency) TokensPerDollar() float64 {
+	if e.Cost <= 0 {
+		return 0
+	}
+	return e.Tokens / float64(e.Cost)
+}
+
+// Add merges another efficiency sample.
+func (e Efficiency) Add(o Efficiency) Efficiency {
+	return Efficiency{Tokens: e.Tokens + o.Tokens, Energy: e.Energy + o.Energy, Cost: e.Cost + o.Cost}
+}

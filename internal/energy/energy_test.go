@@ -1,0 +1,106 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mrm/internal/cellphys"
+	"mrm/internal/memdev"
+	"mrm/internal/units"
+)
+
+func TestAccount(t *testing.T) {
+	a := NewAccount()
+	a.Add("read", 2)
+	a.Add("read", 3)
+	a.Add("refresh", 1)
+	if a.Component("read") != 5 {
+		t.Errorf("read = %v", a.Component("read"))
+	}
+	if a.Total() != 6 {
+		t.Errorf("total = %v", a.Total())
+	}
+	got := a.Components()
+	if len(got) != 2 || got[0] != "read" || got[1] != "refresh" {
+		t.Errorf("components = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative energy should panic")
+		}
+	}()
+	a.Add("x", -1)
+}
+
+func TestEnergyCost(t *testing.T) {
+	m := DefaultTCO()
+	// 1 kWh = 3.6e6 J at $0.12.
+	got := m.EnergyCost(3.6e6)
+	if math.Abs(float64(got)-0.12) > 1e-9 {
+		t.Fatalf("1 kWh costs %v, want $0.12", got)
+	}
+}
+
+func TestCapex(t *testing.T) {
+	m := DefaultTCO()
+	got := m.Capex(memdev.HBM3E)
+	want := memdev.HBM3E.Capacity.GB() * 15
+	if math.Abs(float64(got)-want) > 1e-6 {
+		t.Fatalf("capex = %v, want %v", got, want)
+	}
+}
+
+func TestDeviceCostGrowsWithTime(t *testing.T) {
+	m := DefaultTCO()
+	c1 := m.DeviceCost(memdev.HBM3E, 5, 24*time.Hour)
+	c2 := m.DeviceCost(memdev.HBM3E, 5, 48*time.Hour)
+	if c2 <= c1 {
+		t.Fatal("cost should grow with time")
+	}
+}
+
+// TCO/TB: HBM should be far more expensive than LPDDR and NAND — the paper's
+// "HBM is underperforming on TCO/TB" claim.
+func TestCostPerTBOrdering(t *testing.T) {
+	m := DefaultTCO()
+	hbm := m.CostPerTBPerMonth(memdev.HBM3E)
+	lpddr := m.CostPerTBPerMonth(memdev.LPDDR5X)
+	nand := m.CostPerTBPerMonth(memdev.NANDTLC)
+	mrm := m.CostPerTBPerMonth(memdev.MRMSpec(cellphys.RRAM, 24*time.Hour))
+	if !(hbm > lpddr && lpddr > nand) {
+		t.Errorf("TCO ordering wrong: hbm=%v lpddr=%v nand=%v", hbm, lpddr, nand)
+	}
+	if mrm >= hbm {
+		t.Errorf("MRM TCO/TB %v should beat HBM %v", mrm, hbm)
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	e := Efficiency{Tokens: 100, Energy: 50, Cost: 2}
+	if e.TokensPerJoule() != 2 {
+		t.Errorf("tokens/J = %v", e.TokensPerJoule())
+	}
+	if e.TokensPerDollar() != 50 {
+		t.Errorf("tokens/$ = %v", e.TokensPerDollar())
+	}
+	sum := e.Add(Efficiency{Tokens: 100, Energy: 50, Cost: 2})
+	if sum.Tokens != 200 || sum.Energy != 100 || sum.Cost != 4 {
+		t.Errorf("Add = %+v", sum)
+	}
+	zero := Efficiency{}
+	if zero.TokensPerJoule() != 0 || zero.TokensPerDollar() != 0 {
+		t.Error("zero efficiency should not divide by zero")
+	}
+}
+
+func TestIdleEnergyCostHBMvsMRM(t *testing.T) {
+	m := DefaultTCO()
+	d := 30 * 24 * time.Hour
+	hbmIdle := m.EnergyCost(memdev.HBM3E.IdlePower().Over(d))
+	mrmIdle := m.EnergyCost(memdev.MRMSpec(cellphys.RRAM, 24*time.Hour).IdlePower().Over(d))
+	if mrmIdle >= hbmIdle {
+		t.Errorf("MRM idle month %v should undercut HBM %v", mrmIdle, hbmIdle)
+	}
+	_ = units.GiB
+}

@@ -1,0 +1,363 @@
+// Package ftl implements a page-mapped flash translation layer: the
+// device-resident indirection machinery (out-of-place writes, garbage
+// collection, wear leveling) that non-volatile block devices need because
+// their cell retention is mismatched to data lifetime. In the paper's
+// framing this is the housekeeping MRM removes from the device by matching
+// retention to lifetime and lifting policy into the software control plane;
+// the FTL here is the baseline for experiment E10.
+package ftl
+
+import (
+	"fmt"
+)
+
+// Config sizes the FTL.
+type Config struct {
+	PagesPerBlock int
+	NumBlocks     int
+	// OverProvision is the fraction of physical capacity hidden from the
+	// host (typical SSDs: 0.07–0.28). More OP → less GC write amplification.
+	OverProvision float64
+	// GCFreeThreshold triggers GC when free blocks drop to this count.
+	GCFreeThreshold int
+	// StaticWearLevelEvery triggers static wear leveling after this many
+	// host writes (0 disables): the coldest block is migrated into the
+	// most-worn free block to spread erases.
+	StaticWearLevelEvery int
+}
+
+// DefaultConfig returns a small but representative geometry.
+func DefaultConfig() Config {
+	return Config{
+		PagesPerBlock:        64,
+		NumBlocks:            256,
+		OverProvision:        0.125,
+		GCFreeThreshold:      4,
+		StaticWearLevelEvery: 0,
+	}
+}
+
+const (
+	pageFree  = -1 // physical page holds nothing
+	pageStale = -2 // physical page holds invalidated data
+)
+
+// FTL is a page-mapped translation layer. Not safe for concurrent use.
+type FTL struct {
+	cfg       Config
+	l2p       []int // logical page -> physical page (or pageFree)
+	p2l       []int // physical page -> logical page, pageFree, or pageStale
+	valid     []int // per block: count of valid pages
+	erases    []int // per block: erase count
+	freeBlock []int // stack of fully erased block ids
+	openBlock int   // block currently receiving writes
+	nextPage  int   // next free page index within openBlock
+
+	hostWrites   int64
+	mediaWrites  int64 // includes GC relocations
+	eraseCount   int64
+	gcRuns       int64
+	wlMigrations int64
+}
+
+// New builds an FTL. The logical space is physical capacity minus
+// over-provisioning, rounded down to whole blocks.
+func New(cfg Config) (*FTL, error) {
+	if cfg.PagesPerBlock <= 0 || cfg.NumBlocks <= 1 {
+		return nil, fmt.Errorf("ftl: need >=2 blocks and positive pages/block")
+	}
+	if cfg.OverProvision < 0 || cfg.OverProvision >= 1 {
+		return nil, fmt.Errorf("ftl: over-provision %v outside [0,1)", cfg.OverProvision)
+	}
+	if cfg.GCFreeThreshold < 1 {
+		return nil, fmt.Errorf("ftl: GC threshold must be >= 1")
+	}
+	physPages := cfg.PagesPerBlock * cfg.NumBlocks
+	logicalBlocks := int(float64(cfg.NumBlocks) * (1 - cfg.OverProvision))
+	if logicalBlocks < 1 {
+		logicalBlocks = 1
+	}
+	if logicalBlocks >= cfg.NumBlocks {
+		logicalBlocks = cfg.NumBlocks - 1 // at least one spare block for GC
+	}
+	logicalPages := logicalBlocks * cfg.PagesPerBlock
+	f := &FTL{
+		cfg:    cfg,
+		l2p:    make([]int, logicalPages),
+		p2l:    make([]int, physPages),
+		valid:  make([]int, cfg.NumBlocks),
+		erases: make([]int, cfg.NumBlocks),
+	}
+	for i := range f.l2p {
+		f.l2p[i] = pageFree
+	}
+	for i := range f.p2l {
+		f.p2l[i] = pageFree
+	}
+	for b := cfg.NumBlocks - 1; b >= 1; b-- {
+		f.freeBlock = append(f.freeBlock, b)
+	}
+	f.openBlock = 0
+	f.nextPage = 0
+	return f, nil
+}
+
+// LogicalPages returns the host-visible capacity in pages.
+func (f *FTL) LogicalPages() int { return len(f.l2p) }
+
+// Write stores a logical page (contents are not modeled, only placement).
+func (f *FTL) Write(lpn int) error {
+	if lpn < 0 || lpn >= len(f.l2p) {
+		return fmt.Errorf("ftl: logical page %d out of range", lpn)
+	}
+	f.hostWrites++
+	if err := f.program(lpn); err != nil {
+		return err
+	}
+	if f.cfg.StaticWearLevelEvery > 0 && f.hostWrites%int64(f.cfg.StaticWearLevelEvery) == 0 {
+		f.staticWearLevel()
+	}
+	return nil
+}
+
+// Read resolves a logical page; it reports whether the page has been written.
+func (f *FTL) Read(lpn int) (physical int, ok bool, err error) {
+	if lpn < 0 || lpn >= len(f.l2p) {
+		return 0, false, fmt.Errorf("ftl: logical page %d out of range", lpn)
+	}
+	p := f.l2p[lpn]
+	if p == pageFree {
+		return 0, false, nil
+	}
+	return p, true, nil
+}
+
+// Trim invalidates a logical page (the host declares it dead), freeing its
+// physical page for GC without relocation.
+func (f *FTL) Trim(lpn int) error {
+	if lpn < 0 || lpn >= len(f.l2p) {
+		return fmt.Errorf("ftl: logical page %d out of range", lpn)
+	}
+	if old := f.l2p[lpn]; old != pageFree {
+		f.p2l[old] = pageStale
+		f.valid[old/f.cfg.PagesPerBlock]--
+		f.l2p[lpn] = pageFree
+	}
+	return nil
+}
+
+// program writes lpn out-of-place into the open block.
+func (f *FTL) program(lpn int) error {
+	if f.nextPage == f.cfg.PagesPerBlock {
+		if err := f.rotateOpenBlock(); err != nil {
+			return err
+		}
+	}
+	// Invalidate the previous location.
+	if old := f.l2p[lpn]; old != pageFree {
+		f.p2l[old] = pageStale
+		f.valid[old/f.cfg.PagesPerBlock]--
+	}
+	ppn := f.openBlock*f.cfg.PagesPerBlock + f.nextPage
+	f.nextPage++
+	f.l2p[lpn] = ppn
+	f.p2l[ppn] = lpn
+	f.valid[f.openBlock]++
+	f.mediaWrites++
+	return nil
+}
+
+// rotateOpenBlock takes a fresh block from the free list, running GC first
+// if the list is low.
+func (f *FTL) rotateOpenBlock() error {
+	// Collect until the free list has headroom: one pass can be net-zero
+	// (the victim's valid pages consume the block it frees), but as long as
+	// stale pages exist in closed blocks, greedy victims make progress.
+	for attempts := 0; len(f.freeBlock) <= f.cfg.GCFreeThreshold; attempts++ {
+		if attempts > 2*f.cfg.NumBlocks {
+			return fmt.Errorf("ftl: GC cannot reclaim space (no stale pages)")
+		}
+		if err := f.collect(); err != nil {
+			return err
+		}
+	}
+	if len(f.freeBlock) == 0 {
+		return fmt.Errorf("ftl: out of free blocks (logical space overcommitted)")
+	}
+	f.openBlock = f.freeBlock[len(f.freeBlock)-1]
+	f.freeBlock = f.freeBlock[:len(f.freeBlock)-1]
+	f.nextPage = 0
+	return nil
+}
+
+// collect performs greedy GC: pick the closed block with the fewest valid
+// pages, relocate them, erase it.
+func (f *FTL) collect() error {
+	f.gcRuns++
+	victim := -1
+	best := f.cfg.PagesPerBlock + 1
+	inFree := make(map[int]bool, len(f.freeBlock))
+	for _, b := range f.freeBlock {
+		inFree[b] = true
+	}
+	for b := 0; b < f.cfg.NumBlocks; b++ {
+		if b == f.openBlock || inFree[b] {
+			continue
+		}
+		if f.valid[b] < best {
+			best, victim = f.valid[b], b
+		}
+	}
+	if victim < 0 {
+		return fmt.Errorf("ftl: no GC victim available")
+	}
+	// Relocate valid pages into the open block (recursing into rotate if it
+	// fills; the free threshold guarantees a spare).
+	start := victim * f.cfg.PagesPerBlock
+	for p := start; p < start+f.cfg.PagesPerBlock; p++ {
+		lpn := f.p2l[p]
+		if lpn >= 0 {
+			if f.nextPage == f.cfg.PagesPerBlock {
+				if len(f.freeBlock) == 0 {
+					return fmt.Errorf("ftl: wedged during GC")
+				}
+				f.openBlock = f.freeBlock[len(f.freeBlock)-1]
+				f.freeBlock = f.freeBlock[:len(f.freeBlock)-1]
+				f.nextPage = 0
+			}
+			ppn := f.openBlock*f.cfg.PagesPerBlock + f.nextPage
+			f.nextPage++
+			f.p2l[p] = pageStale
+			f.valid[victim]--
+			f.l2p[lpn] = ppn
+			f.p2l[ppn] = lpn
+			f.valid[f.openBlock]++
+			f.mediaWrites++
+		}
+	}
+	f.eraseBlock(victim)
+	return nil
+}
+
+func (f *FTL) eraseBlock(b int) {
+	start := b * f.cfg.PagesPerBlock
+	for p := start; p < start+f.cfg.PagesPerBlock; p++ {
+		f.p2l[p] = pageFree
+	}
+	f.valid[b] = 0
+	f.erases[b]++
+	f.eraseCount++
+	f.freeBlock = append(f.freeBlock, b)
+}
+
+// staticWearLevel migrates the coldest closed block (fewest erases) into a
+// free block so its low-wear cells rejoin circulation.
+func (f *FTL) staticWearLevel() {
+	inFree := make(map[int]bool, len(f.freeBlock))
+	for _, b := range f.freeBlock {
+		inFree[b] = true
+	}
+	cold := -1
+	for b := 0; b < f.cfg.NumBlocks; b++ {
+		if b == f.openBlock || inFree[b] || f.valid[b] == 0 {
+			continue
+		}
+		if cold < 0 || f.erases[b] < f.erases[cold] {
+			cold = b
+		}
+	}
+	if cold < 0 {
+		return
+	}
+	start := cold * f.cfg.PagesPerBlock
+	for p := start; p < start+f.cfg.PagesPerBlock; p++ {
+		lpn := f.p2l[p]
+		if lpn >= 0 {
+			if f.nextPage == f.cfg.PagesPerBlock {
+				if len(f.freeBlock) <= 1 {
+					return // don't deadlock the GC reserve
+				}
+				f.openBlock = f.freeBlock[len(f.freeBlock)-1]
+				f.freeBlock = f.freeBlock[:len(f.freeBlock)-1]
+				f.nextPage = 0
+			}
+			ppn := f.openBlock*f.cfg.PagesPerBlock + f.nextPage
+			f.nextPage++
+			f.p2l[p] = pageStale
+			f.valid[cold]--
+			f.l2p[lpn] = ppn
+			f.p2l[ppn] = lpn
+			f.valid[f.openBlock]++
+			f.mediaWrites++
+			f.wlMigrations++
+		}
+	}
+	f.eraseBlock(cold)
+}
+
+// Stats summarizes FTL behaviour.
+type Stats struct {
+	HostWrites   int64
+	MediaWrites  int64
+	Erases       int64
+	GCRuns       int64
+	WLMigrations int64
+	// WriteAmplification = MediaWrites / HostWrites (>= 1).
+	WriteAmplification float64
+	// MaxErase / MeanErase measure wear spread.
+	MaxErase  int
+	MeanErase float64
+}
+
+// Stats returns current statistics.
+func (f *FTL) Stats() Stats {
+	s := Stats{
+		HostWrites:   f.hostWrites,
+		MediaWrites:  f.mediaWrites,
+		Erases:       f.eraseCount,
+		GCRuns:       f.gcRuns,
+		WLMigrations: f.wlMigrations,
+	}
+	if f.hostWrites > 0 {
+		s.WriteAmplification = float64(f.mediaWrites) / float64(f.hostWrites)
+	}
+	sum := 0
+	for _, e := range f.erases {
+		sum += e
+		if e > s.MaxErase {
+			s.MaxErase = e
+		}
+	}
+	s.MeanErase = float64(sum) / float64(len(f.erases))
+	return s
+}
+
+// CheckInvariants verifies internal consistency; tests call it after
+// workloads. It returns the first violation found.
+func (f *FTL) CheckInvariants() error {
+	// Every mapped logical page must map back.
+	for lpn, ppn := range f.l2p {
+		if ppn == pageFree {
+			continue
+		}
+		if ppn < 0 || ppn >= len(f.p2l) {
+			return fmt.Errorf("ftl: lpn %d maps to bad ppn %d", lpn, ppn)
+		}
+		if f.p2l[ppn] != lpn {
+			return fmt.Errorf("ftl: lpn %d -> ppn %d -> lpn %d", lpn, ppn, f.p2l[ppn])
+		}
+	}
+	// Valid counts must match the maps.
+	count := make([]int, f.cfg.NumBlocks)
+	for ppn, lpn := range f.p2l {
+		if lpn >= 0 {
+			count[ppn/f.cfg.PagesPerBlock]++
+		}
+	}
+	for b, c := range count {
+		if f.valid[b] != c {
+			return fmt.Errorf("ftl: block %d valid=%d, actual %d", b, f.valid[b], c)
+		}
+	}
+	return nil
+}

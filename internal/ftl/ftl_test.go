@@ -1,0 +1,251 @@
+package ftl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mrm/internal/dist"
+)
+
+func newFTL(t *testing.T, cfg Config) *FTL {
+	t.Helper()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{PagesPerBlock: 0, NumBlocks: 10, OverProvision: 0.1, GCFreeThreshold: 2},
+		{PagesPerBlock: 8, NumBlocks: 1, OverProvision: 0.1, GCFreeThreshold: 2},
+		{PagesPerBlock: 8, NumBlocks: 10, OverProvision: 1.0, GCFreeThreshold: 2},
+		{PagesPerBlock: 8, NumBlocks: 10, OverProvision: -0.1, GCFreeThreshold: 2},
+		{PagesPerBlock: 8, NumBlocks: 10, OverProvision: 0.1, GCFreeThreshold: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestLogicalCapacityRespectsOP(t *testing.T) {
+	f := newFTL(t, DefaultConfig())
+	phys := DefaultConfig().PagesPerBlock * DefaultConfig().NumBlocks
+	if f.LogicalPages() >= phys {
+		t.Fatalf("logical %d should be below physical %d", f.LogicalPages(), phys)
+	}
+}
+
+func TestBasicWriteRead(t *testing.T) {
+	f := newFTL(t, DefaultConfig())
+	if err := f.Write(7); err != nil {
+		t.Fatal(err)
+	}
+	p, ok, err := f.Read(7)
+	if err != nil || !ok {
+		t.Fatalf("Read: ok=%v err=%v", ok, err)
+	}
+	if p < 0 {
+		t.Fatalf("physical page %d", p)
+	}
+	if _, ok, _ := f.Read(8); ok {
+		t.Fatal("unwritten page should not resolve")
+	}
+	if err := f.Write(-1); err == nil {
+		t.Fatal("negative lpn should error")
+	}
+	if _, _, err := f.Read(1 << 30); err == nil {
+		t.Fatal("out-of-range read should error")
+	}
+}
+
+func TestOverwriteInvalidatesOld(t *testing.T) {
+	f := newFTL(t, DefaultConfig())
+	_ = f.Write(3)
+	p1, _, _ := f.Read(3)
+	_ = f.Write(3)
+	p2, _, _ := f.Read(3)
+	if p1 == p2 {
+		t.Fatal("overwrite must be out-of-place")
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrim(t *testing.T) {
+	f := newFTL(t, DefaultConfig())
+	_ = f.Write(5)
+	if err := f.Trim(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := f.Read(5); ok {
+		t.Fatal("trimmed page should be gone")
+	}
+	// Trim of unwritten page is a no-op.
+	if err := f.Trim(6); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Trim(-1); err == nil {
+		t.Fatal("bad lpn should error")
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Sustained random overwrites force GC; write amplification must exceed 1
+// and the FTL must stay consistent.
+func TestGCUnderRandomOverwrite(t *testing.T) {
+	cfg := DefaultConfig()
+	f := newFTL(t, cfg)
+	rng := dist.NewRNG(1)
+	n := f.LogicalPages()
+	for i := 0; i < n*6; i++ {
+		if err := f.Write(rng.Intn(n)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	st := f.Stats()
+	if st.GCRuns == 0 {
+		t.Fatal("GC never ran under 6x overwrite")
+	}
+	if st.WriteAmplification <= 1.0 {
+		t.Fatalf("WA = %v, want > 1", st.WriteAmplification)
+	}
+	if st.WriteAmplification > 10 {
+		t.Fatalf("WA = %v implausibly high", st.WriteAmplification)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Sequential overwrites (append-like) should produce near-1 WA: blocks die
+// wholesale, so GC relocates almost nothing.
+func TestSequentialWAIsLow(t *testing.T) {
+	f := newFTL(t, DefaultConfig())
+	n := f.LogicalPages()
+	for round := 0; round < 6; round++ {
+		for lpn := 0; lpn < n; lpn++ {
+			if err := f.Write(lpn); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := f.Stats()
+	if st.WriteAmplification > 1.1 {
+		t.Fatalf("sequential WA = %v, want ~1", st.WriteAmplification)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// More over-provisioning should reduce random-write WA.
+func TestOPReducesWA(t *testing.T) {
+	wa := func(op float64) float64 {
+		cfg := DefaultConfig()
+		cfg.OverProvision = op
+		f := newFTL(t, cfg)
+		rng := dist.NewRNG(2)
+		n := f.LogicalPages()
+		for i := 0; i < n*8; i++ {
+			if err := f.Write(rng.Intn(n)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return f.Stats().WriteAmplification
+	}
+	low, high := wa(0.07), wa(0.28)
+	if high >= low {
+		t.Fatalf("WA with 28%% OP (%v) should beat 7%% OP (%v)", high, low)
+	}
+}
+
+// Static wear leveling narrows the erase-count spread under a skewed
+// (hot/cold) workload.
+func TestStaticWearLeveling(t *testing.T) {
+	spread := func(wlEvery int) float64 {
+		cfg := DefaultConfig()
+		cfg.StaticWearLevelEvery = wlEvery
+		f := newFTL(t, cfg)
+		rng := dist.NewRNG(3)
+		n := f.LogicalPages()
+		// Write all pages once (cold data), then hammer 10% of them.
+		for lpn := 0; lpn < n; lpn++ {
+			if err := f.Write(lpn); err != nil {
+				t.Fatal(err)
+			}
+		}
+		hot := n / 10
+		for i := 0; i < n*10; i++ {
+			if err := f.Write(rng.Intn(hot)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := f.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		st := f.Stats()
+		if st.MeanErase == 0 {
+			return 0
+		}
+		return float64(st.MaxErase) / st.MeanErase
+	}
+	without := spread(0)
+	with := spread(512)
+	if with >= without {
+		t.Fatalf("wear leveling should narrow spread: with=%v without=%v", with, without)
+	}
+}
+
+func TestStatsZeroWrites(t *testing.T) {
+	f := newFTL(t, DefaultConfig())
+	if st := f.Stats(); st.WriteAmplification != 0 || st.HostWrites != 0 {
+		t.Fatalf("fresh stats = %+v", st)
+	}
+}
+
+// Property: after any sequence of writes/trims within range, invariants hold
+// and every written page resolves.
+func TestInvariantsProperty(t *testing.T) {
+	cfg := Config{PagesPerBlock: 16, NumBlocks: 32, OverProvision: 0.2, GCFreeThreshold: 3}
+	f2 := func(ops []uint16) bool {
+		f, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		n := f.LogicalPages()
+		written := make(map[int]bool)
+		for _, op := range ops {
+			lpn := int(op) % n
+			if op%7 == 0 && written[lpn] {
+				if err := f.Trim(lpn); err != nil {
+					return false
+				}
+				delete(written, lpn)
+			} else {
+				if err := f.Write(lpn); err != nil {
+					return false
+				}
+				written[lpn] = true
+			}
+		}
+		if err := f.CheckInvariants(); err != nil {
+			return false
+		}
+		for lpn := range written {
+			if _, ok, err := f.Read(lpn); !ok || err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f2, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

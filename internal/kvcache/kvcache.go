@@ -1,0 +1,367 @@
+// Package kvcache implements a paged KV-cache manager in the style of
+// PagedAttention [22]: per-sequence page tables over fixed-size pages of
+// self-attention vectors, reference-counted prefix sharing across sequences
+// (automatic prefix caching [54]), and copy-on-write for partially filled
+// pages. The paper leans on this geometry twice: pages hold "over 10
+// vectors" and are read strictly in order (§2.2), and KV data is soft state
+// whose pages can be dropped and recomputed.
+package kvcache
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mrm/internal/units"
+)
+
+// SeqID names a sequence (one inference context).
+type SeqID uint64
+
+// Config sizes the cache.
+type Config struct {
+	// PageTokens is the number of self-attention vectors per page.
+	PageTokens int
+	// KVBytesPerToken is the vector size (from llm.ModelConfig).
+	KVBytesPerToken units.Bytes
+	// CapacityPages is the number of physical pages.
+	CapacityPages int
+}
+
+// PageBytes returns the physical page size.
+func (c Config) PageBytes() units.Bytes {
+	return c.KVBytesPerToken * units.Bytes(c.PageTokens)
+}
+
+type page struct {
+	ref    int // sequences referencing this page (0 = free)
+	tokens int // filled vector count (== PageTokens when full)
+}
+
+type sequence struct {
+	id         SeqID
+	tokens     int
+	pages      []int
+	lastAccess time.Duration
+}
+
+// Cache is the paged KV-cache manager. Not safe for concurrent use.
+type Cache struct {
+	cfg   Config
+	pages []page
+	free  []int
+	seqs  map[SeqID]*sequence
+	clock time.Duration
+
+	allocs      int64
+	cowCopies   int64
+	sharedSaved int64 // page allocations avoided via sharing
+}
+
+// New builds a cache.
+func New(cfg Config) (*Cache, error) {
+	if cfg.PageTokens <= 0 || cfg.KVBytesPerToken == 0 || cfg.CapacityPages <= 0 {
+		return nil, fmt.Errorf("kvcache: invalid config %+v", cfg)
+	}
+	c := &Cache{
+		cfg:   cfg,
+		pages: make([]page, cfg.CapacityPages),
+		seqs:  make(map[SeqID]*sequence),
+	}
+	for i := cfg.CapacityPages - 1; i >= 0; i-- {
+		c.free = append(c.free, i)
+	}
+	return c, nil
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Tick advances the cache's logical clock (used for LRU decisions).
+func (c *Cache) Tick(dt time.Duration) { c.clock += dt }
+
+// NewSequence registers an empty sequence.
+func (c *Cache) NewSequence(id SeqID) error {
+	if _, ok := c.seqs[id]; ok {
+		return fmt.Errorf("kvcache: sequence %d exists", id)
+	}
+	c.seqs[id] = &sequence{id: id, lastAccess: c.clock}
+	return nil
+}
+
+// Fork creates child sharing parent's prefix: full pages are shared
+// (ref-counted); a partially filled last page is copied (CoW) so the child
+// can append independently.
+func (c *Cache) Fork(parent, child SeqID) error {
+	p, ok := c.seqs[parent]
+	if !ok {
+		return fmt.Errorf("kvcache: no sequence %d", parent)
+	}
+	if _, ok := c.seqs[child]; ok {
+		return fmt.Errorf("kvcache: sequence %d exists", child)
+	}
+	s := &sequence{id: child, tokens: p.tokens, lastAccess: c.clock}
+	for i, pg := range p.pages {
+		last := i == len(p.pages)-1
+		if last && c.pages[pg].tokens < c.cfg.PageTokens {
+			// Copy the partial page.
+			np, err := c.allocPage()
+			if err != nil {
+				// Roll back pages taken so far (shares and copies).
+				for _, taken := range s.pages {
+					c.pages[taken].ref--
+					if c.pages[taken].ref == 0 {
+						c.pages[taken].tokens = 0
+						c.free = append(c.free, taken)
+					}
+				}
+				return err
+			}
+			c.pages[np].tokens = c.pages[pg].tokens
+			c.cowCopies++
+			s.pages = append(s.pages, np)
+		} else {
+			c.pages[pg].ref++
+			c.sharedSaved++
+			s.pages = append(s.pages, pg)
+		}
+	}
+	c.seqs[child] = s
+	return nil
+}
+
+// Append adds n vectors to the sequence, allocating pages as needed.
+// Appending to a shared partial page triggers copy-on-write.
+func (c *Cache) Append(id SeqID, n int) error {
+	s, ok := c.seqs[id]
+	if !ok {
+		return fmt.Errorf("kvcache: no sequence %d", id)
+	}
+	if n <= 0 {
+		return fmt.Errorf("kvcache: non-positive append %d", n)
+	}
+	s.lastAccess = c.clock
+	for n > 0 {
+		// Room in the last page?
+		if len(s.pages) > 0 {
+			last := s.pages[len(s.pages)-1]
+			if c.pages[last].tokens < c.cfg.PageTokens {
+				if c.pages[last].ref > 1 {
+					// CoW: private copy before mutating.
+					np, err := c.allocPage()
+					if err != nil {
+						return err
+					}
+					c.pages[np].tokens = c.pages[last].tokens
+					c.pages[last].ref--
+					s.pages[len(s.pages)-1] = np
+					c.cowCopies++
+					last = np
+				}
+				take := minInt(n, c.cfg.PageTokens-c.pages[last].tokens)
+				c.pages[last].tokens += take
+				s.tokens += take
+				n -= take
+				continue
+			}
+		}
+		np, err := c.allocPage()
+		if err != nil {
+			return err
+		}
+		s.pages = append(s.pages, np)
+	}
+	return nil
+}
+
+// ErrNoPages reports cache exhaustion; callers evict or recompute.
+type ErrNoPages struct{}
+
+func (ErrNoPages) Error() string { return "kvcache: out of physical pages" }
+
+func (c *Cache) allocPage() (int, error) {
+	if len(c.free) == 0 {
+		return 0, ErrNoPages{}
+	}
+	p := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	c.pages[p] = page{ref: 1}
+	c.allocs++
+	return p, nil
+}
+
+// Release drops a sequence, freeing pages whose refcount reaches zero.
+func (c *Cache) Release(id SeqID) error {
+	s, ok := c.seqs[id]
+	if !ok {
+		return fmt.Errorf("kvcache: no sequence %d", id)
+	}
+	for _, pg := range s.pages {
+		c.pages[pg].ref--
+		if c.pages[pg].ref == 0 {
+			c.pages[pg].tokens = 0
+			c.free = append(c.free, pg)
+		}
+		if c.pages[pg].ref < 0 {
+			panic("kvcache: negative refcount")
+		}
+	}
+	delete(c.seqs, id)
+	return nil
+}
+
+// Touch records a read of the sequence (for LRU).
+func (c *Cache) Touch(id SeqID) error {
+	s, ok := c.seqs[id]
+	if !ok {
+		return fmt.Errorf("kvcache: no sequence %d", id)
+	}
+	s.lastAccess = c.clock
+	return nil
+}
+
+// VictimLRU returns the least-recently-accessed sequence, or false if empty.
+func (c *Cache) VictimLRU() (SeqID, bool) {
+	var best *sequence
+	for _, s := range c.seqs {
+		if best == nil || s.lastAccess < best.lastAccess ||
+			(s.lastAccess == best.lastAccess && s.id < best.id) {
+			best = s
+		}
+	}
+	if best == nil {
+		return 0, false
+	}
+	return best.id, true
+}
+
+// Tokens returns the sequence's token count.
+func (c *Cache) Tokens(id SeqID) (int, error) {
+	s, ok := c.seqs[id]
+	if !ok {
+		return 0, fmt.Errorf("kvcache: no sequence %d", id)
+	}
+	return s.tokens, nil
+}
+
+// PageRange is a contiguous physical region holding part of a sequence.
+type PageRange struct {
+	Addr units.Bytes
+	Size units.Bytes
+}
+
+// ReadPlan returns the physical regions read (in order) by one decode step
+// of the sequence: its pages, each read fully and sequentially. This is the
+// access pattern §2.2 calls "sequential and predictable".
+func (c *Cache) ReadPlan(id SeqID) ([]PageRange, error) {
+	s, ok := c.seqs[id]
+	if !ok {
+		return nil, fmt.Errorf("kvcache: no sequence %d", id)
+	}
+	s.lastAccess = c.clock
+	pb := c.cfg.PageBytes()
+	out := make([]PageRange, 0, len(s.pages))
+	for _, pg := range s.pages {
+		size := c.cfg.KVBytesPerToken * units.Bytes(c.pages[pg].tokens)
+		if size == 0 {
+			continue
+		}
+		out = append(out, PageRange{Addr: units.Bytes(pg) * pb, Size: size})
+	}
+	return out, nil
+}
+
+// Stats summarizes cache state.
+type Stats struct {
+	Sequences   int
+	UsedPages   int
+	FreePages   int
+	SharedPages int // pages with ref > 1
+	Allocations int64
+	CoWCopies   int64
+	SharedSaved int64
+	// Utilization is filled-vector bytes over used-page bytes (internal
+	// fragmentation shows up as utilization < 1).
+	Utilization float64
+}
+
+// Stats computes current statistics.
+func (c *Cache) Stats() Stats {
+	st := Stats{
+		Sequences:   len(c.seqs),
+		FreePages:   len(c.free),
+		Allocations: c.allocs,
+		CoWCopies:   c.cowCopies,
+		SharedSaved: c.sharedSaved,
+	}
+	usedTokens := 0
+	for i := range c.pages {
+		if c.pages[i].ref > 0 {
+			st.UsedPages++
+			usedTokens += c.pages[i].tokens
+			if c.pages[i].ref > 1 {
+				st.SharedPages++
+			}
+		}
+	}
+	if st.UsedPages > 0 {
+		st.Utilization = float64(usedTokens) / float64(st.UsedPages*c.cfg.PageTokens)
+	}
+	return st
+}
+
+// CheckInvariants verifies refcount and free-list consistency.
+func (c *Cache) CheckInvariants() error {
+	refs := make([]int, len(c.pages))
+	for _, s := range c.seqs {
+		seen := map[int]bool{}
+		total := 0
+		for _, pg := range s.pages {
+			if pg < 0 || pg >= len(c.pages) {
+				return fmt.Errorf("kvcache: seq %d references bad page %d", s.id, pg)
+			}
+			if seen[pg] {
+				return fmt.Errorf("kvcache: seq %d references page %d twice", s.id, pg)
+			}
+			seen[pg] = true
+			refs[pg]++
+			total += c.pages[pg].tokens
+		}
+		if total != s.tokens {
+			return fmt.Errorf("kvcache: seq %d tokens %d != page sum %d", s.id, s.tokens, total)
+		}
+	}
+	inFree := map[int]bool{}
+	for _, pg := range c.free {
+		if inFree[pg] {
+			return fmt.Errorf("kvcache: page %d on free list twice", pg)
+		}
+		inFree[pg] = true
+	}
+	for i := range c.pages {
+		if refs[i] != c.pages[i].ref {
+			return fmt.Errorf("kvcache: page %d ref %d, actual %d", i, c.pages[i].ref, refs[i])
+		}
+		if (c.pages[i].ref == 0) != inFree[i] {
+			return fmt.Errorf("kvcache: page %d free-list membership inconsistent (ref=%d)", i, c.pages[i].ref)
+		}
+	}
+	return nil
+}
+
+// Sequences returns all sequence ids, sorted (for deterministic iteration).
+func (c *Cache) Sequences() []SeqID {
+	out := make([]SeqID, 0, len(c.seqs))
+	for id := range c.seqs {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,203 @@
+package llm
+
+import (
+	"fmt"
+	"time"
+
+	"mrm/internal/units"
+)
+
+// Bound says which resource limited a phase.
+type Bound int
+
+// Bounds.
+const (
+	ComputeBound Bound = iota
+	MemoryBound
+)
+
+// String names the bound.
+func (b Bound) String() string {
+	if b == ComputeBound {
+		return "compute"
+	}
+	return "memory"
+}
+
+// PhaseCost is the cost of one inference phase (a prefill, or one decode
+// step across a batch): the memory traffic it generates and the time it
+// takes on a given accelerator.
+type PhaseCost struct {
+	ReadBytes  units.Bytes // weights + KV read
+	WriteBytes units.Bytes // KV appended (+ activations written)
+	FLOPs      float64
+
+	ComputeTime time.Duration
+	MemoryTime  time.Duration
+	Bound       Bound
+}
+
+// Time is the phase latency: max of compute and memory time (perfect
+// overlap, the standard roofline assumption).
+func (c PhaseCost) Time() time.Duration {
+	if c.ComputeTime > c.MemoryTime {
+		return c.ComputeTime
+	}
+	return c.MemoryTime
+}
+
+// ReadWriteRatio returns bytes read per byte written.
+func (c PhaseCost) ReadWriteRatio() float64 {
+	if c.WriteBytes == 0 {
+		return 0
+	}
+	return float64(c.ReadBytes) / float64(c.WriteBytes)
+}
+
+// Engine computes phase costs for one model on one accelerator.
+type Engine struct {
+	Model ModelConfig
+	Acc   Accelerator
+	// MFU is the achieved fraction of peak FLOPs (model FLOP utilization);
+	// production serving lands around 0.4–0.6. Default 0.5.
+	MFU float64
+	// BWUtil is achieved fraction of peak memory bandwidth. Default 0.8.
+	BWUtil float64
+}
+
+// NewEngine builds an engine with default utilization factors.
+func NewEngine(model ModelConfig, acc Accelerator) (*Engine, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if acc.FLOPS <= 0 || acc.MemBW <= 0 {
+		return nil, fmt.Errorf("llm: accelerator %q has no compute or bandwidth", acc.Name)
+	}
+	return &Engine{Model: model, Acc: acc, MFU: 0.5, BWUtil: 0.8}, nil
+}
+
+func (e *Engine) effFLOPS() float64 { return e.Acc.FLOPS * e.MFU }
+func (e *Engine) effBW() units.Bandwidth {
+	return e.Acc.MemBW * units.Bandwidth(e.BWUtil)
+}
+
+// finish fills in times and bound from traffic and FLOPs.
+func (e *Engine) finish(c PhaseCost) PhaseCost {
+	c.ComputeTime = time.Duration(c.FLOPs / e.effFLOPS() * float64(time.Second))
+	c.MemoryTime = e.effBW().Time(c.ReadBytes + c.WriteBytes)
+	if c.ComputeTime >= c.MemoryTime {
+		c.Bound = ComputeBound
+	} else {
+		c.Bound = MemoryBound
+	}
+	return c
+}
+
+// Prefill returns the cost of ingesting prompts for a batch of requests.
+// Weights are read once for the fused pass (batching amortizes them);
+// the KV cache for every prompt token is written out. Prefill is compute
+// bound for realistic prompt lengths — the paper's reason decode, not
+// prefill, sets the memory-bandwidth agenda.
+func (e *Engine) Prefill(promptLens []int) (PhaseCost, error) {
+	if len(promptLens) == 0 {
+		return PhaseCost{}, fmt.Errorf("llm: empty prefill batch")
+	}
+	total := 0
+	var flops float64
+	for _, n := range promptLens {
+		if n <= 0 {
+			return PhaseCost{}, fmt.Errorf("llm: non-positive prompt length %d", n)
+		}
+		if n > e.Model.MaxContext {
+			return PhaseCost{}, fmt.Errorf("llm: prompt %d exceeds context %d", n, e.Model.MaxContext)
+		}
+		total += n
+		// Attention inside the prompt is quadratic: sum over positions.
+		flops += 2*e.Model.Params*float64(n) +
+			2*float64(e.Model.Layers*e.Model.KVHeads*e.Model.HeadDim)*float64(n)*float64(n)
+	}
+	// Activation tensors stay in on-chip scratch and are excluded from the
+	// read:write arithmetic, matching the paper's accounting ("for one
+	// self-attention vector write").
+	c := PhaseCost{
+		// A prefill touches enough tokens to route through every expert.
+		ReadBytes:  e.Model.WeightReadBytes(total),
+		WriteBytes: e.Model.KVBytesPerToken() * units.Bytes(total),
+		FLOPs:      flops,
+	}
+	return e.finish(c), nil
+}
+
+// DecodeStep returns the cost of generating one token for every sequence in
+// the batch, where ctxLens are the current context lengths. All weights are
+// read once (shared across the batch); each sequence's entire KV cache is
+// read; one KV vector per sequence is written — the >1000:1 read:write
+// pattern of §2.2.
+func (e *Engine) DecodeStep(ctxLens []int) (PhaseCost, error) {
+	if len(ctxLens) == 0 {
+		return PhaseCost{}, fmt.Errorf("llm: empty decode batch")
+	}
+	var kvRead units.Bytes
+	var flops float64
+	for _, n := range ctxLens {
+		if n <= 0 {
+			return PhaseCost{}, fmt.Errorf("llm: non-positive context length %d", n)
+		}
+		kvRead += e.Model.KVCacheBytes(n)
+		flops += e.Model.FLOPsPerToken(n)
+	}
+	c := PhaseCost{
+		ReadBytes:  e.Model.WeightReadBytes(len(ctxLens)) + kvRead,
+		WriteBytes: e.Model.KVBytesPerToken() * units.Bytes(len(ctxLens)),
+		FLOPs:      flops,
+	}
+	return e.finish(c), nil
+}
+
+// TimeForFLOPs converts a FLOP count into compute time at the engine's
+// effective throughput (used by schedulers that fuse prefill chunks into
+// decode steps).
+func (e *Engine) TimeForFLOPs(f float64) time.Duration {
+	return time.Duration(f / e.effFLOPS() * float64(time.Second))
+}
+
+// DecodeTokensPerSec returns steady-state decode throughput for a batch all
+// at context length ctx.
+func (e *Engine) DecodeTokensPerSec(batch, ctx int) (float64, error) {
+	ctxs := make([]int, batch)
+	for i := range ctxs {
+		ctxs[i] = ctx
+	}
+	c, err := e.DecodeStep(ctxs)
+	if err != nil {
+		return 0, err
+	}
+	return float64(batch) / c.Time().Seconds(), nil
+}
+
+// MemoryFootprint summarizes resident capacity demand for a serving
+// configuration: weights + KV for live contexts + activations.
+type MemoryFootprint struct {
+	Weights     units.Bytes
+	KVCache     units.Bytes
+	Activations units.Bytes
+}
+
+// Total sums the footprint.
+func (f MemoryFootprint) Total() units.Bytes {
+	return f.Weights + f.KVCache + f.Activations
+}
+
+// Footprint computes the capacity breakdown for a batch of live contexts —
+// the paper's §2 capacity claim (E3).
+func (e *Engine) Footprint(ctxLens []int) MemoryFootprint {
+	var kv units.Bytes
+	for _, n := range ctxLens {
+		kv += e.Model.KVCacheBytes(n)
+	}
+	return MemoryFootprint{
+		Weights:     e.Model.WeightBytes(),
+		KVCache:     kv,
+		Activations: e.Model.ActivationBytes(len(ctxLens)),
+	}
+}

@@ -1,0 +1,364 @@
+package llm
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"mrm/internal/units"
+)
+
+func TestPrecisionBytes(t *testing.T) {
+	if FP32.Bytes() != 4 || FP16.Bytes() != 2 || FP8.Bytes() != 1 || INT4.Bytes() != 0.5 {
+		t.Fatal("precision sizes wrong")
+	}
+	if FP16.String() != "fp16" || INT4.String() != "int4" {
+		t.Fatal("precision names wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown precision should panic")
+		}
+	}()
+	Precision(9).Bytes()
+}
+
+func TestPresetsValidate(t *testing.T) {
+	if len(Models()) < 5 {
+		t.Fatal("expected at least five presets")
+	}
+	for _, m := range Models() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestModelByName(t *testing.T) {
+	m, err := ModelByName("Llama2-70B")
+	if err != nil || m.Layers != 80 {
+		t.Fatalf("lookup failed: %+v, %v", m, err)
+	}
+	if _, err := ModelByName("nope"); err == nil {
+		t.Fatal("unknown model should error")
+	}
+}
+
+func TestValidateCatchesBadGeometry(t *testing.T) {
+	bad := []ModelConfig{
+		{Name: "a", Params: 0, Layers: 1, Heads: 1, KVHeads: 1, HeadDim: 1, MaxContext: 1},
+		{Name: "b", Params: 1, Layers: 0, Heads: 1, KVHeads: 1, HeadDim: 1, MaxContext: 1},
+		{Name: "c", Params: 1, Layers: 1, Heads: 1, KVHeads: 2, HeadDim: 1, MaxContext: 1},
+		{Name: "d", Params: 1, Layers: 1, Heads: 1, KVHeads: 1, HeadDim: 1, MaxContext: 0},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s should fail validation", m.Name)
+		}
+	}
+}
+
+// Paper §2: large models have 250 GB – 1 TB of weights.
+func TestWeightSizesMatchPaper(t *testing.T) {
+	w70 := Llama2_70B.WeightBytes()
+	if w70 < 130*units.GiB || w70 > 150*units.GiB {
+		t.Errorf("Llama2-70B weights = %v, want ~140 GB", w70)
+	}
+	wf := Frontier500B.WeightBytes()
+	if wf < 900*units.GiB || wf > 1100*units.GiB {
+		t.Errorf("Frontier-500B weights = %v, want ~1 TB", wf)
+	}
+}
+
+// Paper §2.2: self-attention vectors are "at most a few MBs" for MHA models,
+// smaller under GQA.
+func TestKVVectorSizes(t *testing.T) {
+	gpt := GPT3_175B.KVBytesPerToken()
+	if gpt < 4*units.MiB || gpt > 5*units.MiB {
+		t.Errorf("GPT3-175B KV/token = %v, want ~4.7 MB", gpt)
+	}
+	llama := Llama2_70B.KVBytesPerToken()
+	if llama != 327680 { // 2*80*8*128*2
+		t.Errorf("Llama2-70B KV/token = %d, want 327680", llama)
+	}
+}
+
+// Paper §2: KV cache grows to tens of GBs at context limits.
+func TestKVCacheGrowsToTensOfGB(t *testing.T) {
+	kv := Frontier500B.KVCacheBytes(16384)
+	if kv < 10*units.GiB {
+		t.Errorf("frontier KV at 16k ctx = %v, want tens of GB", kv)
+	}
+}
+
+// Paper §2: activations are ~an order of magnitude smaller than weights/KV.
+func TestActivationsAreSmall(t *testing.T) {
+	f := MemoryFootprint{}
+	_ = f
+	e, err := NewEngine(Llama2_70B, B200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxs := make([]int, 32)
+	for i := range ctxs {
+		ctxs[i] = 2048
+	}
+	fp := e.Footprint(ctxs)
+	if fp.Activations*5 > fp.KVCache {
+		t.Errorf("activations %v should be well below KV %v", fp.Activations, fp.KVCache)
+	}
+	if fp.Activations*5 > fp.Weights {
+		t.Errorf("activations %v should be well below weights %v", fp.Activations, fp.Weights)
+	}
+	if fp.Total() != fp.Weights+fp.KVCache+fp.Activations {
+		t.Error("Total() inconsistent")
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	if _, err := NewEngine(ModelConfig{}, B200); err == nil {
+		t.Error("bad model should error")
+	}
+	if _, err := NewEngine(Llama2_70B, Accelerator{}); err == nil {
+		t.Error("bad accelerator should error")
+	}
+}
+
+// The headline workload claim (E2): decode read:write ratio exceeds 1000:1.
+func TestDecodeReadWriteRatio(t *testing.T) {
+	e, err := NewEngine(Llama2_70B, B200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxs := make([]int, 8)
+	for i := range ctxs {
+		ctxs[i] = 2048
+	}
+	c, err := e.DecodeStep(ctxs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := c.ReadWriteRatio(); r < 1000 {
+		t.Errorf("decode read:write = %v, want > 1000", r)
+	}
+}
+
+// Paper §2.1: decode is memory bound on HBM-class hardware.
+func TestDecodeIsMemoryBound(t *testing.T) {
+	e, _ := NewEngine(Llama2_70B, B200)
+	c, err := e.DecodeStep([]int{2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Bound != MemoryBound {
+		t.Errorf("single-sequence decode should be memory bound, got %v", c.Bound)
+	}
+	if c.Bound.String() != "memory" || ComputeBound.String() != "compute" {
+		t.Error("bound names wrong")
+	}
+}
+
+// Prefill with long prompts should be compute bound.
+func TestPrefillIsComputeBound(t *testing.T) {
+	e, _ := NewEngine(Llama2_70B, B200)
+	c, err := e.Prefill([]int{2048, 2048, 2048, 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Bound != ComputeBound {
+		t.Errorf("long-prompt prefill should be compute bound, got %v", c.Bound)
+	}
+}
+
+func TestPhaseErrors(t *testing.T) {
+	e, _ := NewEngine(Llama2_70B, B200)
+	if _, err := e.Prefill(nil); err == nil {
+		t.Error("empty prefill should error")
+	}
+	if _, err := e.Prefill([]int{0}); err == nil {
+		t.Error("zero prompt should error")
+	}
+	if _, err := e.Prefill([]int{1 << 20}); err == nil {
+		t.Error("over-context prompt should error")
+	}
+	if _, err := e.DecodeStep(nil); err == nil {
+		t.Error("empty decode should error")
+	}
+	if _, err := e.DecodeStep([]int{-1}); err == nil {
+		t.Error("negative context should error")
+	}
+}
+
+// Batching amortizes weight reads: tokens/s grows with batch, sublinearly.
+func TestBatchingAmortizesWeights(t *testing.T) {
+	e, _ := NewEngine(Llama2_70B, B200)
+	t1, err := e.DecodeTokensPerSec(1, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t16, err := e.DecodeTokensPerSec(16, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t16 <= t1*2 {
+		t.Errorf("batch 16 (%v tok/s) should be well above batch 1 (%v tok/s)", t16, t1)
+	}
+	if t16 >= t1*16 {
+		t.Errorf("batch 16 should be sublinear (KV reads don't amortize): %v vs %v", t16, t1)
+	}
+}
+
+// Single-stream decode rate should be plausibly tens of tokens/s for 70B on
+// B200-class hardware.
+func TestDecodeRateMagnitude(t *testing.T) {
+	e, _ := NewEngine(Llama2_70B, B200)
+	tps, err := e.DecodeTokensPerSec(1, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tps < 10 || tps > 200 {
+		t.Errorf("batch-1 decode = %v tok/s, want O(10-100)", tps)
+	}
+}
+
+func TestPhaseCostTime(t *testing.T) {
+	c := PhaseCost{ComputeTime: 2 * time.Second, MemoryTime: time.Second}
+	if c.Time() != 2*time.Second {
+		t.Error("Time should be the max")
+	}
+	c = PhaseCost{ComputeTime: time.Second, MemoryTime: 3 * time.Second}
+	if c.Time() != 3*time.Second {
+		t.Error("Time should be the max")
+	}
+	if (PhaseCost{ReadBytes: 10}).ReadWriteRatio() != 0 {
+		t.Error("zero writes should yield ratio 0, not Inf")
+	}
+}
+
+func TestFLOPsPerTokenGrowsWithContext(t *testing.T) {
+	if Llama2_70B.FLOPsPerToken(8192) <= Llama2_70B.FLOPsPerToken(128) {
+		t.Error("attention FLOPs should grow with context")
+	}
+	// But the 2*params term dominates at short context.
+	base := 2 * Llama2_70B.Params
+	got := Llama2_70B.FLOPsPerToken(128)
+	if math.Abs(got-base)/base > 0.01 {
+		t.Errorf("short-context FLOPs %g should be ~2*params %g", got, base)
+	}
+}
+
+func TestWorkloadPresets(t *testing.T) {
+	for _, w := range []Workload{SplitwiseConv, SplitwiseCode} {
+		if w.PromptMedian <= 0 || w.OutputMedian <= 0 ||
+			w.PrefillTokensPerSec <= 0 || w.DecodeTokensPerSec <= 0 {
+			t.Errorf("%s has zero parameters", w.Name)
+		}
+		if !strings.HasPrefix(w.Name, "splitwise-") {
+			t.Errorf("workload name %q", w.Name)
+		}
+	}
+	// Coding prompts are longer, outputs much shorter (Splitwise).
+	if SplitwiseCode.PromptMedian <= SplitwiseConv.PromptMedian {
+		t.Error("code prompts should be longer")
+	}
+	if SplitwiseCode.OutputMedian >= SplitwiseConv.OutputMedian {
+		t.Error("code outputs should be shorter")
+	}
+}
+
+func TestServiceLife(t *testing.T) {
+	if ServiceLife != 5*units.Year {
+		t.Fatal("the paper sizes endurance over 5 years")
+	}
+}
+
+func TestMoEGeometry(t *testing.T) {
+	if err := Mixtral8x7B.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !Mixtral8x7B.IsMoE() || Llama2_70B.IsMoE() {
+		t.Fatal("IsMoE wrong")
+	}
+	bad := Mixtral8x7B
+	bad.ActiveExperts = 9
+	if err := bad.Validate(); err == nil {
+		t.Error("active > experts should fail validation")
+	}
+	bad = Mixtral8x7B
+	bad.ActiveExperts = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("MoE with zero active experts should fail validation")
+	}
+}
+
+func TestExpertsTouched(t *testing.T) {
+	m := Mixtral8x7B
+	if m.ExpertsTouched(0) != 0 {
+		t.Error("zero batch touches nothing")
+	}
+	one := m.ExpertsTouched(1)
+	if math.Abs(one-2) > 1e-9 {
+		t.Errorf("batch 1 touches %v experts, want 2 (the active count)", one)
+	}
+	// Monotone and saturating at the expert count.
+	prev := 0.0
+	for _, b := range []int{1, 2, 4, 8, 32, 256} {
+		v := m.ExpertsTouched(b)
+		if v < prev || v > float64(m.Experts) {
+			t.Fatalf("ExpertsTouched(%d) = %v not monotone/bounded", b, v)
+		}
+		prev = v
+	}
+	if m.ExpertsTouched(256) < 7.99 {
+		t.Errorf("large batch should touch ~all experts: %v", m.ExpertsTouched(256))
+	}
+	if Llama2_70B.ExpertsTouched(4) != 0 {
+		t.Error("dense model touches no experts")
+	}
+}
+
+func TestMoEWeightReadBytes(t *testing.T) {
+	m := Mixtral8x7B
+	full := m.WeightBytes()
+	b1 := m.WeightReadBytes(1)
+	// Batch 1: shared third + 2/8 of the expert two-thirds = 1/2 of weights.
+	want := full.MulF(1.0/3 + 2.0/3*2.0/8)
+	if b1 < want-want/100 || b1 > want+want/100 {
+		t.Errorf("batch-1 weight read %v, want ~%v", b1, want)
+	}
+	b256 := m.WeightReadBytes(256)
+	if b256 < full-full/100 {
+		t.Errorf("large batch should read ~all weights: %v of %v", b256, full)
+	}
+	if Llama2_70B.WeightReadBytes(1) != Llama2_70B.WeightBytes() {
+		t.Error("dense model always reads everything")
+	}
+}
+
+// MoE decode at small batch moves fewer weight bytes, so single-stream
+// decoding is faster than an equal-size dense model.
+func TestMoEDecodeFasterAtBatch1(t *testing.T) {
+	dense := Mixtral8x7B
+	dense.Name = "dense-47B"
+	dense.Experts, dense.ActiveExperts = 0, 0
+	eMoe, err := NewEngine(Mixtral8x7B, B200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eDense, err := NewEngine(dense, B200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moe, err := eMoe.DecodeTokensPerSec(1, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dn, err := eDense.DecodeTokensPerSec(1, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moe <= dn {
+		t.Errorf("MoE batch-1 decode (%v tok/s) should beat dense (%v tok/s)", moe, dn)
+	}
+}

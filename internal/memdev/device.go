@@ -1,0 +1,269 @@
+package memdev
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mrm/internal/cellphys"
+	"mrm/internal/units"
+)
+
+// AccessKind distinguishes reads from writes.
+type AccessKind int
+
+// Access kinds.
+const (
+	Read AccessKind = iota
+	Write
+)
+
+// String names the kind.
+func (k AccessKind) String() string {
+	if k == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Result reports the cost of one access.
+type Result struct {
+	Latency time.Duration // first-byte latency + transfer time
+	Energy  units.Energy
+	// RawBER is the expected raw bit error rate of the data returned by a
+	// read (0 for writes): it reflects wear of the touched blocks and, for
+	// managed devices, time since the data was written.
+	RawBER float64
+}
+
+// EnergyBreakdown accumulates device energy by component.
+type EnergyBreakdown struct {
+	Read    units.Energy
+	Write   units.Energy
+	Refresh units.Energy
+	Static  units.Energy
+}
+
+// Total sums all components.
+func (e EnergyBreakdown) Total() units.Energy {
+	return e.Read + e.Write + e.Refresh + e.Static
+}
+
+// Device simulates one memory device instance. It charges latency and energy
+// per access, tracks per-block wear, and integrates background (static +
+// refresh) power over simulated time via Advance. Device is safe for
+// concurrent use.
+type Device struct {
+	spec      Spec
+	wearBlock units.Bytes // granularity at which wear is tracked
+
+	mu        sync.Mutex
+	now       time.Duration // simulated device-local time
+	wear      []float64     // write cycles per wear block
+	lastWrite []time.Duration
+	energy    EnergyBreakdown
+	reads     uint64
+	writes    uint64
+	readBytes units.Bytes
+	writeByte units.Bytes
+	berParams cellphys.RawBERParams
+	op        cellphys.OperatingPoint // fixed operating point from the spec
+}
+
+// NewDevice creates a device from spec. Wear is tracked per spec.BlockSize
+// (or per 2 MiB for byte-addressable devices).
+func NewDevice(spec Spec) (*Device, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	wb := spec.BlockSize
+	if wb == 0 {
+		wb = 2 * units.MiB
+	}
+	n := (spec.Capacity + wb - 1) / wb
+	if n == 0 {
+		n = 1
+	}
+	tr := cellphys.ForTechnology(spec.Tech)
+	// Derive the fixed operating point implied by the spec: its retention
+	// clamped into the technology's legal range.
+	ret := spec.Retention
+	if ret < tr.MinRetention {
+		ret = tr.MinRetention
+	}
+	if ret > tr.MaxRetention {
+		ret = tr.MaxRetention
+	}
+	op := tr.MustAt(ret)
+	// Trust the spec sheet's endurance over the generic curve: products bin
+	// and derate cells in ways the curve cannot know.
+	op.Endurance = spec.Endurance
+	return &Device{
+		spec:      spec,
+		wearBlock: wb,
+		wear:      make([]float64, n),
+		lastWrite: make([]time.Duration, n),
+		berParams: cellphys.DefaultBER,
+		op:        op,
+	}, nil
+}
+
+// Spec returns the device's specification.
+func (d *Device) Spec() Spec { return d.spec }
+
+// Now returns the device-local simulated time.
+func (d *Device) Now() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.now
+}
+
+// Advance moves simulated time forward, charging static and refresh energy
+// for the elapsed window. It is an error to move time backwards.
+func (d *Device) Advance(dt time.Duration) error {
+	if dt < 0 {
+		return fmt.Errorf("memdev: cannot advance time by %v", dt)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.now += dt
+	d.energy.Static += d.spec.StaticPower.Over(dt)
+	d.energy.Refresh += d.spec.RefreshPower().Over(dt)
+	return nil
+}
+
+func (d *Device) blockRange(addr, size units.Bytes) (first, last int, err error) {
+	if size == 0 {
+		return 0, 0, fmt.Errorf("memdev: zero-size access")
+	}
+	if addr+size > d.spec.Capacity {
+		return 0, 0, fmt.Errorf("memdev: access [%d, %d) beyond capacity %v",
+			addr, addr+size, d.spec.Capacity)
+	}
+	first = int(addr / d.wearBlock)
+	last = int((addr + size - 1) / d.wearBlock)
+	return first, last, nil
+}
+
+// ReadAt performs a read of size bytes at addr and returns its cost.
+func (d *Device) ReadAt(addr, size units.Bytes) (Result, error) {
+	first, last, err := d.blockRange(addr, size)
+	if err != nil {
+		return Result{}, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	lat := d.spec.ReadLatency + d.spec.ReadBW.Time(size)
+	e := d.spec.ReadEnergyPerBit.PerBit(size)
+	d.energy.Read += e
+	d.reads++
+	d.readBytes += size
+	// Report the worst BER across the touched blocks.
+	worst := 0.0
+	for b := first; b <= last; b++ {
+		age := d.now - d.lastWrite[b]
+		if age < 0 {
+			age = 0
+		}
+		ber := cellphys.RawBER(d.op, cellphys.WearState{Cycles: d.wear[b]}, age, d.berParams)
+		if ber > worst {
+			worst = ber
+		}
+	}
+	return Result{Latency: lat, Energy: e, RawBER: worst}, nil
+}
+
+// WriteAt performs a write of size bytes at addr, wearing the touched blocks.
+func (d *Device) WriteAt(addr, size units.Bytes) (Result, error) {
+	first, last, err := d.blockRange(addr, size)
+	if err != nil {
+		return Result{}, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	lat := d.spec.WriteLatency + d.spec.WriteBW.Time(size)
+	e := d.spec.WriteEnergyPerBit.PerBit(size)
+	d.energy.Write += e
+	d.writes++
+	d.writeByte += size
+	for b := first; b <= last; b++ {
+		// Charge fractional wear proportional to how much of the block the
+		// write covers, so small writes do not count as full-block cycles.
+		bStart := units.Bytes(b) * d.wearBlock
+		bEnd := bStart + d.wearBlock
+		cover := overlap(addr, addr+size, bStart, bEnd)
+		d.wear[b] += float64(cover) / float64(d.wearBlock)
+		d.lastWrite[b] = d.now
+	}
+	return Result{Latency: lat, Energy: e}, nil
+}
+
+func overlap(a0, a1, b0, b1 units.Bytes) units.Bytes {
+	lo, hi := max64(a0, b0), min64(a1, b1)
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+func max64(a, b units.Bytes) units.Bytes {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b units.Bytes) units.Bytes {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// WearSummary reports wear statistics across blocks.
+type WearSummary struct {
+	MaxCycles  float64
+	MeanCycles float64
+	// LifeUsed is MaxCycles / endurance: the fraction of device life consumed
+	// at the most-worn block.
+	LifeUsed float64
+}
+
+// Wear returns the current wear summary.
+func (d *Device) Wear() WearSummary {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var maxC, sum float64
+	for _, c := range d.wear {
+		if c > maxC {
+			maxC = c
+		}
+		sum += c
+	}
+	mean := sum / float64(len(d.wear))
+	return WearSummary{
+		MaxCycles:  maxC,
+		MeanCycles: mean,
+		LifeUsed:   maxC / d.spec.Endurance,
+	}
+}
+
+// Energy returns the accumulated energy breakdown.
+func (d *Device) Energy() EnergyBreakdown {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.energy
+}
+
+// Stats reports access counts and bytes moved.
+type Stats struct {
+	Reads, Writes         uint64
+	ReadBytes, WriteBytes units.Bytes
+}
+
+// Stats returns the access statistics.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Stats{Reads: d.reads, Writes: d.writes, ReadBytes: d.readBytes, WriteBytes: d.writeByte}
+}

@@ -1,0 +1,376 @@
+// Package memdev models memory and storage devices: a spec database
+// calibrated to public data sheets, and a device simulator that charges
+// latency, bandwidth, energy, and wear for accesses.
+//
+// This file is the single place where hardware stand-in numbers live.
+// Every entry carries a provenance comment. Values are engineering estimates
+// assembled from vendor spec sheets and the papers cited by the MRM paper —
+// they are meant to reproduce the *relative* picture (orders of magnitude,
+// who wins where), not to be device-accurate.
+package memdev
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mrm/internal/cellphys"
+	"mrm/internal/units"
+)
+
+// Class partitions devices by how their retention relates to data lifetime.
+type Class int
+
+// Device classes.
+const (
+	Volatile    Class = iota // retention << data lifetime: refresh required
+	NonVolatile              // retention >> data lifetime: wear-heavy writes
+	Managed                  // retention ≈ data lifetime: the MRM regime
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Volatile:
+		return "volatile"
+	case NonVolatile:
+		return "non-volatile"
+	case Managed:
+		return "managed-retention"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Spec describes one memory device (a package/stack, not a whole system).
+type Spec struct {
+	Name  string
+	Tech  cellphys.Technology
+	Class Class
+
+	Capacity units.Bytes // per package/stack
+
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
+	ReadBW       units.Bandwidth // sustained sequential, per package
+	WriteBW      units.Bandwidth
+
+	ReadEnergyPerBit  units.Energy
+	WriteEnergyPerBit units.Energy
+	StaticPower       units.Power // leakage + periphery, excluding refresh
+
+	// RefreshInterval is the cell retention window requiring a full-array
+	// refresh pass (0 for non-refreshing devices). RefreshEnergyPerBit is
+	// charged per bit per pass.
+	RefreshInterval     time.Duration
+	RefreshEnergyPerBit units.Energy
+
+	Retention time.Duration // how long data survives unpowered/unrefreshed
+
+	// Endurance is write cycles per cell for the shipping product;
+	// EndurancePotential is the ceiling demonstrated for the technology in
+	// the literature (the second marker series in the paper's Figure 1).
+	Endurance          float64
+	EndurancePotential float64
+
+	CostPerGB units.Cost
+
+	// BlockSize is the minimum efficient access granularity
+	// (0 = byte/cacheline addressable).
+	BlockSize units.Bytes
+
+	// StackLayers is the maximum 3D die stacking demonstrated/projected,
+	// used by the density-roadmap experiment (E11).
+	StackLayers int
+	// LayerDensityGbit is per-die capacity in Gbit at current process.
+	LayerDensityGbit float64
+}
+
+// BytesPerSecPerWatt returns read bandwidth per watt of read energy —
+// the read energy-efficiency figure of merit the paper optimizes for.
+func (s Spec) BytesPerSecPerWatt() float64 {
+	if s.ReadEnergyPerBit <= 0 {
+		return 0
+	}
+	// 1 / (J/bit) = bit/J; /8 = bytes per joule = bytes/sec per watt.
+	return 1 / (float64(s.ReadEnergyPerBit) * 8)
+}
+
+// RefreshPower returns the average power spent refreshing the full array,
+// zero for non-refreshing devices.
+func (s Spec) RefreshPower() units.Power {
+	if s.RefreshInterval <= 0 {
+		return 0
+	}
+	perPass := float64(s.RefreshEnergyPerBit) * float64(s.Capacity.Bits())
+	return units.Power(perPass / s.RefreshInterval.Seconds())
+}
+
+// IdlePower is the power the device draws holding data with no traffic.
+func (s Spec) IdlePower() units.Power { return s.StaticPower + s.RefreshPower() }
+
+// Validate reports structural problems in a spec.
+func (s Spec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("memdev: spec has no name")
+	case s.Capacity == 0:
+		return fmt.Errorf("memdev: %s has zero capacity", s.Name)
+	case s.ReadBW <= 0 || s.WriteBW <= 0:
+		return fmt.Errorf("memdev: %s has non-positive bandwidth", s.Name)
+	case s.Endurance <= 0:
+		return fmt.Errorf("memdev: %s has non-positive endurance", s.Name)
+	case s.EndurancePotential < s.Endurance:
+		return fmt.Errorf("memdev: %s potential endurance below product endurance", s.Name)
+	case s.ReadEnergyPerBit < 0 || s.WriteEnergyPerBit < 0:
+		return fmt.Errorf("memdev: %s has negative energy", s.Name)
+	case s.RefreshInterval < 0:
+		return fmt.Errorf("memdev: %s has negative refresh interval", s.Name)
+	}
+	return nil
+}
+
+// The spec database. Provenance notes per entry.
+var (
+	// HBM3E: one 8-high 24 GB stack as used 8x on an NVIDIA B200
+	// (192 GB, 8 TB/s aggregate => 1 TB/s per stack) [51].
+	// Access energy ~3.9 pJ/bit (HBM2E measured ~3.9; HBM3E similar as
+	// interface gains offset cell scaling). Refresh window 32 ms at
+	// operating temperature; refresh energy ~0.02 pJ/bit/pass.
+	// Cost: HBM commands ~$12-18/GB (industry estimates 2024-25).
+	HBM3E = Spec{
+		Name: "HBM3E", Tech: cellphys.DRAM, Class: Volatile,
+		Capacity:    24 * units.GiB,
+		ReadLatency: 100 * time.Nanosecond, WriteLatency: 100 * time.Nanosecond,
+		ReadBW: 1 * units.TBps, WriteBW: 1 * units.TBps,
+		ReadEnergyPerBit: 3.9 * units.PicoJoule, WriteEnergyPerBit: 3.9 * units.PicoJoule,
+		StaticPower:     2 * units.Watt,
+		RefreshInterval: 32 * time.Millisecond, RefreshEnergyPerBit: 0.02 * units.PicoJoule,
+		Retention: 32 * time.Millisecond,
+		Endurance: 1e16, EndurancePotential: 1e16,
+		CostPerGB:   15,
+		StackLayers: 16, LayerDensityGbit: 24,
+	}
+
+	// HBM4 projection: +30% per-layer density, 16-high [50], modestly
+	// better pJ/bit; cost stays high due to hybrid bonding complexity.
+	HBM4 = Spec{
+		Name: "HBM4(proj)", Tech: cellphys.DRAM, Class: Volatile,
+		Capacity:    48 * units.GiB,
+		ReadLatency: 90 * time.Nanosecond, WriteLatency: 90 * time.Nanosecond,
+		ReadBW: 1.6 * units.TBps, WriteBW: 1.6 * units.TBps,
+		ReadEnergyPerBit: 3.2 * units.PicoJoule, WriteEnergyPerBit: 3.2 * units.PicoJoule,
+		StaticPower:     3 * units.Watt,
+		RefreshInterval: 32 * time.Millisecond, RefreshEnergyPerBit: 0.02 * units.PicoJoule,
+		Retention: 32 * time.Millisecond,
+		Endurance: 1e16, EndurancePotential: 1e16,
+		CostPerGB:   18,
+		StackLayers: 16, LayerDensityGbit: 31,
+	}
+
+	// DDR5 RDIMM: 64 GB, ~50 GB/s effective per DIMM; end-to-end access
+	// energy ~15 pJ/bit including PHY/IO over the board.
+	DDR5 = Spec{
+		Name: "DDR5", Tech: cellphys.DRAM, Class: Volatile,
+		Capacity:    64 * units.GiB,
+		ReadLatency: 90 * time.Nanosecond, WriteLatency: 90 * time.Nanosecond,
+		ReadBW: 50 * units.GBps, WriteBW: 50 * units.GBps,
+		ReadEnergyPerBit: 15 * units.PicoJoule, WriteEnergyPerBit: 15 * units.PicoJoule,
+		StaticPower:     1.5 * units.Watt,
+		RefreshInterval: 64 * time.Millisecond, RefreshEnergyPerBit: 0.02 * units.PicoJoule,
+		Retention: 64 * time.Millisecond,
+		Endurance: 1e16, EndurancePotential: 1e16,
+		CostPerGB:   4,
+		StackLayers: 1, LayerDensityGbit: 24,
+	}
+
+	// LPDDR5X: the GB200 capacity tier [35]: 32 GB package, ~68 GB/s,
+	// ~6 pJ/bit end-to-end; much cheaper than HBM.
+	LPDDR5X = Spec{
+		Name: "LPDDR5X", Tech: cellphys.DRAM, Class: Volatile,
+		Capacity:    32 * units.GiB,
+		ReadLatency: 110 * time.Nanosecond, WriteLatency: 110 * time.Nanosecond,
+		ReadBW: 68 * units.GBps, WriteBW: 68 * units.GBps,
+		ReadEnergyPerBit: 6 * units.PicoJoule, WriteEnergyPerBit: 6 * units.PicoJoule,
+		StaticPower:     0.3 * units.Watt,
+		RefreshInterval: 64 * time.Millisecond, RefreshEnergyPerBit: 0.02 * units.PicoJoule,
+		Retention: 64 * time.Millisecond,
+		Endurance: 1e16, EndurancePotential: 1e16,
+		CostPerGB:   3,
+		StackLayers: 2, LayerDensityGbit: 24,
+	}
+
+	// SLC NAND (enterprise storage-class SSD media): 10y retention,
+	// 1e5 P/E [7]; end-to-end read energy tens of pJ/bit; block-erase
+	// architecture forces 16 KiB page granularity.
+	NANDSLC = Spec{
+		Name: "NAND-SLC", Tech: cellphys.NANDFlash, Class: NonVolatile,
+		Capacity:    512 * units.GiB,
+		ReadLatency: 30 * time.Microsecond, WriteLatency: 200 * time.Microsecond,
+		ReadBW: 3 * units.GBps, WriteBW: 1 * units.GBps,
+		ReadEnergyPerBit: 30 * units.PicoJoule, WriteEnergyPerBit: 2000 * units.PicoJoule,
+		StaticPower: 0.1 * units.Watt,
+		Retention:   10 * units.Year,
+		Endurance:   1e5, EndurancePotential: 1e6,
+		CostPerGB:   0.8,
+		BlockSize:   16 * units.KiB,
+		StackLayers: 300, LayerDensityGbit: 2,
+	}
+
+	// TLC NAND: the commodity density point; 3e3 P/E.
+	NANDTLC = Spec{
+		Name: "NAND-TLC", Tech: cellphys.NANDFlash, Class: NonVolatile,
+		Capacity:    2 * units.TiB,
+		ReadLatency: 60 * time.Microsecond, WriteLatency: 600 * time.Microsecond,
+		ReadBW: 3.5 * units.GBps, WriteBW: 1.2 * units.GBps,
+		ReadEnergyPerBit: 35 * units.PicoJoule, WriteEnergyPerBit: 2500 * units.PicoJoule,
+		StaticPower: 0.1 * units.Watt,
+		Retention:   units.Year,
+		Endurance:   3e3, EndurancePotential: 1e5,
+		CostPerGB:   0.1,
+		BlockSize:   16 * units.KiB,
+		StackLayers: 300, LayerDensityGbit: 6,
+	}
+
+	// Intel Optane PCM DIMM (discontinued; the iconic SCM product [16]).
+	// 128 GB DIMM, ~6.7/2.3 GB/s R/W, 300 ns read; per-cell endurance ~1e6
+	// at media level [5]. Technology potential ~1e9 [24, 30].
+	OptanePCM = Spec{
+		Name: "Optane-PCM", Tech: cellphys.PCM, Class: NonVolatile,
+		Capacity:    128 * units.GiB,
+		ReadLatency: 300 * time.Nanosecond, WriteLatency: 1 * time.Microsecond,
+		ReadBW: 6.7 * units.GBps, WriteBW: 2.3 * units.GBps,
+		ReadEnergyPerBit: 10 * units.PicoJoule, WriteEnergyPerBit: 100 * units.PicoJoule,
+		StaticPower: 1.2 * units.Watt,
+		Retention:   10 * units.Year,
+		Endurance:   1e6, EndurancePotential: 1e9,
+		CostPerGB:   5,
+		BlockSize:   256, // 256 B media access granularity
+		StackLayers: 4, LayerDensityGbit: 16,
+	}
+
+	// Weebit-class embedded ReRAM [32]: small arrays today; 10y retention,
+	// ~1e5 cycles product; 1e10 demonstrated for HfOx cells [25].
+	WeebitRRAM = Spec{
+		Name: "ReRAM(product)", Tech: cellphys.RRAM, Class: NonVolatile,
+		Capacity:    8 * units.GiB,
+		ReadLatency: 200 * time.Nanosecond, WriteLatency: 500 * time.Nanosecond,
+		ReadBW: 2 * units.GBps, WriteBW: 0.5 * units.GBps,
+		ReadEnergyPerBit: 5 * units.PicoJoule, WriteEnergyPerBit: 20 * units.PicoJoule,
+		StaticPower: 0.2 * units.Watt,
+		Retention:   10 * units.Year,
+		Endurance:   1e5, EndurancePotential: 1e10,
+		CostPerGB:   8,
+		BlockSize:   64,
+		StackLayers: 8, LayerDensityGbit: 8,
+	}
+
+	// Everspin-class STT-MRAM [39]: fast, very high product endurance
+	// (~1e10), tiny capacity; >1e15 demonstrated for the technology.
+	EverspinSTT = Spec{
+		Name: "STT-MRAM(product)", Tech: cellphys.STTMRAM, Class: NonVolatile,
+		Capacity:    1 * units.GiB,
+		ReadLatency: 35 * time.Nanosecond, WriteLatency: 50 * time.Nanosecond,
+		ReadBW: 3.2 * units.GBps, WriteBW: 1.6 * units.GBps,
+		ReadEnergyPerBit: 2 * units.PicoJoule, WriteEnergyPerBit: 5 * units.PicoJoule,
+		StaticPower: 0.1 * units.Watt,
+		Retention:   10 * units.Year,
+		Endurance:   1e10, EndurancePotential: 1e15,
+		CostPerGB:   50,
+		BlockSize:   0,
+		StackLayers: 1, LayerDensityGbit: 1,
+	}
+)
+
+// AllSpecs returns the full database, MRM design points included.
+func AllSpecs() []Spec {
+	return []Spec{
+		HBM3E, HBM4, DDR5, LPDDR5X,
+		NANDSLC, NANDTLC,
+		OptanePCM, WeebitRRAM, EverspinSTT,
+		MRMSpec(cellphys.PCM, 24*time.Hour),
+		MRMSpec(cellphys.RRAM, 24*time.Hour),
+		MRMSpec(cellphys.STTMRAM, 24*time.Hour),
+	}
+}
+
+// SpecByName looks up a spec in AllSpecs.
+func SpecByName(name string) (Spec, error) {
+	for _, s := range AllSpecs() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("memdev: no spec named %q", name)
+}
+
+// MRMSpec constructs a hypothetical Managed-Retention Memory design point:
+// the given SCM technology operated at relaxed retention (per cellphys), in
+// a dense transistor-less crossbar stack co-packaged like HBM. Read-path
+// numbers improve over the shipping SCM product because the device drops the
+// non-volatility guard bands and adopts an HBM-like wide interface [56, 58]:
+//
+//   - read energy: ~1 pJ/bit target (crossbar sensing + short interposer
+//     links, no refresh, no charge pumps for 10-year writes)
+//   - read bandwidth: HBM-class per stack (interface-limited, not cell-limited)
+//   - density: resistive cells stack without capacitors [40]; we model
+//     2x HBM3E per-stack capacity
+//   - writes: slower and more expensive than reads — the paper's accepted
+//     trade — taken straight from the cellphys operating point.
+func MRMSpec(tech cellphys.Technology, retention time.Duration) Spec {
+	op := cellphys.ForTechnology(tech).MustAt(retention)
+	name := fmt.Sprintf("MRM-%s@%s", tech, shortDuration(retention))
+	return Spec{
+		Name: name, Tech: tech, Class: Managed,
+		Capacity:    48 * units.GiB, // 2x HBM3E stack via crossbar stacking
+		ReadLatency: 150 * time.Nanosecond,
+		// Per-stack write bandwidth is cell-write-time limited; assume the
+		// array exposes enough parallelism for 1/8 of read bandwidth.
+		WriteLatency:       op.WriteLatency,
+		ReadBW:             1.2 * units.TBps,
+		WriteBW:            150 * units.GBps,
+		ReadEnergyPerBit:   1.0 * units.PicoJoule,
+		WriteEnergyPerBit:  op.WriteEnergy,
+		StaticPower:        0.5 * units.Watt, // no refresh, modest periphery
+		Retention:          retention,
+		Endurance:          op.Endurance,
+		EndurancePotential: op.Endurance * 10,
+		CostPerGB:          6,             // between LPDDR and HBM: simpler bonding, new fab
+		BlockSize:          2 * units.MiB, // block-level controller (§4)
+		StackLayers:        16, LayerDensityGbit: 48,
+	}
+}
+
+func shortDuration(d time.Duration) string {
+	switch {
+	case d >= units.Year:
+		return fmt.Sprintf("%.0fy", float64(d)/float64(units.Year))
+	case d >= 24*time.Hour:
+		return fmt.Sprintf("%.0fd", d.Hours()/24)
+	case d >= time.Hour:
+		return fmt.Sprintf("%.0fh", d.Hours())
+	case d >= time.Minute:
+		return fmt.Sprintf("%.0fm", d.Minutes())
+	default:
+		return d.String()
+	}
+}
+
+// AtTemperature returns the spec derated for operation at tempC. DRAM-class
+// retention halves for every 10°C above the 85°C rating point (the standard
+// tREFI derating; JEDEC extended-temperature refresh), which doubles refresh
+// energy and tightens the refresh interval — the §2.1 heat-dissipation
+// problem of HBM tightly packaged with an accelerator die. Non-refreshing
+// devices are returned unchanged (retention margins are absorbed by the
+// retention-class guard band).
+func (s Spec) AtTemperature(tempC float64) Spec {
+	if s.RefreshInterval <= 0 || tempC <= 85 {
+		return s
+	}
+	factor := math.Pow(2, (tempC-85)/10)
+	d := s
+	d.Name = fmt.Sprintf("%s@%.0fC", s.Name, tempC)
+	d.RefreshInterval = time.Duration(float64(s.RefreshInterval) / factor)
+	d.Retention = time.Duration(float64(s.Retention) / factor)
+	return d
+}

@@ -1,0 +1,174 @@
+package memdev
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mrm/internal/cellphys"
+	"mrm/internal/units"
+)
+
+func TestAllSpecsValidate(t *testing.T) {
+	specs := AllSpecs()
+	if len(specs) < 10 {
+		t.Fatalf("expected a full database, got %d specs", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate spec name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	s, err := SpecByName("HBM3E")
+	if err != nil || s.Name != "HBM3E" {
+		t.Fatalf("SpecByName(HBM3E) = %v, %v", s.Name, err)
+	}
+	if _, err := SpecByName("nope"); err == nil {
+		t.Fatal("unknown name should error")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Volatile.String() != "volatile" || Managed.String() != "managed-retention" ||
+		NonVolatile.String() != "non-volatile" {
+		t.Fatal("class names wrong")
+	}
+	if !strings.Contains(Class(9).String(), "9") {
+		t.Fatal("unknown class should include number")
+	}
+}
+
+func TestValidateCatchesBadSpecs(t *testing.T) {
+	good := HBM3E
+	cases := []func(*Spec){
+		func(s *Spec) { s.Name = "" },
+		func(s *Spec) { s.Capacity = 0 },
+		func(s *Spec) { s.ReadBW = 0 },
+		func(s *Spec) { s.Endurance = 0 },
+		func(s *Spec) { s.EndurancePotential = s.Endurance / 10 },
+		func(s *Spec) { s.ReadEnergyPerBit = -1 },
+		func(s *Spec) { s.RefreshInterval = -time.Second },
+	}
+	for i, mutate := range cases {
+		s := good
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: bad spec validated", i)
+		}
+	}
+}
+
+func TestHBMRefreshPowerNonZero(t *testing.T) {
+	p := HBM3E.RefreshPower()
+	if p <= 0 {
+		t.Fatal("HBM must pay refresh power")
+	}
+	// Sanity: a 24 GiB stack refreshing every 32 ms at 0.02 pJ/bit is
+	// ~0.1-0.2 W; it must not dominate the 2 W static figure.
+	if p > 1*units.Watt {
+		t.Errorf("refresh power implausibly high: %v", p)
+	}
+	if HBM3E.IdlePower() <= HBM3E.StaticPower {
+		t.Error("idle power should include refresh")
+	}
+}
+
+func TestMRMNoRefresh(t *testing.T) {
+	m := MRMSpec(cellphys.RRAM, 24*time.Hour)
+	if m.RefreshPower() != 0 {
+		t.Error("MRM pays no refresh power")
+	}
+	if m.IdlePower() >= HBM3E.IdlePower() {
+		t.Errorf("MRM idle %v should undercut HBM idle %v", m.IdlePower(), HBM3E.IdlePower())
+	}
+}
+
+// The paper's headline: MRM beats HBM on read energy efficiency, density,
+// and idle power while giving up write performance.
+func TestMRMVsHBMHeadline(t *testing.T) {
+	m := MRMSpec(cellphys.RRAM, 24*time.Hour)
+	if m.ReadEnergyPerBit >= HBM3E.ReadEnergyPerBit {
+		t.Errorf("MRM read energy %v should beat HBM %v", m.ReadEnergyPerBit, HBM3E.ReadEnergyPerBit)
+	}
+	if m.Capacity <= HBM3E.Capacity {
+		t.Errorf("MRM stack capacity %v should exceed HBM %v", m.Capacity, HBM3E.Capacity)
+	}
+	if m.ReadBW < HBM3E.ReadBW {
+		t.Errorf("MRM read BW %v should match/exceed HBM %v", m.ReadBW, HBM3E.ReadBW)
+	}
+	if m.WriteBW >= HBM3E.WriteBW {
+		t.Error("MRM write BW should be the sacrificed metric")
+	}
+	if m.BytesPerSecPerWatt() <= HBM3E.BytesPerSecPerWatt() {
+		t.Error("MRM should win read bytes/s/W")
+	}
+}
+
+func TestMRMRetentionSweepEndurance(t *testing.T) {
+	day := MRMSpec(cellphys.RRAM, 24*time.Hour)
+	week := MRMSpec(cellphys.RRAM, 7*24*time.Hour)
+	if day.Endurance <= week.Endurance {
+		t.Error("shorter retention must buy more endurance")
+	}
+}
+
+func TestMRMSpecNames(t *testing.T) {
+	cases := []struct {
+		ret  time.Duration
+		want string
+	}{
+		{24 * time.Hour, "MRM-RRAM@1d"},
+		{time.Hour, "MRM-RRAM@1h"},
+		{30 * time.Minute, "MRM-RRAM@30m"},
+		{10 * units.Year, "MRM-RRAM@10y"},
+		{30 * time.Second, "MRM-RRAM@30s"},
+	}
+	for _, c := range cases {
+		if got := MRMSpec(cellphys.RRAM, c.ret).Name; got != c.want {
+			t.Errorf("name for %v = %q, want %q", c.ret, got, c.want)
+		}
+	}
+}
+
+func TestBytesPerSecPerWatt(t *testing.T) {
+	s := Spec{ReadEnergyPerBit: 1 * units.PicoJoule}
+	// 1 pJ/bit → 0.125e12 bytes per joule.
+	got := s.BytesPerSecPerWatt()
+	want := 1.25e11
+	if got < want*0.99 || got > want*1.01 {
+		t.Errorf("BytesPerSecPerWatt = %g, want ~%g", got, want)
+	}
+	if (Spec{}).BytesPerSecPerWatt() != 0 {
+		t.Error("zero energy should yield 0, not +Inf")
+	}
+}
+
+func TestAtTemperature(t *testing.T) {
+	hot := HBM3E.AtTemperature(95)
+	if hot.RefreshInterval != HBM3E.RefreshInterval/2 {
+		t.Errorf("95C refresh interval = %v, want half of %v", hot.RefreshInterval, HBM3E.RefreshInterval)
+	}
+	if hot.RefreshPower() <= HBM3E.RefreshPower() {
+		t.Error("hot HBM must pay more refresh power")
+	}
+	if !strings.Contains(hot.Name, "95C") {
+		t.Errorf("name = %q", hot.Name)
+	}
+	// At or below the rating point: unchanged.
+	if cool := HBM3E.AtTemperature(85); cool.RefreshInterval != HBM3E.RefreshInterval {
+		t.Error("85C should be the rating point")
+	}
+	// Non-refreshing devices are unaffected.
+	mrm := MRMSpec(cellphys.RRAM, 24*time.Hour)
+	if hotMRM := mrm.AtTemperature(105); hotMRM.RefreshPower() != 0 || hotMRM.Name != mrm.Name {
+		t.Error("MRM has no refresh to derate")
+	}
+}

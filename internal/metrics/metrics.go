@@ -1,0 +1,311 @@
+// Package metrics provides the measurement primitives used by the simulator:
+// atomic counters, Welford mean/variance accumulators, log-bucketed
+// histograms with percentile queries, and a registry that renders snapshots.
+// All types are safe for concurrent use unless noted otherwise.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n may not be negative).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("metrics: Counter.Add with negative delta")
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		nv := math.Float64frombits(old) + delta
+		if g.bits.CompareAndSwap(old, math.Float64bits(nv)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Welford accumulates running mean and variance without storing samples.
+// It is not safe for concurrent use; wrap with a mutex or shard per goroutine.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Observe adds a sample.
+func (w *Welford) Observe(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Count returns the number of samples.
+func (w *Welford) Count() int64 { return w.n }
+
+// Mean returns the sample mean (0 if empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance (0 for n < 2).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest observed sample (0 if empty).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observed sample (0 if empty).
+func (w *Welford) Max() float64 { return w.max }
+
+// Histogram is a log-bucketed histogram of non-negative float samples.
+// Bucket i covers [base*growth^i, base*growth^(i+1)). It answers approximate
+// percentile queries with relative error bounded by the growth factor.
+type Histogram struct {
+	mu      sync.Mutex
+	base    float64
+	logG    float64
+	buckets map[int]int64
+	zero    int64 // samples below base
+	count   int64
+	sum     float64
+	max     float64
+}
+
+// NewHistogram creates a histogram with the given smallest resolvable value
+// and per-bucket growth factor (e.g. 1.1 for 10% resolution).
+func NewHistogram(base, growth float64) *Histogram {
+	if base <= 0 || growth <= 1 {
+		panic("metrics: invalid histogram parameters")
+	}
+	return &Histogram{base: base, logG: math.Log(growth), buckets: make(map[int]int64)}
+}
+
+// Observe adds a sample; negative samples panic.
+func (h *Histogram) Observe(x float64) {
+	if x < 0 || math.IsNaN(x) {
+		panic(fmt.Sprintf("metrics: invalid histogram sample %v", x))
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += x
+	if x > h.max {
+		h.max = x
+	}
+	if x < h.base {
+		h.zero++
+		return
+	}
+	i := int(math.Floor(math.Log(x/h.base) / h.logG))
+	h.buckets[i]++
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the exact mean of the observed samples.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Max returns the exact maximum of the observed samples.
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns an approximation of the q-th quantile (q in [0,1]).
+// It returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic("metrics: quantile out of range")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	if target <= h.zero {
+		return 0
+	}
+	seen := h.zero
+	idx := make([]int, 0, len(h.buckets))
+	for i := range h.buckets {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	for _, i := range idx {
+		seen += h.buckets[i]
+		if seen >= target {
+			// Return the geometric midpoint of the bucket.
+			lo := h.base * math.Exp(float64(i)*h.logG)
+			hi := lo * math.Exp(h.logG)
+			return math.Sqrt(lo * hi)
+		}
+	}
+	return h.max
+}
+
+// Snapshot captures commonly reported statistics.
+type Snapshot struct {
+	Count          int64
+	Mean, P50      float64
+	P90, P99, P999 float64
+	Max            float64
+}
+
+// Snapshot returns the current statistics.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+		Max:   h.Max(),
+	}
+}
+
+// Registry is a named collection of metrics for bulk reporting.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram with default
+// parameters (base 1e-9, 5% buckets) suitable for latencies in seconds.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(1e-9, 1.05)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Each calls fn for every metric in deterministic (sorted) order with a
+// one-line rendering of its value.
+func (r *Registry) Each(fn func(name, value string)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for n := range r.counters {
+		names = append(names, "c:"+n)
+	}
+	for n := range r.gauges {
+		names = append(names, "g:"+n)
+	}
+	for n := range r.histograms {
+		names = append(names, "h:"+n)
+	}
+	sort.Strings(names)
+	for _, tagged := range names {
+		kind, n := tagged[:1], tagged[2:]
+		switch kind {
+		case "c":
+			fn(n, fmt.Sprintf("%d", r.counters[n].Value()))
+		case "g":
+			fn(n, fmt.Sprintf("%g", r.gauges[n].Value()))
+		case "h":
+			s := r.histograms[n].Snapshot()
+			fn(n, fmt.Sprintf("n=%d mean=%.4g p50=%.4g p99=%.4g max=%.4g",
+				s.Count, s.Mean, s.P50, s.P99, s.Max))
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d, want 5", c.Value())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("Value = %d, want 8000", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(3.5)
+	g.Add(-1.5)
+	if g.Value() != 2.0 {
+		t.Fatalf("Value = %v, want 2.0", g.Value())
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 4000 {
+		t.Fatalf("Value = %v, want 4000", g.Value())
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Observe(x)
+	}
+	if w.Count() != 8 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", w.Mean())
+	}
+	// Population variance is 4; unbiased sample variance is 32/7.
+	if math.Abs(w.Var()-32.0/7.0) > 1e-12 {
+		t.Errorf("Var = %v, want %v", w.Var(), 32.0/7.0)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.Stddev() != 0 {
+		t.Fatal("empty Welford should report zeros")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(1e-6, 1.01)
+	for i := 1; i <= 10000; i++ {
+		h.Observe(float64(i))
+	}
+	for _, tc := range []struct {
+		q, want float64
+	}{{0.5, 5000}, {0.9, 9000}, {0.99, 9900}} {
+		got := h.Quantile(tc.q)
+		if math.Abs(got-tc.want)/tc.want > 0.03 {
+			t.Errorf("Quantile(%v) = %v, want ~%v", tc.q, got, tc.want)
+		}
+	}
+	if h.Max() != 10000 {
+		t.Errorf("Max = %v", h.Max())
+	}
+	if math.Abs(h.Mean()-5000.5) > 1e-6 {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramZeroBucket(t *testing.T) {
+	h := NewHistogram(1.0, 1.5)
+	h.Observe(0)
+	h.Observe(0.5)
+	h.Observe(10)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("Quantile(0.5) = %v, want 0 (two of three samples below base)", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(1, 2)
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	h := NewHistogram(1, 2)
+	mustPanic(t, func() { h.Observe(-1) })
+	mustPanic(t, func() { h.Quantile(1.5) })
+	mustPanic(t, func() { NewHistogram(0, 2) })
+	mustPanic(t, func() { NewHistogram(1, 1) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	h := NewHistogram(1e-3, 1.05)
+	for i := 0; i < 100; i++ {
+		h.Observe(1.0)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Errorf("Count = %d", s.Count)
+	}
+	if math.Abs(s.P50-1.0) > 0.1 {
+		t.Errorf("P50 = %v, want ~1", s.P50)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reads").Add(3)
+	r.Gauge("occupancy").Set(0.7)
+	r.Histogram("latency").Observe(0.001)
+	// Same name returns same instance.
+	if r.Counter("reads").Value() != 3 {
+		t.Fatal("counter identity broken")
+	}
+	var lines []string
+	r.Each(func(name, value string) { lines = append(lines, name+"="+value) })
+	if len(lines) != 3 {
+		t.Fatalf("Each visited %d metrics, want 3", len(lines))
+	}
+	joined := strings.Join(lines, ";")
+	for _, want := range []string{"reads=3", "occupancy=0.7", "latency="} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("output %q missing %q", joined, want)
+		}
+	}
+}
+
+// Property: Welford mean is always within [min, max] of its samples.
+func TestWelfordMeanBounds(t *testing.T) {
+	f := func(samples []float64) bool {
+		var w Welford
+		any := false
+		for _, s := range samples {
+			if math.IsNaN(s) || math.IsInf(s, 0) || math.Abs(s) > 1e300 {
+				// Near-overflow magnitudes make the running mean lose all
+				// precision; exclude them as out of the simulator's domain.
+				continue
+			}
+			w.Observe(s)
+			any = true
+		}
+		if !any {
+			return true
+		}
+		return w.Mean() >= w.Min()-1e-9 && w.Mean() <= w.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram quantiles are monotone in q.
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := NewHistogram(1e-6, 1.1)
+	for i := 1; i < 1000; i++ {
+		h.Observe(float64(i * i % 977))
+	}
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}

@@ -1,0 +1,262 @@
+// Package report renders the simulator's outputs: aligned plain-text tables,
+// CSV, and ASCII charts (log-scale bar charts and line series) used to
+// regenerate the paper's figure. Output is deterministic so tests can match
+// it exactly.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row. Cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+func formatFloat(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == math.Trunc(v) && av < 1e7 && av >= 1:
+		return fmt.Sprintf("%.0f", v)
+	case av != 0 && (av >= 1e6 || av < 1e-3):
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// WriteTo renders the table to w.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString("== " + t.Title + " ==\n")
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.headers)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	_, _ = t.WriteTo(&b)
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (headers first).
+// Cells containing commas or quotes are quoted per RFC 4180.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, t.headers)
+	for _, row := range t.rows {
+		writeCSVRow(&b, row)
+	}
+	return b.String()
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			b.WriteString(`"` + strings.ReplaceAll(c, `"`, `""`) + `"`)
+		} else {
+			b.WriteString(c)
+		}
+	}
+	b.WriteByte('\n')
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// BarChart renders named values as a horizontal ASCII bar chart. With Log10
+// set, bar length is proportional to log10(value), which is how the paper's
+// Figure 1 presents endurance (orders of magnitude).
+type BarChart struct {
+	Title  string
+	Log10  bool
+	Width  int // bar area width in characters; default 60
+	labels []string
+	values []float64
+	marks  []rune // per-bar fill rune; default '#'
+}
+
+// Add appends a bar.
+func (b *BarChart) Add(label string, value float64) { b.AddMark(label, value, '#') }
+
+// AddMark appends a bar drawn with the given fill rune (useful to distinguish
+// "product" vs "technology potential" series in one chart).
+func (b *BarChart) AddMark(label string, value float64, mark rune) {
+	b.labels = append(b.labels, label)
+	b.values = append(b.values, value)
+	b.marks = append(b.marks, mark)
+}
+
+// String renders the chart.
+func (b *BarChart) String() string {
+	width := b.Width
+	if width <= 0 {
+		width = 60
+	}
+	maxLabel := 0
+	for _, l := range b.labels {
+		if len(l) > maxLabel {
+			maxLabel = len(l)
+		}
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range b.values {
+		x := b.scale(v)
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if len(b.values) == 0 || hi <= lo {
+		hi = lo + 1
+	}
+	var sb strings.Builder
+	if b.Title != "" {
+		sb.WriteString("== " + b.Title + " ==\n")
+	}
+	for i, l := range b.labels {
+		frac := (b.scale(b.values[i]) - lo) / (hi - lo)
+		n := int(math.Round(frac * float64(width)))
+		if n < 1 && b.values[i] > 0 {
+			n = 1
+		}
+		sb.WriteString(pad(l, maxLabel))
+		sb.WriteString(" |")
+		sb.WriteString(strings.Repeat(string(b.marks[i]), n))
+		sb.WriteString(fmt.Sprintf(" %s\n", formatSci(b.values[i])))
+	}
+	return sb.String()
+}
+
+func (b *BarChart) scale(v float64) float64 {
+	if b.Log10 {
+		if v <= 0 {
+			return 0
+		}
+		return math.Log10(v)
+	}
+	return v
+}
+
+func formatSci(v float64) string {
+	if v == 0 {
+		return "0"
+	}
+	av := math.Abs(v)
+	if av >= 1e4 || av < 1e-2 {
+		return fmt.Sprintf("%.2e", v)
+	}
+	return formatFloat(v)
+}
+
+// Series is a named (x, y) series for line output.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// SeriesTable renders one or more series as a shared-x table: the series must
+// have identical X vectors (the usual output of a parameter sweep).
+func SeriesTable(title, xName string, series ...*Series) (*Table, error) {
+	if len(series) == 0 {
+		return nil, fmt.Errorf("report: no series")
+	}
+	n := len(series[0].X)
+	headers := []string{xName}
+	for _, s := range series {
+		if len(s.X) != n {
+			return nil, fmt.Errorf("report: series %q has %d points, want %d", s.Name, len(s.X), n)
+		}
+		headers = append(headers, s.Name)
+	}
+	t := NewTable(title, headers...)
+	for i := 0; i < n; i++ {
+		cells := make([]interface{}, 0, len(series)+1)
+		cells = append(cells, series[0].X[i])
+		for _, s := range series {
+			if s.X[i] != series[0].X[i] {
+				return nil, fmt.Errorf("report: series %q x[%d]=%v differs from %v", s.Name, i, s.X[i], series[0].X[i])
+			}
+			cells = append(cells, s.Y[i])
+		}
+		t.AddRow(cells...)
+	}
+	return t, nil
+}

@@ -1,0 +1,143 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Demo", "name", "value")
+	tab.AddRow("alpha", 1.5)
+	tab.AddRow("beta", 42)
+	out := tab.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Errorf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.5") {
+		t.Errorf("missing row: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	if tab.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tab.NumRows())
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tab := NewTable("", "a", "bbbb")
+	tab.AddRow("xxxxxxx", "y")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// header line and data line should start columns at the same offset
+	hdr, data := lines[0], lines[2]
+	if strings.Index(hdr, "bbbb") != strings.Index(data, "y") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{1, "1"},
+		{1000000, "1000000"},
+		{1.5, "1.5"},
+		{0.000123, "0.000123"},
+		{1.23e-7, "1.23e-07"},
+		{3.14159e8, "3.14e+08"},
+	}
+	for _, c := range cases {
+		if got := formatFloat(c.in); got != c.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tab := NewTable("", "k", "v")
+	tab.AddRow("plain", "1")
+	tab.AddRow("with,comma", `with"quote`)
+	csv := tab.CSV()
+	want := "k,v\nplain,1\n\"with,comma\",\"with\"\"quote\"\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestBarChartLog(t *testing.T) {
+	var b BarChart
+	b.Title = "Endurance"
+	b.Log10 = true
+	b.Width = 40
+	b.Add("flash", 1e5)
+	b.Add("dram", 1e15)
+	out := b.String()
+	if !strings.Contains(out, "1.00e+05") || !strings.Contains(out, "1.00e+15") {
+		t.Errorf("missing values: %q", out)
+	}
+	// dram bar must be longer than flash bar
+	flashBar := strings.Count(strings.Split(out, "\n")[1], "#")
+	dramBar := strings.Count(strings.Split(out, "\n")[2], "#")
+	if dramBar <= flashBar {
+		t.Errorf("log bars wrong: flash=%d dram=%d\n%s", flashBar, dramBar, out)
+	}
+}
+
+func TestBarChartMarks(t *testing.T) {
+	var b BarChart
+	b.AddMark("prod", 10, '#')
+	b.AddMark("potential", 100, '+')
+	out := b.String()
+	if !strings.Contains(out, "+") {
+		t.Errorf("missing custom mark: %q", out)
+	}
+}
+
+func TestBarChartZeroAndEmpty(t *testing.T) {
+	var b BarChart
+	if got := b.String(); got != "" {
+		t.Errorf("empty chart rendered %q", got)
+	}
+	b.Add("zero", 0)
+	if out := b.String(); !strings.Contains(out, "zero") {
+		t.Errorf("zero bar missing: %q", out)
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	s1 := &Series{Name: "hbm"}
+	s2 := &Series{Name: "mrm"}
+	for i := 1; i <= 3; i++ {
+		s1.Add(float64(i), float64(i*10))
+		s2.Add(float64(i), float64(i*20))
+	}
+	tab, err := SeriesTable("Sweep", "batch", s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	for _, want := range []string{"batch", "hbm", "mrm", "30", "60"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSeriesTableErrors(t *testing.T) {
+	if _, err := SeriesTable("x", "x"); err == nil {
+		t.Error("no series should error")
+	}
+	s1 := &Series{Name: "a"}
+	s1.Add(1, 1)
+	s2 := &Series{Name: "b"}
+	if _, err := SeriesTable("x", "x", s1, s2); err == nil {
+		t.Error("length mismatch should error")
+	}
+	s2.Add(2, 2)
+	if _, err := SeriesTable("x", "x", s1, s2); err == nil {
+		t.Error("x mismatch should error")
+	}
+}

@@ -1,0 +1,520 @@
+// Package tier implements the tiered-memory control plane of §4: a manager
+// that places inference data structures (weights, KV pages, activations)
+// across heterogeneous memory backends — HBM, MRM, LPDDR — according to a
+// placement policy, tracks per-tier traffic and energy, and supports
+// migration. The paper's claim under test (E7) is that retention-aware
+// placement beats bandwidth-ordered static placement on tokens/joule at
+// equal or better throughput.
+package tier
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mrm/internal/core"
+	"mrm/internal/memdev"
+	"mrm/internal/units"
+)
+
+// ObjectID names an object across the tiered store.
+type ObjectID uint64
+
+// Meta describes an object for placement decisions.
+type Meta struct {
+	Kind     core.DataKind
+	Size     units.Bytes
+	Lifetime time.Duration
+	// ReadHot marks data on the per-token read path (weights, live KV).
+	ReadHot bool
+}
+
+// Info summarizes a tier for policies.
+type Info struct {
+	Index            int
+	Name             string
+	Capacity         units.Bytes
+	Free             units.Bytes
+	ReadBW           units.Bandwidth
+	ReadEnergyPerBit units.Energy
+	Managed          bool          // an MRM tier
+	MaxRetention     time.Duration // longest retention class (managed only)
+}
+
+// Policy decides which tier an object lands in.
+type Policy interface {
+	Name() string
+	// Place returns the index of the chosen tier, or an error if nothing
+	// fits. tiers are presented in manager order.
+	Place(m Meta, tiers []Info) (int, error)
+}
+
+// Backend is a memory tier implementation.
+type Backend interface {
+	Name() string
+	Info() Info
+	Put(m Meta) (handle uint64, lat time.Duration, err error)
+	Get(handle uint64) (lat time.Duration, err error)
+	Delete(handle uint64) error
+	Tick(dt time.Duration) error
+	// Energy returns total energy consumed so far.
+	Energy() units.Energy
+	// Traffic returns cumulative bytes read and written.
+	Traffic() (read, written units.Bytes)
+}
+
+// ---- Device-backed tier (HBM / LPDDR / DDR) ----
+
+// DeviceTier wraps a raw memdev.Device with a first-fit allocator.
+type DeviceTier struct {
+	name string
+	dev  *memdev.Device
+	// free is a sorted list of free extents.
+	free    []span
+	objects map[uint64]span
+	nextID  uint64
+	freeB   units.Bytes
+}
+
+type span struct {
+	addr, size units.Bytes
+}
+
+// NewDeviceTier builds a tier over a device spec.
+func NewDeviceTier(name string, spec memdev.Spec) (*DeviceTier, error) {
+	dev, err := memdev.NewDevice(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &DeviceTier{
+		name:    name,
+		dev:     dev,
+		free:    []span{{addr: 0, size: spec.Capacity}},
+		objects: make(map[uint64]span),
+		freeB:   spec.Capacity,
+	}, nil
+}
+
+// Name returns the tier name.
+func (d *DeviceTier) Name() string { return d.name }
+
+// Info reports placement-relevant properties.
+func (d *DeviceTier) Info() Info {
+	s := d.dev.Spec()
+	return Info{
+		Name:             d.name,
+		Capacity:         s.Capacity,
+		Free:             d.freeB,
+		ReadBW:           s.ReadBW,
+		ReadEnergyPerBit: s.ReadEnergyPerBit,
+	}
+}
+
+// Put allocates and writes an object.
+func (d *DeviceTier) Put(m Meta) (uint64, time.Duration, error) {
+	if m.Size == 0 {
+		return 0, 0, fmt.Errorf("tier: zero-size object")
+	}
+	for i, f := range d.free {
+		if f.size >= m.Size {
+			sp := span{addr: f.addr, size: m.Size}
+			if f.size == m.Size {
+				d.free = append(d.free[:i], d.free[i+1:]...)
+			} else {
+				d.free[i] = span{addr: f.addr + m.Size, size: f.size - m.Size}
+			}
+			res, err := d.dev.WriteAt(sp.addr, sp.size)
+			if err != nil {
+				return 0, 0, err
+			}
+			id := d.nextID
+			d.nextID++
+			d.objects[id] = sp
+			d.freeB -= m.Size
+			return id, res.Latency, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("tier: %s full (need %v, free %v)", d.name, m.Size, d.freeB)
+}
+
+// Get reads an object.
+func (d *DeviceTier) Get(handle uint64) (time.Duration, error) {
+	sp, ok := d.objects[handle]
+	if !ok {
+		return 0, fmt.Errorf("tier: %s has no object %d", d.name, handle)
+	}
+	res, err := d.dev.ReadAt(sp.addr, sp.size)
+	if err != nil {
+		return 0, err
+	}
+	return res.Latency, nil
+}
+
+// Delete frees an object, coalescing adjacent free spans.
+func (d *DeviceTier) Delete(handle uint64) error {
+	sp, ok := d.objects[handle]
+	if !ok {
+		return fmt.Errorf("tier: %s has no object %d", d.name, handle)
+	}
+	delete(d.objects, handle)
+	d.freeB += sp.size
+	i := sort.Search(len(d.free), func(i int) bool { return d.free[i].addr > sp.addr })
+	d.free = append(d.free, span{})
+	copy(d.free[i+1:], d.free[i:])
+	d.free[i] = sp
+	// Coalesce with neighbours.
+	if i+1 < len(d.free) && d.free[i].addr+d.free[i].size == d.free[i+1].addr {
+		d.free[i].size += d.free[i+1].size
+		d.free = append(d.free[:i+1], d.free[i+2:]...)
+	}
+	if i > 0 && d.free[i-1].addr+d.free[i-1].size == d.free[i].addr {
+		d.free[i-1].size += d.free[i].size
+		d.free = append(d.free[:i], d.free[i+1:]...)
+	}
+	return nil
+}
+
+// Tick advances device time (charging static + refresh energy).
+func (d *DeviceTier) Tick(dt time.Duration) error { return d.dev.Advance(dt) }
+
+// Energy returns the device's total energy.
+func (d *DeviceTier) Energy() units.Energy { return d.dev.Energy().Total() }
+
+// Traffic returns cumulative bytes moved.
+func (d *DeviceTier) Traffic() (units.Bytes, units.Bytes) {
+	st := d.dev.Stats()
+	return st.ReadBytes, st.WriteBytes
+}
+
+// ---- MRM-backed tier ----
+
+// MRMTier adapts a core.MRM as a tier backend.
+type MRMTier struct {
+	name string
+	mrm  *core.MRM
+}
+
+// NewMRMTier wraps an MRM.
+func NewMRMTier(name string, m *core.MRM) *MRMTier {
+	return &MRMTier{name: name, mrm: m}
+}
+
+// Name returns the tier name.
+func (t *MRMTier) Name() string { return t.name }
+
+// MRM exposes the underlying control plane.
+func (t *MRMTier) MRM() *core.MRM { return t.mrm }
+
+// Info reports placement-relevant properties.
+func (t *MRMTier) Info() Info {
+	classes := t.mrm.Classes()
+	s := t.mrm.Spec()
+	return Info{
+		Name:             t.name,
+		Capacity:         t.mrm.Capacity(),
+		Free:             t.mrm.FreeBytes(),
+		ReadBW:           s.ReadBW,
+		ReadEnergyPerBit: s.ReadEnergyPerBit,
+		Managed:          true,
+		MaxRetention:     classes[len(classes)-1],
+	}
+}
+
+// Put stores an object with kind-appropriate expiry policy: soft state
+// (KV, activations) is dropped at expiry; anything else is refreshed.
+func (t *MRMTier) Put(m Meta) (uint64, time.Duration, error) {
+	policy := core.PolicyRefresh
+	if m.Kind == core.KindKVCache || m.Kind == core.KindActivation {
+		policy = core.PolicyDrop
+	}
+	id, lat, err := t.mrm.Put(m.Size, core.WriteOptions{
+		Kind:     m.Kind,
+		Lifetime: m.Lifetime,
+		Policy:   policy,
+	})
+	return uint64(id), lat, err
+}
+
+// Get reads an object.
+func (t *MRMTier) Get(handle uint64) (time.Duration, error) {
+	return t.mrm.Get(core.ObjectID(handle))
+}
+
+// Delete removes an object.
+func (t *MRMTier) Delete(handle uint64) error {
+	return t.mrm.Delete(core.ObjectID(handle))
+}
+
+// Tick advances the MRM control plane.
+func (t *MRMTier) Tick(dt time.Duration) error { return t.mrm.Tick(dt) }
+
+// Energy returns the MRM account total.
+func (t *MRMTier) Energy() units.Energy { return t.mrm.Energy().Total() }
+
+// Traffic returns cumulative bytes moved.
+func (t *MRMTier) Traffic() (units.Bytes, units.Bytes) {
+	st := t.mrm.Stats()
+	return st.BytesRead, st.BytesWritten + st.BytesRefreshed
+}
+
+// ---- Policies ----
+
+// StaticPolicy is the baseline: fill the fastest tier first, overflow down,
+// ignoring data kind and lifetime — how a bandwidth-tiered HBM+LPDDR system
+// behaves without retention awareness.
+type StaticPolicy struct{}
+
+// Name identifies the policy.
+func (StaticPolicy) Name() string { return "static-bandwidth" }
+
+// Place picks the highest-bandwidth tier with room.
+func (StaticPolicy) Place(m Meta, tiers []Info) (int, error) {
+	order := make([]int, len(tiers))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return tiers[order[a]].ReadBW > tiers[order[b]].ReadBW
+	})
+	for _, i := range order {
+		if tiers[i].Free >= m.Size {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("tier: no tier fits %v", m.Size)
+}
+
+// RetentionAwarePolicy implements §4's placement: match data lifetime to
+// tier retention and read-intensity to read efficiency.
+//
+//   - Activations (written every pass) stay in volatile HBM: MRM write energy
+//     and endurance would be wasted on them.
+//   - Weights and KV pages (read-hot, rarely written, lifetime >> HBM
+//     refresh) go to the managed tier when its retention covers them.
+//   - Cold/oversized data overflows to the slow tier.
+type RetentionAwarePolicy struct{}
+
+// Name identifies the policy.
+func (RetentionAwarePolicy) Name() string { return "retention-aware" }
+
+// Place implements Policy.
+func (RetentionAwarePolicy) Place(m Meta, tiers []Info) (int, error) {
+	// Index tiers by role.
+	managed := -1
+	fastest := -1
+	for i, ti := range tiers {
+		if ti.Managed && managed < 0 {
+			managed = i
+		}
+		if !ti.Managed && (fastest < 0 || ti.ReadBW > tiers[fastest].ReadBW) {
+			fastest = i
+		}
+	}
+	var prefer []int
+	switch {
+	case m.Kind == core.KindActivation:
+		// Rewritten every forward pass: volatile memory, no wear, no
+		// retention to manage.
+		prefer = []int{fastest, managed}
+	case m.Kind == core.KindWeights:
+		// Read-hot, immutable, persisted elsewhere: the MRM sweet spot.
+		// Lifetimes beyond the device's retention are covered by the control
+		// plane's refresh policy (cheap: updates are rare).
+		prefer = []int{managed, fastest}
+	case managed >= 0 && m.Lifetime <= tiers[managed].MaxRetention:
+		// Soft state whose lifetime a retention class covers outright.
+		prefer = []int{managed, fastest}
+	default:
+		prefer = []int{fastest, managed}
+	}
+	// Fill in everything else as fallback, cheapest-read first.
+	rest := make([]int, 0, len(tiers))
+	for i := range tiers {
+		seen := false
+		for _, p := range prefer {
+			if p == i {
+				seen = true
+			}
+		}
+		if !seen {
+			rest = append(rest, i)
+		}
+	}
+	sort.SliceStable(rest, func(a, b int) bool {
+		return tiers[rest[a]].ReadBW > tiers[rest[b]].ReadBW
+	})
+	for _, i := range append(prefer, rest...) {
+		if i >= 0 && tiers[i].Free >= m.Size {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("tier: no tier fits %v (%v)", m.Size, m.Kind)
+}
+
+// ---- Manager ----
+
+type placed struct {
+	tier   int
+	handle uint64
+	meta   Meta
+}
+
+// Manager places objects across tiers under a policy.
+type Manager struct {
+	tiers   []Backend
+	policy  Policy
+	objects map[ObjectID]placed
+	nextID  ObjectID
+
+	perTierReads map[int]units.Bytes // bytes read via Get, by tier
+}
+
+// NewManager builds a manager; tier order is preserved for policies.
+func NewManager(policy Policy, tiers ...Backend) (*Manager, error) {
+	if policy == nil || len(tiers) == 0 {
+		return nil, fmt.Errorf("tier: need a policy and at least one tier")
+	}
+	return &Manager{
+		tiers:        tiers,
+		policy:       policy,
+		objects:      make(map[ObjectID]placed),
+		perTierReads: make(map[int]units.Bytes),
+	}, nil
+}
+
+// Policy returns the active policy.
+func (m *Manager) Policy() Policy { return m.policy }
+
+// Tiers returns current tier infos (with indices filled in).
+func (m *Manager) Tiers() []Info {
+	out := make([]Info, len(m.tiers))
+	for i, t := range m.tiers {
+		out[i] = t.Info()
+		out[i].Index = i
+	}
+	return out
+}
+
+// Put places an object per the policy.
+func (m *Manager) Put(meta Meta) (ObjectID, time.Duration, error) {
+	idx, err := m.policy.Place(meta, m.Tiers())
+	if err != nil {
+		return 0, 0, err
+	}
+	if idx < 0 || idx >= len(m.tiers) {
+		return 0, 0, fmt.Errorf("tier: policy chose bad tier %d", idx)
+	}
+	h, lat, err := m.tiers[idx].Put(meta)
+	if err != nil {
+		return 0, 0, err
+	}
+	id := m.nextID
+	m.nextID++
+	m.objects[id] = placed{tier: idx, handle: h, meta: meta}
+	return id, lat, nil
+}
+
+// Get reads an object, returning the read latency and the tier it came from.
+func (m *Manager) Get(id ObjectID) (time.Duration, int, error) {
+	p, ok := m.objects[id]
+	if !ok {
+		return 0, 0, fmt.Errorf("tier: no object %d", id)
+	}
+	lat, err := m.tiers[p.tier].Get(p.handle)
+	if err != nil {
+		return 0, p.tier, err
+	}
+	m.perTierReads[p.tier] += p.meta.Size
+	return lat, p.tier, nil
+}
+
+// Delete removes an object.
+func (m *Manager) Delete(id ObjectID) error {
+	p, ok := m.objects[id]
+	if !ok {
+		return fmt.Errorf("tier: no object %d", id)
+	}
+	delete(m.objects, id)
+	return m.tiers[p.tier].Delete(p.handle)
+}
+
+// Forget drops the manager's record of an object without touching the
+// backend — used when the backend already dropped it (MRM soft-state expiry).
+func (m *Manager) Forget(id ObjectID) {
+	delete(m.objects, id)
+}
+
+// TierOf reports where an object lives.
+func (m *Manager) TierOf(id ObjectID) (int, error) {
+	p, ok := m.objects[id]
+	if !ok {
+		return 0, fmt.Errorf("tier: no object %d", id)
+	}
+	return p.tier, nil
+}
+
+// Migrate moves an object to the given tier (read + rewrite).
+func (m *Manager) Migrate(id ObjectID, to int) error {
+	p, ok := m.objects[id]
+	if !ok {
+		return fmt.Errorf("tier: no object %d", id)
+	}
+	if to < 0 || to >= len(m.tiers) {
+		return fmt.Errorf("tier: bad destination %d", to)
+	}
+	if to == p.tier {
+		return nil
+	}
+	if _, err := m.tiers[p.tier].Get(p.handle); err != nil {
+		return fmt.Errorf("tier: migrate read: %w", err)
+	}
+	h, _, err := m.tiers[to].Put(p.meta)
+	if err != nil {
+		return fmt.Errorf("tier: migrate write: %w", err)
+	}
+	if err := m.tiers[p.tier].Delete(p.handle); err != nil {
+		return fmt.Errorf("tier: migrate cleanup: %w", err)
+	}
+	p.tier, p.handle = to, h
+	m.objects[id] = p
+	return nil
+}
+
+// Tick advances every tier.
+func (m *Manager) Tick(dt time.Duration) error {
+	for _, t := range m.tiers {
+		if err := t.Tick(dt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TotalEnergy sums tier energy.
+func (m *Manager) TotalEnergy() units.Energy {
+	var e units.Energy
+	for _, t := range m.tiers {
+		e += t.Energy()
+	}
+	return e
+}
+
+// ReadTime returns the time to read the given per-tier byte amounts,
+// assuming tiers transfer in parallel (independent links): the max of the
+// per-tier transfer times.
+func (m *Manager) ReadTime(perTier map[int]units.Bytes) time.Duration {
+	var worst time.Duration
+	for idx, n := range perTier {
+		if idx < 0 || idx >= len(m.tiers) || n == 0 {
+			continue
+		}
+		info := m.tiers[idx].Info()
+		if t := info.ReadBW.Time(n); t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// NumObjects returns the live object count.
+func (m *Manager) NumObjects() int { return len(m.objects) }

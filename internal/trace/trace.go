@@ -1,0 +1,318 @@
+// Package trace captures and analyzes memory-access traces produced by the
+// inference simulator, quantifying the workload properties the paper's §2.2
+// claims: read dominance (>1000:1), sequentiality (accesses continue where
+// the previous one ended), and predictability (accesses follow a declared
+// plan). Traces round-trip through CSV for external tooling.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"mrm/internal/units"
+)
+
+// Op is the access direction.
+type Op int
+
+// Operations.
+const (
+	Read Op = iota
+	Write
+)
+
+// String names the op.
+func (o Op) String() string {
+	if o == Read {
+		return "R"
+	}
+	return "W"
+}
+
+// Stream identifies the logical data structure being accessed; sequentiality
+// is meaningful per stream, not across interleaved streams.
+type Stream int
+
+// Streams.
+const (
+	StreamWeights Stream = iota
+	StreamKV
+	StreamActivation
+	StreamOther
+)
+
+// SeqStream returns a per-sequence KV stream id: each inference context is
+// its own append-only address space, so sequentiality and append-only
+// metrics must be computed per sequence.
+func SeqStream(i int) Stream {
+	if i < 0 {
+		panic("trace: negative sequence index")
+	}
+	return Stream(16 + i)
+}
+
+// String names the stream.
+func (s Stream) String() string {
+	switch s {
+	case StreamWeights:
+		return "weights"
+	case StreamKV:
+		return "kv"
+	case StreamActivation:
+		return "act"
+	case StreamOther:
+		return "other"
+	default:
+		return fmt.Sprintf("s%d", int(s))
+	}
+}
+
+func streamFromString(v string) (Stream, error) {
+	switch v {
+	case "weights":
+		return StreamWeights, nil
+	case "kv":
+		return StreamKV, nil
+	case "act":
+		return StreamActivation, nil
+	case "other":
+		return StreamOther, nil
+	default:
+		var n int
+		if _, err := fmt.Sscanf(v, "s%d", &n); err == nil && n >= 0 {
+			return Stream(n), nil
+		}
+		return 0, fmt.Errorf("trace: unknown stream %q", v)
+	}
+}
+
+// Event is one access.
+type Event struct {
+	At     time.Duration
+	Stream Stream
+	Op     Op
+	Addr   units.Bytes
+	Size   units.Bytes
+}
+
+// Log is an append-only event log.
+type Log struct {
+	events []Event
+}
+
+// Append records an event. Events should be appended in time order.
+func (l *Log) Append(e Event) { l.events = append(l.events, e) }
+
+// Len returns the number of events.
+func (l *Log) Len() int { return len(l.events) }
+
+// Events returns the raw events (not a copy; treat as read-only).
+func (l *Log) Events() []Event { return l.events }
+
+// Stats are the aggregate properties of a trace.
+type Stats struct {
+	Events     int
+	ReadBytes  units.Bytes
+	WriteBytes units.Bytes
+	// ReadWriteRatio is bytes read per byte written (0 when nothing written).
+	ReadWriteRatio float64
+	// Sequentiality is the fraction of same-stream accesses that begin
+	// exactly where the stream's previous access ended.
+	Sequentiality float64
+	// AppendOnly is the fraction of writes that never overwrite a
+	// previously written same-stream address (per-stream high-water mark).
+	AppendOnly float64
+}
+
+// Analyze computes statistics over the log.
+func (l *Log) Analyze() Stats {
+	st := Stats{Events: len(l.events)}
+	lastEnd := map[Stream]units.Bytes{}
+	started := map[Stream]bool{}
+	highWater := map[Stream]units.Bytes{}
+	sequential, chained := 0, 0
+	appendOnly, writes := 0, 0
+	for _, e := range l.events {
+		if e.Op == Read {
+			st.ReadBytes += e.Size
+		} else {
+			st.WriteBytes += e.Size
+			writes++
+			if !startedOrBelow(highWater, e) {
+				appendOnly++
+			}
+			if end := e.Addr + e.Size; end > highWater[e.Stream] {
+				highWater[e.Stream] = end
+			}
+		}
+		if started[e.Stream] {
+			chained++
+			if e.Addr == lastEnd[e.Stream] {
+				sequential++
+			}
+		}
+		started[e.Stream] = true
+		lastEnd[e.Stream] = e.Addr + e.Size
+	}
+	if st.WriteBytes > 0 {
+		st.ReadWriteRatio = float64(st.ReadBytes) / float64(st.WriteBytes)
+	}
+	if chained > 0 {
+		st.Sequentiality = float64(sequential) / float64(chained)
+	}
+	if writes > 0 {
+		st.AppendOnly = float64(appendOnly) / float64(writes)
+	}
+	return st
+}
+
+// startedOrBelow reports whether the write lands below the stream's
+// high-water mark (i.e. is an in-place overwrite).
+func startedOrBelow(hw map[Stream]units.Bytes, e Event) bool {
+	return e.Addr < hw[e.Stream]
+}
+
+// WriteCSV streams the log as CSV with a header row.
+func (l *Log) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "at_ns,stream,op,addr,size"); err != nil {
+		return err
+	}
+	for _, e := range l.events {
+		if _, err := fmt.Fprintf(bw, "%d,%s,%s,%d,%d\n",
+			e.At.Nanoseconds(), e.Stream, e.Op, e.Addr, e.Size); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a log written by WriteCSV.
+func ReadCSV(r io.Reader) (*Log, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	l := &Log{}
+	first := true
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if first {
+			first = false
+			if strings.HasPrefix(text, "at_ns") {
+				continue
+			}
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 5 {
+			return nil, fmt.Errorf("trace: line %d: want 5 fields, got %d", line, len(parts))
+		}
+		ns, err := strconv.ParseInt(parts[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", line, err)
+		}
+		stream, err := streamFromString(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", line, err)
+		}
+		var op Op
+		switch parts[2] {
+		case "R":
+			op = Read
+		case "W":
+			op = Write
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown op %q", line, parts[2])
+		}
+		addr, err := strconv.ParseUint(parts[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", line, err)
+		}
+		size, err := strconv.ParseUint(parts[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", line, err)
+		}
+		l.Append(Event{
+			At:     time.Duration(ns),
+			Stream: stream,
+			Op:     op,
+			Addr:   units.Bytes(addr),
+			Size:   units.Bytes(size),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// jsonEvent is the JSONL wire form of an Event.
+type jsonEvent struct {
+	AtNs   int64  `json:"at_ns"`
+	Stream string `json:"stream"`
+	Op     string `json:"op"`
+	Addr   uint64 `json:"addr"`
+	Size   uint64 `json:"size"`
+}
+
+// WriteJSONL streams the log as JSON Lines (one event object per line).
+func (l *Log) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range l.events {
+		je := jsonEvent{
+			AtNs: e.At.Nanoseconds(), Stream: e.Stream.String(),
+			Op: e.Op.String(), Addr: uint64(e.Addr), Size: uint64(e.Size),
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a log written by WriteJSONL.
+func ReadJSONL(r io.Reader) (*Log, error) {
+	dec := json.NewDecoder(r)
+	l := &Log{}
+	line := 0
+	for {
+		var je jsonEvent
+		if err := dec.Decode(&je); err != nil {
+			if errors.Is(err, io.EOF) {
+				return l, nil
+			}
+			return nil, fmt.Errorf("trace: jsonl record %d: %w", line+1, err)
+		}
+		line++
+		stream, err := streamFromString(je.Stream)
+		if err != nil {
+			return nil, fmt.Errorf("trace: jsonl record %d: %w", line, err)
+		}
+		var op Op
+		switch je.Op {
+		case "R":
+			op = Read
+		case "W":
+			op = Write
+		default:
+			return nil, fmt.Errorf("trace: jsonl record %d: unknown op %q", line, je.Op)
+		}
+		l.Append(Event{
+			At:     time.Duration(je.AtNs),
+			Stream: stream,
+			Op:     op,
+			Addr:   units.Bytes(je.Addr),
+			Size:   units.Bytes(je.Size),
+		})
+	}
+}

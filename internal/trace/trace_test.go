@@ -1,0 +1,203 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mrm/internal/units"
+)
+
+func TestOpAndStreamStrings(t *testing.T) {
+	if Read.String() != "R" || Write.String() != "W" {
+		t.Fatal("op names wrong")
+	}
+	for s, want := range map[Stream]string{
+		StreamWeights: "weights", StreamKV: "kv", StreamActivation: "act", StreamOther: "other",
+	} {
+		if s.String() != want {
+			t.Errorf("%d -> %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	var l Log
+	st := l.Analyze()
+	if st.Events != 0 || st.ReadWriteRatio != 0 || st.Sequentiality != 0 {
+		t.Fatalf("empty stats = %+v", st)
+	}
+}
+
+func TestAnalyzeReadWriteRatio(t *testing.T) {
+	var l Log
+	l.Append(Event{Stream: StreamWeights, Op: Read, Addr: 0, Size: 1000})
+	l.Append(Event{Stream: StreamKV, Op: Write, Addr: 0, Size: 10})
+	st := l.Analyze()
+	if st.ReadWriteRatio != 100 {
+		t.Fatalf("ratio = %v, want 100", st.ReadWriteRatio)
+	}
+	if st.ReadBytes != 1000 || st.WriteBytes != 10 {
+		t.Fatalf("bytes = %v/%v", st.ReadBytes, st.WriteBytes)
+	}
+}
+
+func TestSequentialityPerStream(t *testing.T) {
+	var l Log
+	// Weights stream: perfectly sequential.
+	l.Append(Event{Stream: StreamWeights, Op: Read, Addr: 0, Size: 100})
+	l.Append(Event{Stream: StreamWeights, Op: Read, Addr: 100, Size: 100})
+	// KV stream interleaved: also sequential in its own address space.
+	l.Append(Event{Stream: StreamKV, Op: Read, Addr: 5000, Size: 10})
+	l.Append(Event{Stream: StreamKV, Op: Read, Addr: 5010, Size: 10})
+	st := l.Analyze()
+	if st.Sequentiality != 1.0 {
+		t.Fatalf("interleaved-but-per-stream-sequential trace scored %v", st.Sequentiality)
+	}
+	// A random access breaks it.
+	l.Append(Event{Stream: StreamKV, Op: Read, Addr: 0, Size: 10})
+	st = l.Analyze()
+	if st.Sequentiality >= 1.0 {
+		t.Fatalf("random access should lower sequentiality: %v", st.Sequentiality)
+	}
+}
+
+func TestAppendOnlyMetric(t *testing.T) {
+	var l Log
+	l.Append(Event{Stream: StreamKV, Op: Write, Addr: 0, Size: 10})
+	l.Append(Event{Stream: StreamKV, Op: Write, Addr: 10, Size: 10})
+	if st := l.Analyze(); st.AppendOnly != 1.0 {
+		t.Fatalf("append-only writes scored %v", st.AppendOnly)
+	}
+	// In-place overwrite drops the score.
+	l.Append(Event{Stream: StreamKV, Op: Write, Addr: 0, Size: 10})
+	if st := l.Analyze(); st.AppendOnly >= 1.0 {
+		t.Fatalf("overwrite should lower append-only: %v", st.AppendOnly)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	var l Log
+	l.Append(Event{At: time.Microsecond, Stream: StreamWeights, Op: Read, Addr: 4096, Size: units.MiB})
+	l.Append(Event{At: 2 * time.Microsecond, Stream: StreamKV, Op: Write, Addr: 0, Size: 320 * units.KiB})
+	l.Append(Event{At: 3 * time.Microsecond, Stream: StreamActivation, Op: Write, Addr: 8, Size: 16})
+	l.Append(Event{At: 4 * time.Microsecond, Stream: StreamOther, Op: Read, Addr: 1, Size: 2})
+
+	var b strings.Builder
+	if err := l.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != l.Len() {
+		t.Fatalf("round trip lost events: %d != %d", got.Len(), l.Len())
+	}
+	for i, e := range got.Events() {
+		if e != l.Events()[i] {
+			t.Fatalf("event %d: %+v != %+v", i, e, l.Events()[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"at_ns,stream,op,addr,size\n1,2,3\n",
+		"x,weights,R,0,1\n",
+		"1,nostream,R,0,1\n",
+		"1,weights,X,0,1\n",
+		"1,weights,R,abc,1\n",
+		"1,weights,R,0,abc\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	// Blank lines and header-only are fine.
+	l, err := ReadCSV(strings.NewReader("at_ns,stream,op,addr,size\n\n"))
+	if err != nil || l.Len() != 0 {
+		t.Fatalf("header-only parse: %v, %d events", err, l.Len())
+	}
+}
+
+// Property: Analyze byte totals equal the sum of event sizes by op.
+func TestAnalyzeTotalsProperty(t *testing.T) {
+	f := func(sizes []uint16, ops []bool) bool {
+		var l Log
+		var wantR, wantW units.Bytes
+		n := len(sizes)
+		if len(ops) < n {
+			n = len(ops)
+		}
+		for i := 0; i < n; i++ {
+			sz := units.Bytes(sizes[i]) + 1
+			op := Read
+			if ops[i] {
+				op = Write
+				wantW += sz
+			} else {
+				wantR += sz
+			}
+			l.Append(Event{Stream: StreamKV, Op: op, Addr: units.Bytes(i * 100), Size: sz})
+		}
+		st := l.Analyze()
+		return st.ReadBytes == wantR && st.WriteBytes == wantW
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var l Log
+	l.Append(Event{At: time.Microsecond, Stream: StreamWeights, Op: Read, Addr: 4096, Size: units.MiB})
+	l.Append(Event{At: 2 * time.Microsecond, Stream: SeqStream(3), Op: Write, Addr: 0, Size: 320 * units.KiB})
+	var b strings.Builder
+	if err := l.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"stream":"s19"`) {
+		t.Errorf("per-sequence stream not serialized: %q", b.String())
+	}
+	got, err := ReadJSONL(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != l.Len() {
+		t.Fatalf("lost events: %d != %d", got.Len(), l.Len())
+	}
+	for i := range got.Events() {
+		if got.Events()[i] != l.Events()[i] {
+			t.Fatalf("event %d mismatch", i)
+		}
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	cases := []string{
+		`{"at_ns":1,"stream":"nope","op":"R","addr":0,"size":1}`,
+		`{"at_ns":1,"stream":"kv","op":"X","addr":0,"size":1}`,
+		`not json`,
+	}
+	for i, c := range cases {
+		if _, err := ReadJSONL(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	l, err := ReadJSONL(strings.NewReader(""))
+	if err != nil || l.Len() != 0 {
+		t.Fatalf("empty input: %v, %d", err, l.Len())
+	}
+}
+
+func TestSeqStreamPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SeqStream(-1)
+}

@@ -1,0 +1,180 @@
+// Package units defines the physical quantities used throughout the mrm
+// simulator: byte sizes, energy, power, bandwidth, and cost. All quantities
+// are strongly typed so that, e.g., a per-bit energy cannot silently be added
+// to a power. Formatting follows engineering notation (KiB/MiB for sizes,
+// pJ/nJ/µJ for energy).
+package units
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Bytes is a byte count. It is unsigned because capacities and transfer
+// sizes are never negative.
+type Bytes uint64
+
+// Byte-size constants (binary prefixes).
+const (
+	Byte Bytes = 1
+	KiB  Bytes = 1 << 10
+	MiB  Bytes = 1 << 20
+	GiB  Bytes = 1 << 30
+	TiB  Bytes = 1 << 40
+	PiB  Bytes = 1 << 50
+)
+
+// Bits returns the number of bits in b.
+func (b Bytes) Bits() uint64 { return uint64(b) * 8 }
+
+// String formats b with the largest binary prefix that keeps the mantissa
+// above 1, e.g. "1.50 GiB".
+func (b Bytes) String() string {
+	switch {
+	case b >= PiB:
+		return fmt.Sprintf("%.2f PiB", float64(b)/float64(PiB))
+	case b >= TiB:
+		return fmt.Sprintf("%.2f TiB", float64(b)/float64(TiB))
+	case b >= GiB:
+		return fmt.Sprintf("%.2f GiB", float64(b)/float64(GiB))
+	case b >= MiB:
+		return fmt.Sprintf("%.2f MiB", float64(b)/float64(MiB))
+	case b >= KiB:
+		return fmt.Sprintf("%.2f KiB", float64(b)/float64(KiB))
+	default:
+		return fmt.Sprintf("%d B", uint64(b))
+	}
+}
+
+// GB returns b expressed in decimal gigabytes (as used in $/GB pricing).
+func (b Bytes) GB() float64 { return float64(b) / 1e9 }
+
+// MulF scales b by a non-negative float, rounding to the nearest byte.
+func (b Bytes) MulF(f float64) Bytes {
+	if f < 0 {
+		panic("units: negative byte scale factor")
+	}
+	return Bytes(math.Round(float64(b) * f))
+}
+
+// Energy is an amount of energy in joules.
+type Energy float64
+
+// Energy constants.
+const (
+	Joule      Energy = 1
+	MilliJoule Energy = 1e-3
+	MicroJoule Energy = 1e-6
+	NanoJoule  Energy = 1e-9
+	PicoJoule  Energy = 1e-12
+)
+
+// PerBit converts a per-bit energy into the energy to access n bytes.
+func (e Energy) PerBit(n Bytes) Energy { return e * Energy(n.Bits()) }
+
+// String formats e with an engineering prefix, e.g. "3.90 pJ".
+func (e Energy) String() string {
+	abs := math.Abs(float64(e))
+	switch {
+	case abs == 0:
+		return "0 J"
+	case abs >= 1:
+		return fmt.Sprintf("%.3g J", float64(e))
+	case abs >= 1e-3:
+		return fmt.Sprintf("%.3g mJ", float64(e)*1e3)
+	case abs >= 1e-6:
+		return fmt.Sprintf("%.3g µJ", float64(e)*1e6)
+	case abs >= 1e-9:
+		return fmt.Sprintf("%.3g nJ", float64(e)*1e9)
+	default:
+		return fmt.Sprintf("%.3g pJ", float64(e)*1e12)
+	}
+}
+
+// Power is a rate of energy use in watts.
+type Power float64
+
+// Power constants.
+const (
+	Watt      Power = 1
+	MilliWatt Power = 1e-3
+	KiloWatt  Power = 1e3
+)
+
+// Over returns the energy consumed by drawing p for duration d.
+func (p Power) Over(d time.Duration) Energy {
+	return Energy(float64(p) * d.Seconds())
+}
+
+// String formats p, e.g. "12.5 W".
+func (p Power) String() string {
+	abs := math.Abs(float64(p))
+	switch {
+	case abs == 0:
+		return "0 W"
+	case abs >= 1e3:
+		return fmt.Sprintf("%.3g kW", float64(p)/1e3)
+	case abs >= 1:
+		return fmt.Sprintf("%.3g W", float64(p))
+	default:
+		return fmt.Sprintf("%.3g mW", float64(p)*1e3)
+	}
+}
+
+// Div returns the average power of spending e over duration d.
+func (e Energy) Div(d time.Duration) Power {
+	if d <= 0 {
+		return 0
+	}
+	return Power(float64(e) / d.Seconds())
+}
+
+// Bandwidth is a data rate in bytes per second.
+type Bandwidth float64
+
+// Bandwidth constants (decimal, matching vendor spec sheets).
+const (
+	BytePerSec Bandwidth = 1
+	KBps       Bandwidth = 1e3
+	MBps       Bandwidth = 1e6
+	GBps       Bandwidth = 1e9
+	TBps       Bandwidth = 1e12
+)
+
+// Time returns how long transferring n bytes takes at bandwidth bw.
+func (bw Bandwidth) Time(n Bytes) time.Duration {
+	if bw <= 0 {
+		return time.Duration(math.MaxInt64)
+	}
+	sec := float64(n) / float64(bw)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// String formats bw, e.g. "8.00 TB/s".
+func (bw Bandwidth) String() string {
+	switch {
+	case bw >= TBps:
+		return fmt.Sprintf("%.2f TB/s", float64(bw)/1e12)
+	case bw >= GBps:
+		return fmt.Sprintf("%.2f GB/s", float64(bw)/1e9)
+	case bw >= MBps:
+		return fmt.Sprintf("%.2f MB/s", float64(bw)/1e6)
+	case bw >= KBps:
+		return fmt.Sprintf("%.2f KB/s", float64(bw)/1e3)
+	default:
+		return fmt.Sprintf("%.0f B/s", float64(bw))
+	}
+}
+
+// Cost is a monetary amount in US dollars.
+type Cost float64
+
+// String formats c, e.g. "$1234.56".
+func (c Cost) String() string { return fmt.Sprintf("$%.2f", float64(c)) }
+
+// Year is the duration of a (non-leap) year, used for lifetime arithmetic.
+const Year = 365 * 24 * time.Hour
+
+// Seconds converts a duration to float seconds.
+func Seconds(d time.Duration) float64 { return d.Seconds() }

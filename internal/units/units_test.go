@@ -1,0 +1,158 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{0, "0 B"},
+		{512, "512 B"},
+		{KiB, "1.00 KiB"},
+		{1536, "1.50 KiB"},
+		{MiB, "1.00 MiB"},
+		{GiB, "1.00 GiB"},
+		{3 * TiB / 2, "1.50 TiB"},
+		{PiB, "1.00 PiB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Bytes(%d).String() = %q, want %q", uint64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestBytesBits(t *testing.T) {
+	if got := Bytes(3).Bits(); got != 24 {
+		t.Fatalf("Bits() = %d, want 24", got)
+	}
+}
+
+func TestBytesGB(t *testing.T) {
+	if got := Bytes(2e9).GB(); got != 2.0 {
+		t.Fatalf("GB() = %v, want 2.0", got)
+	}
+}
+
+func TestBytesMulF(t *testing.T) {
+	if got := Bytes(100).MulF(1.5); got != 150 {
+		t.Fatalf("MulF = %d, want 150", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MulF(-1) did not panic")
+		}
+	}()
+	Bytes(1).MulF(-1)
+}
+
+func TestEnergyPerBit(t *testing.T) {
+	// 1 pJ/bit over 1 byte = 8 pJ.
+	got := PicoJoule.PerBit(1)
+	if math.Abs(float64(got)-8e-12) > 1e-24 {
+		t.Fatalf("PerBit = %v, want 8e-12", float64(got))
+	}
+}
+
+func TestEnergyString(t *testing.T) {
+	cases := []struct {
+		in   Energy
+		want string
+	}{
+		{0, "0 J"},
+		{1.5, "1.5 J"},
+		{2 * MilliJoule, "2 mJ"},
+		{3 * MicroJoule, "3 µJ"},
+		{4 * NanoJoule, "4 nJ"},
+		{5 * PicoJoule, "5 pJ"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Energy(%g).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestPowerOverAndDiv(t *testing.T) {
+	e := Power(2).Over(3 * time.Second)
+	if e != 6 {
+		t.Fatalf("2W over 3s = %v J, want 6", float64(e))
+	}
+	p := Energy(6).Div(3 * time.Second)
+	if p != 2 {
+		t.Fatalf("6J / 3s = %v W, want 2", float64(p))
+	}
+	if Energy(1).Div(0) != 0 {
+		t.Fatal("Div by zero duration should be 0")
+	}
+}
+
+func TestPowerString(t *testing.T) {
+	if got := (1500 * Watt).String(); got != "1.5 kW" {
+		t.Errorf("got %q", got)
+	}
+	if got := (500 * MilliWatt).String(); got != "500 mW" {
+		t.Errorf("got %q", got)
+	}
+	if got := Power(0).String(); got != "0 W" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestBandwidthTime(t *testing.T) {
+	d := GBps.Time(2e9)
+	if d != 2*time.Second {
+		t.Fatalf("2GB @ 1GB/s = %v, want 2s", d)
+	}
+	if Bandwidth(0).Time(1) <= 0 {
+		t.Fatal("zero bandwidth should take effectively forever")
+	}
+}
+
+func TestBandwidthString(t *testing.T) {
+	if got := (8 * TBps).String(); got != "8.00 TB/s" {
+		t.Errorf("got %q", got)
+	}
+	if got := (500 * BytePerSec).String(); got != "500 B/s" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestCostString(t *testing.T) {
+	if got := Cost(12.345).String(); got != "$12.35" {
+		t.Errorf("got %q", got)
+	}
+}
+
+// Property: Power.Over and Energy.Div are inverses (within float tolerance).
+func TestPowerEnergyRoundTrip(t *testing.T) {
+	f := func(pw uint16, ms uint16) bool {
+		p := Power(float64(pw%1000) + 0.5)
+		d := time.Duration(int64(ms)%100000+1) * time.Millisecond
+		back := p.Over(d).Div(d)
+		return math.Abs(float64(back-p)) < 1e-9*math.Abs(float64(p))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Bandwidth.Time is monotonic in the byte count.
+func TestBandwidthMonotonic(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := Bytes(a), Bytes(b)
+		if x > y {
+			x, y = y, x
+		}
+		return GBps.Time(x) <= GBps.Time(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

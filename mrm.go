@@ -1,0 +1,22 @@
+// Package mrm is the public facade of the Managed-Retention Memory
+// simulator, a reproduction of "Storage Class Memory is Dead, All Hail
+// Managed-Retention Memory: Rethinking Memory for the AI Era" (HotOS 2025).
+//
+// The package exposes one runner per experiment in the paper's evaluation
+// (EXPERIMENTS.md maps each to the paper's figure or claim), built on the
+// internal substrates:
+//
+//   - internal/core — the MRM device + retention control plane (the paper's
+//     contribution)
+//   - internal/cellphys, internal/memdev — cell physics and device models
+//   - internal/ecc — Hamming SECDED and Reed–Solomon codes
+//   - internal/llm, internal/kvcache, internal/cluster — the inference
+//     workload
+//   - internal/tier — retention-aware placement
+//   - internal/endurance, internal/energy — the paper's quantitative
+//     analyses
+//
+// Each Run*/Build* function is deterministic given its seed, returns plain
+// data plus a rendered table, and is exercised by both the cmd/ binaries and
+// the benchmark harness in bench_test.go.
+package mrm

@@ -1,0 +1,620 @@
+package mrm
+
+import (
+	"fmt"
+	"time"
+
+	"mrm/internal/cellphys"
+	"mrm/internal/cluster"
+	"mrm/internal/controller"
+	"mrm/internal/core"
+	"mrm/internal/dist"
+	"mrm/internal/ecc"
+	"mrm/internal/endurance"
+	"mrm/internal/energy"
+	"mrm/internal/ftl"
+	"mrm/internal/kvcache"
+	"mrm/internal/llm"
+	"mrm/internal/memdev"
+	"mrm/internal/report"
+	"mrm/internal/trace"
+	"mrm/internal/units"
+)
+
+// ---- E1: Figure 1 — endurance requirements vs technologies ----
+
+// Figure1Result bundles the dataset and its renderings.
+type Figure1Result struct {
+	Data  endurance.Figure1
+	Chart string
+	Table *report.Table
+}
+
+// RunFigure1 reproduces the paper's Figure 1 for a KV region of the given
+// capacity (the paper's working set is a few tens of GBs per accelerator).
+func RunFigure1(kvBytes units.Bytes) Figure1Result {
+	data := endurance.Compute(kvBytes)
+	return Figure1Result{Data: data, Chart: data.Chart(), Table: data.Table()}
+}
+
+// ---- E2: decode read:write ratio ----
+
+// RatioPoint is one measurement of E2.
+type RatioPoint struct {
+	Batch, Ctx int
+	Ratio      float64
+}
+
+// RunReadWriteRatio sweeps decode batches and context lengths and reports
+// bytes read per byte written (§2.2 claims >1000:1).
+func RunReadWriteRatio(model llm.ModelConfig, acc llm.Accelerator, batches, ctxs []int) ([]RatioPoint, *report.Table, error) {
+	eng, err := llm.NewEngine(model, acc)
+	if err != nil {
+		return nil, nil, err
+	}
+	tab := report.NewTable(fmt.Sprintf("E2: decode read:write ratio (%s)", model.Name),
+		"batch", "ctx", "read_bytes", "write_bytes", "ratio")
+	var pts []RatioPoint
+	for _, b := range batches {
+		for _, ctx := range ctxs {
+			lens := make([]int, b)
+			for i := range lens {
+				lens[i] = ctx
+			}
+			cost, err := eng.DecodeStep(lens)
+			if err != nil {
+				return nil, nil, err
+			}
+			p := RatioPoint{Batch: b, Ctx: ctx, Ratio: cost.ReadWriteRatio()}
+			pts = append(pts, p)
+			tab.AddRow(b, ctx, float64(cost.ReadBytes), float64(cost.WriteBytes), p.Ratio)
+		}
+	}
+	return pts, tab, nil
+}
+
+// ---- E3: capacity breakdown ----
+
+// RunCapacityBreakdown reports weights/KV/activation footprints per model
+// (§2: weights 250 GB–1 TB; KV grows to tens of GB; activations ~10x less).
+func RunCapacityBreakdown(ctx, batch int) *report.Table {
+	tab := report.NewTable(fmt.Sprintf("E3: memory capacity breakdown (ctx=%d, batch=%d)", ctx, batch),
+		"model", "weights", "kv_cache", "activations", "kv/token")
+	for _, m := range llm.Models() {
+		c := ctx
+		if c > m.MaxContext {
+			c = m.MaxContext
+		}
+		ctxs := make([]int, batch)
+		for i := range ctxs {
+			ctxs[i] = c
+		}
+		var kv units.Bytes
+		for _, n := range ctxs {
+			kv += m.KVCacheBytes(n)
+		}
+		tab.AddRow(m.Name, m.WeightBytes().String(), kv.String(),
+			m.ActivationBytes(batch).String(), m.KVBytesPerToken().String())
+	}
+	return tab
+}
+
+// ---- E4: sequentiality & predictability ----
+
+// SequentialityResult is E4's output.
+type SequentialityResult struct {
+	Stats trace.Stats
+	Log   *trace.Log
+	Table *report.Table
+}
+
+// RunSequentiality simulates decode over a paged KV cache and measures the
+// trace properties §2.2 claims: sequential per-stream access, append-only
+// writes, read dominance.
+func RunSequentiality(model llm.ModelConfig, pageTokens, nSeqs, promptLen, steps int, seed uint64) (SequentialityResult, error) {
+	// Prompts sample up to 1.5x promptLen below; size the cache for that.
+	cache, err := kvcache.New(kvcache.Config{
+		PageTokens:      pageTokens,
+		KVBytesPerToken: model.KVBytesPerToken(),
+		CapacityPages:   nSeqs*(promptLen*3/2+steps)/pageTokens + 2*nSeqs,
+	})
+	if err != nil {
+		return SequentialityResult{}, err
+	}
+	rng := dist.NewRNG(seed)
+	log := &trace.Log{}
+	for i := 0; i < nSeqs; i++ {
+		id := kvcache.SeqID(i)
+		if err := cache.NewSequence(id); err != nil {
+			return SequentialityResult{}, err
+		}
+		n := promptLen/2 + rng.Intn(promptLen)
+		if err := cache.Append(id, n); err != nil {
+			return SequentialityResult{}, err
+		}
+	}
+	var now time.Duration
+	weightChunk := 256 * units.MiB
+	wb := model.WeightBytes()
+	for step := 0; step < steps; step++ {
+		// Weights are scanned start-to-finish every step.
+		for off := units.Bytes(0); off < wb; off += weightChunk {
+			sz := weightChunk
+			if off+sz > wb {
+				sz = wb - off
+			}
+			log.Append(trace.Event{At: now, Stream: trace.StreamWeights, Op: trace.Read, Addr: off, Size: sz})
+		}
+		for _, id := range cache.Sequences() {
+			stream := trace.SeqStream(int(id))
+			plan, err := cache.ReadPlan(id)
+			if err != nil {
+				return SequentialityResult{}, err
+			}
+			for _, pr := range plan {
+				log.Append(trace.Event{At: now, Stream: stream, Op: trace.Read, Addr: pr.Addr, Size: pr.Size})
+			}
+			// Append one vector: its write lands at the tail.
+			if len(plan) > 0 {
+				tail := plan[len(plan)-1]
+				log.Append(trace.Event{At: now, Stream: stream, Op: trace.Write,
+					Addr: tail.Addr + tail.Size, Size: model.KVBytesPerToken()})
+			}
+			if err := cache.Append(id, 1); err != nil {
+				return SequentialityResult{}, err
+			}
+		}
+		now += time.Millisecond
+	}
+	st := log.Analyze()
+	tab := report.NewTable("E4: access-pattern properties",
+		"metric", "value")
+	tab.AddRow("events", st.Events)
+	tab.AddRow("read:write ratio", st.ReadWriteRatio)
+	tab.AddRow("sequentiality", st.Sequentiality)
+	tab.AddRow("append-only writes", st.AppendOnly)
+	return SequentialityResult{Stats: st, Log: log, Table: tab}, nil
+}
+
+// ---- E5: HBM refresh & idle housekeeping overhead ----
+
+// RefreshOverheadResult is E5's output.
+type RefreshOverheadResult struct {
+	Rows  []RefreshRow
+	Table *report.Table
+}
+
+// RefreshRow is one device's idle economics.
+type RefreshRow struct {
+	Name          string
+	RefreshPower  units.Power
+	StaticPower   units.Power
+	IdlePerTBDay  units.Energy
+	RefreshShare  float64 // refresh fraction of idle power
+	BankTimeShare float64 // fraction of bank time stolen by refresh
+}
+
+// RunRefreshOverhead quantifies §2.1: HBM pays refresh power even idle;
+// MRM's matched retention makes housekeeping power vanish.
+func RunRefreshOverhead() RefreshOverheadResult {
+	specs := []memdev.Spec{
+		memdev.HBM3E,
+		// §2.1: heat dissipation in tight accelerator packaging — extended-
+		// temperature operation halves the refresh interval per 10°C.
+		memdev.HBM3E.AtTemperature(95),
+		memdev.HBM3E.AtTemperature(105),
+		memdev.DDR5, memdev.LPDDR5X,
+		memdev.MRMSpec(cellphys.RRAM, 24*time.Hour),
+		memdev.MRMSpec(cellphys.STTMRAM, 24*time.Hour),
+	}
+	tab := report.NewTable("E5: idle housekeeping (per device)",
+		"device", "refresh_pwr", "static_pwr", "idle_J_per_TB_day", "refresh_share", "bank_time_share")
+	var rows []RefreshRow
+	for _, s := range specs {
+		day := 24 * time.Hour
+		idle := s.IdlePower().Over(day)
+		perTB := units.Energy(float64(idle) / (float64(s.Capacity) / 1e12))
+		share := 0.0
+		if s.IdlePower() > 0 {
+			share = float64(s.RefreshPower()) / float64(s.IdlePower())
+		}
+		bankShare := 0.0
+		if s.RefreshInterval > 0 {
+			// tRFC-class penalty per refresh slice (see controller defaults).
+			cfg := controller.DefaultSchedConfig(s)
+			slice := s.RefreshInterval / time.Duration(cfg.RefreshSlices)
+			bankShare = float64(cfg.RefreshDuration) / float64(slice+cfg.RefreshDuration)
+		}
+		row := RefreshRow{
+			Name: s.Name, RefreshPower: s.RefreshPower(), StaticPower: s.StaticPower,
+			IdlePerTBDay: perTB, RefreshShare: share, BankTimeShare: bankShare,
+		}
+		rows = append(rows, row)
+		tab.AddRow(s.Name, row.RefreshPower.String(), row.StaticPower.String(),
+			row.IdlePerTBDay.String(), row.RefreshShare, row.BankTimeShare)
+	}
+	return RefreshOverheadResult{Rows: rows, Table: tab}
+}
+
+// ---- E6: device comparison ----
+
+// RunDeviceComparison renders the cross-technology comparison behind §3:
+// read bandwidth, read energy, density, endurance, retention, cost.
+func RunDeviceComparison() *report.Table {
+	tco := energy.DefaultTCO()
+	tab := report.NewTable("E6: device comparison",
+		"device", "class", "cap/stack", "read_bw", "read_pJ/bit", "write_pJ/bit",
+		"retention", "endurance", "$/GB", "$/TB/month", "GB/s/W")
+	for _, s := range memdev.AllSpecs() {
+		tab.AddRow(s.Name, s.Class.String(), s.Capacity.String(), s.ReadBW.String(),
+			float64(s.ReadEnergyPerBit)/1e-12, float64(s.WriteEnergyPerBit)/1e-12,
+			shortDur(s.Retention), fmt.Sprintf("%.0e", s.Endurance),
+			float64(s.CostPerGB), float64(tco.CostPerTBPerMonth(s)),
+			s.BytesPerSecPerWatt()/1e9)
+	}
+	return tab
+}
+
+// ---- E7: serving comparison across memory configurations ----
+
+// MemoryConfig names a buildable memory system for the serving comparison.
+type MemoryConfig int
+
+// Memory configurations under comparison.
+const (
+	HBMOnly MemoryConfig = iota
+	HBMPlusLPDDR
+	HBMPlusMRM
+)
+
+// String names the configuration.
+func (m MemoryConfig) String() string {
+	switch m {
+	case HBMOnly:
+		return "hbm-only"
+	case HBMPlusLPDDR:
+		return "hbm+lpddr"
+	case HBMPlusMRM:
+		return "hbm+mrm"
+	default:
+		return fmt.Sprintf("MemoryConfig(%d)", int(m))
+	}
+}
+
+// BuildMemory constructs the tiered memory for a configuration. Total fast
+// capacity is comparable across configs; the MRM config swaps most HBM for
+// denser, cheaper-to-read MRM, keeping a small HBM tier for activations and
+// partial pages (the paper's co-existence story).
+func BuildMemory(cfg MemoryConfig) (*MemorySystem, error) {
+	return buildMemory(cfg)
+}
+
+// ServingOutcome pairs a config with its serving result.
+type ServingOutcome struct {
+	Config MemoryConfig
+	Result cluster.Result
+}
+
+// ServingParams sizes E7.
+type ServingParams struct {
+	Model      llm.ModelConfig
+	Acc        llm.Accelerator
+	NumReqs    int
+	RatePerSec float64
+	Seed       uint64
+	MaxBatch   int
+	PageTokens int
+}
+
+// DefaultServingParams returns a laptop-scale E7 configuration.
+func DefaultServingParams() ServingParams {
+	return ServingParams{
+		Model: llm.Llama27B, Acc: llm.B200,
+		NumReqs: 24, RatePerSec: 4, Seed: 42,
+		MaxBatch: 8, PageTokens: 16,
+	}
+}
+
+// RunServingComparison runs the same request stream over each memory
+// configuration and reports throughput, latency, and energy efficiency.
+func RunServingComparison(p ServingParams, configs ...MemoryConfig) ([]ServingOutcome, *report.Table, error) {
+	if len(configs) == 0 {
+		configs = []MemoryConfig{HBMOnly, HBMPlusLPDDR, HBMPlusMRM}
+	}
+	gen := cluster.Generator{
+		Workload:   llm.SplitwiseConv,
+		RatePerSec: p.RatePerSec,
+		Mix:        [3]float64{0.4, 0.4, 0.2},
+		MaxContext: p.Model.MaxContext,
+	}
+	tab := report.NewTable(fmt.Sprintf("E7: serving on different memory systems (%s)", p.Model.Name),
+		"memory", "tokens/s", "tokens/kJ", "ttft_p50_s", "tbt_p99_s", "truncated", "mem_bound")
+	var outs []ServingOutcome
+	for _, cfg := range configs {
+		rng := dist.NewRNG(p.Seed) // same stream per config
+		reqs, err := gen.Generate(rng, p.NumReqs)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Shorten the tails so the comparison finishes quickly while still
+		// exercising multi-page contexts.
+		for i := range reqs {
+			if reqs[i].PromptTokens > 512 {
+				reqs[i].PromptTokens = 512
+			}
+			if reqs[i].OutputTokens > 64 {
+				reqs[i].OutputTokens = 64
+			}
+		}
+		mh, err := buildMemory(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		sim, err := cluster.NewSim(cluster.Config{
+			Model: p.Model, Acc: p.Acc, Memory: mh.Manager,
+			PageTokens: p.PageTokens, MaxBatch: p.MaxBatch,
+			KVLifetime: 30 * time.Minute, ScratchTier: mh.ScratchTier,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := sim.Run(reqs)
+		if err != nil {
+			return nil, nil, err
+		}
+		outs = append(outs, ServingOutcome{Config: cfg, Result: res})
+		tab.AddRow(cfg.String(), res.TokensPerSec, res.TokensPerJoule*1000,
+			res.TTFT.P50, res.TBT.P99, res.Truncated, res.MemoryBoundFrac)
+	}
+	return outs, tab, nil
+}
+
+// ---- E8: DCM retention sweep ----
+
+// DCMPoint is one retention class's economics.
+type DCMPoint struct {
+	Retention   time.Duration
+	WriteEnergy units.Energy // per bit
+	WriteLat    time.Duration
+	Endurance   float64
+	// StoreEnergyPerGBDay is the write energy to keep 1 GB alive for a
+	// 1-day data lifetime at this class (rewrites included): the
+	// right-provisioning curve.
+	StoreEnergyPerGBDay units.Energy
+}
+
+// RunDCMSweep quantifies §4's Dynamically Configurable Memory claim: writing
+// at the retention the data needs minimizes energy; over-provisioned
+// retention wastes write energy, under-provisioned retention wastes refresh
+// rewrites.
+func RunDCMSweep(tech cellphys.Technology, dataLifetime time.Duration, classes []time.Duration) ([]DCMPoint, *report.Table, error) {
+	tr := cellphys.ForTechnology(tech)
+	tab := report.NewTable(fmt.Sprintf("E8: DCM retention sweep (%s, data lifetime %s)", tech, shortDur(dataLifetime)),
+		"retention", "write_pJ/bit", "write_lat", "endurance", "store_J_per_GB")
+	var pts []DCMPoint
+	for _, class := range classes {
+		op, err := tr.At(class)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Rewrites needed to cover the data lifetime at this class.
+		writes := 1.0
+		if class < dataLifetime {
+			writes = float64((dataLifetime + class - 1) / class)
+		}
+		perGB := units.Energy(float64(op.WriteEnergy) * 8e9 * writes)
+		p := DCMPoint{
+			Retention: class, WriteEnergy: op.WriteEnergy, WriteLat: op.WriteLatency,
+			Endurance: op.Endurance, StoreEnergyPerGBDay: perGB,
+		}
+		pts = append(pts, p)
+		tab.AddRow(shortDur(class), float64(op.WriteEnergy)/1e-12,
+			op.WriteLatency.String(), fmt.Sprintf("%.1e", op.Endurance), float64(perGB))
+	}
+	return pts, tab, nil
+}
+
+// ---- E9: ECC block-size sweep ----
+
+// ECCPoint is one code's budget.
+type ECCPoint struct {
+	Name         string
+	Spec         ecc.CodeSpec
+	MaxBER       float64
+	ScrubsPerDay float64
+}
+
+// RunECCBlockSweep compares codes of similar overhead at different block
+// sizes against a UBER target, with retention-aware scrub intervals derived
+// from the cell error model (§4 / ref [8]).
+func RunECCBlockSweep(tech cellphys.Technology, retention time.Duration, uberTarget float64) ([]ECCPoint, *report.Table, error) {
+	op, err := cellphys.ForTechnology(tech).At(retention)
+	if err != nil {
+		return nil, nil, err
+	}
+	berAt := func(age time.Duration) float64 {
+		return cellphys.RawBER(op, cellphys.WearState{}, age, cellphys.DefaultBER)
+	}
+	codes := []struct {
+		name string
+		spec ecc.CodeSpec
+	}{
+		{"Hamming(72,64)", ecc.HammingSpec()},
+		{"RS(63,55)", ecc.RSSpec(63, 55)},
+		{"RS(127,111)", ecc.RSSpec(127, 111)},
+		{"RS(255,223)", ecc.RSSpec(255, 223)},
+	}
+	tab := report.NewTable(fmt.Sprintf("E9: ECC block size vs reliability (%s@%s, UBER<=%.0e)",
+		tech, shortDur(retention), uberTarget),
+		"code", "data_bits", "overhead", "max_raw_BER", "scrubs/day")
+	var pts []ECCPoint
+	for _, c := range codes {
+		maxBER := c.spec.MaxBERForUBER(uberTarget)
+		scrubs := 0.0
+		plan, err := ecc.PlanScrub(c.spec, berAt, uberTarget, retention)
+		if err == nil && plan.Interval > 0 {
+			scrubs = (24 * time.Hour).Seconds() / plan.Interval.Seconds()
+		} else if err != nil {
+			scrubs = -1 // cannot meet the target at all
+		}
+		pts = append(pts, ECCPoint{Name: c.name, Spec: c.spec, MaxBER: maxBER, ScrubsPerDay: scrubs})
+		tab.AddRow(c.name, c.spec.DataBits(), c.spec.Overhead(),
+			fmt.Sprintf("%.2e", maxBER), scrubs)
+	}
+	return pts, tab, nil
+}
+
+// ---- E10: host control plane vs device FTL ----
+
+// ControlPlaneResult compares housekeeping write amplification.
+type ControlPlaneResult struct {
+	FTLWriteAmp  float64
+	FTLEraseMax  int
+	FTLEraseMean float64
+	MRMWriteAmp  float64 // host+refresh bytes over host bytes
+	MRMResetMax  int
+	MRMResetMean float64
+	Table        *report.Table
+}
+
+// RunControlPlane replays the same mixed-lifetime KV workload against (a) a
+// device FTL that cannot see lifetimes, and (b) the MRM control plane whose
+// retention classes segregate lifetimes into zones that die wholesale (§4:
+// lightweight controllers, policy lifted into software).
+func RunControlPlane(seed uint64, rounds int) (ControlPlaneResult, error) {
+	rng := dist.NewRNG(seed)
+	// FTL side: logical pages partitioned into short-lived (hot) and
+	// long-lived (cold) contexts, interleaved — the allocator can't separate
+	// them, so GC relocates cold data repeatedly.
+	fcfg := ftl.DefaultConfig()
+	f, err := ftl.New(fcfg)
+	if err != nil {
+		return ControlPlaneResult{}, err
+	}
+	n := f.LogicalPages()
+	cold := n / 2
+	for lpn := 0; lpn < n; lpn++ { // fill
+		if err := f.Write(lpn); err != nil {
+			return ControlPlaneResult{}, err
+		}
+	}
+	for r := 0; r < rounds; r++ {
+		// Hot half churns; cold half stays.
+		for i := 0; i < n/2; i++ {
+			lpn := cold + rng.Intn(n-cold)
+			if err := f.Write(lpn); err != nil {
+				return ControlPlaneResult{}, err
+			}
+		}
+	}
+	fst := f.Stats()
+
+	// MRM side: the same byte volume of short-lived objects, tagged with
+	// their lifetime; zones reset without relocation.
+	mcfg := core.DefaultConfig()
+	mcfg.Capacity = 1 * units.GiB
+	mcfg.ZoneSize = 16 * units.MiB
+	m, err := core.New(mcfg)
+	if err != nil {
+		return ControlPlaneResult{}, err
+	}
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < 8; i++ {
+			if _, _, err := m.Put(16*units.MiB, core.WriteOptions{
+				Kind: core.KindKVCache, Lifetime: 10 * time.Minute, Policy: core.PolicyDrop,
+			}); err != nil {
+				return ControlPlaneResult{}, err
+			}
+		}
+		if err := m.Tick(time.Hour); err != nil {
+			return ControlPlaneResult{}, err
+		}
+	}
+	mst := m.Stats()
+	mWA := 1.0
+	if mst.BytesWritten > 0 {
+		mWA = float64(mst.BytesWritten+mst.BytesRefreshed) / float64(mst.BytesWritten)
+	}
+	maxR, meanR := m.ZoneWearSpread()
+
+	tab := report.NewTable("E10: device FTL vs MRM software control plane",
+		"system", "write_amp", "wear_max", "wear_mean")
+	tab.AddRow("flash-FTL (lifetime-blind)", fst.WriteAmplification, fst.MaxErase, fst.MeanErase)
+	tab.AddRow("MRM control plane (lifetime-aware)", mWA, maxR, meanR)
+	return ControlPlaneResult{
+		FTLWriteAmp: fst.WriteAmplification, FTLEraseMax: fst.MaxErase, FTLEraseMean: fst.MeanErase,
+		MRMWriteAmp: mWA, MRMResetMax: maxR, MRMResetMean: meanR,
+		Table: tab,
+	}, nil
+}
+
+// ---- E11: density roadmap ----
+
+// RunDensityRoadmap compares per-stack capacity scaling (§2.1: HBM4 is only
+// +30%/layer and stacking stalls at 16; resistive crossbars stack on-die).
+func RunDensityRoadmap(model llm.ModelConfig) *report.Table {
+	tab := report.NewTable(fmt.Sprintf("E11: density roadmap (stacks to hold %s weights = %s)",
+		model.Name, model.WeightBytes().String()),
+		"device", "layers", "Gbit/layer", "cap/stack", "stacks_needed")
+	for _, s := range []memdev.Spec{
+		memdev.HBM3E, memdev.HBM4,
+		memdev.MRMSpec(cellphys.RRAM, 24*time.Hour),
+	} {
+		stacks := float64(model.WeightBytes()) / float64(s.Capacity)
+		tab.AddRow(s.Name, s.StackLayers, s.LayerDensityGbit, s.Capacity.String(),
+			fmt.Sprintf("%.1f", stacks))
+	}
+	return tab
+}
+
+// ---- E12: batching & prefix-reuse limits ----
+
+// BatchPoint is one batch size's economics.
+type BatchPoint struct {
+	Batch        int
+	TokensPerSec float64
+	Ratio        float64
+}
+
+// RunBatchingLimits shows that batching amortizes weight reads (throughput
+// grows) but KV reads scale with batch, so the workload stays heavily
+// read-dominated (§2.2), and prefix sharing saves capacity, not read traffic.
+func RunBatchingLimits(model llm.ModelConfig, acc llm.Accelerator, ctx int, batches []int) ([]BatchPoint, *report.Table, error) {
+	eng, err := llm.NewEngine(model, acc)
+	if err != nil {
+		return nil, nil, err
+	}
+	tab := report.NewTable(fmt.Sprintf("E12: batching limits (%s, ctx=%d)", model.Name, ctx),
+		"batch", "tokens/s", "read:write", "read_GB/step")
+	var pts []BatchPoint
+	for _, b := range batches {
+		lens := make([]int, b)
+		for i := range lens {
+			lens[i] = ctx
+		}
+		cost, err := eng.DecodeStep(lens)
+		if err != nil {
+			return nil, nil, err
+		}
+		tps := float64(b) / cost.Time().Seconds()
+		p := BatchPoint{Batch: b, TokensPerSec: tps, Ratio: cost.ReadWriteRatio()}
+		pts = append(pts, p)
+		tab.AddRow(b, tps, p.Ratio, float64(cost.ReadBytes)/1e9)
+	}
+	return pts, tab, nil
+}
+
+func shortDur(d time.Duration) string {
+	switch {
+	case d >= units.Year:
+		return fmt.Sprintf("%.0fy", float64(d)/float64(units.Year))
+	case d >= 24*time.Hour:
+		return fmt.Sprintf("%.0fd", d.Hours()/24)
+	case d >= time.Hour:
+		return fmt.Sprintf("%.0fh", d.Hours())
+	case d >= time.Minute:
+		return fmt.Sprintf("%.0fm", d.Minutes())
+	default:
+		return d.String()
+	}
+}

@@ -1,0 +1,283 @@
+package mrm
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mrm/internal/cellphys"
+	"mrm/internal/llm"
+	"mrm/internal/units"
+)
+
+// E1: the figure's three findings must hold in our reproduction.
+func TestFigure1Findings(t *testing.T) {
+	res := RunFigure1(48 * units.GiB)
+	if len(res.Data.Requirements) != 4 {
+		t.Fatalf("requirements = %d", len(res.Data.Requirements))
+	}
+	if !strings.Contains(res.Chart, "HBM3E") || !strings.Contains(res.Chart, "req:") {
+		t.Error("chart incomplete")
+	}
+	if res.Table.NumRows() < 6 {
+		t.Error("table incomplete")
+	}
+}
+
+// E2: read:write ratio exceeds 1000:1 across the sweep and grows with
+// context length.
+func TestReadWriteRatioShape(t *testing.T) {
+	pts, tab, err := RunReadWriteRatio(llm.Llama2_70B, llm.B200,
+		[]int{1, 8, 32}, []int{1024, 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 6 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	for _, p := range pts {
+		if p.Ratio < 1000 {
+			t.Errorf("batch %d ctx %d: ratio %v < 1000", p.Batch, p.Ctx, p.Ratio)
+		}
+	}
+	// Within a batch, longer context → more KV read per vector written.
+	if pts[1].Ratio <= pts[0].Ratio {
+		t.Errorf("ratio should grow with context: %v then %v", pts[0].Ratio, pts[1].Ratio)
+	}
+}
+
+// E3 renders a row per model.
+func TestCapacityBreakdown(t *testing.T) {
+	tab := RunCapacityBreakdown(4096, 16)
+	if tab.NumRows() != len(llm.Models()) {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	out := tab.String()
+	for _, want := range []string{"Llama2-70B", "Frontier-500B", "GiB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+// E4: the trace is overwhelmingly sequential, append-only, read-dominated.
+func TestSequentialityShape(t *testing.T) {
+	res, err := RunSequentiality(llm.Llama2_70B, 16, 4, 256, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Sequentiality < 0.7 {
+		t.Errorf("sequentiality = %v, want high", res.Stats.Sequentiality)
+	}
+	if res.Stats.AppendOnly < 0.999 {
+		t.Errorf("append-only = %v, want ~1", res.Stats.AppendOnly)
+	}
+	if res.Stats.ReadWriteRatio < 1000 {
+		t.Errorf("ratio = %v", res.Stats.ReadWriteRatio)
+	}
+	if res.Log.Len() == 0 || res.Table.NumRows() != 4 {
+		t.Error("outputs incomplete")
+	}
+}
+
+// E5: HBM pays refresh power; MRM rows pay none.
+func TestRefreshOverheadShape(t *testing.T) {
+	res := RunRefreshOverhead()
+	byName := map[string]RefreshRow{}
+	for _, r := range res.Rows {
+		byName[r.Name] = r
+	}
+	if byName["HBM3E"].RefreshPower <= 0 || byName["HBM3E"].BankTimeShare <= 0 {
+		t.Error("HBM must pay refresh")
+	}
+	for name, r := range byName {
+		if strings.HasPrefix(name, "MRM-") {
+			if r.RefreshPower != 0 || r.BankTimeShare != 0 {
+				t.Errorf("%s pays refresh", name)
+			}
+			if r.IdlePerTBDay >= byName["HBM3E"].IdlePerTBDay {
+				t.Errorf("%s idle J/TB/day %v should beat HBM %v",
+					name, r.IdlePerTBDay, byName["HBM3E"].IdlePerTBDay)
+			}
+		}
+	}
+}
+
+// E6 covers the whole spec database.
+func TestDeviceComparisonShape(t *testing.T) {
+	tab := RunDeviceComparison()
+	out := tab.String()
+	for _, want := range []string{"HBM3E", "NAND-TLC", "Optane-PCM", "MRM-RRAM@1d", "managed-retention"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+// E7: the serving comparison's headline — hbm+mrm wins tokens/joule without
+// losing throughput.
+func TestServingComparisonShape(t *testing.T) {
+	p := DefaultServingParams()
+	p.NumReqs = 10
+	outs, tab, err := RunServingComparison(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 3 || tab.NumRows() != 3 {
+		t.Fatalf("outcomes = %d", len(outs))
+	}
+	byCfg := map[MemoryConfig]ServingOutcome{}
+	for _, o := range outs {
+		byCfg[o.Config] = o
+		if o.Result.Completed+o.Result.Truncated == 0 {
+			t.Fatalf("%v served nothing", o.Config)
+		}
+	}
+	hbm := byCfg[HBMOnly].Result
+	mrm := byCfg[HBMPlusMRM].Result
+	if mrm.TokensPerJoule <= hbm.TokensPerJoule {
+		t.Errorf("tokens/J: mrm %v should beat hbm-only %v", mrm.TokensPerJoule, hbm.TokensPerJoule)
+	}
+	if mrm.TokensPerSec < hbm.TokensPerSec*0.8 {
+		t.Errorf("tokens/s: mrm %v should be within 20%% of hbm-only %v", mrm.TokensPerSec, hbm.TokensPerSec)
+	}
+}
+
+func TestMemoryConfigString(t *testing.T) {
+	if HBMOnly.String() != "hbm-only" || HBMPlusLPDDR.String() != "hbm+lpddr" ||
+		HBMPlusMRM.String() != "hbm+mrm" {
+		t.Fatal("config names wrong")
+	}
+	if !strings.Contains(MemoryConfig(9).String(), "9") {
+		t.Fatal("unknown config should include number")
+	}
+	if _, err := BuildMemory(MemoryConfig(9)); err == nil {
+		t.Fatal("unknown config should error")
+	}
+	for _, cfg := range []MemoryConfig{HBMOnly, HBMPlusLPDDR, HBMPlusMRM} {
+		ms, err := BuildMemory(cfg)
+		if err != nil || ms.Manager == nil || ms.Description == "" {
+			t.Errorf("BuildMemory(%v): %v", cfg, err)
+		}
+	}
+}
+
+// E8: write energy falls and endurance rises as retention is relaxed, and
+// the store-energy curve is minimized at the right-provisioned class.
+func TestDCMSweepShape(t *testing.T) {
+	classes := []time.Duration{
+		time.Minute, time.Hour, 24 * time.Hour, 30 * 24 * time.Hour, 10 * units.Year,
+	}
+	pts, tab, err := RunDCMSweep(cellphys.RRAM, 24*time.Hour, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != len(classes) {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].WriteEnergy < pts[i-1].WriteEnergy {
+			t.Error("write energy should not fall with longer retention")
+		}
+		if pts[i].Endurance > pts[i-1].Endurance {
+			t.Error("endurance should not rise with longer retention")
+		}
+	}
+	// Store-energy optimum at the class matching the 1-day data lifetime.
+	best := 0
+	for i, p := range pts {
+		if p.StoreEnergyPerGBDay < pts[best].StoreEnergyPerGBDay {
+			best = i
+		}
+	}
+	if classes[best] != 24*time.Hour {
+		t.Errorf("store-energy optimum at %v, want 24h (right provisioning)", classes[best])
+	}
+	if _, _, err := RunDCMSweep(cellphys.RRAM, time.Hour, []time.Duration{time.Nanosecond}); err == nil {
+		t.Error("invalid class should error")
+	}
+}
+
+// E9: at similar overhead, longer codes tolerate more raw BER.
+func TestECCBlockSweepShape(t *testing.T) {
+	pts, tab, err := RunECCBlockSweep(cellphys.RRAM, 24*time.Hour, 1e-18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 4 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	byName := map[string]ECCPoint{}
+	for _, p := range pts {
+		byName[p.Name] = p
+	}
+	if byName["RS(255,223)"].MaxBER <= byName["RS(63,55)"].MaxBER {
+		t.Error("longer code should tolerate more BER")
+	}
+	if byName["Hamming(72,64)"].MaxBER >= byName["RS(255,223)"].MaxBER {
+		t.Error("SECDED should be the weakest")
+	}
+	if _, _, err := RunECCBlockSweep(cellphys.RRAM, time.Nanosecond, 1e-18); err == nil {
+		t.Error("invalid retention should error")
+	}
+}
+
+// E10: the lifetime-blind FTL amplifies writes; the MRM control plane does
+// not, and keeps wear even.
+func TestControlPlaneShape(t *testing.T) {
+	res, err := RunControlPlane(3, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FTLWriteAmp <= 1.05 {
+		t.Errorf("FTL WA = %v, want amplification under mixed lifetimes", res.FTLWriteAmp)
+	}
+	if res.MRMWriteAmp > 1.01 {
+		t.Errorf("MRM WA = %v, want ~1 (zones die wholesale)", res.MRMWriteAmp)
+	}
+	if res.MRMResetMean <= 0 {
+		t.Error("MRM should have churned zones")
+	}
+	if float64(res.MRMResetMax) > res.MRMResetMean*2.5 {
+		t.Errorf("MRM wear spread too wide: max %d mean %v", res.MRMResetMax, res.MRMResetMean)
+	}
+	if res.Table.NumRows() != 2 {
+		t.Error("table incomplete")
+	}
+}
+
+// E11 shows MRM stacks hold the model in fewer packages.
+func TestDensityRoadmapShape(t *testing.T) {
+	tab := RunDensityRoadmap(llm.Frontier500B)
+	out := tab.String()
+	if !strings.Contains(out, "HBM4") || !strings.Contains(out, "MRM-RRAM@1d") {
+		t.Errorf("missing rows:\n%s", out)
+	}
+	if tab.NumRows() != 3 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+}
+
+// E12: throughput grows sublinearly with batch; read dominance persists.
+func TestBatchingLimitsShape(t *testing.T) {
+	batches := []int{1, 4, 16, 64}
+	pts, tab, err := RunBatchingLimits(llm.GPT3_175B, llm.B200, 4096, batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != len(batches) {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].TokensPerSec <= pts[i-1].TokensPerSec {
+			t.Error("throughput should grow with batch")
+		}
+		if pts[i].Ratio < 1000 {
+			t.Errorf("batch %d: ratio %v below 1000", pts[i].Batch, pts[i].Ratio)
+		}
+	}
+	// Sublinear: 64x batch gives far less than 64x throughput.
+	if pts[3].TokensPerSec/pts[0].TokensPerSec > 40 {
+		t.Error("batching should be sublinear (KV reads scale with batch)")
+	}
+}

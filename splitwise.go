@@ -1,0 +1,315 @@
+package mrm
+
+// E27: phase-split serving (Splitwise [37]) and E28: speculative decoding
+// (SpecInfer [31]) — the serving-stack techniques the paper cites, modeled
+// for their memory consequences.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"mrm/internal/cluster"
+	"mrm/internal/dist"
+	"mrm/internal/llm"
+	"mrm/internal/report"
+	"mrm/internal/units"
+)
+
+// SplitResult is the E27 outcome for one serving architecture.
+type SplitResult struct {
+	Name          string
+	TokensPerSec  float64
+	TBTP99        float64
+	TBTMax        float64
+	TTFTP99       float64 // end-to-end: arrival → first token
+	TransferBytes units.Bytes
+}
+
+// RunPhaseSplit compares aggregated serving (every node does prefill and
+// decode) against Splitwise-style phase splitting (dedicated prefill nodes
+// compute KV caches and ship them over the interconnect to decode nodes).
+// Splitting removes prefill interference from the decode batch — bounding
+// TBT — at the price of KV transfer traffic and a small TTFT hop.
+func RunPhaseSplit(p ServingParams, prefillNodes, decodeNodes int, interconnect units.Bandwidth) ([]SplitResult, *report.Table, error) {
+	if prefillNodes <= 0 || decodeNodes <= 0 {
+		return nil, nil, fmt.Errorf("mrm: need positive node counts")
+	}
+	if interconnect <= 0 {
+		return nil, nil, fmt.Errorf("mrm: need positive interconnect bandwidth")
+	}
+	gen := cluster.Generator{
+		Workload:   llm.SplitwiseConv,
+		RatePerSec: p.RatePerSec,
+		Mix:        [3]float64{0.4, 0.4, 0.2},
+		MaxContext: p.Model.MaxContext,
+	}
+	mkReqs := func() ([]cluster.Request, error) {
+		rng := dist.NewRNG(p.Seed)
+		reqs, err := gen.Generate(rng, p.NumReqs)
+		if err != nil {
+			return nil, err
+		}
+		for i := range reqs {
+			// Long prompts make prefill interference visible.
+			reqs[i].PromptTokens = 2048
+			if reqs[i].OutputTokens > 64 {
+				reqs[i].OutputTokens = 64
+			}
+		}
+		return reqs, nil
+	}
+	newSim := func() (*cluster.Sim, error) {
+		ms, err := buildMemory(HBMPlusMRM)
+		if err != nil {
+			return nil, err
+		}
+		return cluster.NewSim(cluster.Config{
+			Model: p.Model, Acc: p.Acc, Memory: ms.Manager,
+			PageTokens: p.PageTokens, MaxBatch: p.MaxBatch,
+			KVLifetime: 30 * time.Minute, ScratchTier: ms.ScratchTier,
+		})
+	}
+	tab := report.NewTable(
+		fmt.Sprintf("E27: aggregated vs phase-split serving (%s, %d+%d nodes, %s interconnect)",
+			p.Model.Name, prefillNodes, decodeNodes, interconnect.String()),
+		"architecture", "tokens/s", "tbt_p99_s", "tbt_max_s", "ttft_p99_s", "kv_transferred")
+	var out []SplitResult
+
+	// Aggregated baseline: all nodes serve both phases.
+	total := prefillNodes + decodeNodes
+	reqs, err := mkReqs()
+	if err != nil {
+		return nil, nil, err
+	}
+	fleet, err := cluster.NewFleet(total, func(int) (*cluster.Sim, error) { return newSim() })
+	if err != nil {
+		return nil, nil, err
+	}
+	aggRes, err := fleet.Run(reqs)
+	if err != nil {
+		return nil, nil, err
+	}
+	aggTTFT, aggTBT, aggTBTMax := 0.0, 0.0, 0.0
+	for _, nr := range aggRes.PerNode {
+		if nr.TTFT.P99 > aggTTFT {
+			aggTTFT = nr.TTFT.P99
+		}
+		if nr.TBT.P99 > aggTBT {
+			aggTBT = nr.TBT.P99
+		}
+		if nr.TBT.Max > aggTBTMax {
+			aggTBTMax = nr.TBT.Max
+		}
+	}
+	agg := SplitResult{
+		Name: "aggregated", TokensPerSec: aggRes.TokensPerSec,
+		TBTP99: aggTBT, TBTMax: aggTBTMax, TTFTP99: aggTTFT,
+	}
+	out = append(out, agg)
+	tab.AddRow(agg.Name, agg.TokensPerSec, agg.TBTP99, agg.TBTMax, agg.TTFTP99, "0 B")
+
+	// Phase split: a prefill pool computes KV caches FCFS, then ships them.
+	reqs, err = mkReqs()
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].Arrival < reqs[j].Arrival })
+	eng, err := llm.NewEngine(p.Model, p.Acc)
+	if err != nil {
+		return nil, nil, err
+	}
+	free := make([]time.Duration, prefillNodes) // per-prefill-node next-free time
+	var transfer units.Bytes
+	queueDelay := make(map[uint64]time.Duration, len(reqs))
+	for i := range reqs {
+		r := &reqs[i]
+		cost, err := eng.Prefill([]int{r.PromptTokens})
+		if err != nil {
+			return nil, nil, err
+		}
+		// Earliest-free prefill node.
+		best := 0
+		for n := 1; n < prefillNodes; n++ {
+			if free[n] < free[best] {
+				best = n
+			}
+		}
+		start := r.Arrival
+		if free[best] > start {
+			start = free[best]
+		}
+		done := start + cost.Time()
+		free[best] = done
+		kv := p.Model.KVCacheBytes(r.PromptTokens)
+		transfer += kv
+		ready := done + interconnect.Time(kv)
+		queueDelay[r.ID] = ready - r.Arrival
+		r.Arrival = ready
+		r.Prefilled = true
+	}
+	decodeFleet, err := cluster.NewFleet(decodeNodes, func(int) (*cluster.Sim, error) { return newSim() })
+	if err != nil {
+		return nil, nil, err
+	}
+	splitRes, err := decodeFleet.Run(reqs)
+	if err != nil {
+		return nil, nil, err
+	}
+	// End-to-end TTFT p99 ≈ p99 of (prefill+transfer delay) + decode-side
+	// TTFT p99 (an upper bound: the two maxima need not coincide).
+	splitTBT, splitTBTMax, splitTTFTDecode := 0.0, 0.0, 0.0
+	for _, nr := range splitRes.PerNode {
+		if nr.TBT.P99 > splitTBT {
+			splitTBT = nr.TBT.P99
+		}
+		if nr.TBT.Max > splitTBTMax {
+			splitTBTMax = nr.TBT.Max
+		}
+		if nr.TTFT.P99 > splitTTFTDecode {
+			splitTTFTDecode = nr.TTFT.P99
+		}
+	}
+	delays := make([]float64, 0, len(queueDelay))
+	for _, d := range queueDelay {
+		delays = append(delays, d.Seconds())
+	}
+	sort.Float64s(delays)
+	p99Delay := delays[int(math.Ceil(0.99*float64(len(delays))))-1]
+	split := SplitResult{
+		Name:          "phase-split",
+		TokensPerSec:  splitRes.TokensPerSec,
+		TBTP99:        splitTBT,
+		TBTMax:        splitTBTMax,
+		TTFTP99:       p99Delay + splitTTFTDecode,
+		TransferBytes: transfer,
+	}
+	out = append(out, split)
+	tab.AddRow(split.Name, split.TokensPerSec, split.TBTP99, split.TBTMax, split.TTFTP99, transfer.String())
+	return out, tab, nil
+}
+
+// ---- E28: speculative decoding ----
+
+// SpecPoint is one (draft depth, acceptance) configuration.
+type SpecPoint struct {
+	K                  int     // draft tokens per round
+	Alpha              float64 // per-token acceptance probability
+	TokensPerRound     float64
+	Speedup            float64 // tokens/s over plain decode
+	WeightReadPerToken units.Bytes
+}
+
+// RunSpeculative models draft-then-verify decoding (SpecInfer [31]): a small
+// draft model proposes K tokens; the target verifies them in one fused pass
+// that reads the target weights once. Expected accepted tokens per round is
+// (1-α^(K+1))/(1-α); weight-read traffic per emitted token falls by that
+// factor — speculative decoding is a *memory-bandwidth* optimization, which
+// is why the paper lists it among the OS mechanisms of §4.
+func RunSpeculative(target, draft llm.ModelConfig, acc llm.Accelerator, ctx int,
+	ks []int, alphas []float64) ([]SpecPoint, *report.Table, error) {
+	if err := target.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := draft.Validate(); err != nil {
+		return nil, nil, err
+	}
+	eng, err := llm.NewEngine(target, acc)
+	if err != nil {
+		return nil, nil, err
+	}
+	engD, err := llm.NewEngine(draft, acc)
+	if err != nil {
+		return nil, nil, err
+	}
+	base, err := eng.DecodeStep([]int{ctx})
+	if err != nil {
+		return nil, nil, err
+	}
+	baseTPS := 1 / base.Time().Seconds()
+	tab := report.NewTable(
+		fmt.Sprintf("E28: speculative decoding (%s drafted by %s, ctx=%d)", target.Name, draft.Name, ctx),
+		"k", "alpha", "tokens/round", "speedup", "weight_GB_per_token")
+	var pts []SpecPoint
+	for _, k := range ks {
+		if k < 1 {
+			return nil, nil, fmt.Errorf("mrm: draft depth %d", k)
+		}
+		for _, a := range alphas {
+			if a <= 0 || a >= 1 {
+				return nil, nil, fmt.Errorf("mrm: acceptance %v outside (0,1)", a)
+			}
+			// Expected emitted tokens per round (including the bonus token
+			// from the verification pass).
+			accepted := (1 - math.Pow(a, float64(k)+1)) / (1 - a)
+			// Draft: k small-model decode steps.
+			dCost, err := engD.DecodeStep([]int{ctx})
+			if err != nil {
+				return nil, nil, err
+			}
+			// Verify: one target pass over k tokens — weights once, KV once,
+			// compute for k tokens.
+			vRead := target.WeightReadBytes(1) + target.KVCacheBytes(ctx)
+			vTime := maxDur(
+				eng.TimeForFLOPs(float64(k)*target.FLOPsPerToken(ctx)),
+				(acc.MemBW * units.Bandwidth(0.8)).Time(vRead),
+			)
+			roundTime := time.Duration(k)*dCost.Time() + vTime
+			tps := accepted / roundTime.Seconds()
+			p := SpecPoint{
+				K: k, Alpha: a,
+				TokensPerRound:     accepted,
+				Speedup:            tps / baseTPS,
+				WeightReadPerToken: units.Bytes(float64(vRead) / accepted),
+			}
+			pts = append(pts, p)
+			tab.AddRow(k, a, accepted, p.Speedup, float64(p.WeightReadPerToken)/1e9)
+		}
+	}
+	return pts, tab, nil
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ---- E29: accelerators needed per model ----
+
+// PlacementPoint is one model's per-node memory demand.
+type PlacementPoint struct {
+	Model     string
+	Footprint units.Bytes
+	HBMNodes  int // B200-style 192 GiB nodes needed for capacity
+	MRMNodes  int // 24 GiB HBM + 384 GiB MRM nodes
+}
+
+// RunAcceleratorCount reports how many accelerator packages each model needs
+// purely for memory capacity (weights + a batch of KV) on HBM-only vs
+// HBM+MRM nodes — the paper's density argument in deployment units.
+func RunAcceleratorCount(ctx, batch int) ([]PlacementPoint, *report.Table) {
+	tab := report.NewTable(fmt.Sprintf("E29: packages needed for capacity (ctx=%d, batch=%d)", ctx, batch),
+		"model", "footprint", "hbm_nodes(192GiB)", "hbm+mrm_nodes(408GiB)")
+	hbmCap := 192 * units.GiB
+	mrmCap := (24 + 384) * units.GiB
+	var pts []PlacementPoint
+	for _, m := range llm.Models() {
+		c := ctx
+		if c > m.MaxContext {
+			c = m.MaxContext
+		}
+		foot := m.WeightBytes() + m.KVCacheBytes(c)*units.Bytes(batch) + m.ActivationBytes(batch)
+		p := PlacementPoint{
+			Model:     m.Name,
+			Footprint: foot,
+			HBMNodes:  int(math.Ceil(float64(foot) / float64(hbmCap))),
+			MRMNodes:  int(math.Ceil(float64(foot) / float64(mrmCap))),
+		}
+		pts = append(pts, p)
+		tab.AddRow(m.Name, foot.String(), p.HBMNodes, p.MRMNodes)
+	}
+	return pts, tab
+}

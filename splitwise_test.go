@@ -1,0 +1,112 @@
+package mrm
+
+import (
+	"testing"
+
+	"mrm/internal/llm"
+	"mrm/internal/units"
+)
+
+// E27: phase splitting bounds decode TBT relative to aggregated serving.
+func TestPhaseSplit(t *testing.T) {
+	p := DefaultServingParams()
+	p.NumReqs = 12
+	p.RatePerSec = 20 // pressure: prefills collide with decodes
+	outs, tab, err := RunPhaseSplit(p, 1, 1, 200*units.GBps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 || tab.NumRows() != 2 {
+		t.Fatalf("outcomes = %d", len(outs))
+	}
+	agg, split := outs[0], outs[1]
+	if split.TBTMax >= agg.TBTMax {
+		t.Errorf("phase-split TBT max %v should beat aggregated %v (no prefill stalls)",
+			split.TBTMax, agg.TBTMax)
+	}
+	if split.TransferBytes == 0 {
+		t.Error("phase split must ship KV over the interconnect")
+	}
+	if agg.TransferBytes != 0 {
+		t.Error("aggregated serving ships nothing")
+	}
+	if split.TTFTP99 <= 0 {
+		t.Error("end-to-end TTFT missing")
+	}
+}
+
+func TestPhaseSplitValidation(t *testing.T) {
+	p := DefaultServingParams()
+	if _, _, err := RunPhaseSplit(p, 0, 1, units.GBps); err == nil {
+		t.Error("zero prefill nodes should error")
+	}
+	if _, _, err := RunPhaseSplit(p, 1, 1, 0); err == nil {
+		t.Error("zero interconnect should error")
+	}
+}
+
+// E28: speculative decoding speeds up memory-bound decode and cuts weight
+// traffic per emitted token, improving with acceptance rate.
+func TestSpeculative(t *testing.T) {
+	pts, tab, err := RunSpeculative(llm.Llama2_70B, llm.Llama27B, llm.B200, 2048,
+		[]int{2, 4, 8}, []float64{0.5, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 6 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	byKA := map[[2]float64]SpecPoint{}
+	for _, p := range pts {
+		byKA[[2]float64{float64(p.K), p.Alpha}] = p
+	}
+	// Good acceptance at k=4 should beat plain decode.
+	if p := byKA[[2]float64{4, 0.8}]; p.Speedup <= 1 {
+		t.Errorf("k=4 α=0.8 speedup = %v, want > 1", p.Speedup)
+	}
+	// Higher acceptance → more tokens per round and less weight traffic.
+	lo, hi := byKA[[2]float64{4, 0.5}], byKA[[2]float64{4, 0.8}]
+	if hi.TokensPerRound <= lo.TokensPerRound {
+		t.Error("tokens/round should grow with acceptance")
+	}
+	if hi.WeightReadPerToken >= lo.WeightReadPerToken {
+		t.Error("weight traffic per token should fall with acceptance")
+	}
+	// Per-token weight traffic must be below plain decode's full read.
+	if hi.WeightReadPerToken >= llm.Llama2_70B.WeightBytes() {
+		t.Error("verification should amortize weight reads")
+	}
+	if _, _, err := RunSpeculative(llm.Llama2_70B, llm.Llama27B, llm.B200, 128,
+		[]int{0}, []float64{0.5}); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, _, err := RunSpeculative(llm.Llama2_70B, llm.Llama27B, llm.B200, 128,
+		[]int{2}, []float64{1.5}); err == nil {
+		t.Error("alpha out of range should error")
+	}
+}
+
+// E29: MRM nodes hold big models in fewer packages.
+func TestAcceleratorCount(t *testing.T) {
+	pts, tab := RunAcceleratorCount(8192, 8)
+	if tab.NumRows() != len(llm.Models()) {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	for _, p := range pts {
+		if p.MRMNodes > p.HBMNodes {
+			t.Errorf("%s: MRM nodes %d should never exceed HBM nodes %d", p.Model, p.MRMNodes, p.HBMNodes)
+		}
+	}
+	// The frontier model must need several HBM packages but few MRM ones.
+	for _, p := range pts {
+		if p.Model == "Frontier-500B" {
+			if p.HBMNodes < 5 {
+				t.Errorf("frontier on HBM = %d nodes, want >= 5", p.HBMNodes)
+			}
+			if p.MRMNodes > p.HBMNodes/2 {
+				t.Errorf("frontier on MRM = %d nodes vs %d HBM; want at least 2x density win",
+					p.MRMNodes, p.HBMNodes)
+			}
+		}
+	}
+}
