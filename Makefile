@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test bench run-experiments cover fmt
+.PHONY: all build vet test bench bench-json run-experiments cover fmt
 
 all: build vet test
 
@@ -10,11 +10,21 @@ build:
 vet:
 	go vet ./...
 
+# test vets first, then runs the suite twice: once plain, once under the race
+# detector (the parallel sweep engine makes every driver a concurrency test).
 test:
+	go vet ./...
 	go test ./...
+	go test -race ./...
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# bench-json captures the sweep-engine scaling benchmarks (workers=1 vs
+# workers=NumCPU) as test2json event lines for regression tracking.
+bench-json:
+	go test -json -run '^$$' -bench '^BenchmarkSweep' -benchmem . > BENCH_sweep.json
+	@grep -c '"Action"' BENCH_sweep.json >/dev/null && echo "wrote BENCH_sweep.json"
 
 run-experiments:
 	go run ./cmd/mrmsim

@@ -5,6 +5,7 @@ package mrm
 // (keep-vs-recompute, idle KV offload, model swap, multi-level cells).
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"mrm/internal/llm"
 	"mrm/internal/memdev"
 	"mrm/internal/report"
+	"mrm/internal/sweep"
 	"mrm/internal/units"
 )
 
@@ -51,34 +53,48 @@ func RunClassCountAblation(tech cellphys.Technology, classCounts []int, samples 
 	tab := report.NewTable(fmt.Sprintf("E13: retention-class-count ablation (%s)", tech),
 		"classes", "store_J_per_GB", "retention_waste")
 	var pts []ClassCountPoint
+	// One sweep cell per sampled lifetime; each cell's (energy, waste)
+	// contribution comes back in sample order and the float sums below run
+	// serially over that order, so the means are bit-identical to the old
+	// serial loop at any worker count.
+	type contrib struct{ j, waste float64 }
 	for _, k := range classCounts {
 		if k < 1 {
 			return nil, nil, fmt.Errorf("mrm: class count %d", k)
 		}
 		classes := geomSpace(minRet, maxRet, k)
-		var sumJ, sumWaste float64
-		for _, life := range lifetimes {
-			class := classes[len(classes)-1]
-			for _, c := range classes {
-				if c >= life {
-					class = c
-					break
+		contribs, err := sweep.Map(context.Background(), sweep.Config{}, lifetimes,
+			func(_ context.Context, _ sweep.Cell, life time.Duration) (contrib, error) {
+				class := classes[len(classes)-1]
+				for _, c := range classes {
+					if c >= life {
+						class = c
+						break
+					}
 				}
-			}
-			op, err := tr.At(class)
-			if err != nil {
-				return nil, nil, err
-			}
-			writes := 1.0
-			if class < life {
-				writes = math.Ceil(float64(life) / float64(class))
-			}
-			sumJ += float64(op.WriteEnergy) * 8e9 * writes
-			if class >= life {
-				sumWaste += float64(class) / float64(life)
-			} else {
-				sumWaste += 1 // refreshed exactly to fit
-			}
+				op, err := tr.At(class)
+				if err != nil {
+					return contrib{}, err
+				}
+				writes := 1.0
+				if class < life {
+					writes = math.Ceil(float64(life) / float64(class))
+				}
+				out := contrib{j: float64(op.WriteEnergy) * 8e9 * writes}
+				if class >= life {
+					out.waste = float64(class) / float64(life)
+				} else {
+					out.waste = 1 // refreshed exactly to fit
+				}
+				return out, nil
+			})
+		if err != nil {
+			return nil, nil, err
+		}
+		var sumJ, sumWaste float64
+		for _, c := range contribs {
+			sumJ += c.j
+			sumWaste += c.waste
 		}
 		p := ClassCountPoint{
 			Classes:            k,
@@ -123,60 +139,67 @@ type PageSizePoint struct {
 // read stream; big pages read perfectly sequentially but strand capacity in
 // partial pages. The paper's ">10 vectors per page" sits at the knee.
 func RunPageSizeAblation(model llm.ModelConfig, pageSizes []int, nSeqs int, seed uint64) ([]PageSizePoint, *report.Table, error) {
+	// One sweep cell per page size: each cell re-seeds its own RNG from the
+	// caller's seed (so every page size sees the same sequence-length
+	// population, exactly as the serial loop did) and builds a private cache.
+	pts, err := sweep.Map(context.Background(), sweep.Config{}, pageSizes,
+		func(_ context.Context, _ sweep.Cell, pt int) (PageSizePoint, error) {
+			rng := dist.NewRNG(seed)
+			ln := dist.Lognormal{Median: 512, Sigma: 0.8}
+			cache, err := kvcache.New(kvcache.Config{
+				PageTokens:      pt,
+				KVBytesPerToken: model.KVBytesPerToken(),
+				CapacityPages:   nSeqs * (8192/pt + 2),
+			})
+			if err != nil {
+				return PageSizePoint{}, err
+			}
+			totalRanges, reads := 0, 0
+			seqFrac := 0.0
+			for i := 0; i < nSeqs; i++ {
+				id := kvcache.SeqID(i)
+				if err := cache.NewSequence(id); err != nil {
+					return PageSizePoint{}, err
+				}
+				n := int(dist.Clamp(ln.Sample(rng), 1, 8192))
+				if err := cache.Append(id, n); err != nil {
+					return PageSizePoint{}, err
+				}
+				plan, err := cache.ReadPlan(id)
+				if err != nil {
+					return PageSizePoint{}, err
+				}
+				totalRanges += len(plan)
+				reads++
+				// Sequential fraction within this read plan: ranges that start
+				// exactly where the previous ended.
+				if len(plan) > 1 {
+					seq := 0
+					for j := 1; j < len(plan); j++ {
+						if plan[j].Addr == plan[j-1].Addr+plan[j-1].Size {
+							seq++
+						}
+					}
+					seqFrac += float64(seq) / float64(len(plan)-1)
+				} else {
+					seqFrac += 1
+				}
+			}
+			st := cache.Stats()
+			return PageSizePoint{
+				PageTokens:    pt,
+				Utilization:   st.Utilization,
+				RangesPerRead: float64(totalRanges) / float64(reads),
+				Sequentiality: seqFrac / float64(reads),
+			}, nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
 	tab := report.NewTable(fmt.Sprintf("E14: KV page-size ablation (%s, %d seqs)", model.Name, nSeqs),
 		"page_tokens", "utilization", "ranges_per_read", "sequentiality")
-	var pts []PageSizePoint
-	for _, pt := range pageSizes {
-		rng := dist.NewRNG(seed)
-		ln := dist.Lognormal{Median: 512, Sigma: 0.8}
-		cache, err := kvcache.New(kvcache.Config{
-			PageTokens:      pt,
-			KVBytesPerToken: model.KVBytesPerToken(),
-			CapacityPages:   nSeqs * (8192/pt + 2),
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		totalRanges, reads := 0, 0
-		seqFrac := 0.0
-		for i := 0; i < nSeqs; i++ {
-			id := kvcache.SeqID(i)
-			if err := cache.NewSequence(id); err != nil {
-				return nil, nil, err
-			}
-			n := int(dist.Clamp(ln.Sample(rng), 1, 8192))
-			if err := cache.Append(id, n); err != nil {
-				return nil, nil, err
-			}
-			plan, err := cache.ReadPlan(id)
-			if err != nil {
-				return nil, nil, err
-			}
-			totalRanges += len(plan)
-			reads++
-			// Sequential fraction within this read plan: ranges that start
-			// exactly where the previous ended.
-			if len(plan) > 1 {
-				seq := 0
-				for j := 1; j < len(plan); j++ {
-					if plan[j].Addr == plan[j-1].Addr+plan[j-1].Size {
-						seq++
-					}
-				}
-				seqFrac += float64(seq) / float64(len(plan)-1)
-			} else {
-				seqFrac += 1
-			}
-		}
-		st := cache.Stats()
-		p := PageSizePoint{
-			PageTokens:    pt,
-			Utilization:   st.Utilization,
-			RangesPerRead: float64(totalRanges) / float64(reads),
-			Sequentiality: seqFrac / float64(reads),
-		}
-		pts = append(pts, p)
-		tab.AddRow(pt, p.Utilization, p.RangesPerRead, p.Sequentiality)
+	for _, p := range pts {
+		tab.AddRow(p.PageTokens, p.Utilization, p.RangesPerRead, p.Sequentiality)
 	}
 	return pts, tab, nil
 }

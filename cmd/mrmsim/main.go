@@ -3,13 +3,18 @@
 //
 // Usage:
 //
-//	mrmsim [-exp e1,e7] [-kv-gib 48] [-reqs 24] [-seed 42]
+//	mrmsim [-exp e1,e7] [-kv-gib 48] [-reqs 24] [-seed 42] [-parallel N]
+//
+// -parallel bounds the worker pool the sweep-style experiments fan out on
+// (default: number of CPUs; 1 = serial). Output is bit-identical at any
+// setting — parallelism only changes wall-clock time.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -24,7 +29,10 @@ func main() {
 	kvGiB := flag.Uint64("kv-gib", 48, "KV region capacity in GiB for Figure 1")
 	reqs := flag.Int("reqs", 24, "requests for the serving comparison (e7)")
 	seed := flag.Uint64("seed", 42, "deterministic seed")
+	parallel := flag.Int("parallel", runtime.NumCPU(),
+		"sweep worker-pool size (1 = serial; results are identical at any setting)")
 	flag.Parse()
+	mrm.SetParallelism(*parallel)
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {

@@ -15,6 +15,7 @@ import (
 	"mrm/internal/dist"
 	"mrm/internal/llm"
 	"mrm/internal/metrics"
+	"mrm/internal/sweep"
 	"mrm/internal/tier"
 	"mrm/internal/units"
 )
@@ -68,7 +69,18 @@ type Generator struct {
 	MaxContext int
 }
 
-// Generate returns n requests with increasing arrival times.
+// GenBlock is the number of requests drawn from one derived RNG stream.
+// Generate seeds an independent generator per block (splitmix derivation
+// from a base seed), so blocks can be sampled in any order — or on any
+// worker — and still produce the same stream. Only the arrival clock is a
+// running prefix across blocks, and that is a pure sum of per-block
+// inter-arrival gaps.
+const GenBlock = 64
+
+// Generate returns n requests with increasing arrival times. The rng seeds
+// the stream: its first draw becomes the base seed from which every
+// GenBlock-sized block of requests derives its own generator, keeping the
+// stream reproducible even if block sampling is parallelized.
 func (g Generator) Generate(rng *dist.RNG, n int) ([]Request, error) {
 	if g.RatePerSec <= 0 || n <= 0 {
 		return nil, fmt.Errorf("cluster: need positive rate and count")
@@ -83,26 +95,34 @@ func (g Generator) Generate(rng *dist.RNG, n int) ([]Request, error) {
 	inter := dist.Exponential{Rate: g.RatePerSec}
 	prompt := dist.Lognormal{Median: g.Workload.PromptMedian, Sigma: g.Workload.PromptSigma}
 	output := dist.Lognormal{Median: g.Workload.OutputMedian, Sigma: g.Workload.OutputSigma}
+	base := rng.Uint64()
 	reqs := make([]Request, n)
 	var clock time.Duration
-	for i := range reqs {
-		clock += time.Duration(inter.Sample(rng) * float64(time.Second))
-		p := int(dist.Clamp(prompt.Sample(rng), 1, float64(g.MaxContext-1)))
-		maxOut := g.MaxContext - p
-		o := int(dist.Clamp(output.Sample(rng), 1, float64(maxOut)))
-		u := rng.Float64()
-		var cl SLAClass
-		switch {
-		case u < g.Mix[0]:
-			cl = Interactive
-		case u < g.Mix[0]+g.Mix[1]:
-			cl = Throughput
-		default:
-			cl = BestEffort
+	for start := 0; start < n; start += GenBlock {
+		end := start + GenBlock
+		if end > n {
+			end = n
 		}
-		reqs[i] = Request{
-			ID: uint64(i), Arrival: clock,
-			PromptTokens: p, OutputTokens: o, Class: cl,
+		brng := dist.NewRNG(sweep.DeriveSeed(base, start/GenBlock))
+		for i := start; i < end; i++ {
+			clock += time.Duration(inter.Sample(brng) * float64(time.Second))
+			p := int(dist.Clamp(prompt.Sample(brng), 1, float64(g.MaxContext-1)))
+			maxOut := g.MaxContext - p
+			o := int(dist.Clamp(output.Sample(brng), 1, float64(maxOut)))
+			u := brng.Float64()
+			var cl SLAClass
+			switch {
+			case u < g.Mix[0]:
+				cl = Interactive
+			case u < g.Mix[0]+g.Mix[1]:
+				cl = Throughput
+			default:
+				cl = BestEffort
+			}
+			reqs[i] = Request{
+				ID: uint64(i), Arrival: clock,
+				PromptTokens: p, OutputTokens: o, Class: cl,
+			}
 		}
 	}
 	return reqs, nil
@@ -137,6 +157,7 @@ type running struct {
 	ctx         int // current context length in tokens
 	generated   int
 	prefillLeft int // prompt tokens not yet ingested (chunked prefill)
+	chunk       int // this step's prefill chunk (scratch, valid within decodeStep)
 	pages       []tier.ObjectID
 	pageTiers   []int
 	partial     int // tokens accumulated in the scratch partial page
@@ -180,6 +201,15 @@ type Sim struct {
 	decodeSteps  int64
 	memBoundHits int64
 	perTierReads map[int]units.Bytes
+
+	// Scratch state reused across decode steps (the per-step hot path runs
+	// tens of thousands of times per simulation; these cut its allocations
+	// to zero in steady state).
+	decoding   []*running
+	prefilling []*running
+	ctxs       []int
+	perTier    map[int]units.Bytes
+	freeList   []*running // finished running structs, pages capacity intact
 }
 
 // NewSim builds a simulator and places the model weights.
@@ -197,12 +227,14 @@ func NewSim(cfg Config) (*Sim, error) {
 	if err != nil {
 		return nil, err
 	}
+	nTiers := len(cfg.Memory.Tiers())
 	s := &Sim{
 		cfg:          cfg,
 		eng:          eng,
 		ttft:         metrics.NewHistogram(1e-6, 1.05),
 		tbt:          metrics.NewHistogram(1e-6, 1.05),
-		perTierReads: make(map[int]units.Bytes),
+		perTierReads: make(map[int]units.Bytes, nTiers),
+		perTier:      make(map[int]units.Bytes, nTiers),
 	}
 	// Weights: read-hot, effectively immortal (refreshed if on MRM).
 	id, _, err := cfg.Memory.Put(tier.Meta{
@@ -231,6 +263,15 @@ func (s *Sim) Run(reqs []Request) (Result, error) {
 	sort.SliceStable(s.pending, func(i, j int) bool {
 		return s.pending[i].Arrival < s.pending[j].Arrival
 	})
+	// Admission order is class priority, then arrival. Requests are only ever
+	// consumed from the head after this point, so one stable sort up front
+	// replaces the per-admit re-sort the hot path used to pay for.
+	sort.SliceStable(s.pending, func(i, j int) bool {
+		if s.pending[i].Class != s.pending[j].Class {
+			return s.pending[i].Class < s.pending[j].Class
+		}
+		return s.pending[i].Arrival < s.pending[j].Arrival
+	})
 	for len(s.pending) > 0 || len(s.batch) > 0 {
 		if err := s.admit(); err != nil {
 			return Result{}, err
@@ -256,16 +297,22 @@ func (s *Sim) Run(reqs []Request) (Result, error) {
 	return s.result(), nil
 }
 
+// newRunning returns a request state struct, reusing one retired by finish
+// so the pages/pageTiers slices keep their grown capacity across requests.
+func (s *Sim) newRunning() *running {
+	if n := len(s.freeList); n > 0 {
+		r := s.freeList[n-1]
+		s.freeList = s.freeList[:n-1]
+		pages, tiers := r.pages[:0], r.pageTiers[:0]
+		*r = running{pages: pages, pageTiers: tiers}
+		return r
+	}
+	return &running{}
+}
+
 // admit pulls arrived requests into the batch (interactive first) and runs
-// their prefill.
+// their prefill. s.pending is kept sorted by (class, arrival) — see Run.
 func (s *Sim) admit() error {
-	// Stable priority: class, then arrival.
-	sort.SliceStable(s.pending, func(i, j int) bool {
-		if s.pending[i].Class != s.pending[j].Class {
-			return s.pending[i].Class < s.pending[j].Class
-		}
-		return s.pending[i].Arrival < s.pending[j].Arrival
-	})
 	for len(s.pending) > 0 && len(s.batch) < s.cfg.MaxBatch {
 		req := s.pending[0]
 		if req.Arrival > s.clock && len(s.batch) > 0 {
@@ -278,12 +325,13 @@ func (s *Sim) admit() error {
 			// Chunked prefill: the request joins the batch immediately and
 			// ingests its prompt alongside decode steps.
 			s.pending = s.pending[1:]
-			s.batch = append(s.batch, &running{
-				req: req, prefillLeft: req.PromptTokens, lastTok: s.clock,
-			})
+			r := s.newRunning()
+			r.req, r.prefillLeft, r.lastTok = req, req.PromptTokens, s.clock
+			s.batch = append(s.batch, r)
 			continue
 		}
-		r := &running{req: req, ctx: req.PromptTokens}
+		r := s.newRunning()
+		r.req, r.ctx = req, req.PromptTokens
 		var prefillTime time.Duration
 		if !req.Prefilled {
 			cost, err := s.eng.Prefill([]int{req.PromptTokens})
@@ -303,6 +351,7 @@ func (s *Sim) admit() error {
 					s.cfg.Memory.Forget(pid)
 				}
 			}
+			s.freeList = append(s.freeList, r)
 			if len(s.batch) == 0 {
 				s.pending = s.pending[1:]
 				s.truncated++
@@ -348,8 +397,7 @@ func (s *Sim) flushPages(r *running, n int) error {
 // chunked prefill, ingests one prompt chunk for every prefilling request,
 // fused into the same step.
 func (s *Sim) decodeStep() error {
-	var decoding, prefilling []*running
-	var ctxs []int
+	decoding, prefilling, ctxs := s.decoding[:0], s.prefilling[:0], s.ctxs[:0]
 	for _, r := range s.batch {
 		if r.prefillLeft > 0 {
 			prefilling = append(prefilling, r)
@@ -358,6 +406,7 @@ func (s *Sim) decodeStep() error {
 			ctxs = append(ctxs, r.ctx)
 		}
 	}
+	s.decoding, s.prefilling, s.ctxs = decoding, prefilling, ctxs
 	var flops float64
 	if len(decoding) > 0 {
 		cost, err := s.eng.DecodeStep(ctxs)
@@ -366,26 +415,27 @@ func (s *Sim) decodeStep() error {
 		}
 		flops = cost.FLOPs
 	}
-	chunks := make(map[*running]int, len(prefilling))
 	for _, r := range prefilling {
 		chunk := s.cfg.PrefillChunk
 		if chunk > r.prefillLeft {
 			chunk = r.prefillLeft
 		}
-		chunks[r] = chunk
+		r.chunk = chunk
 		// Quadratic attention inside the prompt, sampled at mid-chunk.
 		flops += float64(chunk) * s.cfg.Model.FLOPsPerToken(r.ctx+chunk/2)
 	}
 	// Per-tier read traffic: weights + every full KV page of decoding
 	// requests + partial pages and activations from scratch.
-	perTier := map[int]units.Bytes{s.wTier: s.cfg.Model.WeightBytes()}
+	perTier := s.perTier
+	clear(perTier)
+	perTier[s.wTier] = s.cfg.Model.WeightBytes()
 	kvPerTok := s.cfg.Model.KVBytesPerToken()
+	pageBytes := kvPerTok * units.Bytes(s.cfg.PageTokens)
 	for _, r := range decoding {
 		for i, pid := range r.pages {
 			if _, _, err := s.cfg.Memory.Get(pid); err != nil {
 				return fmt.Errorf("cluster: KV page read: %w", err)
 			}
-			pageBytes := kvPerTok * units.Bytes(s.cfg.PageTokens)
 			perTier[r.pageTiers[i]] += pageBytes
 		}
 		perTier[s.cfg.ScratchTier] += kvPerTok * units.Bytes(r.partial)
@@ -411,7 +461,7 @@ func (s *Sim) decodeStep() error {
 	// Advance prefilling requests by their chunk; flush filled pages.
 	survivors := s.batch[:0]
 	for _, r := range prefilling {
-		chunk := chunks[r]
+		chunk := r.chunk
 		r.ctx += chunk
 		r.prefillLeft -= chunk
 		r.partial += chunk
@@ -466,7 +516,8 @@ func (s *Sim) decodeStep() error {
 	return nil
 }
 
-// finish releases a request's pages and records completion.
+// finish releases a request's pages, records completion, and retires the
+// state struct to the reuse pool.
 func (s *Sim) finish(r *running) {
 	for _, pid := range r.pages {
 		// Pages may have already expired inside an MRM tier; tolerate it.
@@ -475,6 +526,14 @@ func (s *Sim) finish(r *running) {
 		}
 	}
 	s.completed++
+	s.freeList = append(s.freeList, r)
+}
+
+// Observations exposes the simulator's latency histograms so callers that
+// shard a workload across many sims (the fleet) can Merge them into
+// aggregate distributions after the barrier.
+func (s *Sim) Observations() (ttft, tbt *metrics.Histogram) {
+	return s.ttft, s.tbt
 }
 
 func (s *Sim) result() Result {

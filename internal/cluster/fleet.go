@@ -1,10 +1,13 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
+	"mrm/internal/metrics"
+	"mrm/internal/sweep"
 	"mrm/internal/units"
 )
 
@@ -15,6 +18,10 @@ import (
 // work, the static analogue of join-shortest-queue.
 type Fleet struct {
 	nodes []*Sim
+	// Workers bounds the goroutines used to run nodes (0 = the sweep
+	// default, 1 = serial). Nodes are independent simulators, so results are
+	// identical at any worker count.
+	Workers int
 }
 
 // NewFleet constructs n nodes with the given factory.
@@ -49,10 +56,17 @@ type FleetResult struct {
 	TokensPerJoule float64
 	// Balance is min/max of per-node token output (1 = perfectly even).
 	Balance float64
+	// TTFT and TBT are fleet-wide latency distributions: every node's
+	// histogram merged after the barrier (metrics.Histogram.Merge), exactly
+	// as if one accumulator had observed all requests.
+	TTFT metrics.Snapshot
+	TBT  metrics.Snapshot
 }
 
 // Run partitions the stream (token-balanced, arrival order preserved per
-// node) and runs every node to completion.
+// node) and runs every node to completion. Nodes simulate concurrently on
+// the sweep pool; each node's result depends only on its shard, so the
+// outcome is bit-identical to running the nodes one after another.
 func (f *Fleet) Run(reqs []Request) (FleetResult, error) {
 	shards := make([][]Request, len(f.nodes))
 	load := make([]int64, len(f.nodes))
@@ -70,14 +84,24 @@ func (f *Fleet) Run(reqs []Request) (FleetResult, error) {
 		shards[best] = append(shards[best], r)
 		load[best] += int64(r.PromptTokens + r.OutputTokens)
 	}
-	out := FleetResult{PerNode: make([]Result, len(f.nodes))}
+	perNode, err := sweep.Map(context.Background(), sweep.Config{Workers: f.Workers}, shards,
+		func(_ context.Context, c sweep.Cell, shard []Request) (Result, error) {
+			res, err := f.nodes[c.Index].Run(shard)
+			if err != nil {
+				return Result{}, fmt.Errorf("cluster: node %d: %w", c.Index, err)
+			}
+			return res, nil
+		})
+	if err != nil {
+		return FleetResult{}, err
+	}
+	// Ordered reduction after the barrier: aggregates come out in node
+	// order, independent of which worker finished first.
+	out := FleetResult{PerNode: perNode}
+	ttft := metrics.NewHistogram(1e-6, 1.05)
+	tbt := metrics.NewHistogram(1e-6, 1.05)
 	var minTok, maxTok int64 = 1<<62 - 1, 0
-	for i, node := range f.nodes {
-		res, err := node.Run(shards[i])
-		if err != nil {
-			return FleetResult{}, fmt.Errorf("cluster: node %d: %w", i, err)
-		}
-		out.PerNode[i] = res
+	for i, res := range perNode {
 		out.Completed += res.Completed
 		out.Truncated += res.Truncated
 		out.TokensOut += res.TokensOut
@@ -91,7 +115,12 @@ func (f *Fleet) Run(reqs []Request) (FleetResult, error) {
 		if res.TokensOut > maxTok {
 			maxTok = res.TokensOut
 		}
+		nodeTTFT, nodeTBT := f.nodes[i].Observations()
+		ttft.Merge(nodeTTFT)
+		tbt.Merge(nodeTBT)
 	}
+	out.TTFT = ttft.Snapshot()
+	out.TBT = tbt.Snapshot()
 	if out.WallTime > 0 {
 		out.TokensPerSec = float64(out.TokensOut) / out.WallTime.Seconds()
 	}

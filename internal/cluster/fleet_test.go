@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 	"time"
 
@@ -87,6 +88,33 @@ func TestFleetScalesThroughput(t *testing.T) {
 	}
 	if r4.WallTime >= r1.WallTime {
 		t.Fatalf("4-node wall time %v should beat 1-node %v", r4.WallTime, r1.WallTime)
+	}
+}
+
+func TestFleetParallelMatchesSerial(t *testing.T) {
+	reqs := shortRequests(24)
+	run := func(workers int) FleetResult {
+		f := fleetOf(t, 3) // fresh nodes per run: Sims accumulate state
+		f.Workers = workers
+		res, err := f.Run(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	for _, w := range []int{2, 8} {
+		if got := run(w); !reflect.DeepEqual(got, serial) {
+			t.Fatalf("workers=%d: fleet result diverged from serial:\n got %+v\nwant %+v", w, got, serial)
+		}
+	}
+	// The fleet-wide latency distributions are the merged per-node histograms:
+	// one TTFT observation per completed request, across all nodes.
+	if serial.TTFT.Count != int64(serial.Completed) {
+		t.Fatalf("fleet TTFT count = %d, want %d", serial.TTFT.Count, serial.Completed)
+	}
+	if serial.TBT.Count == 0 || serial.TBT.P99 <= 0 {
+		t.Fatalf("fleet TBT snapshot empty: %+v", serial.TBT)
 	}
 }
 

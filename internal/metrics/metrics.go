@@ -2,6 +2,13 @@
 // atomic counters, Welford mean/variance accumulators, log-bucketed
 // histograms with percentile queries, and a registry that renders snapshots.
 // All types are safe for concurrent use unless noted otherwise.
+//
+// Sharded use: rather than sharing one accumulator across workers, give each
+// worker of a parallel sweep its own Histogram/Welford and combine them
+// after the barrier with Merge. Merging is exact for Count, Mean, Sum, Max
+// and bucket counts — a merged histogram answers quantile queries exactly as
+// if every sample had been observed by a single accumulator — so sharding
+// changes no reported number, only the synchronization cost.
 package metrics
 
 import (
@@ -81,6 +88,29 @@ func (w *Welford) Observe(x float64) {
 	w.m2 += d * (x - w.mean)
 }
 
+// Merge folds another accumulator's samples into w (Chan et al.'s parallel
+// update), as if w had observed every sample o did. o is unchanged.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += d * float64(o.n) / float64(n)
+	if o.min < w.min {
+		w.min = o.min
+	}
+	if o.max > w.max {
+		w.max = o.max
+	}
+	w.n = n
+}
+
 // Count returns the number of samples.
 func (w *Welford) Count() int64 { return w.n }
 
@@ -145,6 +175,47 @@ func (h *Histogram) Observe(x float64) {
 	}
 	i := int(math.Floor(math.Log(x/h.base) / h.logG))
 	h.buckets[i]++
+}
+
+// Merge folds other's samples into h, exactly as if h had observed every
+// sample other did: counts, sums, maxima, and per-bucket tallies all add.
+// This is the combine step for per-worker (sharded) histograms after a
+// parallel sweep's barrier. Both histograms must share base and growth
+// parameters; merging a histogram into itself is a programming error.
+// other is left unchanged and may be used concurrently.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	if other == h {
+		panic("metrics: Histogram.Merge with itself")
+	}
+	// base and logG are immutable after construction: safe to compare
+	// without other's lock.
+	if other.base != h.base || other.logG != h.logG {
+		panic("metrics: merging histograms with different parameters")
+	}
+	// Copy other's state out under its own lock, then fold in under h's;
+	// never hold both locks at once.
+	other.mu.Lock()
+	zero, count, sum, max := other.zero, other.count, other.sum, other.max
+	buckets := make(map[int]int64, len(other.buckets))
+	for i, c := range other.buckets {
+		buckets[i] = c
+	}
+	other.mu.Unlock()
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.zero += zero
+	h.count += count
+	h.sum += sum
+	if max > h.max {
+		h.max = max
+	}
+	for i, c := range buckets {
+		h.buckets[i] += c
+	}
 }
 
 // Count returns the number of samples.

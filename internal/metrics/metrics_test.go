@@ -226,3 +226,109 @@ func TestHistogramQuantileMonotone(t *testing.T) {
 		prev = v
 	}
 }
+
+// Merging sharded histograms must be exact: a merged histogram answers every
+// query identically to one that observed all samples directly.
+func TestHistogramMergeMatchesDirectObservation(t *testing.T) {
+	direct := NewHistogram(1e-6, 1.05)
+	shards := []*Histogram{
+		NewHistogram(1e-6, 1.05),
+		NewHistogram(1e-6, 1.05),
+		NewHistogram(1e-6, 1.05),
+	}
+	for i := 0; i < 3000; i++ {
+		x := float64(i%997) * 1e-3
+		direct.Observe(x)
+		shards[i%len(shards)].Observe(x)
+	}
+	merged := NewHistogram(1e-6, 1.05)
+	for _, s := range shards {
+		merged.Merge(s)
+	}
+	if merged.Count() != direct.Count() {
+		t.Fatalf("count %d != %d", merged.Count(), direct.Count())
+	}
+	if merged.Mean() != direct.Mean() {
+		t.Fatalf("mean %v != %v", merged.Mean(), direct.Mean())
+	}
+	if merged.Max() != direct.Max() {
+		t.Fatalf("max %v != %v", merged.Max(), direct.Max())
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+		if m, d := merged.Quantile(q), direct.Quantile(q); m != d {
+			t.Fatalf("q=%v: %v != %v", q, m, d)
+		}
+	}
+	// The donors are unchanged.
+	var donorCount int64
+	for _, s := range shards {
+		donorCount += s.Count()
+	}
+	if donorCount != direct.Count() {
+		t.Fatalf("donor histograms mutated: %d", donorCount)
+	}
+}
+
+func TestHistogramMergeEmptyAndNil(t *testing.T) {
+	h := NewHistogram(1e-6, 1.05)
+	h.Observe(1)
+	h.Merge(nil)
+	h.Merge(NewHistogram(1e-6, 1.05))
+	if h.Count() != 1 || h.Mean() != 1 {
+		t.Fatalf("merge of empty/nil changed state: %+v", h.Snapshot())
+	}
+}
+
+func TestHistogramMergePanics(t *testing.T) {
+	h := NewHistogram(1e-6, 1.05)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("mismatched params", func() { h.Merge(NewHistogram(1e-3, 1.05)) })
+	mustPanic("self merge", func() { h.Merge(h) })
+}
+
+// Welford.Merge must agree with direct observation to floating-point
+// accuracy (Chan et al.'s parallel combination).
+func TestWelfordMerge(t *testing.T) {
+	var direct, a, b Welford
+	for i := 0; i < 500; i++ {
+		x := math.Sin(float64(i)) * 10
+		direct.Observe(x)
+		if i%2 == 0 {
+			a.Observe(x)
+		} else {
+			b.Observe(x)
+		}
+	}
+	a.Merge(b)
+	if a.Count() != direct.Count() {
+		t.Fatalf("count %d != %d", a.Count(), direct.Count())
+	}
+	if math.Abs(a.Mean()-direct.Mean()) > 1e-12 {
+		t.Fatalf("mean %v != %v", a.Mean(), direct.Mean())
+	}
+	if math.Abs(a.Var()-direct.Var()) > 1e-9 {
+		t.Fatalf("var %v != %v", a.Var(), direct.Var())
+	}
+	if a.Min() != direct.Min() || a.Max() != direct.Max() {
+		t.Fatalf("min/max %v/%v != %v/%v", a.Min(), a.Max(), direct.Min(), direct.Max())
+	}
+	// Merging into an empty accumulator copies; merging an empty one is a
+	// no-op.
+	var empty Welford
+	empty.Merge(a)
+	if empty.Count() != a.Count() || empty.Mean() != a.Mean() {
+		t.Fatal("merge into empty should copy")
+	}
+	before := a
+	a.Merge(Welford{})
+	if a != before {
+		t.Fatal("merging an empty accumulator should be a no-op")
+	}
+}

@@ -19,4 +19,20 @@
 // Each Run*/Build* function is deterministic given its seed, returns plain
 // data plus a rendered table, and is exercised by both the cmd/ binaries and
 // the benchmark harness in bench_test.go.
+//
+// Sweep-style runners (serving comparisons, retention/ECC/page-size sweeps,
+// fleet scale-out) fan their cells out over internal/sweep's deterministic
+// worker pool: results are bit-identical at any parallelism, including the
+// serial reference (SetParallelism(1) or cmd/mrmsim's -parallel 1).
 package mrm
+
+import "mrm/internal/sweep"
+
+// SetParallelism sets the process-wide worker-pool size used by the sweep
+// runners. n < 1 resets to runtime.NumCPU (the default); n == 1 forces plain
+// serial loops. It returns the previous value so callers can restore it.
+// Results never depend on this setting — only wall-clock time does.
+func SetParallelism(n int) int { return sweep.SetDefaultWorkers(n) }
+
+// Parallelism returns the current process-wide worker-pool size.
+func Parallelism() int { return sweep.DefaultWorkers() }

@@ -1,0 +1,119 @@
+package mrm
+
+// Determinism tests for the sweep-parallel drivers: every retrofitted runner
+// must produce deep-equal points and byte-identical tables whether its cells
+// run on one worker or eight. This is the contract behind cmd/mrmsim's
+// -parallel flag.
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"mrm/internal/cellphys"
+	"mrm/internal/llm"
+)
+
+// driverResult captures everything a driver reports: its typed points and
+// the rendered table.
+type driverResult struct {
+	pts any
+	tab string
+}
+
+// atParallelism runs fn with the process-wide pool set to n, restoring the
+// previous setting afterwards.
+func atParallelism(t *testing.T, n int, fn func() driverResult) driverResult {
+	t.Helper()
+	old := SetParallelism(n)
+	defer SetParallelism(old)
+	return fn()
+}
+
+func TestDriversDeterministicAcrossWorkerCounts(t *testing.T) {
+	servingParams := func() ServingParams {
+		p := DefaultServingParams()
+		p.NumReqs = 8
+		return p
+	}
+	drivers := []struct {
+		name string
+		run  func(t *testing.T) driverResult
+	}{
+		{"ServingComparison", func(t *testing.T) driverResult {
+			pts, tab, err := RunServingComparison(servingParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return driverResult{pts, tab.String()}
+		}},
+		{"DCMSweep", func(t *testing.T) driverResult {
+			classes := []time.Duration{10 * time.Minute, time.Hour, 24 * time.Hour, 7 * 24 * time.Hour}
+			pts, tab, err := RunDCMSweep(cellphys.RRAM, 24*time.Hour, classes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return driverResult{pts, tab.String()}
+		}},
+		{"ECCBlockSweep", func(t *testing.T) driverResult {
+			pts, tab, err := RunECCBlockSweep(cellphys.RRAM, 24*time.Hour, 1e-18)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return driverResult{pts, tab.String()}
+		}},
+		{"ReadWriteRatio", func(t *testing.T) driverResult {
+			pts, tab, err := RunReadWriteRatio(llm.Llama27B, llm.B200,
+				[]int{1, 8}, []int{1024, 4096})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return driverResult{pts, tab.String()}
+		}},
+		{"BatchingLimits", func(t *testing.T) driverResult {
+			pts, tab, err := RunBatchingLimits(llm.Llama27B, llm.B200, 2048, []int{1, 4, 16})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return driverResult{pts, tab.String()}
+		}},
+		{"ClassCountAblation", func(t *testing.T) driverResult {
+			pts, tab, err := RunClassCountAblation(cellphys.RRAM, []int{1, 2, 4}, 500, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return driverResult{pts, tab.String()}
+		}},
+		{"PageSizeAblation", func(t *testing.T) driverResult {
+			pts, tab, err := RunPageSizeAblation(llm.Llama27B, []int{4, 16, 64}, 16, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return driverResult{pts, tab.String()}
+		}},
+		{"FleetScaleOut", func(t *testing.T) driverResult {
+			pts, tab, err := RunFleetScaleOut(servingParams(), []int{1, 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return driverResult{pts, tab.String()}
+		}},
+	}
+	for _, d := range drivers {
+		d := d
+		// Subtests must not run concurrently: they flip the process-global
+		// pool size, and a concurrent subtest would see the wrong setting.
+		t.Run(d.name, func(t *testing.T) {
+			serial := atParallelism(t, 1, func() driverResult { return d.run(t) })
+			parallel := atParallelism(t, 8, func() driverResult { return d.run(t) })
+			if !reflect.DeepEqual(parallel.pts, serial.pts) {
+				t.Errorf("points diverged between workers=1 and workers=8:\n got %+v\nwant %+v",
+					parallel.pts, serial.pts)
+			}
+			if parallel.tab != serial.tab {
+				t.Errorf("table diverged between workers=1 and workers=8:\n got:\n%s\nwant:\n%s",
+					parallel.tab, serial.tab)
+			}
+		})
+	}
+}

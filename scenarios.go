@@ -1,6 +1,7 @@
 package mrm
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 	"mrm/internal/llm"
 	"mrm/internal/memdev"
 	"mrm/internal/report"
+	"mrm/internal/sweep"
 	"mrm/internal/trace"
 	"mrm/internal/units"
 )
@@ -46,29 +48,48 @@ type RatioPoint struct {
 }
 
 // RunReadWriteRatio sweeps decode batches and context lengths and reports
-// bytes read per byte written (§2.2 claims >1000:1).
+// bytes read per byte written (§2.2 claims >1000:1). Grid points evaluate in
+// parallel on the sweep pool; the engine is stateless so cells share it.
 func RunReadWriteRatio(model llm.ModelConfig, acc llm.Accelerator, batches, ctxs []int) ([]RatioPoint, *report.Table, error) {
 	eng, err := llm.NewEngine(model, acc)
 	if err != nil {
 		return nil, nil, err
 	}
-	tab := report.NewTable(fmt.Sprintf("E2: decode read:write ratio (%s)", model.Name),
-		"batch", "ctx", "read_bytes", "write_bytes", "ratio")
-	var pts []RatioPoint
+	type gridCell struct{ batch, ctx int }
+	grid := make([]gridCell, 0, len(batches)*len(ctxs))
 	for _, b := range batches {
 		for _, ctx := range ctxs {
-			lens := make([]int, b)
+			grid = append(grid, gridCell{b, ctx})
+		}
+	}
+	type ratioRow struct {
+		p           RatioPoint
+		read, write float64
+	}
+	rows, err := sweep.Map(context.Background(), sweep.Config{}, grid,
+		func(_ context.Context, _ sweep.Cell, g gridCell) (ratioRow, error) {
+			lens := make([]int, g.batch)
 			for i := range lens {
-				lens[i] = ctx
+				lens[i] = g.ctx
 			}
 			cost, err := eng.DecodeStep(lens)
 			if err != nil {
-				return nil, nil, err
+				return ratioRow{}, err
 			}
-			p := RatioPoint{Batch: b, Ctx: ctx, Ratio: cost.ReadWriteRatio()}
-			pts = append(pts, p)
-			tab.AddRow(b, ctx, float64(cost.ReadBytes), float64(cost.WriteBytes), p.Ratio)
-		}
+			return ratioRow{
+				p:    RatioPoint{Batch: g.batch, Ctx: g.ctx, Ratio: cost.ReadWriteRatio()},
+				read: float64(cost.ReadBytes), write: float64(cost.WriteBytes),
+			}, nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	tab := report.NewTable(fmt.Sprintf("E2: decode read:write ratio (%s)", model.Name),
+		"batch", "ctx", "read_bytes", "write_bytes", "ratio")
+	pts := make([]RatioPoint, 0, len(rows))
+	for _, r := range rows {
+		pts = append(pts, r.p)
+		tab.AddRow(r.p.Batch, r.p.Ctx, r.read, r.write, r.p.Ratio)
 	}
 	return pts, tab, nil
 }
@@ -317,6 +338,10 @@ func DefaultServingParams() ServingParams {
 
 // RunServingComparison runs the same request stream over each memory
 // configuration and reports throughput, latency, and energy efficiency.
+// Configurations simulate in parallel on the sweep pool; each cell builds
+// its own memory system, simulator, and RNG (re-seeded from p.Seed, so every
+// config sees the identical request stream), making the output bit-identical
+// to the serial loop at any worker count.
 func RunServingComparison(p ServingParams, configs ...MemoryConfig) ([]ServingOutcome, *report.Table, error) {
 	if len(configs) == 0 {
 		configs = []MemoryConfig{HBMOnly, HBMPlusLPDDR, HBMPlusMRM}
@@ -327,43 +352,49 @@ func RunServingComparison(p ServingParams, configs ...MemoryConfig) ([]ServingOu
 		Mix:        [3]float64{0.4, 0.4, 0.2},
 		MaxContext: p.Model.MaxContext,
 	}
+	outs, err := sweep.Map(context.Background(), sweep.Config{}, configs,
+		func(_ context.Context, _ sweep.Cell, cfg MemoryConfig) (ServingOutcome, error) {
+			rng := dist.NewRNG(p.Seed) // same stream per config
+			reqs, err := gen.Generate(rng, p.NumReqs)
+			if err != nil {
+				return ServingOutcome{}, err
+			}
+			// Shorten the tails so the comparison finishes quickly while still
+			// exercising multi-page contexts.
+			for i := range reqs {
+				if reqs[i].PromptTokens > 512 {
+					reqs[i].PromptTokens = 512
+				}
+				if reqs[i].OutputTokens > 64 {
+					reqs[i].OutputTokens = 64
+				}
+			}
+			mh, err := buildMemory(cfg)
+			if err != nil {
+				return ServingOutcome{}, err
+			}
+			sim, err := cluster.NewSim(cluster.Config{
+				Model: p.Model, Acc: p.Acc, Memory: mh.Manager,
+				PageTokens: p.PageTokens, MaxBatch: p.MaxBatch,
+				KVLifetime: 30 * time.Minute, ScratchTier: mh.ScratchTier,
+			})
+			if err != nil {
+				return ServingOutcome{}, err
+			}
+			res, err := sim.Run(reqs)
+			if err != nil {
+				return ServingOutcome{}, err
+			}
+			return ServingOutcome{Config: cfg, Result: res}, nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
 	tab := report.NewTable(fmt.Sprintf("E7: serving on different memory systems (%s)", p.Model.Name),
 		"memory", "tokens/s", "tokens/kJ", "ttft_p50_s", "tbt_p99_s", "truncated", "mem_bound")
-	var outs []ServingOutcome
-	for _, cfg := range configs {
-		rng := dist.NewRNG(p.Seed) // same stream per config
-		reqs, err := gen.Generate(rng, p.NumReqs)
-		if err != nil {
-			return nil, nil, err
-		}
-		// Shorten the tails so the comparison finishes quickly while still
-		// exercising multi-page contexts.
-		for i := range reqs {
-			if reqs[i].PromptTokens > 512 {
-				reqs[i].PromptTokens = 512
-			}
-			if reqs[i].OutputTokens > 64 {
-				reqs[i].OutputTokens = 64
-			}
-		}
-		mh, err := buildMemory(cfg)
-		if err != nil {
-			return nil, nil, err
-		}
-		sim, err := cluster.NewSim(cluster.Config{
-			Model: p.Model, Acc: p.Acc, Memory: mh.Manager,
-			PageTokens: p.PageTokens, MaxBatch: p.MaxBatch,
-			KVLifetime: 30 * time.Minute, ScratchTier: mh.ScratchTier,
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		res, err := sim.Run(reqs)
-		if err != nil {
-			return nil, nil, err
-		}
-		outs = append(outs, ServingOutcome{Config: cfg, Result: res})
-		tab.AddRow(cfg.String(), res.TokensPerSec, res.TokensPerJoule*1000,
+	for _, o := range outs {
+		res := o.Result
+		tab.AddRow(o.Config.String(), res.TokensPerSec, res.TokensPerJoule*1000,
 			res.TTFT.P50, res.TBT.P99, res.Truncated, res.MemoryBoundFrac)
 	}
 	return outs, tab, nil
@@ -389,27 +420,31 @@ type DCMPoint struct {
 // rewrites.
 func RunDCMSweep(tech cellphys.Technology, dataLifetime time.Duration, classes []time.Duration) ([]DCMPoint, *report.Table, error) {
 	tr := cellphys.ForTechnology(tech)
+	pts, err := sweep.Map(context.Background(), sweep.Config{}, classes,
+		func(_ context.Context, _ sweep.Cell, class time.Duration) (DCMPoint, error) {
+			op, err := tr.At(class)
+			if err != nil {
+				return DCMPoint{}, err
+			}
+			// Rewrites needed to cover the data lifetime at this class.
+			writes := 1.0
+			if class < dataLifetime {
+				writes = float64((dataLifetime + class - 1) / class)
+			}
+			perGB := units.Energy(float64(op.WriteEnergy) * 8e9 * writes)
+			return DCMPoint{
+				Retention: class, WriteEnergy: op.WriteEnergy, WriteLat: op.WriteLatency,
+				Endurance: op.Endurance, StoreEnergyPerGBDay: perGB,
+			}, nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
 	tab := report.NewTable(fmt.Sprintf("E8: DCM retention sweep (%s, data lifetime %s)", tech, shortDur(dataLifetime)),
 		"retention", "write_pJ/bit", "write_lat", "endurance", "store_J_per_GB")
-	var pts []DCMPoint
-	for _, class := range classes {
-		op, err := tr.At(class)
-		if err != nil {
-			return nil, nil, err
-		}
-		// Rewrites needed to cover the data lifetime at this class.
-		writes := 1.0
-		if class < dataLifetime {
-			writes = float64((dataLifetime + class - 1) / class)
-		}
-		perGB := units.Energy(float64(op.WriteEnergy) * 8e9 * writes)
-		p := DCMPoint{
-			Retention: class, WriteEnergy: op.WriteEnergy, WriteLat: op.WriteLatency,
-			Endurance: op.Endurance, StoreEnergyPerGBDay: perGB,
-		}
-		pts = append(pts, p)
-		tab.AddRow(shortDur(class), float64(op.WriteEnergy)/1e-12,
-			op.WriteLatency.String(), fmt.Sprintf("%.1e", op.Endurance), float64(perGB))
+	for _, p := range pts {
+		tab.AddRow(shortDur(p.Retention), float64(p.WriteEnergy)/1e-12,
+			p.WriteLat.String(), fmt.Sprintf("%.1e", p.Endurance), float64(p.StoreEnergyPerGBDay))
 	}
 	return pts, tab, nil
 }
@@ -444,22 +479,30 @@ func RunECCBlockSweep(tech cellphys.Technology, retention time.Duration, uberTar
 		{"RS(127,111)", ecc.RSSpec(127, 111)},
 		{"RS(255,223)", ecc.RSSpec(255, 223)},
 	}
+	pts, err := sweep.Map(context.Background(), sweep.Config{}, codes,
+		func(_ context.Context, _ sweep.Cell, c struct {
+			name string
+			spec ecc.CodeSpec
+		}) (ECCPoint, error) {
+			maxBER := c.spec.MaxBERForUBER(uberTarget)
+			scrubs := 0.0
+			plan, err := ecc.PlanScrub(c.spec, berAt, uberTarget, retention)
+			if err == nil && plan.Interval > 0 {
+				scrubs = (24 * time.Hour).Seconds() / plan.Interval.Seconds()
+			} else if err != nil {
+				scrubs = -1 // cannot meet the target at all
+			}
+			return ECCPoint{Name: c.name, Spec: c.spec, MaxBER: maxBER, ScrubsPerDay: scrubs}, nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
 	tab := report.NewTable(fmt.Sprintf("E9: ECC block size vs reliability (%s@%s, UBER<=%.0e)",
 		tech, shortDur(retention), uberTarget),
 		"code", "data_bits", "overhead", "max_raw_BER", "scrubs/day")
-	var pts []ECCPoint
-	for _, c := range codes {
-		maxBER := c.spec.MaxBERForUBER(uberTarget)
-		scrubs := 0.0
-		plan, err := ecc.PlanScrub(c.spec, berAt, uberTarget, retention)
-		if err == nil && plan.Interval > 0 {
-			scrubs = (24 * time.Hour).Seconds() / plan.Interval.Seconds()
-		} else if err != nil {
-			scrubs = -1 // cannot meet the target at all
-		}
-		pts = append(pts, ECCPoint{Name: c.name, Spec: c.spec, MaxBER: maxBER, ScrubsPerDay: scrubs})
-		tab.AddRow(c.name, c.spec.DataBits(), c.spec.Overhead(),
-			fmt.Sprintf("%.2e", maxBER), scrubs)
+	for _, p := range pts {
+		tab.AddRow(p.Name, p.Spec.DataBits(), p.Spec.Overhead(),
+			fmt.Sprintf("%.2e", p.MaxBER), p.ScrubsPerDay)
 	}
 	return pts, tab, nil
 }
@@ -584,22 +627,35 @@ func RunBatchingLimits(model llm.ModelConfig, acc llm.Accelerator, ctx int, batc
 	if err != nil {
 		return nil, nil, err
 	}
+	type batchRow struct {
+		p      BatchPoint
+		readGB float64
+	}
+	rows, err := sweep.Map(context.Background(), sweep.Config{}, batches,
+		func(_ context.Context, _ sweep.Cell, b int) (batchRow, error) {
+			lens := make([]int, b)
+			for i := range lens {
+				lens[i] = ctx
+			}
+			cost, err := eng.DecodeStep(lens)
+			if err != nil {
+				return batchRow{}, err
+			}
+			tps := float64(b) / cost.Time().Seconds()
+			return batchRow{
+				p:      BatchPoint{Batch: b, TokensPerSec: tps, Ratio: cost.ReadWriteRatio()},
+				readGB: float64(cost.ReadBytes) / 1e9,
+			}, nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
 	tab := report.NewTable(fmt.Sprintf("E12: batching limits (%s, ctx=%d)", model.Name, ctx),
 		"batch", "tokens/s", "read:write", "read_GB/step")
-	var pts []BatchPoint
-	for _, b := range batches {
-		lens := make([]int, b)
-		for i := range lens {
-			lens[i] = ctx
-		}
-		cost, err := eng.DecodeStep(lens)
-		if err != nil {
-			return nil, nil, err
-		}
-		tps := float64(b) / cost.Time().Seconds()
-		p := BatchPoint{Batch: b, TokensPerSec: tps, Ratio: cost.ReadWriteRatio()}
-		pts = append(pts, p)
-		tab.AddRow(b, tps, p.Ratio, float64(cost.ReadBytes)/1e9)
+	pts := make([]BatchPoint, 0, len(rows))
+	for _, r := range rows {
+		pts = append(pts, r.p)
+		tab.AddRow(r.p.Batch, r.p.TokensPerSec, r.p.Ratio, r.readGB)
 	}
 	return pts, tab, nil
 }
