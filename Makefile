@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test bench bench-json run-experiments cover fmt
+.PHONY: all build vet test bench bench-json run-experiments cover fmt fault-smoke fault-golden
 
 all: build vet test
 
@@ -11,11 +11,22 @@ vet:
 	go vet ./...
 
 # test vets first, then runs the suite twice: once plain, once under the race
-# detector (the parallel sweep engine makes every driver a concurrency test).
+# detector (the parallel sweep engine makes every driver a concurrency test),
+# then golden-diffs the fault-degradation experiment.
 test:
 	go vet ./...
 	go test ./...
 	go test -race ./...
+	$(MAKE) fault-smoke
+
+# fault-smoke golden-diffs e30 at -parallel 8: seeded fault injection must be
+# bit-identical across runs and worker counts. Regenerate the golden with
+# `make fault-golden` after an intentional change.
+fault-smoke:
+	go run ./cmd/mrmsim -exp e30 -seed 42 -fault-rate 1e-3 -fault-seed 7 -parallel 8 | diff -u testdata/e30_golden.txt -
+
+fault-golden:
+	go run ./cmd/mrmsim -exp e30 -seed 42 -fault-rate 1e-3 -fault-seed 7 -parallel 8 > testdata/e30_golden.txt
 
 bench:
 	go test -bench=. -benchmem ./...

@@ -11,7 +11,9 @@ import (
 	"time"
 
 	"mrm/internal/cellphys"
+	"mrm/internal/cluster"
 	"mrm/internal/dist"
+	"mrm/internal/fault"
 	"mrm/internal/kvcache"
 	"mrm/internal/llm"
 	"mrm/internal/memdev"
@@ -386,4 +388,178 @@ func RunIdleKVOffload(model llm.ModelConfig, ctx int) ([]IdleKVPoint, *report.Ta
 		tab.AddRow(s.name, float64(park), float64(hold), note)
 	}
 	return pts, tab
+}
+
+// ---- E30: fault injection & graceful degradation ----
+
+// FaultSweepPoint is one fault-rate design point of the degradation sweep.
+type FaultSweepPoint struct {
+	Rate   float64 // per-read probability of transient fault / retention lapse
+	Result cluster.Result
+}
+
+// RunFaultSweep serves the identical request stream on an HBM+MRM system at
+// increasing per-read fault rates, quantifying the paper's "soft state is
+// cheap to lose" argument (§2.2): lost KV pages are dropped and recomputed,
+// lost weights are reseated from their durable upstream copy, and the
+// columns show what that degradation costs in goodput and efficiency. Rate 0
+// is the unfaulted baseline (fault injection is never armed, so it is
+// byte-identical to E7's hbm+mrm row machinery). Each cell derives its fault
+// seed from faultSeed and its index, so the sweep is bit-identical at any
+// -parallel setting.
+func RunFaultSweep(p ServingParams, rates []float64, faultSeed uint64) ([]FaultSweepPoint, *report.Table, error) {
+	gen := cluster.Generator{
+		Workload:   llm.SplitwiseConv,
+		RatePerSec: p.RatePerSec,
+		Mix:        [3]float64{0.4, 0.4, 0.2},
+		MaxContext: p.Model.MaxContext,
+	}
+	pts, err := sweep.Map(context.Background(), sweep.Config{Seed: faultSeed}, rates,
+		func(_ context.Context, c sweep.Cell, rate float64) (FaultSweepPoint, error) {
+			rng := dist.NewRNG(p.Seed) // same stream per rate
+			reqs, err := gen.Generate(rng, p.NumReqs)
+			if err != nil {
+				return FaultSweepPoint{}, err
+			}
+			for i := range reqs {
+				if reqs[i].PromptTokens > 512 {
+					reqs[i].PromptTokens = 512
+				}
+				if reqs[i].OutputTokens > 64 {
+					reqs[i].OutputTokens = 64
+				}
+			}
+			ms, err := buildMemory(HBMPlusMRM)
+			if err != nil {
+				return FaultSweepPoint{}, err
+			}
+			if rate > 0 {
+				ms.ApplyFaults(c.Seed, rate, rate)
+			}
+			sim, err := cluster.NewSim(cluster.Config{
+				Model: p.Model, Acc: p.Acc, Memory: ms.Manager,
+				PageTokens: p.PageTokens, MaxBatch: p.MaxBatch,
+				KVLifetime: 30 * time.Minute, ScratchTier: ms.ScratchTier,
+			})
+			if err != nil {
+				return FaultSweepPoint{}, err
+			}
+			res, err := sim.Run(reqs)
+			if err != nil {
+				return FaultSweepPoint{}, err
+			}
+			return FaultSweepPoint{Rate: rate, Result: res}, nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	tab := report.NewTable(fmt.Sprintf("E30: fault rate vs graceful degradation (%s, hbm+mrm)", p.Model.Name),
+		"fault_rate", "tokens/s", "tokens/kJ", "kv_pages_lost", "recompute_tok", "reseats", "tbt_p99_s")
+	for _, pt := range pts {
+		r := pt.Result
+		tab.AddRow(fmt.Sprintf("%g", pt.Rate), r.TokensPerSec, r.TokensPerJoule*1000,
+			r.Faults.KVPagesLost, r.Faults.KVTokensRecomputed, r.Faults.WeightsReseats, r.TBT.P99)
+	}
+	return pts, tab, nil
+}
+
+// FleetFailoverResult bundles the baseline and degraded runs of the E30
+// fail-stop experiment.
+type FleetFailoverResult struct {
+	Baseline cluster.FleetResult
+	Degraded cluster.FleetResult
+	FailAt   []time.Duration // scheduled fail-stop times of the killed nodes
+}
+
+// RunFleetFailover runs the same stream on an HBM+MRM fleet twice: once
+// undisturbed, once with failNodes nodes fail-stopping mid-run (at evenly
+// spaced fractions of the baseline's wall time). Failed nodes' in-flight and
+// queued requests requeue onto survivors; the table contrasts throughput,
+// goodput (tokens that reached a completed request), and degraded-mode tail
+// latency. Device-level fault injection at rate is armed identically in both
+// runs, so the delta isolates the fail-stop machinery.
+func RunFleetFailover(p ServingParams, nodes, failNodes int, rate float64, faultSeed uint64) (FleetFailoverResult, *report.Table, error) {
+	if nodes <= 1 || failNodes <= 0 || failNodes >= nodes {
+		return FleetFailoverResult{}, nil, fmt.Errorf("mrm: need 0 < failNodes < nodes, got %d/%d", failNodes, nodes)
+	}
+	gen := cluster.Generator{
+		Workload:   llm.SplitwiseConv,
+		RatePerSec: p.RatePerSec,
+		Mix:        [3]float64{0.4, 0.4, 0.2},
+		MaxContext: p.Model.MaxContext,
+	}
+	mkReqs := func() ([]cluster.Request, error) {
+		rng := dist.NewRNG(p.Seed)
+		reqs, err := gen.Generate(rng, p.NumReqs)
+		if err != nil {
+			return nil, err
+		}
+		for i := range reqs {
+			if reqs[i].PromptTokens > 512 {
+				reqs[i].PromptTokens = 512
+			}
+			if reqs[i].OutputTokens > 64 {
+				reqs[i].OutputTokens = 64
+			}
+		}
+		return reqs, nil
+	}
+	mkFleet := func() (*cluster.Fleet, error) {
+		return cluster.NewFleet(nodes, func(node int) (*cluster.Sim, error) {
+			ms, err := buildMemory(HBMPlusMRM)
+			if err != nil {
+				return nil, err
+			}
+			if rate > 0 {
+				ms.ApplyFaults(fault.DeriveSeed(faultSeed, node), rate, rate)
+			}
+			return cluster.NewSim(cluster.Config{
+				Model: p.Model, Acc: p.Acc, Memory: ms.Manager,
+				PageTokens: p.PageTokens, MaxBatch: p.MaxBatch,
+				KVLifetime: 30 * time.Minute, ScratchTier: ms.ScratchTier,
+			})
+		})
+	}
+	out := FleetFailoverResult{}
+	reqs, err := mkReqs()
+	if err != nil {
+		return out, nil, err
+	}
+	base, err := mkFleet()
+	if err != nil {
+		return out, nil, err
+	}
+	out.Baseline, err = base.Run(reqs)
+	if err != nil {
+		return out, nil, err
+	}
+	// Kill nodes at evenly spaced points of the baseline's wall time, so the
+	// failures land mid-stream regardless of workload scale.
+	deg, err := mkFleet()
+	if err != nil {
+		return out, nil, err
+	}
+	for k := 0; k < failNodes; k++ {
+		at := out.Baseline.WallTime * time.Duration(k+1) / time.Duration(failNodes+1)
+		deg.Failures = append(deg.Failures, cluster.NodeFailure{Node: k, At: at})
+		out.FailAt = append(out.FailAt, at)
+	}
+	reqs, err = mkReqs()
+	if err != nil {
+		return out, nil, err
+	}
+	out.Degraded, err = deg.Run(reqs)
+	if err != nil {
+		return out, nil, err
+	}
+	tab := report.NewTable(fmt.Sprintf("E30: fleet failover (%s, %d nodes, %d fail-stop)", p.Model.Name, nodes, failNodes),
+		"fleet", "tokens/s", "goodput/s", "requeued", "wasted_tok", "ttft_p99_s", "tbt_p99_s")
+	for _, row := range []struct {
+		name string
+		res  cluster.FleetResult
+	}{{"baseline", out.Baseline}, {"failover", out.Degraded}} {
+		tab.AddRow(row.name, row.res.TokensPerSec, row.res.GoodTokensPerSec,
+			row.res.Requeued, row.res.WastedTokens, row.res.TTFT.P99, row.res.TBT.P99)
+	}
+	return out, tab, nil
 }

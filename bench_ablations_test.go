@@ -313,3 +313,38 @@ func BenchmarkAcceleratorCount(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkFaultSweep (E30) reports what a 1e-3 per-read fault rate costs an
+// HBM+MRM node relative to its unfaulted self.
+func BenchmarkFaultSweep(b *testing.B) {
+	p := DefaultServingParams()
+	p.NumReqs = 12
+	var pts []FaultSweepPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, _, err = RunFaultSweep(p, []float64{0, 1e-3}, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	clean, faulty := pts[0].Result, pts[1].Result
+	b.ReportMetric(faulty.TokensPerSec/clean.TokensPerSec, "goodput-ratio")
+	b.ReportMetric(float64(faulty.Faults.KVTokensRecomputed), "recompute-tok")
+}
+
+// BenchmarkFleetFailover (E30) reports goodput retained when one of three
+// nodes fail-stops mid-run and its work requeues onto the survivors.
+func BenchmarkFleetFailover(b *testing.B) {
+	p := DefaultServingParams()
+	p.NumReqs = 12
+	var res FleetFailoverResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, _, err = RunFleetFailover(p, 3, 1, 1e-3, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Degraded.GoodTokensPerSec/res.Baseline.TokensPerSec, "goodput-retained")
+	b.ReportMetric(float64(res.Degraded.Requeued), "requeued")
+}

@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"mrm/internal/core"
+	"mrm/internal/ecc"
+	"mrm/internal/fault"
 	"mrm/internal/memdev"
 	"mrm/internal/tier"
 	"mrm/internal/units"
@@ -16,6 +18,31 @@ type MemorySystem struct {
 	Manager     *tier.Manager
 	ScratchTier int
 	Description string
+}
+
+// ApplyFaults arms deterministic fault injection on every tier of the
+// system, deriving an independent full-entropy seed per tier so fault
+// streams do not correlate across tiers. Volatile device tiers (HBM, LPDDR
+// — auto-refreshed) see only transient faults; managed tiers additionally
+// see retention lapses, and their BER threshold comes from their own
+// configured ECC plan. Rates of zero leave the simulator byte-identical to
+// one that never called this.
+func (ms *MemorySystem) ApplyFaults(seed uint64, transientRate, lapseRate float64) {
+	for i, b := range ms.Manager.Backends() {
+		cfg := memdev.FaultConfig{
+			Seed:          fault.DeriveSeed(seed, i),
+			TransientRate: transientRate,
+		}
+		switch t := b.(type) {
+		case *tier.MRMTier:
+			cfg.LapseRate = lapseRate
+			t.SetFaults(cfg) // the MRM fills in its own ECC plan
+		case tier.Faultable:
+			cfg.Code = ecc.RSSpec(255, 223)
+			cfg.UBERTarget = 1e-18
+			t.SetFaults(cfg)
+		}
+	}
 }
 
 // buildMemory assembles the three E7 memory configurations. Capacities are

@@ -25,12 +25,16 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments to run (e1..e29, or all)")
+	exp := flag.String("exp", "all", "comma-separated experiments to run (e1..e30, or all)")
 	kvGiB := flag.Uint64("kv-gib", 48, "KV region capacity in GiB for Figure 1")
 	reqs := flag.Int("reqs", 24, "requests for the serving comparison (e7)")
 	seed := flag.Uint64("seed", 42, "deterministic seed")
 	parallel := flag.Int("parallel", runtime.NumCPU(),
 		"sweep worker-pool size (1 = serial; results are identical at any setting)")
+	faultRate := flag.Float64("fault-rate", 1e-3,
+		"peak per-read fault rate for the e30 degradation sweep (transient + retention-lapse)")
+	faultSeed := flag.Uint64("fault-seed", 7,
+		"seed for the deterministic fault streams (e30); results are identical across runs and -parallel settings")
 	flag.Parse()
 	mrm.SetParallelism(*parallel)
 
@@ -268,6 +272,24 @@ func main() {
 	if run("e29") {
 		_, tab := mrm.RunAcceleratorCount(8192, 8)
 		fmt.Println(tab)
+	}
+	if run("e30") {
+		p := mrm.DefaultServingParams()
+		p.NumReqs = *reqs
+		p.Seed = *seed
+		rates := []float64{0, *faultRate / 100, *faultRate / 10, *faultRate}
+		_, tab, err := mrm.RunFaultSweep(p, rates, *faultSeed)
+		if err != nil {
+			fail("e30", err)
+		} else {
+			fmt.Println(tab)
+		}
+		_, tab2, err := mrm.RunFleetFailover(p, 3, 1, *faultRate, *faultSeed)
+		if err != nil {
+			fail("e30", err)
+		} else {
+			fmt.Println(tab2)
+		}
 	}
 	if failed {
 		os.Exit(1)

@@ -7,12 +7,14 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
 	"mrm/internal/core"
 	"mrm/internal/dist"
+	"mrm/internal/fault"
 	"mrm/internal/llm"
 	"mrm/internal/metrics"
 	"mrm/internal/sweep"
@@ -163,6 +165,34 @@ type running struct {
 	partial     int // tokens accumulated in the scratch partial page
 	firstTok    time.Duration
 	lastTok     time.Duration
+	// faulted marks that this step's KV read hit an uncorrectable error: the
+	// request emits no token this step and re-ingests the lost suffix.
+	faulted bool
+}
+
+// FaultStats accounts the graceful-degradation work a node performed: the
+// cost of the paper's "soft state can be dropped and recomputed" bargain.
+type FaultStats struct {
+	// KVPagesLost counts KV page objects dropped after uncorrectable reads;
+	// KVTokensRecomputed is the tokens rolled back and re-ingested, and
+	// RecomputeFLOPs the extra prefill compute that took.
+	KVPagesLost        int64
+	KVTokensRecomputed int64
+	RecomputeFLOPs     float64
+	// WeightsReseats counts weight re-placements from the durable upstream
+	// copy; ReseatStall is clock spent in isolation backoff plus rewrites.
+	WeightsReseats int64
+	ReseatStall    time.Duration
+}
+
+// Add returns the field-wise sum (fleet aggregation).
+func (f FaultStats) Add(o FaultStats) FaultStats {
+	f.KVPagesLost += o.KVPagesLost
+	f.KVTokensRecomputed += o.KVTokensRecomputed
+	f.RecomputeFLOPs += o.RecomputeFLOPs
+	f.WeightsReseats += o.WeightsReseats
+	f.ReseatStall += o.ReseatStall
+	return f
 }
 
 // Result summarizes a simulation.
@@ -179,6 +209,10 @@ type Result struct {
 	PerTierReads    map[string]units.Bytes
 	DecodeSteps     int64
 	MemoryBoundFrac float64
+	Faults          FaultStats
+	// WastedTokens counts tokens generated for requests the node did not
+	// finish (fail-stop): work a requeue must redo elsewhere.
+	WastedTokens int64
 }
 
 // Sim runs a serving workload to completion.
@@ -201,6 +235,8 @@ type Sim struct {
 	decodeSteps  int64
 	memBoundHits int64
 	perTierReads map[int]units.Bytes
+	faults       FaultStats
+	wasted       int64
 
 	// Scratch state reused across decode steps (the per-step hot path runs
 	// tens of thousands of times per simulation; these cut its allocations
@@ -259,6 +295,17 @@ func (s *Sim) WeightsTier() int { return s.wTier }
 
 // Run executes the request stream to completion and returns the result.
 func (s *Sim) Run(reqs []Request) (Result, error) {
+	res, _, err := s.RunUntil(reqs, -1)
+	return res, err
+}
+
+// RunUntil executes the request stream until it drains or simulated time
+// reaches stopAt (fail-stop; stopAt < 0 runs to completion). On a fail-stop
+// it returns, besides the result so far, every request the node did not
+// finish — in-flight requests come back as fresh requests (their KV and any
+// remote-prefill credit die with the node) and their already-generated tokens
+// are counted as WastedTokens. The fleet requeues them onto survivors.
+func (s *Sim) RunUntil(reqs []Request, stopAt time.Duration) (Result, []Request, error) {
 	s.pending = append(s.pending, reqs...)
 	sort.SliceStable(s.pending, func(i, j int) bool {
 		return s.pending[i].Arrival < s.pending[j].Arrival
@@ -273,28 +320,52 @@ func (s *Sim) Run(reqs []Request) (Result, error) {
 		return s.pending[i].Arrival < s.pending[j].Arrival
 	})
 	for len(s.pending) > 0 || len(s.batch) > 0 {
+		if stopAt >= 0 && s.clock >= stopAt {
+			break
+		}
 		if err := s.admit(); err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
 		if len(s.batch) == 0 {
-			// Idle: jump to the next arrival.
+			// Idle: jump to the next arrival (or the fail-stop, whichever
+			// comes first).
 			if len(s.pending) == 0 {
 				break
 			}
-			idle := s.pending[0].Arrival - s.clock
-			if idle > 0 {
+			next := s.pending[0].Arrival
+			if stopAt >= 0 && next > stopAt {
+				next = stopAt
+			}
+			if idle := next - s.clock; idle > 0 {
 				s.clock += idle
 				if err := s.cfg.Memory.Tick(idle); err != nil {
-					return Result{}, err
+					return Result{}, nil, err
 				}
 			}
 			continue
 		}
 		if err := s.decodeStep(); err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
 	}
-	return s.result(), nil
+	var unfinished []Request
+	if stopAt >= 0 && (len(s.batch) > 0 || len(s.pending) > 0) {
+		for _, r := range s.batch {
+			s.wasted += int64(r.generated)
+			for _, pid := range r.pages {
+				if err := s.cfg.Memory.Delete(pid); err != nil {
+					s.cfg.Memory.Forget(pid)
+				}
+			}
+			req := r.req
+			req.Prefilled = false
+			unfinished = append(unfinished, req)
+		}
+		s.batch = nil
+		unfinished = append(unfinished, s.pending...)
+		s.pending = nil
+	}
+	return s.result(), unfinished, nil
 }
 
 // newRunning returns a request state struct, reusing one retired by finish
@@ -417,7 +488,9 @@ func (s *Sim) decodeStep() error {
 	}
 	for _, r := range prefilling {
 		chunk := s.cfg.PrefillChunk
-		if chunk > r.prefillLeft {
+		// Without chunked prefill the only prefilling requests are fault
+		// rollbacks: re-ingest the whole lost suffix in one step.
+		if chunk <= 0 || chunk > r.prefillLeft {
 			chunk = r.prefillLeft
 		}
 		r.chunk = chunk
@@ -428,22 +501,30 @@ func (s *Sim) decodeStep() error {
 	// requests + partial pages and activations from scratch.
 	perTier := s.perTier
 	clear(perTier)
-	perTier[s.wTier] = s.cfg.Model.WeightBytes()
 	kvPerTok := s.cfg.Model.KVBytesPerToken()
 	pageBytes := kvPerTok * units.Bytes(s.cfg.PageTokens)
 	for _, r := range decoding {
 		for i, pid := range r.pages {
 			if _, _, err := s.cfg.Memory.Get(pid); err != nil {
+				// KV pages are soft state: an uncorrectable (or expired)
+				// page invalidates the sequence's suffix — pages are read
+				// in order — so roll back and recompute instead of failing.
+				if errors.Is(err, fault.ErrUncorrectable) || errors.Is(err, core.ErrExpired) {
+					s.dropKVFrom(r, i)
+					break
+				}
 				return fmt.Errorf("cluster: KV page read: %w", err)
 			}
 			perTier[r.pageTiers[i]] += pageBytes
 		}
 		perTier[s.cfg.ScratchTier] += kvPerTok * units.Bytes(r.partial)
 	}
-	// Account the weights read against the device.
-	if _, _, err := s.cfg.Memory.Get(s.weights); err != nil {
-		return fmt.Errorf("cluster: weights read: %w", err)
+	// Account the weights read against the device; a lost copy is restored
+	// from its durable upstream before the step proceeds.
+	if err := s.readWeights(); err != nil {
+		return err
 	}
+	perTier[s.wTier] += s.cfg.Model.WeightBytes()
 	memTime := s.cfg.Memory.ReadTime(perTier)
 	stepTime := s.eng.TimeForFLOPs(flops)
 	if memTime > stepTime {
@@ -481,6 +562,14 @@ func (s *Sim) decodeStep() error {
 	}
 	// Append one token per decoding request; flush pages as they fill.
 	for _, r := range decoding {
+		if r.faulted {
+			// The KV read failed this step: no token was produced. The
+			// request stays batched and re-ingests its lost suffix through
+			// the prefill path starting next step.
+			r.faulted = false
+			survivors = append(survivors, r)
+			continue
+		}
 		r.ctx++
 		r.generated++
 		r.partial++
@@ -516,6 +605,69 @@ func (s *Sim) decodeStep() error {
 	return nil
 }
 
+// dropKVFrom implements the KV degradation path: page i of the request's
+// sequence is unreadable, and pages are consumed strictly in order, so the
+// suffix from page i onward (including the scratch partial page) is dropped.
+// The request rolls back to its last intact prefix and the lost tokens are
+// queued for re-ingestion through the prefill path.
+func (s *Sim) dropKVFrom(r *running, i int) {
+	intact := i * s.cfg.PageTokens
+	lost := r.ctx - intact
+	for _, pid := range r.pages[i:] {
+		// The backend may have dropped the object already (expiry).
+		if err := s.cfg.Memory.Delete(pid); err != nil {
+			s.cfg.Memory.Forget(pid)
+		}
+	}
+	s.faults.KVPagesLost += int64(len(r.pages) - i)
+	s.faults.KVTokensRecomputed += int64(lost)
+	s.faults.RecomputeFLOPs += float64(lost) * s.cfg.Model.FLOPsPerToken(intact+lost/2)
+	r.pages = r.pages[:i]
+	r.pageTiers = r.pageTiers[:i]
+	r.ctx = intact
+	r.partial = 0
+	r.prefillLeft += lost
+	r.faulted = true
+}
+
+// readWeights performs the step's weights read. An uncorrectable read is not
+// fatal: weights are immutable with a durable upstream copy, so the manager
+// reseats them (retry with exponential backoff, preferring another tier) and
+// the read is retried. Only exhausting every tier fails the simulation.
+func (s *Sim) readWeights() error {
+	_, _, err := s.cfg.Memory.Get(s.weights)
+	if err == nil {
+		return nil
+	}
+	backoff := s.cfg.Memory.Backoff
+	attempts := len(s.cfg.Memory.Tiers()) + 1
+	for try := 0; try < attempts; try++ {
+		if !errors.Is(err, fault.ErrUncorrectable) {
+			return fmt.Errorf("cluster: weights read: %w", err)
+		}
+		// Fault-isolation window, then rewrite from upstream.
+		lat, rerr := s.cfg.Memory.Reseat(s.weights)
+		if rerr != nil {
+			return fmt.Errorf("cluster: weights reseat: %w", rerr)
+		}
+		stall := backoff + lat
+		s.clock += stall
+		if terr := s.cfg.Memory.Tick(stall); terr != nil {
+			return terr
+		}
+		s.faults.WeightsReseats++
+		s.faults.ReseatStall += stall
+		backoff *= 2
+		if s.wTier, rerr = s.cfg.Memory.TierOf(s.weights); rerr != nil {
+			return rerr
+		}
+		if _, _, err = s.cfg.Memory.Get(s.weights); err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("cluster: weights unreadable after %d reseats: %w", attempts, err)
+}
+
 // finish releases a request's pages, records completion, and retires the
 // state struct to the reuse pool.
 func (s *Sim) finish(r *running) {
@@ -547,6 +699,8 @@ func (s *Sim) result() Result {
 		Energy:       s.cfg.Memory.TotalEnergy(),
 		DecodeSteps:  s.decodeSteps,
 		PerTierReads: make(map[string]units.Bytes),
+		Faults:       s.faults,
+		WastedTokens: s.wasted,
 	}
 	infos := s.cfg.Memory.Tiers()
 	for idx, b := range s.perTierReads {

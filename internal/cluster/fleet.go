@@ -22,6 +22,18 @@ type Fleet struct {
 	// default, 1 = serial). Nodes are independent simulators, so results are
 	// identical at any worker count.
 	Workers int
+	// Failures schedules fail-stop events: each named node halts at its
+	// simulated time, its in-flight and unserved requests are requeued onto
+	// surviving nodes (fresh, least-loaded), and the fleet reports
+	// degraded-mode latency and goodput. Multiple entries for one node keep
+	// the earliest time.
+	Failures []NodeFailure
+}
+
+// NodeFailure schedules a fail-stop: node Node halts at simulated time At.
+type NodeFailure struct {
+	Node int
+	At   time.Duration
 }
 
 // NewFleet constructs n nodes with the given factory.
@@ -61,12 +73,26 @@ type FleetResult struct {
 	// as if one accumulator had observed all requests.
 	TTFT metrics.Snapshot
 	TBT  metrics.Snapshot
+	// Degraded-mode accounting (zero when no failures are scheduled).
+	FailedNodes  int
+	Requeued     int   // requests moved to survivors after fail-stops
+	Unserved     int   // requests lost outright (no surviving node)
+	WastedTokens int64 // tokens generated on failed nodes and redone
+	// GoodTokens is TokensOut minus WastedTokens: output that reached a
+	// completed request. GoodTokensPerSec is the fleet's goodput.
+	GoodTokens       int64
+	GoodTokensPerSec float64
+	// Faults aggregates per-node graceful-degradation work.
+	Faults FaultStats
 }
 
 // Run partitions the stream (token-balanced, arrival order preserved per
-// node) and runs every node to completion. Nodes simulate concurrently on
-// the sweep pool; each node's result depends only on its shard, so the
-// outcome is bit-identical to running the nodes one after another.
+// node) and runs every node to completion — or, for nodes with a scheduled
+// failure, until their fail-stop time. Failing nodes run first (one sweep
+// barrier), their unfinished requests are requeued deterministically onto
+// survivors, then survivors run. Nodes simulate concurrently on the sweep
+// pool; every phase reduces in node order, so the outcome is bit-identical
+// to running the nodes one after another at any worker count.
 func (f *Fleet) Run(reqs []Request) (FleetResult, error) {
 	shards := make([][]Request, len(f.nodes))
 	load := make([]int64, len(f.nodes))
@@ -84,20 +110,96 @@ func (f *Fleet) Run(reqs []Request) (FleetResult, error) {
 		shards[best] = append(shards[best], r)
 		load[best] += int64(r.PromptTokens + r.OutputTokens)
 	}
-	perNode, err := sweep.Map(context.Background(), sweep.Config{Workers: f.Workers}, shards,
-		func(_ context.Context, c sweep.Cell, shard []Request) (Result, error) {
-			res, err := f.nodes[c.Index].Run(shard)
-			if err != nil {
-				return Result{}, fmt.Errorf("cluster: node %d: %w", c.Index, err)
-			}
-			return res, nil
-		})
-	if err != nil {
-		return FleetResult{}, err
+	// Split the fleet by fate: failAt[i] < 0 means node i survives.
+	failAt := make([]time.Duration, len(f.nodes))
+	for i := range failAt {
+		failAt[i] = -1
 	}
-	// Ordered reduction after the barrier: aggregates come out in node
+	for _, nf := range f.Failures {
+		if nf.Node < 0 || nf.Node >= len(f.nodes) {
+			return FleetResult{}, fmt.Errorf("cluster: failure names bad node %d", nf.Node)
+		}
+		if nf.At < 0 {
+			return FleetResult{}, fmt.Errorf("cluster: failure time %v for node %d", nf.At, nf.Node)
+		}
+		if failAt[nf.Node] < 0 || nf.At < failAt[nf.Node] {
+			failAt[nf.Node] = nf.At
+		}
+	}
+	var failing, surviving []int
+	for i := range f.nodes {
+		if failAt[i] >= 0 {
+			failing = append(failing, i)
+		} else {
+			surviving = append(surviving, i)
+		}
+	}
+	perNode := make([]Result, len(f.nodes))
+	out := FleetResult{PerNode: perNode, FailedNodes: len(failing)}
+	if len(failing) > 0 {
+		type partial struct {
+			res  Result
+			left []Request
+		}
+		parts, err := sweep.Map(context.Background(), sweep.Config{Workers: f.Workers}, failing,
+			func(_ context.Context, _ sweep.Cell, node int) (partial, error) {
+				res, left, err := f.nodes[node].RunUntil(shards[node], failAt[node])
+				if err != nil {
+					return partial{}, fmt.Errorf("cluster: node %d: %w", node, err)
+				}
+				return partial{res: res, left: left}, nil
+			})
+		if err != nil {
+			return FleetResult{}, err
+		}
+		// Requeue serially in node order: an orphan re-arrives no earlier
+		// than its node's fail-stop (detection), fresh (its KV died), on the
+		// least-loaded survivor.
+		var orphans []Request
+		for k, node := range failing {
+			perNode[node] = parts[k].res
+			for _, req := range parts[k].left {
+				if req.Arrival < failAt[node] {
+					req.Arrival = failAt[node]
+				}
+				orphans = append(orphans, req)
+			}
+		}
+		sort.SliceStable(orphans, func(i, j int) bool { return orphans[i].Arrival < orphans[j].Arrival })
+		if len(surviving) == 0 {
+			out.Unserved = len(orphans)
+		} else {
+			out.Requeued = len(orphans)
+			for _, req := range orphans {
+				best := surviving[0]
+				for _, i := range surviving[1:] {
+					if load[i] < load[best] {
+						best = i
+					}
+				}
+				shards[best] = append(shards[best], req)
+				load[best] += int64(req.PromptTokens + req.OutputTokens)
+			}
+		}
+	}
+	if len(surviving) > 0 {
+		res, err := sweep.Map(context.Background(), sweep.Config{Workers: f.Workers}, surviving,
+			func(_ context.Context, _ sweep.Cell, node int) (Result, error) {
+				r, err := f.nodes[node].Run(shards[node])
+				if err != nil {
+					return Result{}, fmt.Errorf("cluster: node %d: %w", node, err)
+				}
+				return r, nil
+			})
+		if err != nil {
+			return FleetResult{}, err
+		}
+		for k, node := range surviving {
+			perNode[node] = res[k]
+		}
+	}
+	// Ordered reduction after the barriers: aggregates come out in node
 	// order, independent of which worker finished first.
-	out := FleetResult{PerNode: perNode}
 	ttft := metrics.NewHistogram(1e-6, 1.05)
 	tbt := metrics.NewHistogram(1e-6, 1.05)
 	var minTok, maxTok int64 = 1<<62 - 1, 0
@@ -115,14 +217,18 @@ func (f *Fleet) Run(reqs []Request) (FleetResult, error) {
 		if res.TokensOut > maxTok {
 			maxTok = res.TokensOut
 		}
+		out.WastedTokens += res.WastedTokens
+		out.Faults = out.Faults.Add(res.Faults)
 		nodeTTFT, nodeTBT := f.nodes[i].Observations()
 		ttft.Merge(nodeTTFT)
 		tbt.Merge(nodeTBT)
 	}
 	out.TTFT = ttft.Snapshot()
 	out.TBT = tbt.Snapshot()
+	out.GoodTokens = out.TokensOut - out.WastedTokens
 	if out.WallTime > 0 {
 		out.TokensPerSec = float64(out.TokensOut) / out.WallTime.Seconds()
+		out.GoodTokensPerSec = float64(out.GoodTokens) / out.WallTime.Seconds()
 	}
 	if out.Energy > 0 {
 		out.TokensPerJoule = float64(out.TokensOut) / float64(out.Energy)

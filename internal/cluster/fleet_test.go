@@ -118,6 +118,99 @@ func TestFleetParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+func TestFleetFailoverRequeuesOntoSurvivors(t *testing.T) {
+	reqs := shortRequests(18)
+	// Baseline to learn the wall time, then fail one node halfway through.
+	base, err := fleetOf(t, 3).Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fleetOf(t, 3)
+	f.Failures = []NodeFailure{{Node: 1, At: base.WallTime / 2}}
+	res, err := f.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailedNodes != 1 {
+		t.Fatalf("FailedNodes = %d", res.FailedNodes)
+	}
+	if res.Requeued == 0 {
+		t.Fatal("a mid-run fail-stop should orphan at least one request")
+	}
+	if res.Unserved != 0 {
+		t.Fatalf("survivors exist, yet %d requests unserved", res.Unserved)
+	}
+	// Every request still completes — just later and with wasted work.
+	if res.Completed+res.Truncated != len(reqs) {
+		t.Fatalf("completed %d + truncated %d != %d", res.Completed, res.Truncated, len(reqs))
+	}
+	if res.GoodTokens != res.TokensOut-res.WastedTokens {
+		t.Fatalf("goodput accounting: good %d, total %d, wasted %d",
+			res.GoodTokens, res.TokensOut, res.WastedTokens)
+	}
+	if res.GoodTokensPerSec > res.TokensPerSec {
+		t.Fatal("goodput cannot exceed raw throughput")
+	}
+	// Requeued work can only push the fleet's finish time out, never in.
+	if res.WallTime < base.WallTime {
+		t.Fatalf("degraded run (%v) finished before baseline (%v)", res.WallTime, base.WallTime)
+	}
+}
+
+func TestFleetAllNodesFailLosesRequests(t *testing.T) {
+	f := fleetOf(t, 2)
+	f.Failures = []NodeFailure{{Node: 0, At: 0}, {Node: 1, At: 0}}
+	res, err := f.Run(shortRequests(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unserved != 6 || res.Requeued != 0 {
+		t.Fatalf("unserved %d requeued %d, want 6 and 0", res.Unserved, res.Requeued)
+	}
+	if res.Completed != 0 {
+		t.Fatalf("completed %d with no survivors", res.Completed)
+	}
+}
+
+func TestFleetFailureValidation(t *testing.T) {
+	f := fleetOf(t, 2)
+	f.Failures = []NodeFailure{{Node: 5, At: time.Second}}
+	if _, err := f.Run(shortRequests(2)); err == nil {
+		t.Fatal("out-of-range node should error")
+	}
+	f = fleetOf(t, 2)
+	f.Failures = []NodeFailure{{Node: 0, At: -time.Second}}
+	if _, err := f.Run(shortRequests(2)); err == nil {
+		t.Fatal("negative fail time should error")
+	}
+}
+
+func TestFleetFailoverDeterministicAcrossWorkers(t *testing.T) {
+	// The ISSUE's determinism bar: a fleet with scheduled node failures must
+	// produce an identical FleetResult at Workers=1 and Workers=8.
+	reqs := shortRequests(24)
+	run := func(workers int) FleetResult {
+		f := fleetOf(t, 4)
+		f.Workers = workers
+		f.Failures = []NodeFailure{{Node: 2, At: 500 * time.Millisecond}, {Node: 0, At: time.Second}}
+		res, err := f.Run(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	if serial.Requeued == 0 {
+		t.Fatal("test wants a run that actually requeues work")
+	}
+	for _, w := range []int{2, 8} {
+		if got := run(w); !reflect.DeepEqual(got, serial) {
+			t.Fatalf("workers=%d: degraded fleet result diverged from serial:\n got %+v\nwant %+v",
+				w, got, serial)
+		}
+	}
+}
+
 func TestFleetSkewedRequestsStillAssignLeastLoaded(t *testing.T) {
 	f := fleetOf(t, 2)
 	// One huge request plus many small: the big one should not share a node

@@ -31,6 +31,7 @@ import (
 	"mrm/internal/cellphys"
 	"mrm/internal/controller"
 	"mrm/internal/ecc"
+	"mrm/internal/fault"
 	"mrm/internal/memdev"
 	"mrm/internal/units"
 )
@@ -206,6 +207,7 @@ type Stats struct {
 	BytesRefreshed      units.Bytes
 	Refreshes           int64 // object refresh/relocation events
 	Expirations         int64 // objects dropped at deadline
+	Restores            int64 // refresh reads lost to faults, restored from upstream
 	ScrubPasses         int64
 	ZoneResets          int64
 	Compactions         int64 // zones reclaimed by Compact
@@ -343,6 +345,17 @@ func (m *MRM) ChooseClass(lifetime time.Duration) (c Class, refreshes int) {
 	d := m.cfg.Classes[last]
 	n := int((lifetime + d - 1) / d)
 	return Class(last), n - 1
+}
+
+// SetFaults arms fault injection on the underlying device. A zero Code in
+// cfg is filled in from the MRM's own ECC plan, so callers need only supply
+// the seed and rates.
+func (m *MRM) SetFaults(cfg memdev.FaultConfig) {
+	if cfg.Code.N == 0 {
+		cfg.Code = m.cfg.Code
+		cfg.UBERTarget = m.cfg.UBERTarget
+	}
+	m.zoned.Device().SetFaults(cfg)
 }
 
 // Now returns device time.
@@ -594,15 +607,25 @@ func (m *MRM) resetZone(zid int) {
 }
 
 // refreshObject rewrites the object into fresh zones, extending its deadline
-// by one retention period.
+// by one retention period. An uncorrectable read during refresh does not fail
+// the object: PolicyRefresh data (weights) has a durable upstream copy, so the
+// rewrite proceeds from there and the event is counted as a restore.
 func (m *MRM) refreshObject(obj *object) error {
 	// Read the live data (energy), then rewrite.
+	restored := false
 	for _, ext := range obj.extents {
 		res, err := m.zoned.Read(ext.zone, ext.off, ext.size)
 		if err != nil {
+			if errors.Is(err, fault.ErrUncorrectable) {
+				restored = true
+				continue
+			}
 			return fmt.Errorf("core: refresh read: %w", err)
 		}
 		m.energy.Read += res.Energy
+	}
+	if restored {
+		m.stats.Restores++
 	}
 	m.dropExtents(obj)
 	// Rotate to a fresh zone: appending into the aging open zone would give

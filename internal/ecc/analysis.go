@@ -1,10 +1,18 @@
 package ecc
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"time"
 )
+
+// ErrUnreachableTarget reports that no scrub schedule can hold the requested
+// UBER target: the code is too weak for the target outright, or the data's
+// raw BER is over budget from the moment it is written. Callers (the fault
+// layer, sweep drivers) branch with errors.Is to separate "this design point
+// is infeasible" from genuine planner failures.
+var ErrUnreachableTarget = errors.New("ecc: UBER target unreachable")
 
 // CodeSpec abstractly describes a block code for reliability analysis
 // without instantiating a codec: N symbols per codeword, K of them data,
@@ -126,10 +134,10 @@ type ScrubPlan struct {
 func PlanScrub(c CodeSpec, berAt func(time.Duration) float64, uberTarget float64, horizon time.Duration) (ScrubPlan, error) {
 	maxBER := c.MaxBERForUBER(uberTarget)
 	if maxBER <= 0 {
-		return ScrubPlan{}, fmt.Errorf("ecc: code %dx%d cannot meet UBER %g at any BER", c.N, c.K, uberTarget)
+		return ScrubPlan{}, fmt.Errorf("code %dx%d cannot meet UBER %g at any BER: %w", c.N, c.K, uberTarget, ErrUnreachableTarget)
 	}
 	if berAt(0) > maxBER {
-		return ScrubPlan{}, fmt.Errorf("ecc: fresh-data BER %g already above budget %g", berAt(0), maxBER)
+		return ScrubPlan{}, fmt.Errorf("fresh-data BER %g already above budget %g: %w", berAt(0), maxBER, ErrUnreachableTarget)
 	}
 	if berAt(horizon) <= maxBER {
 		return ScrubPlan{MaxBER: maxBER}, nil
@@ -145,7 +153,7 @@ func PlanScrub(c CodeSpec, berAt func(time.Duration) float64, uberTarget float64
 		}
 	}
 	if lo <= 0 {
-		return ScrubPlan{}, fmt.Errorf("ecc: BER crosses budget immediately")
+		return ScrubPlan{}, fmt.Errorf("BER crosses budget immediately: %w", ErrUnreachableTarget)
 	}
 	return ScrubPlan{
 		Interval:      lo,

@@ -1,6 +1,7 @@
 package ecc
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"time"
@@ -125,6 +126,39 @@ func TestPlanScrubErrors(t *testing.T) {
 	high := func(time.Duration) float64 { return 0.4 }
 	if _, err := PlanScrub(c, high, 1e-18, time.Hour); err == nil {
 		t.Fatal("fresh BER above budget should error")
+	}
+}
+
+func TestPlanScrubUnreachableTargetIsTyped(t *testing.T) {
+	c := RSSpec(255, 223)
+	// Every PlanScrub failure mode is the same condition — the code cannot
+	// hit the UBER target — and callers branch on it with errors.Is.
+	cases := map[string]func() error{
+		"fresh BER above budget": func() error {
+			high := func(time.Duration) float64 { return 0.4 }
+			_, err := PlanScrub(c, high, 1e-18, time.Hour)
+			return err
+		},
+		"impossible target": func() error {
+			flat := func(time.Duration) float64 { return 1e-9 }
+			_, err := PlanScrub(c, flat, 0, time.Hour)
+			return err
+		},
+	}
+	for name, run := range cases {
+		err := run()
+		if err == nil {
+			t.Errorf("%s: want error", name)
+			continue
+		}
+		if !errors.Is(err, ErrUnreachableTarget) {
+			t.Errorf("%s: error %v does not wrap ErrUnreachableTarget", name, err)
+		}
+	}
+	// A planable configuration must NOT carry the sentinel.
+	flat := func(time.Duration) float64 { return 1e-9 }
+	if _, err := PlanScrub(c, flat, 1e-18, time.Hour); errors.Is(err, ErrUnreachableTarget) || err != nil {
+		t.Fatalf("healthy plan errored: %v", err)
 	}
 }
 

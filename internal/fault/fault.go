@@ -1,0 +1,101 @@
+// Package fault is the deterministic fault-injection engine behind the
+// simulator's robustness experiments. The paper's degradation story (§2.2,
+// §4) is that inference data tolerates loss — KV pages are soft state that
+// "can be dropped and recomputed", and retention-aware error correction turns
+// retention lapses into a managed failure mode instead of silent corruption.
+// Evaluating that story requires failures to be first-class events, and for
+// the experiment drivers to stay reproducible those events must not depend on
+// scheduling.
+//
+// Determinism contract (mirrors internal/sweep):
+//
+//   - A fault decision is a pure function of (seed, stream, event): no shared
+//     RNG advances, so two goroutines — or two runs at different -parallel
+//     settings — asking the same question get the same answer.
+//   - Streams partition the event space by fault kind (transient vs retention
+//     lapse vs node fail-stop); events are the consumer's own monotone
+//     counters (a device's read index, a node's id), which are themselves
+//     deterministic.
+//   - Injectors are cheap value-like objects; a nil *Injector never fires, so
+//     fault paths cost one nil check when injection is disabled.
+package fault
+
+import "errors"
+
+// ErrUncorrectable reports a read whose raw bit errors exceeded the ECC
+// plan's correction capability: the stored data is lost. Layers above decide
+// what that means — KV pages are dropped and recomputed, weights are restored
+// from their durable upstream copy, anything else is an error. Callers branch
+// with errors.Is.
+var ErrUncorrectable = errors.New("uncorrectable memory error (ECC capacity exceeded)")
+
+// Stream identifiers partition fault decisions by kind so one seed can drive
+// several independent fault processes without correlation.
+const (
+	// StreamTransient is the per-read transient (particle strike, read
+	// disturb) fault process.
+	StreamTransient uint64 = 1
+	// StreamLapse is the per-read retention-lapse process: the touched data
+	// decayed past its retention window before the scrubber reached it.
+	StreamLapse uint64 = 2
+	// StreamNodeFail is reserved for fleet-level fail-stop processes.
+	StreamNodeFail uint64 = 3
+)
+
+// mix64 is the splitmix64 finalizer: a full-avalanche permutation of uint64.
+func mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// DeriveSeed maps (base, index) to an independent full-entropy seed, the same
+// derivation internal/sweep uses for per-cell seeds — so a memory system can
+// hand each of its tiers an uncorrelated fault seed.
+func DeriveSeed(base uint64, index int) uint64 {
+	return mix64(base + (uint64(index)+1)*0x9e3779b97f4a7c15)
+}
+
+// U01 maps (seed, stream, event) to a uniform value in [0, 1). It is pure:
+// the same triple always yields the same value, on any goroutine.
+func U01(seed, stream, event uint64) float64 {
+	x := mix64(seed ^ mix64(stream*0x9e3779b97f4a7c15)) // per-stream subkey
+	x = mix64(x + (event+1)*0x9e3779b97f4a7c15)
+	return float64(x>>11) / (1 << 53)
+}
+
+// Injector decides fault occurrences at a fixed rate. The zero value and the
+// nil pointer are both disabled injectors.
+type Injector struct {
+	seed uint64
+	rate float64
+}
+
+// NewInjector builds an injector firing with probability rate per trial.
+// rate <= 0 returns nil (disabled), so callers can gate on a nil check.
+func NewInjector(seed uint64, rate float64) *Injector {
+	if rate <= 0 {
+		return nil
+	}
+	return &Injector{seed: seed, rate: rate}
+}
+
+// Rate returns the per-trial fault probability (0 for a disabled injector).
+func (in *Injector) Rate() float64 {
+	if in == nil {
+		return 0
+	}
+	return in.rate
+}
+
+// Hit reports whether the fault fires for the given (stream, event) pair.
+// Pure: independent of call order, goroutine, and every other (stream, event).
+func (in *Injector) Hit(stream, event uint64) bool {
+	if in == nil || in.rate <= 0 {
+		return false
+	}
+	if in.rate >= 1 {
+		return true
+	}
+	return U01(in.seed, stream, event) < in.rate
+}

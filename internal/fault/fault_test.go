@@ -1,0 +1,117 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestHitIsPure(t *testing.T) {
+	in := NewInjector(42, 0.3)
+	for event := uint64(0); event < 100; event++ {
+		a := in.Hit(StreamTransient, event)
+		b := in.Hit(StreamTransient, event)
+		if a != b {
+			t.Fatalf("Hit not pure at event %d: %v then %v", event, a, b)
+		}
+	}
+}
+
+func TestHitOrderIndependence(t *testing.T) {
+	in := NewInjector(7, 0.5)
+	forward := make([]bool, 1000)
+	for e := range forward {
+		forward[e] = in.Hit(StreamLapse, uint64(e))
+	}
+	for e := len(forward) - 1; e >= 0; e-- {
+		if got := in.Hit(StreamLapse, uint64(e)); got != forward[e] {
+			t.Fatalf("event %d changed with query order: %v vs %v", e, got, forward[e])
+		}
+	}
+}
+
+func TestDisabledInjectorNeverFires(t *testing.T) {
+	var nilIn *Injector
+	if nilIn.Hit(StreamTransient, 1) {
+		t.Error("nil injector fired")
+	}
+	if nilIn.Rate() != 0 {
+		t.Error("nil injector has nonzero rate")
+	}
+	if NewInjector(1, 0) != nil {
+		t.Error("rate-0 injector not nil")
+	}
+	if NewInjector(1, -0.5) != nil {
+		t.Error("negative-rate injector not nil")
+	}
+}
+
+func TestSaturatedRateAlwaysFires(t *testing.T) {
+	in := NewInjector(9, 1)
+	for e := uint64(0); e < 100; e++ {
+		if !in.Hit(StreamTransient, e) {
+			t.Fatalf("rate-1 injector missed event %d", e)
+		}
+	}
+}
+
+func TestEmpiricalRate(t *testing.T) {
+	const n = 200000
+	for _, rate := range []float64{0.01, 0.1, 0.5} {
+		in := NewInjector(1234, rate)
+		hits := 0
+		for e := uint64(0); e < n; e++ {
+			if in.Hit(StreamTransient, e) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if got < rate*0.9 || got > rate*1.1 {
+			t.Errorf("rate %g: empirical %g outside ±10%%", rate, got)
+		}
+	}
+}
+
+func TestStreamsAreIndependent(t *testing.T) {
+	in := NewInjector(55, 0.5)
+	same := 0
+	const n = 10000
+	for e := uint64(0); e < n; e++ {
+		if in.Hit(StreamTransient, e) == in.Hit(StreamLapse, e) {
+			same++
+		}
+	}
+	// Independent fair streams agree ~50% of the time; correlated streams
+	// agree ~100% or ~0%.
+	frac := float64(same) / n
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("streams correlate: agreement %g", frac)
+	}
+}
+
+func TestDeriveSeedSpreads(t *testing.T) {
+	seen := map[uint64]int{}
+	for i := 0; i < 1000; i++ {
+		s := DeriveSeed(0, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("DeriveSeed collision: index %d and %d", prev, i)
+		}
+		seen[s] = i
+	}
+}
+
+func TestU01Range(t *testing.T) {
+	for e := uint64(0); e < 10000; e++ {
+		v := U01(3, StreamTransient, e)
+		if v < 0 || v >= 1 {
+			t.Fatalf("U01 out of range at event %d: %g", e, v)
+		}
+	}
+}
+
+func TestErrUncorrectableWrapping(t *testing.T) {
+	wrapped := fmt.Errorf("memdev: read [0, 64): %w", ErrUncorrectable)
+	if !errors.Is(wrapped, ErrUncorrectable) {
+		t.Error("wrapped ErrUncorrectable not recognized by errors.Is")
+	}
+}

@@ -56,6 +56,8 @@ type Cache struct {
 	allocs      int64
 	cowCopies   int64
 	sharedSaved int64 // page allocations avoided via sharing
+	droppedPage int64 // page references dropped by DropFrom
+	recompute   int64 // tokens rolled back by DropFrom (the recompute bill)
 }
 
 // New builds a cache.
@@ -210,6 +212,41 @@ func (c *Cache) Release(id SeqID) error {
 	return nil
 }
 
+// DropFrom drops the sequence's pages from index pageIdx onward — the
+// degradation path for an uncorrectable fault in that page. Pages are read
+// strictly in order (§2.2), so losing page i invalidates the sequence's
+// suffix: the sequence rolls back to its last intact prefix and the dropped
+// tokens become a recompute obligation. Pages shared with other sequences
+// survive for those owners via refcount — only this sequence's references
+// are dropped. Returns the number of tokens rolled back.
+func (c *Cache) DropFrom(id SeqID, pageIdx int) (int, error) {
+	s, ok := c.seqs[id]
+	if !ok {
+		return 0, fmt.Errorf("kvcache: no sequence %d", id)
+	}
+	if pageIdx < 0 || pageIdx >= len(s.pages) {
+		return 0, fmt.Errorf("kvcache: seq %d has no page %d", id, pageIdx)
+	}
+	dropped := 0
+	for _, pg := range s.pages[pageIdx:] {
+		dropped += c.pages[pg].tokens
+		c.pages[pg].ref--
+		if c.pages[pg].ref == 0 {
+			c.pages[pg].tokens = 0
+			c.free = append(c.free, pg)
+		}
+		if c.pages[pg].ref < 0 {
+			panic("kvcache: negative refcount")
+		}
+		c.droppedPage++
+	}
+	s.pages = s.pages[:pageIdx]
+	s.tokens -= dropped
+	s.lastAccess = c.clock
+	c.recompute += int64(dropped)
+	return dropped, nil
+}
+
 // Touch records a read of the sequence (for LRU).
 func (c *Cache) Touch(id SeqID) error {
 	s, ok := c.seqs[id]
@@ -280,6 +317,10 @@ type Stats struct {
 	Allocations int64
 	CoWCopies   int64
 	SharedSaved int64
+	// DroppedPages and RecomputeTokens account DropFrom (fault degradation):
+	// page references rolled back and the tokens owed to recomputation.
+	DroppedPages    int64
+	RecomputeTokens int64
 	// Utilization is filled-vector bytes over used-page bytes (internal
 	// fragmentation shows up as utilization < 1).
 	Utilization float64
@@ -293,6 +334,9 @@ func (c *Cache) Stats() Stats {
 		Allocations: c.allocs,
 		CoWCopies:   c.cowCopies,
 		SharedSaved: c.sharedSaved,
+
+		DroppedPages:    c.droppedPage,
+		RecomputeTokens: c.recompute,
 	}
 	usedTokens := 0
 	for i := range c.pages {

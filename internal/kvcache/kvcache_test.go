@@ -161,6 +161,105 @@ func TestForkCopiesPartialPage(t *testing.T) {
 	}
 }
 
+func TestDropFromRollsBackSuffix(t *testing.T) {
+	c := newCache(t)
+	_ = c.NewSequence(1)
+	_ = c.Append(1, 3*16+5) // 3 full pages + 1 partial (5 tokens)
+	used0 := c.Stats().UsedPages
+
+	// Lose page 1: pages 1..3 are invalidated (reads are strictly in order),
+	// so 2*16+5 tokens roll back and become a recompute obligation.
+	dropped, err := c.DropFrom(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2*16 + 5; dropped != want {
+		t.Fatalf("dropped = %d, want %d", dropped, want)
+	}
+	n, _ := c.Tokens(1)
+	if n != 16 {
+		t.Fatalf("surviving prefix = %d tokens, want 16", n)
+	}
+	st := c.Stats()
+	if st.UsedPages != used0-3 {
+		t.Fatalf("used pages %d -> %d, want 3 freed", used0, st.UsedPages)
+	}
+	if st.DroppedPages != 3 {
+		t.Fatalf("DroppedPages = %d, want 3", st.DroppedPages)
+	}
+	// The recompute obligation equals exactly the rolled-back tokens.
+	if st.RecomputeTokens != int64(dropped) {
+		t.Fatalf("RecomputeTokens = %d, want %d", st.RecomputeTokens, dropped)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The sequence keeps working: re-append the lost tokens.
+	if err := c.Append(1, dropped); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := c.Tokens(1); n != 3*16+5 {
+		t.Fatalf("tokens after recompute = %d", n)
+	}
+}
+
+func TestDropFromSparesSharedPrefix(t *testing.T) {
+	c := newCache(t)
+	_ = c.NewSequence(1)
+	_ = c.Append(1, 48) // 3 full pages
+	if err := c.Fork(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Child loses its whole context. The pages are prefix-shared with the
+	// parent, so the refcount keeps every one of them alive for seq 1.
+	used0 := c.Stats().UsedPages
+	dropped, err := c.DropFrom(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 48 {
+		t.Fatalf("dropped = %d, want 48", dropped)
+	}
+	st := c.Stats()
+	if st.UsedPages != used0 {
+		t.Fatalf("shared pages must survive the drop: used %d -> %d", used0, st.UsedPages)
+	}
+	if n, _ := c.Tokens(1); n != 48 {
+		t.Fatalf("parent tokens = %d, want 48 intact", n)
+	}
+	if n, _ := c.Tokens(2); n != 0 {
+		t.Fatalf("child tokens = %d, want 0", n)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Dropping the parent's copy too releases the pages for real.
+	if _, err := c.DropFrom(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().UsedPages; got != used0-3 {
+		t.Fatalf("after both drops used = %d, want %d", got, used0-3)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropFromErrors(t *testing.T) {
+	c := newCache(t)
+	if _, err := c.DropFrom(9, 0); err == nil {
+		t.Error("unknown sequence should error")
+	}
+	_ = c.NewSequence(1)
+	_ = c.Append(1, 16)
+	if _, err := c.DropFrom(1, -1); err == nil {
+		t.Error("negative page index should error")
+	}
+	if _, err := c.DropFrom(1, 1); err == nil {
+		t.Error("out-of-range page index should error")
+	}
+}
+
 func TestForkErrors(t *testing.T) {
 	c := newCache(t)
 	if err := c.Fork(1, 2); err == nil {

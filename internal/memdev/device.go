@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"mrm/internal/cellphys"
+	"mrm/internal/ecc"
+	"mrm/internal/fault"
 	"mrm/internal/units"
 )
 
@@ -57,17 +59,27 @@ type Device struct {
 	spec      Spec
 	wearBlock units.Bytes // granularity at which wear is tracked
 
-	mu        sync.Mutex
-	now       time.Duration // simulated device-local time
-	wear      []float64     // write cycles per wear block
-	lastWrite []time.Duration
-	energy    EnergyBreakdown
-	reads     uint64
-	writes    uint64
-	readBytes units.Bytes
-	writeByte units.Bytes
-	berParams cellphys.RawBERParams
-	op        cellphys.OperatingPoint // fixed operating point from the spec
+	mu         sync.Mutex
+	now        time.Duration // simulated device-local time
+	wear       []float64     // write cycles per wear block
+	lastWrite  []time.Duration
+	energy     EnergyBreakdown
+	reads      uint64
+	writes     uint64
+	readBytes  units.Bytes
+	writeBytes units.Bytes
+	berParams  cellphys.RawBERParams
+	op         cellphys.OperatingPoint // fixed operating point from the spec
+
+	// Fault injection (SetFaults). All decisions are pure functions of the
+	// fault seed and the read counter, so a device's fault sequence is
+	// deterministic regardless of goroutine scheduling.
+	maxBER        float64 // ECC correction ceiling; 0 disables the check
+	transient     *fault.Injector
+	lapse         *fault.Injector
+	uncorrectable uint64 // total reads returning ErrUncorrectable
+	transients    uint64
+	lapses        uint64
 }
 
 // NewDevice creates a device from spec. Wear is tracked per spec.BlockSize
@@ -111,6 +123,41 @@ func NewDevice(spec Spec) (*Device, error) {
 // Spec returns the device's specification.
 func (d *Device) Spec() Spec { return d.spec }
 
+// FaultConfig arms a device's fault-injection path. The zero value disables
+// everything; drivers that never call SetFaults are byte-identical to the
+// pre-fault simulator.
+type FaultConfig struct {
+	// Seed drives the injected-fault streams; decisions are pure functions
+	// of (Seed, stream, read index).
+	Seed uint64
+	// Code and UBERTarget define the device's ECC plan: reads whose
+	// worst-block raw BER exceeds Code.MaxBERForUBER(UBERTarget) surface as
+	// fault.ErrUncorrectable — the organic failure path where wear or age
+	// outruns the code. A zero Code (N == 0) or UBERTarget disables the
+	// threshold.
+	Code       ecc.CodeSpec
+	UBERTarget float64
+	// TransientRate is the per-read probability of a transient uncorrectable
+	// fault (particle strike, read disturb).
+	TransientRate float64
+	// LapseRate is the per-read probability that the touched data's
+	// retention lapsed before the scrubber reached it: the managed-retention
+	// failure mode §4 argues ECC must absorb.
+	LapseRate float64
+}
+
+// SetFaults installs (or, with a zero config, removes) fault injection.
+func (d *Device) SetFaults(cfg FaultConfig) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.maxBER = 0
+	if cfg.Code.N > 0 && cfg.UBERTarget > 0 {
+		d.maxBER = cfg.Code.MaxBERForUBER(cfg.UBERTarget)
+	}
+	d.transient = fault.NewInjector(cfg.Seed, cfg.TransientRate)
+	d.lapse = fault.NewInjector(cfg.Seed, cfg.LapseRate)
+}
+
 // Now returns the device-local simulated time.
 func (d *Device) Now() time.Duration {
 	d.mu.Lock()
@@ -145,7 +192,12 @@ func (d *Device) blockRange(addr, size units.Bytes) (first, last int, err error)
 	return first, last, nil
 }
 
-// ReadAt performs a read of size bytes at addr and returns its cost.
+// ReadAt performs a read of size bytes at addr and returns its cost. With
+// fault injection armed (SetFaults), a read whose raw BER exceeds the ECC
+// plan's budget — organically, or via an injected transient fault or
+// retention lapse — returns fault.ErrUncorrectable alongside the cost: the
+// access happened and is charged, but the data is lost and the caller must
+// degrade (drop + recompute soft state, restore durable state).
 func (d *Device) ReadAt(addr, size units.Bytes) (Result, error) {
 	first, last, err := d.blockRange(addr, size)
 	if err != nil {
@@ -170,7 +222,26 @@ func (d *Device) ReadAt(addr, size units.Bytes) (Result, error) {
 			worst = ber
 		}
 	}
-	return Result{Latency: lat, Energy: e, RawBER: worst}, nil
+	res := Result{Latency: lat, Energy: e, RawBER: worst}
+	event := d.reads // monotone, deterministic event index for this read
+	if d.transient.Hit(fault.StreamTransient, event) {
+		d.transients++
+		d.uncorrectable++
+		return res, fmt.Errorf("memdev: %s: transient fault on read %d at [%d, %d): %w",
+			d.spec.Name, event, addr, addr+size, fault.ErrUncorrectable)
+	}
+	if d.lapse.Hit(fault.StreamLapse, event) {
+		d.lapses++
+		d.uncorrectable++
+		return res, fmt.Errorf("memdev: %s: retention lapse on read %d at [%d, %d): %w",
+			d.spec.Name, event, addr, addr+size, fault.ErrUncorrectable)
+	}
+	if d.maxBER > 0 && worst > d.maxBER {
+		d.uncorrectable++
+		return res, fmt.Errorf("memdev: %s: raw BER %.3g exceeds ECC budget %.3g at [%d, %d): %w",
+			d.spec.Name, worst, d.maxBER, addr, addr+size, fault.ErrUncorrectable)
+	}
+	return res, nil
 }
 
 // WriteAt performs a write of size bytes at addr, wearing the touched blocks.
@@ -185,7 +256,7 @@ func (d *Device) WriteAt(addr, size units.Bytes) (Result, error) {
 	e := d.spec.WriteEnergyPerBit.PerBit(size)
 	d.energy.Write += e
 	d.writes++
-	d.writeByte += size
+	d.writeBytes += size
 	for b := first; b <= last; b++ {
 		// Charge fractional wear proportional to how much of the block the
 		// write covers, so small writes do not count as full-block cycles.
@@ -255,15 +326,28 @@ func (d *Device) Energy() EnergyBreakdown {
 	return d.energy
 }
 
-// Stats reports access counts and bytes moved.
+// Stats reports access counts, bytes moved, and fault events (the counters
+// the fault reports aggregate per tier).
 type Stats struct {
 	Reads, Writes         uint64
 	ReadBytes, WriteBytes units.Bytes
+	// Uncorrectable is the total reads that returned fault.ErrUncorrectable;
+	// TransientFaults and RetentionLapses break out the injected causes (the
+	// remainder crossed the ECC BER budget organically).
+	Uncorrectable   uint64
+	TransientFaults uint64
+	RetentionLapses uint64
 }
 
 // Stats returns the access statistics.
 func (d *Device) Stats() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return Stats{Reads: d.reads, Writes: d.writes, ReadBytes: d.readBytes, WriteBytes: d.writeByte}
+	return Stats{
+		Reads: d.reads, Writes: d.writes,
+		ReadBytes: d.readBytes, WriteBytes: d.writeBytes,
+		Uncorrectable:   d.uncorrectable,
+		TransientFaults: d.transients,
+		RetentionLapses: d.lapses,
+	}
 }

@@ -1,12 +1,16 @@
 package memdev
 
 import (
+	"errors"
+	"reflect"
 	"sync"
 	"testing"
 	"testing/quick"
 	"time"
 
 	"mrm/internal/cellphys"
+	"mrm/internal/ecc"
+	"mrm/internal/fault"
 	"mrm/internal/units"
 )
 
@@ -118,6 +122,115 @@ func TestBERGrowsWithAgeOnManagedDevice(t *testing.T) {
 	}
 	if stale.RawBER <= fresh.RawBER {
 		t.Errorf("BER should grow past retention: fresh %g, stale %g", fresh.RawBER, stale.RawBER)
+	}
+}
+
+func TestFaultInjectionCertain(t *testing.T) {
+	d := newTestDevice(t, HBM3E)
+	d.SetFaults(FaultConfig{Seed: 1, TransientRate: 1})
+	res, err := d.ReadAt(0, units.KiB)
+	if !errors.Is(err, fault.ErrUncorrectable) {
+		t.Fatalf("rate-1 injector must fault: err = %v", err)
+	}
+	// The read's cost is charged even when it faults: the controller did the
+	// work before ECC declared defeat.
+	if res.Latency <= 0 || res.Energy <= 0 {
+		t.Fatalf("faulted read should still report cost: %+v", res)
+	}
+	st := d.Stats()
+	if st.Uncorrectable != 1 || st.TransientFaults != 1 || st.RetentionLapses != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	d.SetFaults(FaultConfig{Seed: 1, LapseRate: 1})
+	if _, err := d.ReadAt(0, units.KiB); !errors.Is(err, fault.ErrUncorrectable) {
+		t.Fatalf("rate-1 lapse must fault: err = %v", err)
+	}
+	if st := d.Stats(); st.RetentionLapses != 1 {
+		t.Fatalf("lapse not counted: %+v", st)
+	}
+}
+
+func TestFaultInjectionDisabled(t *testing.T) {
+	// Never arming faults, arming with zero rates, and re-arming with the
+	// zero config all behave identically: no read ever errors.
+	for name, arm := range map[string]func(*Device){
+		"never-armed": func(*Device) {},
+		"zero-rates":  func(d *Device) { d.SetFaults(FaultConfig{Seed: 9}) },
+		"disarmed": func(d *Device) {
+			d.SetFaults(FaultConfig{Seed: 9, TransientRate: 1, LapseRate: 1})
+			d.SetFaults(FaultConfig{})
+		},
+	} {
+		d := newTestDevice(t, HBM3E)
+		arm(d)
+		for i := 0; i < 100; i++ {
+			if _, err := d.ReadAt(0, units.KiB); err != nil {
+				t.Fatalf("%s: read %d errored: %v", name, i, err)
+			}
+		}
+		if st := d.Stats(); st.Uncorrectable != 0 {
+			t.Fatalf("%s: stats = %+v", name, st)
+		}
+	}
+}
+
+func TestFaultSequenceDeterministic(t *testing.T) {
+	// The fault pattern is a pure function of (seed, read index): two devices
+	// with the same seed fault on exactly the same reads, regardless of
+	// wall-clock or construction order.
+	pattern := func(seed uint64) []bool {
+		d := newTestDevice(t, HBM3E)
+		d.SetFaults(FaultConfig{Seed: seed, TransientRate: 0.3, LapseRate: 0.1})
+		hits := make([]bool, 200)
+		for i := range hits {
+			_, err := d.ReadAt(0, units.KiB)
+			hits[i] = err != nil
+		}
+		return hits
+	}
+	a, b := pattern(42), pattern(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different fault sequences")
+	}
+	if reflect.DeepEqual(a, pattern(43)) {
+		t.Fatal("different seeds produced identical fault sequences (suspicious)")
+	}
+	faults := 0
+	for _, h := range a {
+		if h {
+			faults++
+		}
+	}
+	// ~40% of 200 reads; a loose band catches a broken U01 mapping.
+	if faults < 40 || faults > 120 {
+		t.Fatalf("fault count %d/200 far from the 40%% target", faults)
+	}
+}
+
+func TestBERThresholdFaultsOrganically(t *testing.T) {
+	// An aggressive UBER target on a managed device: once the data ages past
+	// retention, raw BER crosses the ECC budget and the read is
+	// uncorrectable — with no injected randomness at all.
+	d := newTestDevice(t, MRMSpec(cellphys.RRAM, time.Hour))
+	d.SetFaults(FaultConfig{Code: ecc.RSSpec(255, 239), UBERTarget: 1e-18})
+	blk := d.Spec().BlockSize
+	if _, err := d.WriteAt(0, blk); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ReadAt(0, blk); err != nil {
+		t.Fatalf("fresh read should pass ECC: %v", err)
+	}
+	if err := d.Advance(48 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.ReadAt(0, blk)
+	if !errors.Is(err, fault.ErrUncorrectable) {
+		t.Fatalf("stale read (BER %g) should exceed the ECC budget: err = %v", res.RawBER, err)
+	}
+	st := d.Stats()
+	if st.Uncorrectable != 1 || st.TransientFaults != 0 || st.RetentionLapses != 0 {
+		t.Fatalf("organic fault miscounted: %+v", st)
 	}
 }
 

@@ -63,6 +63,12 @@ type Backend interface {
 	Traffic() (read, written units.Bytes)
 }
 
+// Faultable is implemented by backends that support deterministic fault
+// injection (internal/fault). Backends without it simply never fail.
+type Faultable interface {
+	SetFaults(memdev.FaultConfig)
+}
+
 // ---- Device-backed tier (HBM / LPDDR / DDR) ----
 
 // DeviceTier wraps a raw memdev.Device with a first-fit allocator.
@@ -174,6 +180,9 @@ func (d *DeviceTier) Delete(handle uint64) error {
 	return nil
 }
 
+// SetFaults arms fault injection on the underlying device.
+func (d *DeviceTier) SetFaults(cfg memdev.FaultConfig) { d.dev.SetFaults(cfg) }
+
 // Tick advances device time (charging static + refresh energy).
 func (d *DeviceTier) Tick(dt time.Duration) error { return d.dev.Advance(dt) }
 
@@ -244,6 +253,9 @@ func (t *MRMTier) Get(handle uint64) (time.Duration, error) {
 func (t *MRMTier) Delete(handle uint64) error {
 	return t.mrm.Delete(core.ObjectID(handle))
 }
+
+// SetFaults arms fault injection on the MRM's device.
+func (t *MRMTier) SetFaults(cfg memdev.FaultConfig) { t.mrm.SetFaults(cfg) }
 
 // Tick advances the MRM control plane.
 func (t *MRMTier) Tick(dt time.Duration) error { return t.mrm.Tick(dt) }
@@ -367,6 +379,11 @@ type Manager struct {
 	nextID  ObjectID
 
 	perTierReads map[int]units.Bytes // bytes read via Get, by tier
+	reseats      int64
+
+	// Backoff is the base delay charged before a Reseat attempt (the
+	// controller's fault-isolation/remap window); callers double it per retry.
+	Backoff time.Duration
 }
 
 // NewManager builds a manager; tier order is preserved for policies.
@@ -379,8 +396,16 @@ func NewManager(policy Policy, tiers ...Backend) (*Manager, error) {
 		policy:       policy,
 		objects:      make(map[ObjectID]placed),
 		perTierReads: make(map[int]units.Bytes),
+		Backoff:      100 * time.Microsecond,
 	}, nil
 }
+
+// Backends returns the managed tiers in manager order (for fault arming and
+// stats collection; callers must not mutate placement through them).
+func (m *Manager) Backends() []Backend { return m.tiers }
+
+// Reseats counts re-placements performed by Reseat.
+func (m *Manager) Reseats() int64 { return m.reseats }
 
 // Policy returns the active policy.
 func (m *Manager) Policy() Policy { return m.policy }
@@ -442,6 +467,41 @@ func (m *Manager) Delete(id ObjectID) error {
 // backend — used when the backend already dropped it (MRM soft-state expiry).
 func (m *Manager) Forget(id ObjectID) {
 	delete(m.objects, id)
+}
+
+// Reseat re-places an object whose copy on its current tier was lost to an
+// uncorrectable error. The failed copy is deleted (tolerating backends that
+// already dropped it) and the object is rewritten from its durable upstream
+// copy, preferring any tier other than the one that failed; when nothing else
+// fits, it is restored in place. The object keeps its id. Returns the write
+// latency of the re-placement; callers add their own backoff.
+func (m *Manager) Reseat(id ObjectID) (time.Duration, error) {
+	p, ok := m.objects[id]
+	if !ok {
+		return 0, fmt.Errorf("tier: no object %d", id)
+	}
+	failed := p.tier
+	_ = m.tiers[failed].Delete(p.handle)
+	delete(m.objects, id)
+	infos := m.Tiers()
+	masked := make([]Info, len(infos))
+	copy(masked, infos)
+	masked[failed].Free = 0
+	idx, err := m.policy.Place(p.meta, masked)
+	if err != nil {
+		// Nowhere else fits: restore in place on the failed tier.
+		idx, err = m.policy.Place(p.meta, infos)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("tier: reseat %d: %w", id, err)
+	}
+	h, lat, err := m.tiers[idx].Put(p.meta)
+	if err != nil {
+		return 0, fmt.Errorf("tier: reseat %d: %w", id, err)
+	}
+	m.objects[id] = placed{tier: idx, handle: h, meta: p.meta}
+	m.reseats++
+	return lat, nil
 }
 
 // TierOf reports where an object lives.

@@ -98,6 +98,20 @@ func TestDriversDeterministicAcrossWorkerCounts(t *testing.T) {
 			}
 			return driverResult{pts, tab.String()}
 		}},
+		{"FaultSweep", func(t *testing.T) driverResult {
+			pts, tab, err := RunFaultSweep(servingParams(), []float64{0, 1e-4, 1e-3}, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return driverResult{pts, tab.String()}
+		}},
+		{"FleetFailover", func(t *testing.T) driverResult {
+			res, tab, err := RunFleetFailover(servingParams(), 3, 1, 1e-3, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return driverResult{res, tab.String()}
+		}},
 	}
 	for _, d := range drivers {
 		d := d

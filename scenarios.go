@@ -2,6 +2,7 @@ package mrm
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -487,10 +488,13 @@ func RunECCBlockSweep(tech cellphys.Technology, retention time.Duration, uberTar
 			maxBER := c.spec.MaxBERForUBER(uberTarget)
 			scrubs := 0.0
 			plan, err := ecc.PlanScrub(c.spec, berAt, uberTarget, retention)
-			if err == nil && plan.Interval > 0 {
+			switch {
+			case errors.Is(err, ecc.ErrUnreachableTarget):
+				scrubs = -1 // this design point cannot meet the target at all
+			case err != nil:
+				return ECCPoint{}, err
+			case plan.Interval > 0:
 				scrubs = (24 * time.Hour).Seconds() / plan.Interval.Seconds()
-			} else if err != nil {
-				scrubs = -1 // cannot meet the target at all
 			}
 			return ECCPoint{Name: c.name, Spec: c.spec, MaxBER: maxBER, ScrubsPerDay: scrubs}, nil
 		})
