@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test bench bench-json run-experiments cover fmt fault-smoke fault-golden
+.PHONY: all build vet test bench bench-json bench-diff run-experiments cover fmt fault-smoke fault-golden
 
 all: build vet test
 
@@ -32,10 +32,33 @@ bench:
 	go test -bench=. -benchmem ./...
 
 # bench-json captures the sweep-engine scaling benchmarks (workers=1 vs
-# workers=NumCPU) as test2json event lines for regression tracking.
+# workers=NumCPU) and the device hot-path benchmarks (superblock-pruned BER
+# scan, coalesced reads, histogram bucket cache) as test2json event lines for
+# regression tracking.
 bench-json:
 	go test -json -run '^$$' -bench '^BenchmarkSweep' -benchmem . > BENCH_sweep.json
 	@grep -c '"Action"' BENCH_sweep.json >/dev/null && echo "wrote BENCH_sweep.json"
+	go test -json -run '^$$' -bench '^(BenchmarkDevice|BenchmarkDecodeCoalesce|BenchmarkHistogramObserve)' -benchmem \
+		./internal/memdev ./internal/cluster ./internal/metrics > BENCH_device.json
+	@grep -c '"Action"' BENCH_device.json >/dev/null && echo "wrote BENCH_device.json"
+
+# bench-diff compares the device hot-path benchmarks against a saved baseline
+# with benchstat when both are available. Save a baseline with:
+#   go test -run '^$$' -bench '^(BenchmarkDevice|BenchmarkDecodeCoalesce)' -count 5 ./internal/memdev ./internal/cluster > bench_baseline.txt
+# The target degrades gracefully: it explains what is missing rather than
+# failing when benchstat or the baseline is absent.
+bench-diff:
+	@if [ ! -f bench_baseline.txt ]; then \
+		echo "bench-diff: no bench_baseline.txt; save one with the command in the Makefile comment"; \
+		exit 0; \
+	fi; \
+	go test -run '^$$' -bench '^(BenchmarkDevice|BenchmarkDecodeCoalesce)' -count 5 \
+		./internal/memdev ./internal/cluster > bench_new.txt; \
+	if command -v benchstat >/dev/null 2>&1; then \
+		benchstat bench_baseline.txt bench_new.txt; \
+	else \
+		echo "bench-diff: benchstat not installed; raw results are in bench_baseline.txt and bench_new.txt"; \
+	fi
 
 run-experiments:
 	go run ./cmd/mrmsim

@@ -284,6 +284,16 @@ var DefaultBER = RawBERParams{
 // decay follows a Weibull CDF with characteristic life = op.Retention scaled
 // so that BER at t == Retention equals the retention-failure criterion 1e-4
 // (the usual specification point for "data retained").
+//
+// Monotonicity contract: for a fixed operating point and parameter set,
+// RawBER is non-decreasing in w.Cycles and non-decreasing in sinceWrite.
+// Physically, cells only accumulate damage and data only decays; in the
+// model, both the wear term (a power of cycles/endurance) and the decay term
+// (a Weibull CDF in sinceWrite/retention) are non-decreasing, and the terms
+// are additive with a monotone clamp. This contract is what lets callers
+// bound the BER of a whole cell population by evaluating RawBER once at the
+// population's worst (max cycles, max age) corner — see RawBERCeiling and
+// the superblock pruning in internal/memdev. TestRawBERMonotone pins it.
 func RawBER(op OperatingPoint, w WearState, sinceWrite time.Duration, p RawBERParams) float64 {
 	ber := p.Floor
 	if op.Endurance > 0 && w.Cycles > 0 {
@@ -300,6 +310,18 @@ func RawBER(op OperatingPoint, w WearState, sinceWrite time.Duration, p RawBERPa
 		ber = 0.5 // beyond this the data is noise
 	}
 	return ber
+}
+
+// RawBERCeiling bounds the raw BER of a cell population from above: given the
+// population's maximum write cycles and maximum data age, it evaluates RawBER
+// at that worst corner. By the monotonicity contract on RawBER, every cell in
+// the population — whose (cycles, age) are pointwise ≤ (maxCycles, maxAge) —
+// has BER ≤ the returned value, and the bound is tight: it is attained
+// exactly by a cell sitting at the corner. Aggregate scans (superblock
+// pruning in internal/memdev) use this to skip populations whose ceiling
+// cannot beat an already-observed worst BER.
+func RawBERCeiling(op OperatingPoint, maxCycles float64, maxAge time.Duration, p RawBERParams) float64 {
+	return RawBER(op, WearState{Cycles: maxCycles}, maxAge, p)
 }
 
 // LifetimeWrites returns how many full-device overwrite cycles the operating

@@ -1,0 +1,79 @@
+package cellphys
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestRawBERMonotone pins the monotonicity contract documented on RawBER:
+// non-decreasing in cycles and in age, over every operating point the
+// simulator uses. The superblock pruning in internal/memdev is exact only
+// while this holds.
+func TestRawBERMonotone(t *testing.T) {
+	techs := []Technology{RRAM, PCM, STTMRAM, NANDFlash, DRAM}
+	rng := rand.New(rand.NewSource(11))
+	for _, tech := range techs {
+		tr := ForTechnology(tech)
+		for _, ret := range []time.Duration{tr.MinRetention, tr.RefRetention, tr.MaxRetention} {
+			op := tr.MustAt(ret)
+			for trial := 0; trial < 2000; trial++ {
+				c1 := rng.Float64() * op.Endurance * 1.5
+				c2 := c1 + rng.Float64()*op.Endurance
+				a1 := time.Duration(rng.Int63n(int64(2 * ret)))
+				a2 := a1 + time.Duration(rng.Int63n(int64(ret)))
+				lo := RawBER(op, WearState{Cycles: c1}, a1, DefaultBER)
+				hiC := RawBER(op, WearState{Cycles: c2}, a1, DefaultBER)
+				hiA := RawBER(op, WearState{Cycles: c1}, a2, DefaultBER)
+				hi := RawBER(op, WearState{Cycles: c2}, a2, DefaultBER)
+				if hiC < lo {
+					t.Fatalf("%v ret=%v: BER decreased with cycles: %g@%g -> %g@%g", tech, ret, lo, c1, hiC, c2)
+				}
+				if hiA < lo {
+					t.Fatalf("%v ret=%v: BER decreased with age: %g@%v -> %g@%v", tech, ret, lo, a1, hiA, a2)
+				}
+				if hi < lo {
+					t.Fatalf("%v ret=%v: BER decreased at joint corner", tech, ret)
+				}
+			}
+		}
+	}
+}
+
+// TestRawBERCeilingBounds checks RawBERCeiling dominates every member of a
+// random population and is attained exactly at the (max cycles, max age)
+// corner — the tightness the pruned scan's skip decision relies on.
+func TestRawBERCeilingBounds(t *testing.T) {
+	tr := ForTechnology(RRAM)
+	op := tr.MustAt(24 * time.Hour)
+
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(64)
+		var maxC float64
+		var maxA time.Duration
+		cells := make([]struct {
+			c float64
+			a time.Duration
+		}, n)
+		for i := range cells {
+			cells[i].c = rng.Float64() * op.Endurance
+			cells[i].a = time.Duration(rng.Int63n(int64(48 * time.Hour)))
+			if cells[i].c > maxC {
+				maxC = cells[i].c
+			}
+			if cells[i].a > maxA {
+				maxA = cells[i].a
+			}
+		}
+		ceil := RawBERCeiling(op, maxC, maxA, DefaultBER)
+		for i, cell := range cells {
+			if ber := RawBER(op, WearState{Cycles: cell.c}, cell.a, DefaultBER); ber > ceil {
+				t.Fatalf("trial %d: cell %d BER %g exceeds ceiling %g", trial, i, ber, ceil)
+			}
+		}
+		if corner := RawBER(op, WearState{Cycles: maxC}, maxA, DefaultBER); corner != ceil {
+			t.Fatalf("trial %d: ceiling %g not attained at corner (%g)", trial, ceil, corner)
+		}
+	}
+}

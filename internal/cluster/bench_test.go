@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"mrm/internal/dist"
+	"mrm/internal/llm"
+	"mrm/internal/memdev"
+	"mrm/internal/tier"
+	"mrm/internal/units"
+)
+
+// benchSim builds a serving simulator over a single HBM device tier holding
+// both weights and KV pages, with a fixed request stream — the decode loop's
+// per-step cost (weights read + per-page KV reads) is what this measures.
+func benchSim(b *testing.B) (*Sim, []Request) {
+	b.Helper()
+	spec := memdev.HBM3E
+	spec.Capacity = 64 * units.GiB
+	spec.ReadBW = 8 * units.TBps
+	hbm, err := tier.NewDeviceTier("hbm", spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := tier.NewManager(tier.StaticPolicy{}, hbm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := NewSim(Config{
+		Model:       llm.Llama27B,
+		Acc:         llm.B200,
+		Memory:      m,
+		PageTokens:  16,
+		MaxBatch:    16,
+		KVLifetime:  30 * time.Minute,
+		ScratchTier: 0,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := Generator{
+		Workload:   llm.SplitwiseConv,
+		RatePerSec: 50,
+		Mix:        [3]float64{0.5, 0.3, 0.2},
+		MaxContext: 4096,
+	}
+	reqs, err := g.Generate(dist.NewRNG(42), 48)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sim, reqs
+}
+
+// BenchmarkDecodeCoalesce runs a fixed serving workload to completion: its
+// hot path is decodeStep's weights read plus the per-request KV page reads,
+// the accesses the coalesced read path batches into ranged device calls.
+func BenchmarkDecodeCoalesce(b *testing.B) {
+	var res Result
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sim, reqs := benchSim(b)
+		b.StartTimer()
+		var err error
+		res, err = sim.Run(reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.TokensOut)/float64(res.DecodeSteps), "tokens/step")
+	b.ReportMetric(float64(res.DecodeSteps), "steps")
+}

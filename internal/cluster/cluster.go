@@ -504,18 +504,22 @@ func (s *Sim) decodeStep() error {
 	kvPerTok := s.cfg.Model.KVBytesPerToken()
 	pageBytes := kvPerTok * units.Bytes(s.cfg.PageTokens)
 	for _, r := range decoding {
-		for i, pid := range r.pages {
-			if _, _, err := s.cfg.Memory.Get(pid); err != nil {
-				// KV pages are soft state: an uncorrectable (or expired)
-				// page invalidates the sequence's suffix — pages are read
-				// in order — so roll back and recompute instead of failing.
-				if errors.Is(err, fault.ErrUncorrectable) || errors.Is(err, core.ErrExpired) {
-					s.dropKVFrom(r, i)
-					break
-				}
+		// One vectored read for the request's whole KV sequence: identical
+		// device reads and fault events to page-by-page Gets, one batched
+		// call instead of one per page.
+		n, err := s.cfg.Memory.GetBatch(r.pages)
+		for i := 0; i < n; i++ {
+			perTier[r.pageTiers[i]] += pageBytes
+		}
+		if err != nil {
+			// KV pages are soft state: an uncorrectable (or expired) page
+			// invalidates the sequence's suffix — pages are read in order —
+			// so roll back and recompute instead of failing.
+			if errors.Is(err, fault.ErrUncorrectable) || errors.Is(err, core.ErrExpired) {
+				s.dropKVFrom(r, n)
+			} else {
 				return fmt.Errorf("cluster: KV page read: %w", err)
 			}
-			perTier[r.pageTiers[i]] += pageBytes
 		}
 		perTier[s.cfg.ScratchTier] += kvPerTok * units.Bytes(r.partial)
 	}

@@ -111,7 +111,7 @@ func (s *Sched) Submit(r Request) (Completion, error) {
 	ch := int(r.Addr/s.stripe) % s.cfg.Channels
 	bank := int(r.Addr/(s.stripe*units.Bytes(s.cfg.Channels))) % s.cfg.BanksPerChannel
 
-	start := maxDur(r.Arrive, s.bankFree[ch][bank], s.busFree[ch])
+	start := max(r.Arrive, s.bankFree[ch][bank], s.busFree[ch])
 	var lat time.Duration
 	var bw units.Bandwidth
 	if r.Kind == memdev.Read {
@@ -156,16 +156,6 @@ func (s *Sched) RefreshTime() time.Duration { return s.refTime }
 // BankBusyTime returns cumulative bank service time across all banks
 // (refresh included); RefreshTime/BankBusyTime is the refresh tax.
 func (s *Sched) BankBusyTime() time.Duration { return s.svcTime }
-
-func maxDur(ds ...time.Duration) time.Duration {
-	m := ds[0]
-	for _, d := range ds[1:] {
-		if d > m {
-			m = d
-		}
-	}
-	return m
-}
 
 // ZoneState is the lifecycle state of an MRM zone.
 type ZoneState int
@@ -217,6 +207,7 @@ type Zoned struct {
 	dev      *memdev.Device
 	zoneSize units.Bytes
 	zones    []Zone
+	spanBuf  []memdev.Span // scratch for ReadVec, reused across calls
 }
 
 // NewZoned carves the device into zones of zoneSize bytes.
@@ -295,20 +286,68 @@ func (z *Zoned) Append(id int, size units.Bytes) (memdev.Result, error) {
 // Read reads size bytes at offset within zone id. Reading an expired zone
 // is an error — the control plane must have refreshed or dropped it.
 func (z *Zoned) Read(id int, off, size units.Bytes) (memdev.Result, error) {
-	zn, err := z.zoneRef(id)
+	sp, err := z.readSpan(id, off, size)
 	if err != nil {
 		return memdev.Result{}, err
 	}
+	return z.dev.ReadAt(sp.Addr, sp.Size)
+}
+
+// readSpan validates one zone read and maps it to a device span.
+func (z *Zoned) readSpan(id int, off, size units.Bytes) (memdev.Span, error) {
+	zn, err := z.zoneRef(id)
+	if err != nil {
+		return memdev.Span{}, err
+	}
 	if zn.State == ZoneEmpty {
-		return memdev.Result{}, fmt.Errorf("controller: read from empty zone %d", id)
+		return memdev.Span{}, fmt.Errorf("controller: read from empty zone %d", id)
 	}
 	if zn.State == ZoneExpired {
-		return memdev.Result{}, fmt.Errorf("controller: read from expired zone %d", id)
+		return memdev.Span{}, fmt.Errorf("controller: read from expired zone %d", id)
 	}
 	if off+size > zn.WritePtr {
-		return memdev.Result{}, fmt.Errorf("controller: read [%v,%v) beyond write pointer %v", off, off+size, zn.WritePtr)
+		return memdev.Span{}, fmt.Errorf("controller: read [%v,%v) beyond write pointer %v", off, off+size, zn.WritePtr)
 	}
-	return z.dev.ReadAt(zn.Start+off, size)
+	return memdev.Span{Addr: zn.Start + off, Size: size}, nil
+}
+
+// ReadReq is one zone read within a ReadVec batch.
+type ReadReq struct {
+	Zone      int
+	Off, Size units.Bytes
+}
+
+// ReadVec performs the reads described by reqs exactly as if Read were called
+// once per request in order — same validation, same per-read device
+// accounting and fault events, same error precedence — but coalesces the
+// device accesses into a single batched call (one lock acquisition instead
+// of one per request). results[i] (len(results) must be >= len(reqs))
+// receives request i's cost. It returns the index of the first request that
+// failed plus its error, or (len(reqs), nil) on full success. A validation
+// failure at request i is reported only after the device reads for requests
+// [0, i) have been issued — and a device error among those takes precedence —
+// matching a caller that issues Read calls one at a time and stops at the
+// first error.
+func (z *Zoned) ReadVec(reqs []ReadReq, results []memdev.Result) (int, error) {
+	if len(results) < len(reqs) {
+		return 0, fmt.Errorf("controller: ReadVec: %d results for %d requests", len(results), len(reqs))
+	}
+	z.spanBuf = z.spanBuf[:0]
+	for i, r := range reqs {
+		sp, err := z.readSpan(r.Zone, r.Off, r.Size)
+		if err != nil {
+			// A sequential caller has already issued the device reads for the
+			// earlier, valid requests before hitting this one.
+			done, derr := z.dev.ReadSpans(z.spanBuf, results)
+			if derr != nil {
+				return done, derr
+			}
+			results[i] = memdev.Result{}
+			return i, err
+		}
+		z.spanBuf = append(z.spanBuf, sp)
+	}
+	return z.dev.ReadSpans(z.spanBuf, results)
 }
 
 // Reset returns a zone to empty, incrementing its reset (wear) counter.

@@ -1,0 +1,91 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"mrm/internal/memdev"
+	"mrm/internal/units"
+)
+
+func newTwinZoned(t *testing.T) (*Zoned, *Zoned) {
+	t.Helper()
+	mk := func() *Zoned {
+		spec := memdev.HBM3E
+		spec.Capacity = 64 * units.MiB
+		dev, err := memdev.NewDevice(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		z, err := NewZoned(dev, 4*units.MiB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := 0; id < 4; id++ {
+			if err := z.Open(id, time.Hour); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := z.Append(id, 2*units.MiB); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return z
+	}
+	return mk(), mk()
+}
+
+// TestReadVecMatchesSequentialRead checks the strict equivalence contract:
+// the vectored path must produce the same per-request costs, the same
+// error at the same index, and the same device-side accounting as
+// call-by-call Reads that stop at the first failure — including batches
+// with an invalid request in the middle.
+func TestReadVecMatchesSequentialRead(t *testing.T) {
+	cases := [][]ReadReq{
+		{{Zone: 0, Off: 0, Size: units.MiB}},
+		{{Zone: 0, Off: 0, Size: units.MiB}, {Zone: 1, Off: units.MiB, Size: units.MiB}, {Zone: 3, Off: 0, Size: 2 * units.MiB}},
+		// Request 1 reads beyond the write pointer: requests 0 must still be
+		// charged, request 2 must not be.
+		{{Zone: 0, Off: 0, Size: units.MiB}, {Zone: 1, Off: 0, Size: 3 * units.MiB}, {Zone: 2, Off: 0, Size: units.MiB}},
+		// Request 0 hits an empty zone: nothing is charged.
+		{{Zone: 5, Off: 0, Size: units.MiB}, {Zone: 0, Off: 0, Size: units.MiB}},
+		// Out-of-range zone id mid-batch.
+		{{Zone: 2, Off: 0, Size: units.MiB}, {Zone: 99, Off: 0, Size: units.MiB}},
+	}
+	for ci, reqs := range cases {
+		seq, vec := newTwinZoned(t)
+		seqResults := make([]memdev.Result, len(reqs))
+		seqDone, seqErr := len(reqs), error(nil)
+		for i, r := range reqs {
+			res, err := seq.Read(r.Zone, r.Off, r.Size)
+			seqResults[i] = res
+			if err != nil {
+				seqDone, seqErr = i, err
+				break
+			}
+		}
+		vecResults := make([]memdev.Result, len(reqs))
+		vecDone, vecErr := vec.ReadVec(reqs, vecResults)
+		if vecDone != seqDone {
+			t.Fatalf("case %d: done %d != sequential %d", ci, vecDone, seqDone)
+		}
+		if (vecErr == nil) != (seqErr == nil) ||
+			(vecErr != nil && vecErr.Error() != seqErr.Error()) {
+			t.Fatalf("case %d: err %v != sequential %v", ci, vecErr, seqErr)
+		}
+		for i := 0; i < seqDone; i++ {
+			if vecResults[i] != seqResults[i] {
+				t.Fatalf("case %d req %d: %+v != %+v", ci, i, vecResults[i], seqResults[i])
+			}
+		}
+		if ss, sv := seq.Device().Stats(), vec.Device().Stats(); ss != sv {
+			t.Fatalf("case %d: device stats diverged: %+v != %+v", ci, ss, sv)
+		}
+	}
+}
+
+func TestReadVecShortResults(t *testing.T) {
+	z, _ := newTwinZoned(t)
+	if _, err := z.ReadVec(make([]ReadReq, 2), make([]memdev.Result, 1)); err == nil {
+		t.Fatal("want error for short results slice")
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mrm/internal/units"
+)
+
+// twinMRMs builds two identically-stocked MRMs: a weights-sized object
+// spanning many zones, a run of KV pages, and one soft-state object that is
+// then allowed to expire.
+func twinMRMs(t *testing.T) (*MRM, *MRM, []ObjectID, ObjectID) {
+	t.Helper()
+	mk := func() (*MRM, []ObjectID, ObjectID) {
+		m := newMRM(t, smallConfig())
+		var ids []ObjectID
+		// A multi-extent object (several zones' worth).
+		big, _, err := m.Put(40*units.MiB, WriteOptions{Kind: KindWeights, Lifetime: 24 * time.Hour, Policy: PolicyRefresh})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, big)
+		for i := 0; i < 6; i++ {
+			id, _, err := m.Put(512*units.KiB, WriteOptions{Kind: KindKVCache, Lifetime: time.Hour, Policy: PolicyDrop})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+		// Short-lived soft state that expires after a tick.
+		exp, _, err := m.Put(256*units.KiB, WriteOptions{Kind: KindKVCache, Lifetime: time.Minute, Policy: PolicyDrop})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Tick(15 * time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		return m, ids, exp
+	}
+	a, idsA, expA := mk()
+	b, idsB, expB := mk()
+	for i := range idsA {
+		if idsA[i] != idsB[i] {
+			t.Fatal("twin MRMs diverged during setup")
+		}
+	}
+	if expA != expB {
+		t.Fatal("twin MRMs diverged during setup")
+	}
+	return a, b, idsA, expA
+}
+
+// TestGetBatchMatchesSequentialGets drives one MRM with Get calls and its
+// twin with a single GetBatch over the same ids, for batches that succeed,
+// hit an expired object mid-batch, and hit an unknown object mid-batch. The
+// energy accounts and stats must stay identical — GetBatch is the coalesced
+// hot path under the serving simulator and must not change any number.
+func TestGetBatchMatchesSequentialGets(t *testing.T) {
+	seq, bat, ids, expired := twinMRMs(t)
+	batches := [][]ObjectID{
+		ids,
+		{ids[1], ids[2], ids[3]},
+		{ids[0]},
+		{ids[1], expired, ids[2]}, // expired mid-batch
+		{ids[3], ObjectID(9999)},  // unknown mid-batch
+		{},
+	}
+	for bi, batch := range batches {
+		seqDone, seqErr := len(batch), error(nil)
+		for i, id := range batch {
+			if _, err := seq.Get(id); err != nil {
+				seqDone, seqErr = i, err
+				break
+			}
+		}
+		batDone, batErr := bat.GetBatch(batch)
+		if batDone != seqDone {
+			t.Fatalf("batch %d: done %d != sequential %d", bi, batDone, seqDone)
+		}
+		if (batErr == nil) != (seqErr == nil) ||
+			(batErr != nil && batErr.Error() != seqErr.Error()) {
+			t.Fatalf("batch %d: err %v != sequential %v", bi, batErr, seqErr)
+		}
+		if ss, sb := seq.Stats(), bat.Stats(); ss != sb {
+			t.Fatalf("batch %d: stats diverged: %+v != %+v", bi, ss, sb)
+		}
+		if es, eb := seq.Energy(), bat.Energy(); es != eb {
+			t.Fatalf("batch %d: energy diverged: %+v != %+v", bi, es, eb)
+		}
+	}
+	if _, err := bat.GetBatch([]ObjectID{expired}); !errors.Is(err, ErrExpired) {
+		t.Fatalf("GetBatch on expired object: err %v, want ErrExpired", err)
+	}
+}
+
+// TestGetVectoredMatchesLegacyLoop pins Get's vectored read against the
+// arithmetic of the extent-by-extent loop it replaced: summed per-extent
+// latencies and energies over a multi-zone object.
+func TestGetVectoredMatchesLegacyLoop(t *testing.T) {
+	m := newMRM(t, smallConfig())
+	id, _, err := m.Put(40*units.MiB, WriteOptions{Kind: KindWeights, Lifetime: 24 * time.Hour, Policy: PolicyRefresh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := m.objects[id]
+	if len(obj.extents) < 2 {
+		t.Fatalf("want a multi-extent object, got %d extents", len(obj.extents))
+	}
+	before := m.energy.Read
+	var wantLat time.Duration
+	var wantEnergy units.Energy
+	for _, ext := range obj.extents {
+		res, err := m.zoned.Read(ext.zone, ext.off, ext.size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLat += res.Latency
+		wantEnergy += res.Energy
+	}
+	m.energy.Read = before // the reference loop's charges don't count
+	gotLat, err := m.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotLat != wantLat {
+		t.Fatalf("Get latency %v != extent-loop %v", gotLat, wantLat)
+	}
+	if got := m.energy.Read - before; got != wantEnergy {
+		t.Fatalf("Get read energy %v != extent-loop %v", got, wantEnergy)
+	}
+}

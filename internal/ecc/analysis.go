@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 )
 
@@ -100,11 +101,30 @@ func logChoose(n, k int) float64 {
 	return ln1 - lk - lnk
 }
 
+// maxBERCache memoizes MaxBERForUBER. The inversion runs a 100-iteration
+// bisection with binomial-tail evaluations at every step, and callers (device
+// fault arming, scrub planning, sweep drivers) invert the same handful of
+// (code, target) pairs over and over. CodeSpec is a comparable value type, so
+// it keys a map directly; the cached result is the exact float the bisection
+// produces, so memoization never changes a computed number.
+var maxBERCache sync.Map // maxBERKey -> float64
+
+type maxBERKey struct {
+	code   CodeSpec
+	target float64
+}
+
 // MaxBERForUBER returns the highest raw BER the code tolerates while keeping
-// UBER at or below target (bisection over [1e-15, 0.5]).
+// UBER at or below target (bisection over [1e-15, 0.5]). Results are
+// memoized per (code, target); the inversion is a pure function of both.
 func (c CodeSpec) MaxBERForUBER(target float64) float64 {
+	key := maxBERKey{code: c, target: target}
+	if v, ok := maxBERCache.Load(key); ok {
+		return v.(float64)
+	}
 	lo, hi := 1e-15, 0.5
 	if c.UBER(lo) > target {
+		maxBERCache.Store(key, 0.0)
 		return 0
 	}
 	for i := 0; i < 100; i++ {
@@ -115,6 +135,7 @@ func (c CodeSpec) MaxBERForUBER(target float64) float64 {
 			hi = mid
 		}
 	}
+	maxBERCache.Store(key, lo)
 	return lo
 }
 

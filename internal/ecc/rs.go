@@ -193,7 +193,7 @@ func (r *RS) Decode(cw []byte) (data []byte, corrected int, err error) {
 // polyAddShift returns a + coef * b * x^shift where polynomials are
 // lowest-degree-first.
 func polyAddShift(a, b []byte, coef byte, shift int) []byte {
-	out := make([]byte, maxInt(len(a), len(b)+shift))
+	out := make([]byte, max(len(a), len(b)+shift))
 	copy(out, a)
 	for i, c := range b {
 		out[i+shift] ^= gfMul(c, coef)
@@ -203,11 +203,4 @@ func polyAddShift(a, b []byte, coef byte, shift int) []byte {
 		out = out[:len(out)-1]
 	}
 	return out
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

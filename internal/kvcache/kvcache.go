@@ -160,7 +160,7 @@ func (c *Cache) Append(id SeqID, n int) error {
 					c.cowCopies++
 					last = np
 				}
-				take := minInt(n, c.cfg.PageTokens-c.pages[last].tokens)
+				take := min(n, c.cfg.PageTokens-c.pages[last].tokens)
 				c.pages[last].tokens += take
 				s.tokens += take
 				n -= take
@@ -401,11 +401,4 @@ func (c *Cache) Sequences() []SeqID {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -51,6 +51,24 @@ func (e EnergyBreakdown) Total() units.Energy {
 	return e.Read + e.Write + e.Refresh + e.Static
 }
 
+// superBlocks is the number of wear blocks summarized by one superblock
+// aggregate. Reads consult the aggregates to skip whole superblocks whose
+// BER ceiling cannot beat the worst block seen so far; 64 keeps the aggregate
+// arrays small while making the typical weight-sized scan ~64x shorter.
+const superBlocks = 64
+
+// berMemo is a one-entry cache for RawBER. Both the block scan and the
+// superblock bound repeatedly evaluate RawBER at identical (cycles, age)
+// inputs — weight regions are written in one shot, so whole runs of blocks
+// share wear and age — and a memo hit returns the exact same float the
+// direct call would, so caching never changes a computed number.
+type berMemo struct {
+	valid  bool
+	cycles float64
+	age    time.Duration
+	ber    float64
+}
+
 // Device simulates one memory device instance. It charges latency and energy
 // per access, tracks per-block wear, and integrates background (static +
 // refresh) power over simulated time via Advance. Device is safe for
@@ -70,6 +88,18 @@ type Device struct {
 	writeBytes units.Bytes
 	berParams  cellphys.RawBERParams
 	op         cellphys.OperatingPoint // fixed operating point from the spec
+
+	// Superblock aggregates for read-path pruning. sbMaxWear[s] is the exact
+	// maximum wear over superblock s (wear only grows, so a max-update on
+	// every write keeps it exact). sbMinLastWrite[s] is a conservative lower
+	// bound on the minimum lastWrite (lastWrite only moves forward, so a
+	// stale bound over-estimates age, over-estimates the BER ceiling, and
+	// pruning stays exact); it is tightened to the true minimum whenever a
+	// read scans the full superblock, and set exactly when a write covers it.
+	sbMaxWear      []float64
+	sbMinLastWrite []time.Duration
+	memoScan       berMemo // block-scan RawBER memo
+	memoBound      berMemo // superblock-ceiling RawBER memo
 
 	// Fault injection (SetFaults). All decisions are pure functions of the
 	// fault seed and the read counter, so a device's fault sequence is
@@ -110,13 +140,16 @@ func NewDevice(spec Spec) (*Device, error) {
 	// Trust the spec sheet's endurance over the generic curve: products bin
 	// and derate cells in ways the curve cannot know.
 	op.Endurance = spec.Endurance
+	nsb := (int(n) + superBlocks - 1) / superBlocks
 	return &Device{
-		spec:      spec,
-		wearBlock: wb,
-		wear:      make([]float64, n),
-		lastWrite: make([]time.Duration, n),
-		berParams: cellphys.DefaultBER,
-		op:        op,
+		spec:           spec,
+		wearBlock:      wb,
+		wear:           make([]float64, n),
+		lastWrite:      make([]time.Duration, n),
+		sbMaxWear:      make([]float64, nsb),
+		sbMinLastWrite: make([]time.Duration, nsb),
+		berParams:      cellphys.DefaultBER,
+		op:             op,
 	}, nil
 }
 
@@ -205,23 +238,53 @@ func (d *Device) ReadAt(addr, size units.Bytes) (Result, error) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return d.readLocked(addr, size, first, last)
+}
+
+// Span is one contiguous device access: size bytes starting at addr.
+type Span struct {
+	Addr, Size units.Bytes
+}
+
+// ReadSpans performs the reads described by spans exactly as if ReadAt were
+// called once per span in order — each span is a distinct logical read with
+// its own latency, energy, worst BER, read-counter increment, and fault
+// check — but under a single lock acquisition. results[i] (len(results) must
+// be >= len(spans)) receives span i's cost. It returns the index of the
+// first span that failed (with its error; results[done] still carries the
+// charged cost of an uncorrectable read), or (len(spans), nil) when every
+// span succeeded. Spans after a failure are not charged, matching a caller
+// that stops issuing ReadAt calls at the first error.
+func (d *Device) ReadSpans(spans []Span, results []Result) (int, error) {
+	if len(results) < len(spans) {
+		return 0, fmt.Errorf("memdev: ReadSpans: %d results for %d spans", len(results), len(spans))
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, sp := range spans {
+		first, last, err := d.blockRange(sp.Addr, sp.Size)
+		if err != nil {
+			results[i] = Result{}
+			return i, err
+		}
+		res, err := d.readLocked(sp.Addr, sp.Size, first, last)
+		results[i] = res
+		if err != nil {
+			return i, err
+		}
+	}
+	return len(spans), nil
+}
+
+// readLocked charges one logical read over blocks [first, last] and runs its
+// fault checks. Caller holds d.mu.
+func (d *Device) readLocked(addr, size units.Bytes, first, last int) (Result, error) {
 	lat := d.spec.ReadLatency + d.spec.ReadBW.Time(size)
 	e := d.spec.ReadEnergyPerBit.PerBit(size)
 	d.energy.Read += e
 	d.reads++
 	d.readBytes += size
-	// Report the worst BER across the touched blocks.
-	worst := 0.0
-	for b := first; b <= last; b++ {
-		age := d.now - d.lastWrite[b]
-		if age < 0 {
-			age = 0
-		}
-		ber := cellphys.RawBER(d.op, cellphys.WearState{Cycles: d.wear[b]}, age, d.berParams)
-		if ber > worst {
-			worst = ber
-		}
-	}
+	worst := d.worstBERLocked(first, last)
 	res := Result{Latency: lat, Energy: e, RawBER: worst}
 	event := d.reads // monotone, deterministic event index for this read
 	if d.transient.Hit(fault.StreamTransient, event) {
@@ -244,6 +307,81 @@ func (d *Device) ReadAt(addr, size units.Bytes) (Result, error) {
 	return res, nil
 }
 
+// rawBER evaluates cellphys.RawBER for a block with the given wear cycles and
+// lastWrite time, through a one-entry memo. Exact: a hit returns the same
+// float the direct call would. Caller holds d.mu.
+func (d *Device) rawBER(m *berMemo, cycles float64, age time.Duration) float64 {
+	if m.valid && m.cycles == cycles && m.age == age {
+		return m.ber
+	}
+	ber := cellphys.RawBER(d.op, cellphys.WearState{Cycles: cycles}, age, d.berParams)
+	*m = berMemo{valid: true, cycles: cycles, age: age, ber: ber}
+	return ber
+}
+
+// worstBERLocked reports the exact maximum RawBER over blocks [first, last].
+// It walks the range superblock by superblock: for a fully-covered superblock
+// it first evaluates the BER ceiling at the aggregate (max wear, max age)
+// corner — by RawBER's monotonicity contract no block inside can exceed it —
+// and skips the superblock outright when the ceiling cannot beat the worst
+// block already seen (ties are safe to skip: a block equal to the current
+// worst leaves the maximum unchanged). Only superblocks whose ceiling is
+// competitive are scanned block by block, so a uniform weight-sized read
+// costs O(superblocks) instead of O(blocks) while reporting the identical
+// worst BER. Caller holds d.mu.
+func (d *Device) worstBERLocked(first, last int) float64 {
+	worst := 0.0
+	lastIdx := len(d.wear) - 1
+	for b := first; b <= last; {
+		sb := b / superBlocks
+		sbFirst := sb * superBlocks
+		sbLast := min(sbFirst+superBlocks-1, lastIdx)
+		if b == sbFirst && sbLast <= last {
+			// Fully-covered superblock: try to prune via the ceiling.
+			maxAge := d.now - d.sbMinLastWrite[sb]
+			if maxAge < 0 {
+				maxAge = 0
+			}
+			bound := d.rawBER(&d.memoBound, d.sbMaxWear[sb], maxAge)
+			if bound <= worst {
+				b = sbLast + 1
+				continue
+			}
+			// Scan, tightening the lastWrite bound to the true minimum so the
+			// next read's ceiling is tighter.
+			minLW := d.lastWrite[b]
+			for i := b; i <= sbLast; i++ {
+				if lw := d.lastWrite[i]; lw < minLW {
+					minLW = lw
+				}
+				age := d.now - d.lastWrite[i]
+				if age < 0 {
+					age = 0
+				}
+				if ber := d.rawBER(&d.memoScan, d.wear[i], age); ber > worst {
+					worst = ber
+				}
+			}
+			d.sbMinLastWrite[sb] = minLW
+			b = sbLast + 1
+			continue
+		}
+		// Partial superblock at the range edge: scan it directly.
+		end := min(sbLast, last)
+		for i := b; i <= end; i++ {
+			age := d.now - d.lastWrite[i]
+			if age < 0 {
+				age = 0
+			}
+			if ber := d.rawBER(&d.memoScan, d.wear[i], age); ber > worst {
+				worst = ber
+			}
+		}
+		b = end + 1
+	}
+	return worst
+}
+
 // WriteAt performs a write of size bytes at addr, wearing the touched blocks.
 func (d *Device) WriteAt(addr, size units.Bytes) (Result, error) {
 	first, last, err := d.blockRange(addr, size)
@@ -257,38 +395,57 @@ func (d *Device) WriteAt(addr, size units.Bytes) (Result, error) {
 	d.energy.Write += e
 	d.writes++
 	d.writeBytes += size
+	// Charge fractional wear proportional to how much of the block the write
+	// covers, so small writes do not count as full-block cycles. Only the two
+	// edge blocks can be partially covered; every interior block's coverage
+	// is exactly wearBlock, so its update is wear += 1.0 — bit-identical to
+	// overlap(...)/wearBlock without computing either. The same pass keeps
+	// the superblock max-wear aggregates exact (wear only grows, so folding
+	// each touched block into a running max preserves the true maximum).
+	curSB := -1
+	curMax := 0.0
 	for b := first; b <= last; b++ {
-		// Charge fractional wear proportional to how much of the block the
-		// write covers, so small writes do not count as full-block cycles.
-		bStart := units.Bytes(b) * d.wearBlock
-		bEnd := bStart + d.wearBlock
-		cover := overlap(addr, addr+size, bStart, bEnd)
-		d.wear[b] += float64(cover) / float64(d.wearBlock)
+		if sb := b / superBlocks; sb != curSB {
+			if curSB >= 0 && curMax > d.sbMaxWear[curSB] {
+				d.sbMaxWear[curSB] = curMax
+			}
+			curSB, curMax = sb, d.sbMaxWear[sb]
+		}
+		if b == first || b == last {
+			bStart := units.Bytes(b) * d.wearBlock
+			cover := overlap(addr, addr+size, bStart, bStart+d.wearBlock)
+			d.wear[b] += float64(cover) / float64(d.wearBlock)
+		} else {
+			d.wear[b]++
+		}
+		if d.wear[b] > curMax {
+			curMax = d.wear[b]
+		}
 		d.lastWrite[b] = d.now
+	}
+	if curSB >= 0 && curMax > d.sbMaxWear[curSB] {
+		d.sbMaxWear[curSB] = curMax
+	}
+	// A superblock fully inside the write has every lastWrite set to now, so
+	// its min-lastWrite bound becomes exactly now; partially-covered edge
+	// superblocks keep their old (still conservative) bound.
+	lastIdx := len(d.wear) - 1
+	for sb := first / superBlocks; sb <= last/superBlocks; sb++ {
+		sbFirst := sb * superBlocks
+		sbLast := min(sbFirst+superBlocks-1, lastIdx)
+		if sbFirst >= first && sbLast <= last {
+			d.sbMinLastWrite[sb] = d.now
+		}
 	}
 	return Result{Latency: lat, Energy: e}, nil
 }
 
 func overlap(a0, a1, b0, b1 units.Bytes) units.Bytes {
-	lo, hi := max64(a0, b0), min64(a1, b1)
+	lo, hi := max(a0, b0), min(a1, b1)
 	if hi <= lo {
 		return 0
 	}
 	return hi - lo
-}
-
-func max64(a, b units.Bytes) units.Bytes {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min64(a, b units.Bytes) units.Bytes {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // WearSummary reports wear statistics across blocks.

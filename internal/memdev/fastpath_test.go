@@ -1,0 +1,339 @@
+package memdev
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mrm/internal/cellphys"
+	"mrm/internal/ecc"
+	"mrm/internal/units"
+)
+
+// worstBERBrute is the pre-pruning reference: the per-block scan ReadAt used
+// to run. The property tests assert the pruned fast path reports exactly —
+// not approximately — this value.
+func worstBERBrute(d *Device, addr, size units.Bytes) float64 {
+	first, last, err := d.blockRange(addr, size)
+	if err != nil {
+		panic(err)
+	}
+	worst := 0.0
+	for b := first; b <= last; b++ {
+		age := d.now - d.lastWrite[b]
+		if age < 0 {
+			age = 0
+		}
+		ber := cellphys.RawBER(d.op, cellphys.WearState{Cycles: d.wear[b]}, age, d.berParams)
+		if ber > worst {
+			worst = ber
+		}
+	}
+	return worst
+}
+
+// berTestDevice builds a device with several hundred wear blocks (2 MiB
+// each), so ranges can straddle block and superblock boundaries.
+func berTestDevice(t *testing.T) *Device {
+	t.Helper()
+	spec := HBM3E
+	spec.Capacity = 640 * units.MiB // 320 wear blocks, 5 superblocks
+	return newTestDevice(t, spec)
+}
+
+func TestWorstBERPrunedMatchesBruteForce(t *testing.T) {
+	d := berTestDevice(t)
+	rng := rand.New(rand.NewSource(7))
+	cap := d.spec.Capacity
+	// Non-uniform wear and age: scattered writes with time advancing in
+	// between, so superblocks carry genuinely different aggregates.
+	for i := 0; i < 200; i++ {
+		addr := units.Bytes(rng.Int63n(int64(cap)))
+		size := 1 + units.Bytes(rng.Int63n(int64(cap/8)))
+		if addr+size > cap {
+			size = cap - addr
+		}
+		if _, err := d.WriteAt(addr, size); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Advance(time.Duration(rng.Int63n(int64(time.Hour)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		addr := units.Bytes(rng.Int63n(int64(cap)))
+		size := 1 + units.Bytes(rng.Int63n(int64(cap-addr)))
+		want := worstBERBrute(d, addr, size)
+		res, err := d.ReadAt(addr, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RawBER != want {
+			t.Fatalf("read %d [%d,%d): pruned RawBER %.17g != brute-force %.17g",
+				i, addr, addr+size, res.RawBER, want)
+		}
+		// Interleave writes so aggregates keep changing under the reads.
+		if i%7 == 0 {
+			waddr := units.Bytes(rng.Int63n(int64(cap)))
+			wsize := 1 + units.Bytes(rng.Int63n(int64(cap-waddr)))
+			if _, err := d.WriteAt(waddr, wsize); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Advance(time.Duration(rng.Int63n(int64(10 * time.Minute)))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestReadStraddlesBlockAndSuperblockBoundaries(t *testing.T) {
+	d := berTestDevice(t)
+	wb := d.wearBlock
+	if _, err := d.WriteAt(0, d.spec.Capacity); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Advance(30 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// Wear the superblock-1 side of the boundary so the straddling read's
+	// worst block lies in exactly one of the two superblocks it touches.
+	sbBoundary := units.Bytes(superBlocks) * wb
+	for i := 0; i < 5; i++ {
+		if _, err := d.WriteAt(sbBoundary, 3*wb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct{ addr, size units.Bytes }{
+		{wb - 1, 2},                          // straddles a block boundary
+		{sbBoundary - 1, 2},                  // straddles the superblock boundary
+		{sbBoundary - wb/2, wb},              // half a block each side
+		{sbBoundary - 10*wb, 20 * wb},        // full blocks both sides
+		{0, d.spec.Capacity},                 // whole device
+		{wb / 4, wb / 2},                     // interior of one block
+		{sbBoundary, units.Bytes(1)},         // first byte of a superblock
+		{2*sbBoundary - 1, sbBoundary + 100}, // partial, full, partial superblocks
+	}
+	for _, c := range cases {
+		want := worstBERBrute(d, c.addr, c.size)
+		res, err := d.ReadAt(c.addr, c.size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RawBER != want {
+			t.Errorf("ReadAt[%d,%d): RawBER %.17g != brute-force %.17g",
+				c.addr, c.addr+c.size, res.RawBER, want)
+		}
+	}
+}
+
+func TestWriteFractionalWearAcrossSuperblockBoundary(t *testing.T) {
+	d := berTestDevice(t)
+	wb := d.wearBlock
+	sbBoundary := units.Bytes(superBlocks) * wb // start of wear block 64
+	// Half of block 63, all of block 64, quarter of block 65.
+	addr := sbBoundary - wb/2
+	size := wb/2 + wb + wb/4
+	if _, err := d.WriteAt(addr, size); err != nil {
+		t.Fatal(err)
+	}
+	wantWear := map[int]float64{
+		superBlocks - 1: 0.5,
+		superBlocks:     1.0,
+		superBlocks + 1: 0.25,
+	}
+	for b, want := range wantWear {
+		if got := d.wear[b]; got != want {
+			t.Errorf("wear[%d] = %v, want %v", b, got, want)
+		}
+	}
+	if got := d.wear[superBlocks-2]; got != 0 {
+		t.Errorf("wear[%d] = %v, want untouched 0", superBlocks-2, got)
+	}
+	// Aggregates: superblock 0's max wear is 0.5 (block 63), superblock 1's
+	// is 1.0 (block 64); neither superblock was fully covered, so the
+	// min-lastWrite bounds must keep their conservative value 0.
+	if got := d.sbMaxWear[0]; got != 0.5 {
+		t.Errorf("sbMaxWear[0] = %v, want 0.5", got)
+	}
+	if got := d.sbMaxWear[1]; got != 1.0 {
+		t.Errorf("sbMaxWear[1] = %v, want 1.0", got)
+	}
+	if err := d.Advance(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.WriteAt(addr, size); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.sbMinLastWrite[0]; got != 0 {
+		t.Errorf("sbMinLastWrite[0] = %v, want conservative 0 after partial cover", got)
+	}
+	if got := d.sbMinLastWrite[1]; got != 0 {
+		t.Errorf("sbMinLastWrite[1] = %v, want conservative 0 after partial cover", got)
+	}
+}
+
+func TestWriteInteriorBlocksWearExactlyOne(t *testing.T) {
+	d := berTestDevice(t)
+	wb := d.wearBlock
+	// Unaligned large write: edge blocks fractional, interior exactly 1.0.
+	addr, size := wb/2, 10*wb
+	if _, err := d.WriteAt(addr, size); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.wear[0]; got != 0.5 {
+		t.Errorf("first-edge wear = %v, want 0.5", got)
+	}
+	for b := 1; b <= 9; b++ {
+		if got := d.wear[b]; got != 1.0 {
+			t.Errorf("interior wear[%d] = %v, want exactly 1.0", b, got)
+		}
+	}
+	if got := d.wear[10]; got != 0.5 {
+		t.Errorf("last-edge wear = %v, want 0.5", got)
+	}
+}
+
+func TestWriteFullSuperblockSetsMinLastWrite(t *testing.T) {
+	d := berTestDevice(t)
+	wb := d.wearBlock
+	if err := d.Advance(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	// Cover superblock 1 entirely (plus slop on both sides).
+	addr := units.Bytes(superBlocks)*wb - wb/2
+	size := units.Bytes(superBlocks)*wb + wb
+	if _, err := d.WriteAt(addr, size); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.sbMinLastWrite[1]; got != time.Hour {
+		t.Errorf("sbMinLastWrite[1] = %v, want %v (fully covered)", got, time.Hour)
+	}
+	if got := d.sbMinLastWrite[0]; got != 0 {
+		t.Errorf("sbMinLastWrite[0] = %v, want 0 (only partially covered)", got)
+	}
+}
+
+func TestReadTightensMinLastWriteBound(t *testing.T) {
+	d := berTestDevice(t)
+	wb := d.wearBlock
+	if err := d.Advance(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	// Partial write leaves the superblock bound conservatively at 0...
+	if _, err := d.WriteAt(0, units.Bytes(superBlocks)*wb/2); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.sbMinLastWrite[0]; got != 0 {
+		t.Fatalf("sbMinLastWrite[0] = %v before scan, want 0", got)
+	}
+	// ...and a full-superblock scan tightens it to the true minimum (still 0
+	// here — the second half was never written) while a later full write
+	// then raises it exactly.
+	if _, err := d.ReadAt(0, units.Bytes(superBlocks)*wb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.WriteAt(0, units.Bytes(superBlocks)*wb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ReadAt(0, units.Bytes(superBlocks)*wb); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.sbMinLastWrite[0]; got != time.Hour {
+		t.Errorf("sbMinLastWrite[0] = %v after full write + scan, want %v", got, time.Hour)
+	}
+}
+
+// TestReadSpansMatchesSequentialReadAt drives two identical fault-armed
+// devices through the same logical reads — one call-by-call, one batched —
+// and requires identical costs, errors, fault events, and counters. This is
+// the contract that lets the cluster layer coalesce KV reads without
+// perturbing the e30 golden output.
+func TestReadSpansMatchesSequentialReadAt(t *testing.T) {
+	mk := func() *Device {
+		spec := HBM3E
+		spec.Capacity = 64 * units.MiB
+		d := newTestDevice(t, spec)
+		if _, err := d.WriteAt(0, spec.Capacity); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Advance(time.Hour); err != nil {
+			t.Fatal(err)
+		}
+		d.SetFaults(FaultConfig{
+			Seed:          99,
+			Code:          ecc.RSSpec(255, 223),
+			UBERTarget:    1e-18,
+			TransientRate: 0.05,
+			LapseRate:     0.03,
+		})
+		return d
+	}
+	seq, bat := mk(), mk()
+	rng := rand.New(rand.NewSource(3))
+	for round := 0; round < 50; round++ {
+		n := 1 + rng.Intn(16)
+		spans := make([]Span, n)
+		for i := range spans {
+			addr := units.Bytes(rng.Int63n(int64(seq.spec.Capacity - 4096)))
+			spans[i] = Span{Addr: addr, Size: 1 + units.Bytes(rng.Int63n(4096))}
+		}
+		// Sequential reference: stop at first error.
+		seqResults := make([]Result, n)
+		seqDone, seqErr := n, error(nil)
+		for i, sp := range spans {
+			res, err := seq.ReadAt(sp.Addr, sp.Size)
+			seqResults[i] = res
+			if err != nil {
+				seqDone, seqErr = i, err
+				break
+			}
+		}
+		batResults := make([]Result, n)
+		batDone, batErr := bat.ReadSpans(spans, batResults)
+		if batDone != seqDone {
+			t.Fatalf("round %d: ReadSpans done %d, sequential %d", round, batDone, seqDone)
+		}
+		if (batErr == nil) != (seqErr == nil) ||
+			(batErr != nil && batErr.Error() != seqErr.Error()) {
+			t.Fatalf("round %d: ReadSpans err %v, sequential %v", round, batErr, seqErr)
+		}
+		upto := seqDone
+		if seqErr != nil {
+			upto++ // the failing read's cost is reported too
+		}
+		for i := 0; i < upto; i++ {
+			if batResults[i] != seqResults[i] {
+				t.Fatalf("round %d span %d: %+v != %+v", round, i, batResults[i], seqResults[i])
+			}
+		}
+		if gs, gb := seq.Stats(), bat.Stats(); gs != gb {
+			t.Fatalf("round %d: stats diverged: %+v != %+v", round, gs, gb)
+		}
+		if es, eb := seq.Energy(), bat.Energy(); es != eb {
+			t.Fatalf("round %d: energy diverged: %+v != %+v", round, es, eb)
+		}
+	}
+}
+
+func TestReadSpansValidation(t *testing.T) {
+	spec := HBM3E
+	spec.Capacity = 8 * units.MiB
+	d := newTestDevice(t, spec)
+	if _, err := d.WriteAt(0, spec.Capacity); err != nil {
+		t.Fatal(err)
+	}
+	// Short results slice is rejected outright.
+	if _, err := d.ReadSpans(make([]Span, 2), make([]Result, 1)); err == nil {
+		t.Fatal("want error for short results slice")
+	}
+	// A bad span mid-batch charges the prior spans and stops.
+	spans := []Span{{0, 1024}, {0, spec.Capacity + 1}, {0, 1024}}
+	results := make([]Result, 3)
+	done, err := d.ReadSpans(spans, results)
+	if done != 1 || err == nil {
+		t.Fatalf("done = %d, err = %v; want 1, out-of-bounds error", done, err)
+	}
+	if st := d.Stats(); st.Reads != 1 || st.ReadBytes != 1024 {
+		t.Fatalf("stats after partial batch: %+v; want 1 read of 1024 bytes", st)
+	}
+}

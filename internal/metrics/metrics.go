@@ -146,6 +146,16 @@ type Histogram struct {
 	count   int64
 	sum     float64
 	max     float64
+
+	// One-entry bucket cache: latency samples cluster, so consecutive
+	// observations usually land in the bucket of the previous one. lastLo/
+	// lastHi are that bucket's bounds shrunk by a guard band, so any sample
+	// the fast path accepts is far enough from a boundary that the exact
+	// log-formula index is unambiguous; boundary-adjacent samples miss the
+	// cache and take the exact path. Bucketing is bit-identical either way.
+	lastValid      bool
+	lastIdx        int
+	lastLo, lastHi float64
 }
 
 // NewHistogram creates a histogram with the given smallest resolvable value
@@ -173,8 +183,21 @@ func (h *Histogram) Observe(x float64) {
 		h.zero++
 		return
 	}
+	if h.lastValid && x >= h.lastLo && x < h.lastHi {
+		h.buckets[h.lastIdx]++
+		return
+	}
 	i := int(math.Floor(math.Log(x/h.base) / h.logG))
 	h.buckets[i]++
+	// Cache this bucket's bounds for the next sample, pulled inward by a
+	// guard band several orders of magnitude wider than the rounding error
+	// of exp/log, so the fast-path test never claims a sample the exact
+	// formula could assign to a neighboring bucket.
+	const guard = 1 + 1e-12
+	h.lastValid = true
+	h.lastIdx = i
+	h.lastLo = h.base * math.Exp(float64(i)*h.logG) * guard
+	h.lastHi = h.base * math.Exp(float64(i+1)*h.logG) / guard
 }
 
 // Merge folds other's samples into h, exactly as if h had observed every

@@ -332,3 +332,83 @@ func TestWelfordMerge(t *testing.T) {
 		t.Fatal("merging an empty accumulator should be a no-op")
 	}
 }
+
+// The one-entry bucket cache in Observe is an optimization only: samples fed
+// in a cache-friendly (clustered) order must produce exactly the same buckets
+// and quantiles as the same samples in a cache-hostile (shuffled) order, and
+// as a per-sample comparison against fresh histograms that never hit the
+// cache. Boundary samples sit exactly on bucket edges (base*growth^k), the
+// worst case for the guard band.
+func TestHistogramObserveCacheExact(t *testing.T) {
+	const base, growth = 1e-6, 1.05
+	var samples []float64
+	// Clustered runs, as latency samples arrive in practice.
+	for c := 0; c < 50; c++ {
+		center := 1e-5 * math.Pow(1.7, float64(c%13))
+		for i := 0; i < 40; i++ {
+			samples = append(samples, center*(1+1e-4*float64(i)))
+		}
+	}
+	// Exact bucket boundaries and their immediate neighborhoods.
+	for k := -2; k < 40; k++ {
+		edge := base * math.Pow(growth, float64(k))
+		samples = append(samples, edge, math.Nextafter(edge, 0), math.Nextafter(edge, math.Inf(1)))
+	}
+
+	clustered := NewHistogram(base, growth)
+	for _, x := range samples {
+		// A fresh histogram per sample can never hit the cache: its bucket
+		// choice is the exact log-formula answer.
+		fresh := NewHistogram(base, growth)
+		fresh.Observe(x)
+		clustered.Observe(x)
+		for i, c := range fresh.buckets {
+			if c != 1 {
+				t.Fatalf("fresh histogram bucket %d count %d", i, c)
+			}
+			if clustered.buckets[i] == 0 {
+				t.Fatalf("sample %g: cached path chose a different bucket than exact path (%d)", x, i)
+			}
+		}
+	}
+
+	shuffled := NewHistogram(base, growth)
+	perm := make([]float64, len(samples))
+	copy(perm, samples)
+	for i := len(perm) - 1; i > 0; i-- {
+		j := (i * 7919) % (i + 1) // deterministic shuffle
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for _, x := range perm {
+		shuffled.Observe(x)
+	}
+	if len(clustered.buckets) != len(shuffled.buckets) {
+		t.Fatalf("bucket sets differ: %d vs %d", len(clustered.buckets), len(shuffled.buckets))
+	}
+	for i, c := range clustered.buckets {
+		if shuffled.buckets[i] != c {
+			t.Fatalf("bucket %d: clustered %d != shuffled %d", i, c, shuffled.buckets[i])
+		}
+	}
+	cs, ss := clustered.Snapshot(), shuffled.Snapshot()
+	if cs != ss {
+		t.Fatalf("snapshots diverged: %+v != %+v", cs, ss)
+	}
+}
+
+// BenchmarkHistogramObserve measures the clustered-sample case the bucket
+// cache targets: long runs of near-identical latencies.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(1e-9, 1.05)
+	samples := make([]float64, 1024)
+	for i := range samples {
+		// Three clusters, long runs within each.
+		center := 1e-4 * math.Pow(10, float64((i/341)%3))
+		samples[i] = center * (1 + 1e-5*float64(i%341))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(samples[i%len(samples)])
+	}
+}

@@ -1,0 +1,123 @@
+package tier
+
+import (
+	"testing"
+	"time"
+
+	"mrm/internal/core"
+	"mrm/internal/units"
+)
+
+// twinManagers builds two identically-stocked two-tier managers whose
+// objects alternate between tiers, so GetBatch must split the id list into
+// per-tier runs.
+func twinManagers(t *testing.T) (*Manager, *Manager, []ObjectID) {
+	t.Helper()
+	mk := func() (*Manager, []ObjectID) {
+		hbm := smallHBM(t, 4*units.MiB)
+		mrm := smallMRMTier(t, units.GiB)
+		m, err := NewManager(StaticPolicy{}, hbm, mrm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ids []ObjectID
+		for i := 0; i < 12; i++ {
+			// Small objects land on HBM; big ones overflow to the MRM tier,
+			// so consecutive ids alternate tiers.
+			meta := Meta{Kind: core.KindKVCache, Size: 512 * units.KiB, Lifetime: time.Hour}
+			if i%2 == 1 {
+				meta.Size = 8 * units.MiB
+			}
+			id, _, err := m.Put(meta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+		return m, ids
+	}
+	a, idsA := mk()
+	b, idsB := mk()
+	for i := range idsA {
+		if idsA[i] != idsB[i] {
+			t.Fatal("twin managers diverged during setup")
+		}
+		ta, _ := a.TierOf(idsA[i])
+		tb, _ := b.TierOf(idsB[i])
+		if ta != tb {
+			t.Fatal("twin managers placed objects differently")
+		}
+	}
+	return a, b, idsA
+}
+
+// TestManagerGetBatchMatchesGets compares GetBatch to a sequential Get loop
+// on a twin manager: same per-tier read accounting, same backend traffic,
+// same error behavior — including unknown ids mid-batch.
+func TestManagerGetBatchMatchesGets(t *testing.T) {
+	seq, bat, ids := twinManagers(t)
+	batches := [][]ObjectID{
+		ids,
+		ids[2:7],
+		{ids[0]},
+		{ids[1], ObjectID(9999), ids[2]},
+		{},
+	}
+	for bi, batch := range batches {
+		seqDone, seqErr := len(batch), error(nil)
+		for i, id := range batch {
+			if _, _, err := seq.Get(id); err != nil {
+				seqDone, seqErr = i, err
+				break
+			}
+		}
+		batDone, batErr := bat.GetBatch(batch)
+		if batDone != seqDone {
+			t.Fatalf("batch %d: done %d != sequential %d", bi, batDone, seqDone)
+		}
+		if (batErr == nil) != (seqErr == nil) ||
+			(batErr != nil && batErr.Error() != seqErr.Error()) {
+			t.Fatalf("batch %d: err %v != sequential %v", bi, batErr, seqErr)
+		}
+		for tier := range seq.tiers {
+			if sr, br := seq.perTierReads[tier], bat.perTierReads[tier]; sr != br {
+				t.Fatalf("batch %d tier %d: perTierReads %v != %v", bi, tier, sr, br)
+			}
+			sr, sw := seq.tiers[tier].Traffic()
+			br, bw := bat.tiers[tier].Traffic()
+			if sr != br || sw != bw {
+				t.Fatalf("batch %d tier %d: traffic (%v,%v) != (%v,%v)", bi, tier, sr, sw, br, bw)
+			}
+		}
+	}
+}
+
+// TestGetBatchRunGrouping checks that runs of same-tier objects actually
+// take the batched backend path: a batch across N objects on one device
+// tier must cost one device lock round but N logical reads.
+func TestGetBatchRunGrouping(t *testing.T) {
+	hbm := smallHBM(t, 64*units.MiB)
+	m, err := NewManager(StaticPolicy{}, hbm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []ObjectID
+	for i := 0; i < 8; i++ {
+		id, _, err := m.Put(Meta{Kind: core.KindKVCache, Size: units.MiB, Lifetime: time.Hour})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	n, err := m.GetBatch(ids)
+	if err != nil || n != len(ids) {
+		t.Fatalf("GetBatch = (%d, %v), want (%d, nil)", n, err, len(ids))
+	}
+	st := hbm.dev.Stats()
+	if st.Reads != uint64(len(ids)) {
+		t.Fatalf("device saw %d logical reads, want %d (one per object)", st.Reads, len(ids))
+	}
+	if st.ReadBytes != units.Bytes(len(ids))*units.MiB {
+		t.Fatalf("device read %v bytes, want %v", st.ReadBytes, units.Bytes(len(ids))*units.MiB)
+	}
+}

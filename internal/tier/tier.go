@@ -69,6 +69,16 @@ type Faultable interface {
 	SetFaults(memdev.FaultConfig)
 }
 
+// BatchGetter is implemented by backends that can coalesce a sequence of Gets
+// into one vectored device access. The contract is strict sequential
+// equivalence: GetBatch(handles) must perform exactly the validation, device
+// reads, fault events, and accounting of calling Get(h) for each handle in
+// order and stopping at the first error. It returns the number of handles
+// read in full and the error the first-failing Get would have returned.
+type BatchGetter interface {
+	GetBatch(handles []uint64) (int, error)
+}
+
 // ---- Device-backed tier (HBM / LPDDR / DDR) ----
 
 // DeviceTier wraps a raw memdev.Device with a first-fit allocator.
@@ -80,6 +90,8 @@ type DeviceTier struct {
 	objects map[uint64]span
 	nextID  uint64
 	freeB   units.Bytes
+	spanBuf []memdev.Span   // scratch for GetBatch, reused across calls
+	resBuf  []memdev.Result // scratch for GetBatch, reused across calls
 }
 
 type span struct {
@@ -156,6 +168,29 @@ func (d *DeviceTier) Get(handle uint64) (time.Duration, error) {
 	return res.Latency, nil
 }
 
+// GetBatch reads the listed objects as one vectored device access with
+// sequential-Get equivalence (see BatchGetter).
+func (d *DeviceTier) GetBatch(handles []uint64) (int, error) {
+	d.spanBuf = d.spanBuf[:0]
+	if cap(d.resBuf) < len(handles) {
+		d.resBuf = make([]memdev.Result, len(handles))
+	}
+	for i, h := range handles {
+		sp, ok := d.objects[h]
+		if !ok {
+			// A sequential caller has read the earlier handles before failing
+			// this lookup; a device error among those takes precedence.
+			done, derr := d.dev.ReadSpans(d.spanBuf, d.resBuf[:i])
+			if derr != nil {
+				return done, derr
+			}
+			return i, fmt.Errorf("tier: %s has no object %d", d.name, h)
+		}
+		d.spanBuf = append(d.spanBuf, memdev.Span{Addr: sp.addr, Size: sp.size})
+	}
+	return d.dev.ReadSpans(d.spanBuf, d.resBuf[:len(handles)])
+}
+
 // Delete frees an object, coalescing adjacent free spans.
 func (d *DeviceTier) Delete(handle uint64) error {
 	sp, ok := d.objects[handle]
@@ -199,8 +234,9 @@ func (d *DeviceTier) Traffic() (units.Bytes, units.Bytes) {
 
 // MRMTier adapts a core.MRM as a tier backend.
 type MRMTier struct {
-	name string
-	mrm  *core.MRM
+	name  string
+	mrm   *core.MRM
+	idBuf []core.ObjectID // scratch for GetBatch, reused across calls
 }
 
 // NewMRMTier wraps an MRM.
@@ -247,6 +283,16 @@ func (t *MRMTier) Put(m Meta) (uint64, time.Duration, error) {
 // Get reads an object.
 func (t *MRMTier) Get(handle uint64) (time.Duration, error) {
 	return t.mrm.Get(core.ObjectID(handle))
+}
+
+// GetBatch reads the listed objects as one vectored device access with
+// sequential-Get equivalence (see BatchGetter).
+func (t *MRMTier) GetBatch(handles []uint64) (int, error) {
+	t.idBuf = t.idBuf[:0]
+	for _, h := range handles {
+		t.idBuf = append(t.idBuf, core.ObjectID(h))
+	}
+	return t.mrm.GetBatch(t.idBuf)
 }
 
 // Delete removes an object.
@@ -380,6 +426,7 @@ type Manager struct {
 
 	perTierReads map[int]units.Bytes // bytes read via Get, by tier
 	reseats      int64
+	handleBuf    []uint64 // scratch for GetBatch, reused across calls
 
 	// Backoff is the base delay charged before a Reseat attempt (the
 	// controller's fault-isolation/remap window); callers double it per retry.
@@ -451,6 +498,55 @@ func (m *Manager) Get(id ObjectID) (time.Duration, int, error) {
 	}
 	m.perTierReads[p.tier] += p.meta.Size
 	return lat, p.tier, nil
+}
+
+// GetBatch reads the listed objects exactly as if Get were called once per
+// id in order, stopping at the first error — same device read sequence,
+// fault events, and per-tier accounting — but coalesces consecutive runs of
+// objects living on the same tier into one vectored backend call when the
+// backend supports it (BatchGetter). It returns the number of objects read
+// in full and, when that is < len(ids), the first-failing Get's error.
+func (m *Manager) GetBatch(ids []ObjectID) (int, error) {
+	done := 0
+	for done < len(ids) {
+		p, ok := m.objects[ids[done]]
+		if !ok {
+			return done, fmt.Errorf("tier: no object %d", ids[done])
+		}
+		// Extend the run of consecutive objects on the same tier. Peeking at
+		// a later object's placement is safe: reads never change placement,
+		// so the lookup answers exactly what a sequential caller would see.
+		end := done + 1
+		for end < len(ids) {
+			q, ok := m.objects[ids[end]]
+			if !ok || q.tier != p.tier {
+				break
+			}
+			end++
+		}
+		if bg, isBatch := m.tiers[p.tier].(BatchGetter); isBatch && end-done > 1 {
+			m.handleBuf = m.handleBuf[:0]
+			for _, id := range ids[done:end] {
+				m.handleBuf = append(m.handleBuf, m.objects[id].handle)
+			}
+			n, err := bg.GetBatch(m.handleBuf)
+			for i := 0; i < n; i++ {
+				m.perTierReads[p.tier] += m.objects[ids[done+i]].meta.Size
+			}
+			done += n
+			if err != nil {
+				return done, err
+			}
+		} else {
+			for _, id := range ids[done:end] {
+				if _, _, err := m.Get(id); err != nil {
+					return done, err
+				}
+				done++
+			}
+		}
+	}
+	return done, nil
 }
 
 // Delete removes an object.

@@ -251,7 +251,7 @@ func RunSpeculative(target, draft llm.ModelConfig, acc llm.Accelerator, ctx int,
 			// Verify: one target pass over k tokens — weights once, KV once,
 			// compute for k tokens.
 			vRead := target.WeightReadBytes(1) + target.KVCacheBytes(ctx)
-			vTime := maxDur(
+			vTime := max(
 				eng.TimeForFLOPs(float64(k)*target.FLOPsPerToken(ctx)),
 				(acc.MemBW * units.Bandwidth(0.8)).Time(vRead),
 			)
@@ -268,13 +268,6 @@ func RunSpeculative(target, draft llm.ModelConfig, acc llm.Accelerator, ctx int,
 		}
 	}
 	return pts, tab, nil
-}
-
-func maxDur(a, b time.Duration) time.Duration {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // ---- E29: accelerators needed per model ----
