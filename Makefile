@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test bench bench-json bench-diff run-experiments cover fmt fault-smoke fault-golden
+.PHONY: all build vet lint test ci bench bench-json bench-diff run-experiments cover fmt fmt-check fault-smoke fault-golden
 
 all: build vet test
 
@@ -10,14 +10,30 @@ build:
 vet:
 	go vet ./...
 
-# test vets first, then runs the suite twice: once plain, once under the race
-# detector (the parallel sweep engine makes every driver a concurrency test),
-# then golden-diffs the fault-degradation experiment.
+# lint runs the project-specific analyzers (cmd/mrmlint): nondeterminism,
+# map-iteration-order leaks, mutex-guard contracts, and seed purity. A clean
+# tree exits 0; waivers are //mrm:allow-<analyzer> directives with reasons.
+lint:
+	go run ./cmd/mrmlint ./...
+
+# test vets and lints first, then runs the suite twice: once plain, once under
+# the race detector (the parallel sweep engine makes every driver a
+# concurrency test), then golden-diffs the fault-degradation experiment.
 test:
 	go vet ./...
+	$(MAKE) lint
 	go test ./...
 	go test -race ./...
 	$(MAKE) fault-smoke
+
+# ci is what .github/workflows/ci.yml runs: the full gate plus a formatting
+# check.
+ci: build fmt-check test
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
 
 # fault-smoke golden-diffs e30 at -parallel 8: seeded fault injection must be
 # bit-identical across runs and worker counts. Regenerate the golden with

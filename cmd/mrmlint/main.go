@@ -1,0 +1,134 @@
+// Command mrmlint runs the repo's determinism and concurrency analyzers
+// (internal/analysis/...) over the given packages and exits non-zero on any
+// finding. It is the mechanical safety net behind the simulator's
+// reproducibility contract: `make lint` (wired into `make test` and CI) runs
+// it over ./... so a stray time.Now, an unsorted map-range feeding output, an
+// unguarded shared field, or an impure fault decision fails the build
+// instead of corrupting a golden file three PRs later.
+//
+// Usage:
+//
+//	mrmlint [-only nondet,maporder] [-list] [packages]
+//
+// Packages default to ./... . Findings are waived per site with
+// //mrm:allow-<analyzer> <reason>; the reason is mandatory and audited.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mrm/internal/analysis"
+	"mrm/internal/analysis/maporder"
+	"mrm/internal/analysis/mutexguard"
+	"mrm/internal/analysis/nondet"
+	"mrm/internal/analysis/seedpurity"
+)
+
+// analyzers is the suite, in reporting-name order.
+var analyzers = []*analysis.Analyzer{
+	maporder.Analyzer,
+	mutexguard.Analyzer,
+	nondet.Analyzer,
+	seedpurity.Analyzer,
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	only := flag.String("only", "", "comma-separated subset of analyzers to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	enabled, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mrmlint:", err)
+		return 2
+	}
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader := analysis.NewLoader()
+	pkgs, err := loader.LoadPatterns(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mrmlint:", err)
+		return 2
+	}
+
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, analysis.DirectiveDiagnostics(pkg, known)...)
+		for _, a := range enabled {
+			ds, err := analysis.RunAnalyzer(a, pkg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mrmlint:", err)
+				return 2
+			}
+			diags = append(diags, ds...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Position, diags[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		name := d.Position.Filename
+		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Printf("%s:%d:%d: %s (%s)\n", name, d.Position.Line, d.Position.Column, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "mrmlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return analyzers, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(analyzers))
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (use -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

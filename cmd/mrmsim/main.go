@@ -7,7 +7,8 @@
 //
 // -parallel bounds the worker pool the sweep-style experiments fan out on
 // (default: number of CPUs; 1 = serial). Output is bit-identical at any
-// setting — parallelism only changes wall-clock time.
+// setting — parallelism only changes wall-clock time. -timing prints each
+// experiment's wall-clock time to stderr without touching stdout.
 package main
 
 import (
@@ -41,6 +42,8 @@ func run() int {
 		"peak per-read fault rate for the e30 degradation sweep (transient + retention-lapse)")
 	faultSeed := flag.Uint64("fault-seed", 7,
 		"seed for the deterministic fault streams (e30); results are identical across runs and -parallel settings")
+	timing := flag.Bool("timing", false,
+		"report per-experiment wall-clock time on stderr (stdout tables are unaffected)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -79,7 +82,32 @@ func run() int {
 		want[strings.TrimSpace(strings.ToLower(e))] = true
 	}
 	all := want["all"]
-	run := func(name string) bool { return all || want[name] }
+	// Per-experiment timing is reporting-only: it reads the wall clock but
+	// writes to stderr, so the experiment tables on stdout (and the golden
+	// files diffed against them) are byte-identical with or without -timing.
+	var (
+		timingName  string
+		timingStart time.Time
+	)
+	finishTiming := func() {
+		if timingName == "" {
+			return
+		}
+		elapsed := time.Since(timingStart) //mrm:allow-nondet -timing reports wall-clock to stderr only; stdout is unaffected
+		fmt.Fprintf(os.Stderr, "timing: %-4s %v\n", timingName, elapsed)
+		timingName = ""
+	}
+	run := func(name string) bool {
+		if !all && !want[name] {
+			return false
+		}
+		if *timing {
+			finishTiming()
+			timingName = name
+			timingStart = time.Now() //mrm:allow-nondet -timing reports wall-clock to stderr only; stdout is unaffected
+		}
+		return true
+	}
 	var failed bool
 	fail := func(name string, err error) {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
@@ -327,6 +355,7 @@ func run() int {
 			fmt.Println(tab2)
 		}
 	}
+	finishTiming()
 	if failed {
 		return 1
 	}

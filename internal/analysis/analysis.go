@@ -1,0 +1,217 @@
+// Package analysis is a small, self-contained static-analysis framework
+// modeled on golang.org/x/tools/go/analysis, built only on the standard
+// library (go/parser, go/types, go list). The build environment has no module
+// proxy, so the upstream framework cannot be vendored; this package
+// reimplements the slice of its API the repo's analyzers need — Analyzer,
+// Pass, position-sorted diagnostics, an analysistest-style harness
+// (internal/analysis/analysistest) — and adds the project-wide suppression
+// directive:
+//
+//	//mrm:allow-<analyzer> <reason>
+//
+// A directive suppresses an analyzer's diagnostics when it appears on the
+// flagged line, on the line immediately above it, or in the doc comment of
+// the enclosing function. The reason is mandatory: a bare directive is itself
+// a diagnostic (see DirectiveDiagnostics), so every waived finding carries a
+// reviewable justification in the source.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one analysis: a named invariant and the function
+// that checks a package against it.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in the suppression
+	// directive //mrm:allow-<Name>. It must be a valid identifier.
+	Name string
+	// Doc is a one-paragraph description of the invariant the analyzer
+	// enforces and why violating it threatens reproducibility.
+	Doc string
+	// Run checks one package, reporting findings through the Pass.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer run with a type-checked package and collects
+// its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	PkgPath   string
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+// RunAnalyzer runs a on pkg, filters out diagnostics waived by an
+// //mrm:allow-<name> directive, and returns the survivors sorted by position.
+func RunAnalyzer(a *Analyzer, pkg *Pkg) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Syntax,
+		Pkg:       pkg.Types,
+		PkgPath:   pkg.PkgPath,
+		TypesInfo: pkg.TypesInfo,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+	}
+	idx := indexDirectives(pkg)
+	kept := pass.diags[:0]
+	for _, d := range pass.diags {
+		if !idx.allows(pkg, a.Name, d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return posLess(kept[i].Position, kept[j].Position) })
+	return kept, nil
+}
+
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+// Callee resolves the static callee of a call, or nil for calls through
+// function values, builtins, and type conversions.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// UsesAny reports whether node references any of the given objects.
+func UsesAny(info *types.Info, node ast.Node, objs map[types.Object]bool) bool {
+	if node == nil || len(objs) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && objs[info.Uses[id]] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// pathString renders a selector base as a dotted identifier path ("d",
+// "s.dev"), or "" if the expression is not a pure identifier path — lock
+// tracking only reasons about stable paths.
+func pathString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := pathString(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	default:
+		return ""
+	}
+}
+
+// PathString is pathString for use by analyzers.
+func PathString(e ast.Expr) string { return pathString(e) }
+
+// IsFloat reports whether t's underlying type is a floating-point (or
+// complex) basic type — the types whose addition is order-sensitive.
+func IsFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// StmtLists yields every statement list in the file (block bodies, case and
+// comm clause bodies) so analyzers can reason about a statement's successors
+// within its enclosing list.
+func StmtLists(f *ast.File, fn func(list []ast.Stmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			fn(n.List)
+		case *ast.CaseClause:
+			fn(n.Body)
+		case *ast.CommClause:
+			fn(n.Body)
+		}
+		return true
+	})
+}
+
+// Unlabel strips labels from a statement: `loop: for ... {}` checks the same
+// as the bare loop.
+func Unlabel(s ast.Stmt) ast.Stmt {
+	for {
+		l, ok := s.(*ast.LabeledStmt)
+		if !ok {
+			return s
+		}
+		s = l.Stmt
+	}
+}
+
+// IsErrorType reports whether t implements the error interface — package
+// level error sentinels (var ErrX = errors.New) are conventional and
+// immutable by contract, so purity checks exempt them.
+func IsErrorType(t types.Type) bool {
+	return types.Implements(t, errorInterface) ||
+		types.Implements(types.NewPointer(t), errorInterface)
+}
+
+var errorInterface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// exprString is a helper for diagnostics.
+func exprString(e ast.Expr) string {
+	if s := pathString(e); s != "" {
+		return s
+	}
+	return strings.TrimSpace(types.ExprString(e))
+}
+
+// ExprString renders an expression for use in diagnostic messages.
+func ExprString(e ast.Expr) string { return exprString(e) }

@@ -1,0 +1,59 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"mrm/internal/analysis"
+)
+
+// TestDirectiveDiagnostics: reason-less and unknown-name directives are
+// themselves findings; well-formed ones are not.
+func TestDirectiveDiagnostics(t *testing.T) {
+	loader := analysis.NewLoader()
+	pkgs, err := loader.LoadTree("testdata/src", "dirfix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := analysis.DirectiveDiagnostics(pkgs[0], map[string]bool{"nondet": true})
+	if len(diags) != 2 {
+		t.Fatalf("got %d directive diagnostics, want 2: %+v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "needs a reason") {
+		t.Errorf("first diagnostic %q should demand a reason", diags[0].Message)
+	}
+	if !strings.Contains(diags[1].Message, "no known analyzer") {
+		t.Errorf("second diagnostic %q should reject the unknown name", diags[1].Message)
+	}
+}
+
+// TestLoadPatterns: the go list loader type-checks a real module package and
+// resolves both stdlib and in-module imports.
+func TestLoadPatterns(t *testing.T) {
+	loader := analysis.NewLoader()
+	pkgs, err := loader.LoadPatterns("../..", "./internal/fault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Name != "fault" {
+		t.Fatalf("unexpected packages: %+v", pkgs)
+	}
+	pkg := pkgs[0]
+	if pkg.Types == nil || pkg.TypesInfo == nil || len(pkg.Syntax) == 0 {
+		t.Fatal("package loaded without types or syntax")
+	}
+	// Uses must be populated: resolve some identifier to an object.
+	found := false
+	for _, f := range pkg.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pkg.TypesInfo.Uses[id] != nil {
+				found = true
+			}
+			return !found
+		})
+	}
+	if !found {
+		t.Fatal("TypesInfo.Uses is empty")
+	}
+}

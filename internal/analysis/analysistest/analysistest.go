@@ -1,0 +1,102 @@
+// Package analysistest runs an analyzer over fixture packages and checks its
+// diagnostics against expectations written in the fixtures themselves, in the
+// style of golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under <testdata>/src/<import/path>/*.go. A line that should
+// be flagged carries a comment of the form
+//
+//	// want "regexp" "another regexp"
+//
+// Every diagnostic must be matched by a want expectation on its line, and
+// every expectation must match at least one diagnostic; anything else fails
+// the test. Because RunAnalyzer applies //mrm:allow-* directives before
+// diagnostics reach the harness, fixtures exercise directive suppression by
+// writing the directive and omitting the want.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"mrm/internal/analysis"
+)
+
+// Run loads each fixture package from testdata/src and checks a's diagnostics
+// against the // want comments in its files.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	loader := analysis.NewLoader()
+	pkgs, err := loader.LoadTree(filepath.Join(testdata, "src"), paths...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzer(a, pkg)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.PkgPath, err)
+		}
+		checkExpectations(t, pkg, diags)
+	}
+}
+
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("^//\\s*want((?:\\s+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)\\s*$")
+var quoted = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+func collectWants(t *testing.T, pkg *analysis.Pkg) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range quoted.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", pos, q, err)
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func checkExpectations(t *testing.T, pkg *analysis.Pkg, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.Position.Filename && w.line == d.Position.Line && w.rx.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Position, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.rx)
+		}
+	}
+}

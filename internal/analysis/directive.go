@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces a suppression directive comment:
+//
+//	//mrm:allow-<analyzer> <reason>
+//
+// The comment must be a line comment with no space after "//" (Go directive
+// style, which gofmt leaves untouched).
+const directivePrefix = "//mrm:allow-"
+
+// A Directive is one parsed //mrm:allow-* comment.
+type Directive struct {
+	Pos    token.Pos
+	Name   string // analyzer name after "allow-"
+	Reason string // justification text; "" is malformed
+}
+
+// directiveIndex locates directives by file and line, plus the directives in
+// every function's doc comment, for suppression lookups.
+type directiveIndex struct {
+	// byLine maps filename -> line -> set of analyzer names allowed there.
+	byLine map[string]map[int]map[string]bool
+	// funcs lists, per file, each function's body extent and the analyzer
+	// names its doc comment allows.
+	funcs map[string][]funcDirectives
+	all   []Directive
+}
+
+type funcDirectives struct {
+	start, end token.Pos
+	names      map[string]bool
+}
+
+// parseDirective parses one comment, returning ok=false for non-directives.
+func parseDirective(c *ast.Comment) (Directive, bool) {
+	rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+	if !ok {
+		return Directive{}, false
+	}
+	name, reason, _ := strings.Cut(rest, " ")
+	return Directive{Pos: c.Pos(), Name: name, Reason: strings.TrimSpace(reason)}, true
+}
+
+func indexDirectives(pkg *Pkg) *directiveIndex {
+	idx := &directiveIndex{
+		byLine: make(map[string]map[int]map[string]bool),
+		funcs:  make(map[string][]funcDirectives),
+	}
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseDirective(c)
+				if !ok {
+					continue
+				}
+				idx.all = append(idx.all, d)
+				pos := pkg.Fset.Position(c.Pos())
+				lines := idx.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					idx.byLine[pos.Filename] = lines
+				}
+				if lines[pos.Line] == nil {
+					lines[pos.Line] = make(map[string]bool)
+				}
+				lines[pos.Line][d.Name] = true
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil || fd.Body == nil {
+				continue
+			}
+			names := make(map[string]bool)
+			for _, c := range fd.Doc.List {
+				if d, ok := parseDirective(c); ok {
+					names[d.Name] = true
+				}
+			}
+			if len(names) == 0 {
+				continue
+			}
+			file := pkg.Fset.Position(fd.Pos()).Filename
+			idx.funcs[file] = append(idx.funcs[file], funcDirectives{
+				start: fd.Pos(), end: fd.Body.End(), names: names,
+			})
+		}
+	}
+	return idx
+}
+
+// allows reports whether diagnostic d of analyzer name is waived: a matching
+// directive sits on d's line, the line above it, or in the doc comment of the
+// function whose body contains d.
+func (idx *directiveIndex) allows(pkg *Pkg, name string, d Diagnostic) bool {
+	if lines := idx.byLine[d.Position.Filename]; lines != nil {
+		if lines[d.Position.Line][name] || lines[d.Position.Line-1][name] {
+			return true
+		}
+	}
+	for _, fn := range idx.funcs[d.Position.Filename] {
+		if fn.names[name] && d.Pos >= fn.start && d.Pos < fn.end {
+			return true
+		}
+	}
+	return false
+}
+
+// DirectiveDiagnostics validates every //mrm:allow-* directive in pkg:
+// the analyzer name must be one of known, and the reason must be non-empty.
+// Run it alongside the analyzers so suppressions stay auditable.
+func DirectiveDiagnostics(pkg *Pkg, known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		p := &Pass{Analyzer: &Analyzer{Name: "directive"}, Fset: pkg.Fset}
+		p.Reportf(pos, format, args...)
+		out = append(out, p.diags...)
+	}
+	idx := indexDirectives(pkg)
+	for _, d := range idx.all {
+		if !known[d.Name] {
+			report(d.Pos, "//mrm:allow-%s names no known analyzer", d.Name)
+			continue
+		}
+		if d.Reason == "" {
+			report(d.Pos, "//mrm:allow-%s needs a reason: every waived finding must say why", d.Name)
+		}
+	}
+	return out
+}

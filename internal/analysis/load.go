@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Pkg is one loaded, parsed, and type-checked package.
+type Pkg struct {
+	PkgPath   string
+	Name      string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// A Loader parses and type-checks packages without the go/packages driver:
+// module packages come from `go list -json` (or a plain directory tree for
+// test fixtures), standard-library imports are type-checked from GOROOT
+// source via go/importer's "source" compiler, so loading works with no
+// network, no module proxy, and no pre-built export data.
+type Loader struct {
+	Fset *token.FileSet
+
+	std      types.Importer
+	dirs     map[string]string // import path -> directory of source files
+	files    map[string][]string
+	loaded   map[string]*Pkg
+	loading  map[string]bool
+	treeRoot string // when loading a fixture tree, its root directory
+}
+
+// NewLoader returns a ready Loader with a fresh FileSet.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		dirs:    make(map[string]string),
+		files:   make(map[string][]string),
+		loaded:  make(map[string]*Pkg),
+		loading: make(map[string]bool),
+	}
+}
+
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Standard   bool
+}
+
+// LoadPatterns loads the packages matching the go list patterns, rooted at
+// dir, along with every in-module dependency. Test files are not loaded.
+func (l *Loader) LoadPatterns(dir string, patterns ...string) ([]*Pkg, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// One -deps pass registers source locations for every in-module package
+	// (dependencies included); a second plain pass names the target set.
+	all, err := goList(dir, true, patterns)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range all {
+		if p.Standard || p.Dir == "" || len(p.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		l.dirs[p.ImportPath] = p.Dir
+		l.files[p.ImportPath] = files
+	}
+	targets, err := goList(dir, false, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Pkg
+	for _, p := range targets {
+		if p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := l.load(p.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadTree loads the given import paths from a plain directory tree (the
+// analysistest layout: root/<import/path>/*.go). Imports between fixture
+// packages resolve inside the tree; everything else must be standard library.
+func (l *Loader) LoadTree(root string, paths ...string) ([]*Pkg, error) {
+	l.treeRoot = root
+	var out []*Pkg
+	for _, p := range paths {
+		if err := l.registerTreeDir(p); err != nil {
+			return nil, err
+		}
+		pkg, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+func (l *Loader) registerTreeDir(path string) error {
+	if _, ok := l.dirs[path]; ok {
+		return nil
+	}
+	dir := filepath.Join(l.treeRoot, filepath.FromSlash(path))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("analysis: fixture package %s: %w", path, err)
+	}
+	var files []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("analysis: fixture package %s: no Go files in %s", path, dir)
+	}
+	sort.Strings(files)
+	l.dirs[path] = dir
+	l.files[path] = files
+	return nil
+}
+
+// load parses and type-checks one registered package (and, recursively, its
+// registered imports).
+func (l *Loader) load(path string) (*Pkg, error) {
+	if pkg, ok := l.loaded[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	var syntax []*ast.File
+	for _, fname := range l.files[path] {
+		f, err := parser.ParseFile(l.Fset, fname, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: importerFunc(l.importPkg)}
+	tpkg, err := conf.Check(path, l.Fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	pkg := &Pkg{
+		PkgPath:   path,
+		Name:      tpkg.Name(),
+		Fset:      l.Fset,
+		Syntax:    syntax,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	l.loaded[path] = pkg
+	return pkg, nil
+}
+
+func (l *Loader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := l.dirs[path]; !ok && l.treeRoot != "" {
+		// Fixture trees register packages lazily so fixtures can import
+		// sibling fixture packages.
+		if fi, err := os.Stat(filepath.Join(l.treeRoot, filepath.FromSlash(path))); err == nil && fi.IsDir() {
+			if err := l.registerTreeDir(path); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, ok := l.dirs[path]; ok {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func goList(dir string, deps bool, patterns []string) ([]listPkg, error) {
+	args := []string{"list", "-json=ImportPath,Dir,Name,GoFiles,Standard"}
+	if deps {
+		args = append(args, "-deps")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list: %v\n%s", err, stderr.String())
+	}
+	var out []listPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,248 @@
+// Package maporder flags range-over-map loops whose iteration order can leak
+// into results. Go randomizes map iteration per run, so a map-range that
+// appends to a slice nobody sorts, accumulates floating point, writes
+// output, or returns a value derived from the current element produces
+// different bytes (or different last-ulp floats) on identical inputs — the
+// exact failure mode the repo's golden files exist to catch, surfaced at
+// compile time instead.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mrm/internal/analysis"
+)
+
+// Analyzer flags order-sensitive map iteration.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flags range-over-map loops that append to an unsorted slice, accumulate " +
+		"floating point, write output, or return order-dependent values; waive with " +
+		"//mrm:allow-maporder <reason>",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		analysis.StmtLists(f, func(list []ast.Stmt) {
+			for i, st := range list {
+				if rs, ok := analysis.Unlabel(st).(*ast.RangeStmt); ok {
+					checkRange(pass, rs, list[i+1:])
+				}
+			}
+		})
+	}
+	return nil
+}
+
+// loopVars returns the objects bound by the range statement's key and value.
+func loopVars(pass *analysis.Pass, rs *ast.RangeStmt) map[types.Object]bool {
+	objs := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if o := pass.TypesInfo.Defs[id]; o != nil {
+			objs[o] = true
+		} else if o := pass.TypesInfo.Uses[id]; o != nil {
+			objs[o] = true
+		}
+	}
+	return objs
+}
+
+func checkRange(pass *analysis.Pass, rs *ast.RangeStmt, tail []ast.Stmt) {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	vars := loopVars(pass, rs)
+	if len(vars) == 0 {
+		return // `for range m` observes only the count
+	}
+	info := pass.TypesInfo
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if analysis.UsesAny(info, res, vars) {
+					pass.Reportf(n.Pos(),
+						"return inside range over %s depends on map iteration order: iterate sorted keys or reduce order-insensitively",
+						analysis.ExprString(rs.X))
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, rs, n, vars, tail)
+		case *ast.CallExpr:
+			checkSinkCall(pass, rs, n, vars)
+		}
+		return true
+	})
+}
+
+// checkAssign flags two order leaks: appends to a slice that is never sorted
+// afterwards, and floating-point op-assign accumulation.
+func checkAssign(pass *analysis.Pass, rs *ast.RangeStmt, as *ast.AssignStmt, vars map[types.Object]bool, tail []ast.Stmt) {
+	info := pass.TypesInfo
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return
+		}
+		lt := info.TypeOf(as.Lhs[0])
+		if lt == nil || !analysis.IsFloat(lt) {
+			return
+		}
+		if !analysis.UsesAny(info, as.Rhs[0], vars) && !analysis.UsesAny(info, as.Lhs[0], vars) {
+			return
+		}
+		pass.Reportf(as.Pos(),
+			"floating-point accumulation over map iteration order: %s differs between runs; sum over sorted keys",
+			analysis.ExprString(as.Lhs[0]))
+	case token.ASSIGN, token.DEFINE:
+		if len(as.Rhs) != 1 {
+			return
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isAppend(info, call) {
+			return
+		}
+		target, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.Uses[target]
+		if obj == nil {
+			obj = info.Defs[target]
+		}
+		if obj == nil || obj.Pos() > rs.Pos() {
+			return // slice declared inside the loop: order cannot outlive it
+		}
+		args := call.Args[1:]
+		ref := false
+		for _, a := range args {
+			if analysis.UsesAny(info, a, vars) {
+				ref = true
+				break
+			}
+		}
+		if !ref {
+			return
+		}
+		if sortedAfter(info, obj, tail) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"%s accumulates elements in map iteration order and is never sorted afterwards: sort it (sort./slices.) before use",
+			obj.Name())
+	}
+}
+
+func isAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append" && len(call.Args) >= 2
+}
+
+// sortedAfter reports whether any statement after the loop (in the same
+// enclosing list) passes obj to a sort/slices function or a Sort method.
+func sortedAfter(info *types.Info, obj types.Object, tail []ast.Stmt) bool {
+	for _, st := range tail {
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			if !isSortCall(info, call) {
+				return true
+			}
+			for _, a := range call.Args {
+				if usesObj(info, a, obj) {
+					found = true
+					return false
+				}
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && usesObj(info, sel.X, obj) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.Callee(info, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "sort", "slices":
+			return true
+		}
+	}
+	return fn.Name() == "Sort"
+}
+
+func usesObj(info *types.Info, n ast.Node, obj types.Object) bool {
+	return analysis.UsesAny(info, n, map[types.Object]bool{obj: true})
+}
+
+// checkSinkCall flags calls that emit loop elements somewhere order matters:
+// fmt printing, writer methods, and metric accumulators.
+func checkSinkCall(pass *analysis.Pass, rs *ast.RangeStmt, call *ast.CallExpr, vars map[types.Object]bool) {
+	info := pass.TypesInfo
+	fn := analysis.Callee(info, call)
+	if fn == nil {
+		return
+	}
+	ref := false
+	for _, a := range call.Args {
+		if analysis.UsesAny(info, a, vars) {
+			ref = true
+			break
+		}
+	}
+	if !ref {
+		return
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			pass.Reportf(call.Pos(),
+				"fmt.%s inside range over %s writes output in map iteration order: iterate sorted keys",
+				fn.Name(), analysis.ExprString(rs.X))
+		}
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() == nil {
+		return
+	}
+	switch fn.Name() {
+	case "Observe", "Record", "Merge",
+		"Write", "WriteString", "WriteByte", "WriteRune":
+		recv := "receiver"
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			recv = analysis.ExprString(sel.X)
+		}
+		pass.Reportf(call.Pos(),
+			"%s.%s inside range over %s feeds an order-sensitive sink in map iteration order: iterate sorted keys",
+			recv, fn.Name(), analysis.ExprString(rs.X))
+	}
+}

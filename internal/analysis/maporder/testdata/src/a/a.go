@@ -1,0 +1,97 @@
+// Package a is a maporder fixture covering each order-leak sink and its
+// deterministic counterpart.
+package a
+
+import (
+	"fmt"
+	"sort"
+)
+
+func keysUnsorted(m map[string]int) []string {
+	out := []string{}
+	for k := range m {
+		out = append(out, k) // want `accumulates elements in map iteration order`
+	}
+	return out
+}
+
+func keysSorted(m map[string]int) []string {
+	out := []string{}
+	for k := range m {
+		out = append(out, k) // sorted below: fine
+	}
+	sort.Strings(out)
+	return out
+}
+
+func keysSortSlice(m map[string]int) []string {
+	out := []string{}
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func floatSum(m map[string]float64) float64 {
+	var t float64
+	for _, v := range m {
+		t += v // want `floating-point accumulation over map iteration order`
+	}
+	return t
+}
+
+func intSum(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v // integer addition is exact and commutative: fine
+	}
+	return t
+}
+
+func countOnly(m map[string]int) int {
+	n := 0
+	for range m {
+		n++ // no loop variables: nothing order-dependent escapes
+	}
+	return n
+}
+
+func copyOut(m map[int]float64, dst map[int]float64) {
+	for k, v := range m {
+		dst[k] = v // map-to-map copy commutes: fine
+	}
+}
+
+func printAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `writes output in map iteration order`
+	}
+}
+
+func findAny(m map[string]int) string {
+	for k := range m {
+		if k != "" {
+			return k // want `depends on map iteration order`
+		}
+	}
+	return ""
+}
+
+func waived(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //mrm:allow-maporder fixture: consumer sorts
+	}
+	return out
+}
+
+type sink struct{}
+
+func (s *sink) Observe(x float64) {}
+
+func feedAccumulator(m map[string]float64, s *sink) {
+	for _, v := range m {
+		s.Observe(v) // want `feeds an order-sensitive sink`
+	}
+}

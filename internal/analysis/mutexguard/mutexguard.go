@@ -1,0 +1,183 @@
+// Package mutexguard enforces `// guarded by <mu>` field comments: every
+// access to a guarded struct field must be preceded, in the same function, by
+// Lock or RLock on the named mutex of the same instance. Functions whose name
+// ends in "Locked" declare the caller-holds-the-lock convention and are
+// exempt. The check is positional (a Lock anywhere earlier in the function
+// satisfies it), which is deliberately weaker than a lockset analysis but
+// catches the real failure mode — a new method reading shared state with no
+// locking at all — without false-positive noise.
+package mutexguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"mrm/internal/analysis"
+)
+
+// Analyzer enforces guarded-by field comments.
+var Analyzer = &analysis.Analyzer{
+	Name: "mutexguard",
+	Doc: "flags reads/writes of struct fields documented `// guarded by mu` from " +
+		"functions that never acquire that mutex on the same instance; name the " +
+		"function *Locked or waive with //mrm:allow-mutexguard <reason>",
+	Run: run,
+}
+
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardInfo records, for one guarded field object, the name of its mutex.
+type guardInfo struct {
+	mutex string
+}
+
+func run(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue
+			}
+			checkFunc(pass, fd, guards)
+		}
+	}
+	return nil
+}
+
+// collectGuards parses guarded-by comments on struct fields, validating that
+// the named guard is a sibling mutex field.
+func collectGuards(pass *analysis.Pass) map[types.Object]guardInfo {
+	guards := make(map[types.Object]guardInfo)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			mutexes := make(map[string]bool)
+			for _, field := range st.Fields.List {
+				t := pass.TypesInfo.TypeOf(field.Type)
+				if t != nil && isMutex(t) {
+					for _, name := range field.Names {
+						mutexes[name.Name] = true
+					}
+				}
+			}
+			for _, field := range st.Fields.List {
+				mu := guardComment(field)
+				if mu == "" {
+					continue
+				}
+				if !mutexes[mu] {
+					pass.Reportf(field.Pos(),
+						"guarded-by comment names %q, which is not a sync.Mutex/RWMutex field of this struct", mu)
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guards[obj] = guardInfo{mutex: mu}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func guardComment(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func isMutex(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	s := types.TypeString(t, nil)
+	return s == "sync.Mutex" || s == "sync.RWMutex"
+}
+
+// lockCall matches <path>.<mu>.Lock() / RLock() and returns (path, mu).
+func lockCall(call *ast.CallExpr) (base, mutex string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+		return "", "", false
+	}
+	inner, isSel := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	base = analysis.PathString(inner.X)
+	if base == "" {
+		return "", "", false
+	}
+	return base, inner.Sel.Name, true
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, guards map[types.Object]guardInfo) {
+	// First pass: collect lock acquisitions with their positions.
+	type acq struct {
+		base, mutex string
+		pos         token.Pos
+	}
+	var locks []acq
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if base, mu, ok := lockCall(call); ok {
+				locks = append(locks, acq{base: base, mutex: mu, pos: call.Pos()})
+			}
+		}
+		return true
+	})
+	held := func(base, mutex string, before token.Pos) bool {
+		for _, l := range locks {
+			if l.base == base && l.mutex == mutex && l.pos < before {
+				return true
+			}
+		}
+		return false
+	}
+	// Second pass: check guarded field accesses.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection := pass.TypesInfo.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return true
+		}
+		g, guarded := guards[selection.Obj()]
+		if !guarded {
+			return true
+		}
+		base := analysis.PathString(sel.X)
+		if base == "" {
+			return true // computed bases (m[k].f, f().x) are beyond this check
+		}
+		if !held(base, g.mutex, sel.Pos()) {
+			pass.Reportf(sel.Pos(),
+				"%s.%s is guarded by %s.%s, but this function never calls %s.%s.Lock or RLock before the access",
+				base, selection.Obj().Name(), base, g.mutex, base, g.mutex)
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package mutexguard_test
+
+import (
+	"testing"
+
+	"mrm/internal/analysis/analysistest"
+	"mrm/internal/analysis/mutexguard"
+)
+
+func TestMutexguard(t *testing.T) {
+	analysistest.Run(t, "testdata", mutexguard.Analyzer, "a")
+}

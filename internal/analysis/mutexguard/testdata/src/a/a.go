@@ -1,0 +1,65 @@
+// Package a is a mutexguard fixture: guarded fields accessed with and
+// without their lock, the *Locked naming convention, multi-instance locking,
+// and a bad guarded-by comment.
+package a
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	// hits is also shared state.
+	hits int // guarded by mu
+
+	immutable int // set at construction, no guard needed
+}
+
+func (c *counter) Bad() int {
+	return c.n // want `guarded by c.mu`
+}
+
+func (c *counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) GoodTwo() {
+	c.mu.Lock()
+	c.n++
+	c.hits++
+	c.mu.Unlock()
+}
+
+func (c *counter) valueLocked() int {
+	return c.n // *Locked suffix: caller holds the lock
+}
+
+func (c *counter) Immutable() int {
+	return c.immutable // unguarded field: fine
+}
+
+func (c *counter) Waived() int {
+	return c.n //mrm:allow-mutexguard fixture: snapshot tolerates a torn read
+}
+
+// merge folds other into c: both instances must be locked.
+func merge(c, other *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += other.n // want `guarded by other.mu`
+}
+
+func mergeLocked2(c, other *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	c.n += other.n
+}
+
+type badGuard struct {
+	lock sync.Mutex
+	// guarded by mutex
+	n int // want `guarded-by comment names "mutex"`
+}

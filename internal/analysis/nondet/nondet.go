@@ -1,0 +1,114 @@
+// Package nondet flags sources of run-to-run nondeterminism in simulation
+// code: wall-clock reads, the global math/rand generators, and select
+// statements whose winner depends on goroutine scheduling. The simulator's
+// contract is that every result is a pure function of its inputs and seeds —
+// bit-identical across runs and -parallel settings — and a single time.Now or
+// rand.Intn silently breaks every golden file and sweep downstream.
+package nondet
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"mrm/internal/analysis"
+)
+
+// Analyzer flags nondeterministic constructs in simulation packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "nondet",
+	Doc: "flags wall-clock reads (time.Now and friends), global math/rand calls, " +
+		"and multi-way selects in simulation packages; waive a deliberate use with " +
+		"//mrm:allow-nondet <reason>",
+	Run: run,
+}
+
+// AllowPackages lists import paths exempted wholesale (none by default —
+// prefer per-site //mrm:allow-nondet directives, which carry a reason).
+var AllowPackages = map[string]bool{}
+
+// inScope reports whether a package holds simulation code: the module root
+// (the experiment drivers), internal packages, and commands. Example programs
+// are demo code and exempt.
+func inScope(path string) bool {
+	if AllowPackages[path] {
+		return false
+	}
+	return path == "mrm" ||
+		strings.Contains(path, "internal/") ||
+		strings.Contains(path, "cmd/")
+}
+
+// wallClock is the set of time-package functions that read or schedule off
+// the wall clock. time.Duration arithmetic and constants stay legal: the
+// simulator's own clocks are time.Durations advanced explicitly.
+var wallClock = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// seededConstructors are the math/rand functions that build an explicitly
+// seeded, locally owned generator — the deterministic alternative the
+// diagnostics point at.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.SelectStmt:
+				checkSelect(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClock[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"wall-clock call time.%s in simulation code: results must be pure in (inputs, seeds); derive time from the simulated clock", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		sig, ok := fn.Type().(*types.Signature)
+		if (ok && sig.Recv() != nil) || seededConstructors[fn.Name()] {
+			return // methods on an owned *Rand and seeded constructors are fine
+		}
+		pass.Reportf(call.Pos(),
+			"global %s.%s draws from the shared process-wide RNG: use a generator seeded from the sweep cell (dist.NewRNG / rand.New(rand.NewSource(seed)))",
+			fn.Pkg().Name(), fn.Name())
+	}
+}
+
+func checkSelect(pass *analysis.Pass, sel *ast.SelectStmt) {
+	if len(sel.Body.List) <= 1 {
+		// A single-case select blocks on one deterministic communication.
+		hasDefault := false
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			return
+		}
+	}
+	pass.Reportf(sel.Pos(),
+		"select resolves by scheduling order when several cases are ready: simulation code must not branch on goroutine timing")
+}

@@ -1,0 +1,12 @@
+package nondet_test
+
+import (
+	"testing"
+
+	"mrm/internal/analysis/analysistest"
+	"mrm/internal/analysis/nondet"
+)
+
+func TestNondet(t *testing.T) {
+	analysistest.Run(t, "testdata", nondet.Analyzer, "sim/internal/fix", "demo")
+}

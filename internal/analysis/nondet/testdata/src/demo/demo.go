@@ -1,0 +1,9 @@
+// Package demo is out of nondet's scope (not the module root, not internal,
+// not a command): wall-clock use here is not flagged.
+package demo
+
+import "time"
+
+func clock() time.Time {
+	return time.Now()
+}

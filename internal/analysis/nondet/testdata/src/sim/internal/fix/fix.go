@@ -1,0 +1,60 @@
+// Package fix is a nondet fixture: a simulation package (its import path
+// contains "internal/") exercising every nondet trigger and its deterministic
+// counterpart.
+package fix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now() // want `wall-clock call time.Now`
+}
+
+func stopwatch(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock call time.Since`
+}
+
+func dice() int {
+	return rand.Intn(6) // want `global rand.Intn`
+}
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // seeded, locally owned generator: fine
+	return r.Intn(6)
+}
+
+func pick(a, b chan int) int {
+	select { // want `select resolves by scheduling order`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func poll(a chan int) int {
+	select { // want `select resolves by scheduling order`
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}
+
+func waitOne(a chan int) int {
+	select { // single blocking case: deterministic target
+	case v := <-a:
+		return v
+	}
+}
+
+func profiled() time.Time {
+	return time.Now() //mrm:allow-nondet fixture: timing hook outside the simulated clock
+}
+
+func profiledAbove() time.Time {
+	//mrm:allow-nondet fixture: directive on the preceding line also waives
+	return time.Now()
+}

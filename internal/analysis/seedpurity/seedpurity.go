@@ -1,0 +1,84 @@
+// Package seedpurity keeps the fault- and seed-derivation packages pure. The
+// determinism contracts of internal/fault and internal/sweep promise that
+// every decision is a pure function of (seed, stream, event) — no shared RNG,
+// no global counters, no scheduling dependence — so this analyzer flags, in
+// those packages, any function that touches package-level variables, channel
+// operations, or goroutines. The sweep engine's scheduler plumbing is the
+// deliberate exception and carries //mrm:allow-seedpurity directives
+// explaining why each exemption preserves the contract.
+package seedpurity
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mrm/internal/analysis"
+)
+
+// Analyzer enforces purity in the seed/fault decision packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "seedpurity",
+	Doc: "flags package-level variable access, channel operations, and goroutine " +
+		"spawns inside internal/fault and internal/sweep, whose decisions must be " +
+		"pure in (seed, stream, event); waive engine plumbing with " +
+		"//mrm:allow-seedpurity <reason>",
+	Run: run,
+}
+
+// inScope reports whether path is one of the purity-contract packages.
+func inScope(path string) bool {
+	return strings.HasSuffix(path, "internal/fault") || strings.HasSuffix(path, "internal/sweep")
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			v, ok := info.Uses[n].(*types.Var)
+			if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+				return true // not a package-level variable
+			}
+			if analysis.IsErrorType(v.Type()) {
+				return true // error sentinels are immutable by convention
+			}
+			pass.Reportf(n.Pos(),
+				"decision path touches package-level var %s: fault/seed decisions must be pure in (seed, stream, event)", v.Name())
+		case *ast.SelectStmt:
+			pass.Reportf(n.Pos(), "select in a decision path depends on goroutine scheduling")
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send in a decision path: decisions must not communicate")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(), "channel receive in a decision path: decisions must not communicate")
+			}
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "goroutine spawn in a decision path: decision order must not depend on scheduling")
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					pass.Reportf(n.Pos(), "range over channel in a decision path: decisions must not communicate")
+				}
+			}
+		}
+		return true
+	})
+}

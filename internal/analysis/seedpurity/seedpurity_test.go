@@ -1,0 +1,12 @@
+package seedpurity_test
+
+import (
+	"testing"
+
+	"mrm/internal/analysis/analysistest"
+	"mrm/internal/analysis/seedpurity"
+)
+
+func TestSeedpurity(t *testing.T) {
+	analysistest.Run(t, "testdata", seedpurity.Analyzer, "sim/internal/fault", "other")
+}

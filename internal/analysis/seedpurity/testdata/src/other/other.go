@@ -1,0 +1,9 @@
+// Package other is outside seedpurity's scope: impurity here is not flagged.
+package other
+
+var counter int
+
+func bump() int {
+	counter++
+	return counter
+}

@@ -1,0 +1,55 @@
+// Package fault is a seedpurity fixture standing in for the real
+// internal/fault: decision paths must be pure in (seed, stream, event).
+package fault
+
+import "errors"
+
+// ErrLost is an error sentinel: immutable by convention, exempt.
+var ErrLost = errors.New("data lost")
+
+var trials int
+
+func decide(seed, event uint64) bool {
+	trials++ // want `package-level var trials`
+	return (seed^event)&1 == 0
+}
+
+func pure(seed, event uint64) bool {
+	return (seed^event)&1 == 0
+}
+
+func sentinel(ok bool) error {
+	if !ok {
+		return ErrLost // error sentinel read: fine
+	}
+	return nil
+}
+
+func recv(ch chan uint64) uint64 {
+	return <-ch // want `channel receive in a decision path`
+}
+
+func send(ch chan uint64, v uint64) {
+	ch <- v // want `channel send in a decision path`
+}
+
+func spawn(f func()) {
+	go f() // want `goroutine spawn in a decision path`
+}
+
+func drain(ch chan uint64) uint64 {
+	var last uint64
+	for v := range ch { // want `range over channel in a decision path`
+		last = v
+	}
+	return last
+}
+
+// engine is scheduler plumbing, not a decision: results are collected in
+// deterministic order regardless of goroutine interleaving.
+//
+//mrm:allow-seedpurity fixture: engine plumbing, output order is pinned elsewhere
+func engine(f func()) {
+	trials++
+	go f()
+}

@@ -1,0 +1,15 @@
+// Package dirfix exercises directive validation: a reason-less directive and
+// an unknown analyzer name are both diagnostics.
+package dirfix
+
+func a() int {
+	return 1 //mrm:allow-nondet
+}
+
+func b() int {
+	return 2 //mrm:allow-bogus because reasons
+}
+
+func c() int {
+	return 3 //mrm:allow-nondet fine: has a reason
+}

@@ -832,9 +832,16 @@ func (m *MRM) Compact(threshold float64) (int, error) {
 // matches object extents, and FreeBytes accounting is exact. Tests call it
 // after workloads.
 func (m *MRM) CheckInvariants() error {
-	// Object extents vs zone membership.
+	// Object extents vs zone membership. Iterate objects in sorted-id order
+	// so the first violation reported is the same in every run.
+	ids := make([]ObjectID, 0, len(m.objects))
+	for id := range m.objects {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	members := make(map[int]map[ObjectID]bool, len(m.zones))
-	for id, obj := range m.objects {
+	for _, id := range ids {
+		obj := m.objects[id]
 		if obj.state != objLive {
 			if len(obj.extents) != 0 {
 				return fmt.Errorf("core: non-live object %d retains extents", id)
@@ -864,7 +871,12 @@ func (m *MRM) CheckInvariants() error {
 		}
 	}
 	for zid := range m.zones {
+		oids := make([]ObjectID, 0, len(m.zones[zid].objects))
 		for oid := range m.zones[zid].objects {
+			oids = append(oids, oid)
+		}
+		sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+		for _, oid := range oids {
 			obj := m.objects[oid]
 			if obj == nil || obj.state != objLive {
 				return fmt.Errorf("core: zone %d lists dead object %d", zid, oid)

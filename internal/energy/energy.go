@@ -34,11 +34,12 @@ func (a *Account) Add(component string, e units.Energy) {
 // Component returns one component's total.
 func (a *Account) Component(name string) units.Energy { return a.components[name] }
 
-// Total sums all components.
+// Total sums all components in sorted-name order, so the floating-point sum
+// is the same in every run regardless of map iteration order.
 func (a *Account) Total() units.Energy {
 	var t units.Energy
-	for _, e := range a.components {
-		t += e
+	for _, n := range a.Components() {
+		t += a.components[n]
 	}
 	return t
 }

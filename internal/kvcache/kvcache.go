@@ -357,7 +357,8 @@ func (c *Cache) Stats() Stats {
 // CheckInvariants verifies refcount and free-list consistency.
 func (c *Cache) CheckInvariants() error {
 	refs := make([]int, len(c.pages))
-	for _, s := range c.seqs {
+	for _, id := range c.Sequences() {
+		s := c.seqs[id]
 		seen := map[int]bool{}
 		total := 0
 		for _, pg := range s.pages {

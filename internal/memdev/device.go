@@ -78,16 +78,16 @@ type Device struct {
 	wearBlock units.Bytes // granularity at which wear is tracked
 
 	mu         sync.Mutex
-	now        time.Duration // simulated device-local time
-	wear       []float64     // write cycles per wear block
-	lastWrite  []time.Duration
-	energy     EnergyBreakdown
-	reads      uint64
-	writes     uint64
-	readBytes  units.Bytes
-	writeBytes units.Bytes
-	berParams  cellphys.RawBERParams
-	op         cellphys.OperatingPoint // fixed operating point from the spec
+	now        time.Duration           // simulated device-local time; guarded by mu
+	wear       []float64               // write cycles per wear block; guarded by mu
+	lastWrite  []time.Duration         // guarded by mu
+	energy     EnergyBreakdown         // guarded by mu
+	reads      uint64                  // guarded by mu
+	writes     uint64                  // guarded by mu
+	readBytes  units.Bytes             // guarded by mu
+	writeBytes units.Bytes             // guarded by mu
+	berParams  cellphys.RawBERParams   // immutable after NewDevice
+	op         cellphys.OperatingPoint // fixed operating point from the spec; immutable
 
 	// Superblock aggregates for read-path pruning. sbMaxWear[s] is the exact
 	// maximum wear over superblock s (wear only grows, so a max-update on
@@ -96,20 +96,20 @@ type Device struct {
 	// stale bound over-estimates age, over-estimates the BER ceiling, and
 	// pruning stays exact); it is tightened to the true minimum whenever a
 	// read scans the full superblock, and set exactly when a write covers it.
-	sbMaxWear      []float64
-	sbMinLastWrite []time.Duration
-	memoScan       berMemo // block-scan RawBER memo
-	memoBound      berMemo // superblock-ceiling RawBER memo
+	sbMaxWear      []float64       // guarded by mu
+	sbMinLastWrite []time.Duration // guarded by mu
+	memoScan       berMemo         // block-scan RawBER memo; guarded by mu
+	memoBound      berMemo         // superblock-ceiling RawBER memo; guarded by mu
 
 	// Fault injection (SetFaults). All decisions are pure functions of the
 	// fault seed and the read counter, so a device's fault sequence is
 	// deterministic regardless of goroutine scheduling.
-	maxBER        float64 // ECC correction ceiling; 0 disables the check
-	transient     *fault.Injector
-	lapse         *fault.Injector
-	uncorrectable uint64 // total reads returning ErrUncorrectable
-	transients    uint64
-	lapses        uint64
+	maxBER        float64         // ECC correction ceiling; 0 disables the check; guarded by mu
+	transient     *fault.Injector // guarded by mu
+	lapse         *fault.Injector // guarded by mu
+	uncorrectable uint64          // total reads returning ErrUncorrectable; guarded by mu
+	transients    uint64          // guarded by mu
+	lapses        uint64          // guarded by mu
 }
 
 // NewDevice creates a device from spec. Wear is tracked per spec.BlockSize

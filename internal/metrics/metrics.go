@@ -139,13 +139,13 @@ func (w *Welford) Max() float64 { return w.max }
 // percentile queries with relative error bounded by the growth factor.
 type Histogram struct {
 	mu      sync.Mutex
-	base    float64
-	logG    float64
-	buckets map[int]int64
-	zero    int64 // samples below base
-	count   int64
-	sum     float64
-	max     float64
+	base    float64       // immutable after NewHistogram
+	logG    float64       // immutable after NewHistogram
+	buckets map[int]int64 // guarded by mu
+	zero    int64         // samples below base; guarded by mu
+	count   int64         // guarded by mu
+	sum     float64       // guarded by mu
+	max     float64       // guarded by mu
 
 	// One-entry bucket cache: latency samples cluster, so consecutive
 	// observations usually land in the bucket of the previous one. lastLo/
@@ -153,9 +153,9 @@ type Histogram struct {
 	// the fast path accepts is far enough from a boundary that the exact
 	// log-formula index is unambiguous; boundary-adjacent samples miss the
 	// cache and take the exact path. Bucketing is bit-identical either way.
-	lastValid      bool
-	lastIdx        int
-	lastLo, lastHi float64
+	lastValid      bool    // guarded by mu
+	lastIdx        int     // guarded by mu
+	lastLo, lastHi float64 // guarded by mu
 }
 
 // NewHistogram creates a histogram with the given smallest resolvable value
@@ -322,9 +322,9 @@ func (h *Histogram) Snapshot() Snapshot {
 // Registry is a named collection of metrics for bulk reporting.
 type Registry struct {
 	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	counters   map[string]*Counter   // guarded by mu
+	gauges     map[string]*Gauge     // guarded by mu
+	histograms map[string]*Histogram // guarded by mu
 }
 
 // NewRegistry returns an empty registry.

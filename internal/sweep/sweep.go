@@ -40,6 +40,9 @@ import (
 // zero. It starts at runtime.NumCPU().
 var defaultWorkers atomic.Int64
 
+// init seeds the default pool size.
+//
+//mrm:allow-seedpurity pool sizing is engine configuration, not a decision: results are identical at any worker count
 func init() {
 	defaultWorkers.Store(int64(runtime.NumCPU()))
 }
@@ -47,6 +50,8 @@ func init() {
 // SetDefaultWorkers sets the process-wide default pool size. n < 1 resets to
 // runtime.NumCPU(). It returns the previous value so callers (tests,
 // benchmarks) can restore it.
+//
+//mrm:allow-seedpurity pool sizing is engine configuration, not a decision: results are identical at any worker count
 func SetDefaultWorkers(n int) int {
 	if n < 1 {
 		n = runtime.NumCPU()
@@ -55,6 +60,8 @@ func SetDefaultWorkers(n int) int {
 }
 
 // DefaultWorkers returns the process-wide default pool size.
+//
+//mrm:allow-seedpurity pool sizing is engine configuration, not a decision: results are identical at any worker count
 func DefaultWorkers() int { return int(defaultWorkers.Load()) }
 
 // DeriveSeed maps (base seed, cell index) to an independent full-entropy
@@ -97,6 +104,8 @@ type Config struct {
 // shared state (it runs concurrently with other cells) and take all
 // randomness from the Cell. If any cell fails, Map cancels the remaining
 // cells and returns the error of the lowest-index cell that failed.
+//
+//mrm:allow-seedpurity the worker pool is scheduler plumbing, not a decision: per-cell seeds are pure and results are collected in cell order
 func Map[T, R any](ctx context.Context, cfg Config, cells []T, fn func(ctx context.Context, c Cell, v T) (R, error)) ([]R, error) {
 	n := len(cells)
 	if n == 0 {
