@@ -48,19 +48,23 @@ bench:
 	go test -bench=. -benchmem ./...
 
 # bench-json captures the sweep-engine scaling benchmarks (workers=1 vs
-# workers=NumCPU) and the device hot-path benchmarks (superblock-pruned BER
-# scan, coalesced reads, histogram bucket cache) as test2json event lines for
-# regression tracking.
+# workers=NumCPU), the device hot-path benchmarks (superblock-pruned BER
+# scan, coalesced reads, histogram bucket cache), and the cluster-level
+# serving benchmarks (coalesced decode loop, batched write path, fleet run)
+# as test2json event lines for regression tracking.
 bench-json:
 	go test -json -run '^$$' -bench '^BenchmarkSweep' -benchmem . > BENCH_sweep.json
 	@grep -c '"Action"' BENCH_sweep.json >/dev/null && echo "wrote BENCH_sweep.json"
 	go test -json -run '^$$' -bench '^(BenchmarkDevice|BenchmarkDecodeCoalesce|BenchmarkHistogramObserve)' -benchmem \
 		./internal/memdev ./internal/cluster ./internal/metrics > BENCH_device.json
 	@grep -c '"Action"' BENCH_device.json >/dev/null && echo "wrote BENCH_device.json"
+	go test -json -run '^$$' -bench '^(BenchmarkDecodeCoalesce|BenchmarkSimWritePath|BenchmarkFleetRun)' -benchmem \
+		./internal/cluster > BENCH_cluster.json
+	@grep -c '"Action"' BENCH_cluster.json >/dev/null && echo "wrote BENCH_cluster.json"
 
-# bench-diff compares the device hot-path benchmarks against a saved baseline
-# with benchstat when both are available. Save a baseline with:
-#   go test -run '^$$' -bench '^(BenchmarkDevice|BenchmarkDecodeCoalesce)' -count 5 ./internal/memdev ./internal/cluster > bench_baseline.txt
+# bench-diff compares the device and cluster hot-path benchmarks against a
+# saved baseline with benchstat when both are available. Save a baseline with:
+#   go test -run '^$$' -bench '^(BenchmarkDevice|BenchmarkDecodeCoalesce|BenchmarkSimWritePath|BenchmarkFleetRun)' -count 5 ./internal/memdev ./internal/cluster > bench_baseline.txt
 # The target degrades gracefully: it explains what is missing rather than
 # failing when benchstat or the baseline is absent.
 bench-diff:
@@ -68,7 +72,7 @@ bench-diff:
 		echo "bench-diff: no bench_baseline.txt; save one with the command in the Makefile comment"; \
 		exit 0; \
 	fi; \
-	go test -run '^$$' -bench '^(BenchmarkDevice|BenchmarkDecodeCoalesce)' -count 5 \
+	go test -run '^$$' -bench '^(BenchmarkDevice|BenchmarkDecodeCoalesce|BenchmarkSimWritePath|BenchmarkFleetRun)' -count 5 \
 		./internal/memdev ./internal/cluster > bench_new.txt; \
 	if command -v benchstat >/dev/null 2>&1; then \
 		benchstat bench_baseline.txt bench_new.txt; \

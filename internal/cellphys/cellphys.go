@@ -295,21 +295,40 @@ var DefaultBER = RawBERParams{
 // population's worst (max cycles, max age) corner — see RawBERCeiling and
 // the superblock pruning in internal/memdev. TestRawBERMonotone pins it.
 func RawBER(op OperatingPoint, w WearState, sinceWrite time.Duration, p RawBERParams) float64 {
-	ber := p.Floor
-	if op.Endurance > 0 && w.Cycles > 0 {
-		frac := w.Cycles / op.Endurance
-		ber += p.WearCoeff * math.Pow(frac, p.WearExp)
-	}
-	if sinceWrite > 0 && op.Retention > 0 {
-		x := float64(sinceWrite) / float64(op.Retention)
-		// Weibull CDF scaled to hit 1e-4 at x == 1.
-		decay := 1e-4 * (1 - math.Exp(-math.Pow(x, p.DecayBeta))) / (1 - math.Exp(-1))
-		ber += decay
-	}
+	ber := p.Floor + WearBERTerm(op, w.Cycles, p) + DecayBERTerm(op, sinceWrite, p)
 	if ber > 0.5 {
 		ber = 0.5 // beyond this the data is noise
 	}
 	return ber
+}
+
+// WearBERTerm returns the wear-damage contribution to RawBER: the BER added
+// by cycles accumulated writes at operating point op. It is zero for fresh
+// cells and for technologies without an endurance limit, and depends only on
+// (op, cycles, p) — never on data age — which is what lets hot-path callers
+// cache it per cycle count and recombine with DecayBERTerm exactly:
+// RawBER == min(0.5, p.Floor + WearBERTerm + DecayBERTerm), with the terms
+// added in that order.
+func WearBERTerm(op OperatingPoint, cycles float64, p RawBERParams) float64 {
+	if op.Endurance <= 0 || cycles <= 0 {
+		return 0
+	}
+	frac := cycles / op.Endurance
+	return p.WearCoeff * math.Pow(frac, p.WearExp)
+}
+
+// DecayBERTerm returns the retention-decay contribution to RawBER: a Weibull
+// CDF in sinceWrite/op.Retention scaled to hit the 1e-4 retention-failure
+// criterion at sinceWrite == Retention. It is zero at or before the write
+// instant and depends only on (op, sinceWrite, p) — never on wear — the other
+// half of the exact decomposition documented on WearBERTerm.
+func DecayBERTerm(op OperatingPoint, sinceWrite time.Duration, p RawBERParams) float64 {
+	if sinceWrite <= 0 || op.Retention <= 0 {
+		return 0
+	}
+	x := float64(sinceWrite) / float64(op.Retention)
+	// Weibull CDF scaled to hit 1e-4 at x == 1.
+	return 1e-4 * (1 - math.Exp(-math.Pow(x, p.DecayBeta))) / (1 - math.Exp(-1))
 }
 
 // RawBERCeiling bounds the raw BER of a cell population from above: given the

@@ -237,3 +237,32 @@ func TestRawBERBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Property: RawBER decomposes exactly — bit-identically, not approximately —
+// into floor + WearBERTerm + DecayBERTerm (clamped), with the terms added in
+// that order. The memdev hot path relies on this to cache the two terms
+// independently and recombine without perturbing seeded-run goldens.
+func TestRawBERTermDecompositionExact(t *testing.T) {
+	ops := []OperatingPoint{
+		ForTechnology(RRAM).MustAt(24 * time.Hour),
+		ForTechnology(PCM).MustAt(time.Hour),
+		ForTechnology(STTMRAM).MustAt(time.Minute),
+		{Tech: DRAM}, // degenerate: no endurance, no retention
+	}
+	f := func(opIdx uint8, cyc uint32, secs uint32) bool {
+		op := ops[int(opIdx)%len(ops)]
+		w := WearState{Cycles: float64(cyc)}
+		age := time.Duration(secs) * time.Second
+		got := RawBER(op, w, age, DefaultBER)
+		sum := DefaultBER.Floor +
+			WearBERTerm(op, w.Cycles, DefaultBER) +
+			DecayBERTerm(op, age, DefaultBER)
+		if sum > 0.5 {
+			sum = 0.5
+		}
+		return got == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

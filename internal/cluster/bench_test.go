@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"mrm/internal/core"
 	"mrm/internal/dist"
 	"mrm/internal/llm"
 	"mrm/internal/memdev"
@@ -69,4 +70,100 @@ func BenchmarkDecodeCoalesce(b *testing.B) {
 	}
 	b.ReportMetric(float64(res.TokensOut)/float64(res.DecodeSteps), "tokens/step")
 	b.ReportMetric(float64(res.DecodeSteps), "steps")
+}
+
+// benchMRMSim builds a serving simulator whose only tier is a zoned MRM
+// module, so every prefill admission and per-step KV page append rides the
+// full batched write chain: cluster PutBatch → tier.MRMTier.PutBatch →
+// core.MRM.PutBatch → controller.AppendVec → memdev.WriteSpans.
+func benchMRMSim(b *testing.B) (*Sim, []Request) {
+	b.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Capacity = 64 * units.GiB
+	mrm, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := tier.NewManager(tier.StaticPolicy{}, tier.NewMRMTier("mrm", mrm))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := NewSim(Config{
+		Model:       llm.Llama27B,
+		Acc:         llm.B200,
+		Memory:      m,
+		PageTokens:  16,
+		MaxBatch:    16,
+		KVLifetime:  30 * time.Minute,
+		ScratchTier: 0,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := Generator{
+		Workload:   llm.SplitwiseConv,
+		RatePerSec: 50,
+		Mix:        [3]float64{0.5, 0.3, 0.2},
+		MaxContext: 4096,
+	}
+	reqs, err := g.Generate(dist.NewRNG(42), 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sim, reqs
+}
+
+// BenchmarkSimWritePath measures the coalesced append path: a fixed workload
+// served entirely out of zoned MRM, where each decode step's KV page appends
+// are issued as one PutBatch through the core append chain.
+func BenchmarkSimWritePath(b *testing.B) {
+	var res Result
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sim, reqs := benchMRMSim(b)
+		b.StartTimer()
+		var err error
+		res, err = sim.Run(reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.TokensOut)/float64(res.DecodeSteps), "tokens/step")
+	b.ReportMetric(float64(res.DecodeSteps), "steps")
+}
+
+// BenchmarkFleetRun measures rack-scale orchestration end-to-end: a four-node
+// fleet (each node the single-HBM benchSim configuration) serving one
+// token-balanced request stream serially, so results are deterministic and
+// the per-node decode/write loops dominate.
+func BenchmarkFleetRun(b *testing.B) {
+	var res FleetResult
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		f, err := NewFleet(4, func(int) (*Sim, error) {
+			sim, _ := benchSim(b)
+			return sim, nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.Workers = 1
+		g := Generator{
+			Workload:   llm.SplitwiseConv,
+			RatePerSec: 200,
+			Mix:        [3]float64{0.5, 0.3, 0.2},
+			MaxContext: 4096,
+		}
+		reqs, err := g.Generate(dist.NewRNG(7), 96)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err = f.Run(reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Completed), "completed")
+	b.ReportMetric(res.TokensPerSec, "tokens/sec")
 }

@@ -168,6 +168,10 @@ type running struct {
 	// faulted marks that this step's KV read hit an uncorrectable error: the
 	// request emits no token this step and re-ingests the lost suffix.
 	faulted bool
+	// retired marks a request removed from the batch this step (completed or
+	// truncated); decodeStep filters survivors with it after running the
+	// step's page-write schedule.
+	retired bool
 }
 
 // FaultStats accounts the graceful-degradation work a node performed: the
@@ -234,7 +238,8 @@ type Sim struct {
 	truncated    int
 	decodeSteps  int64
 	memBoundHits int64
-	perTierReads map[int]units.Bytes
+	perTierReads []units.Bytes // indexed by tier
+	readTiers    []bool        // tiers that ever appeared in a step's read plan
 	faults       FaultStats
 	wasted       int64
 
@@ -244,8 +249,24 @@ type Sim struct {
 	decoding   []*running
 	prefilling []*running
 	ctxs       []int
-	perTier    map[int]units.Bytes
-	freeList   []*running // finished running structs, pages capacity intact
+	perTier    []units.Bytes // indexed by tier
+	freeList   []*running    // finished running structs, pages capacity intact
+	ops        []stepOp      // per-step page-write/finish schedule
+	metaBuf    []tier.Meta   // KV page metas (identical entries, filled once)
+	idBuf      []tier.ObjectID
+	latBuf     []time.Duration
+	tierBuf    []int
+}
+
+// stepOp is one entry in a decode step's ordered schedule of page writes and
+// request finishes. Writes between two finishes coalesce into one batched
+// put; a finish is a barrier because deleting its request's pages frees
+// memory that changes where later writes in the same step may land.
+type stepOp struct {
+	r      *running
+	pages  int  // KV pages to write (flush ops)
+	decode bool // decode-path flush: reset partial once its page lands
+	fin    bool // finish op: release pages and retire the request
 }
 
 // NewSim builds a simulator and places the model weights.
@@ -269,8 +290,9 @@ func NewSim(cfg Config) (*Sim, error) {
 		eng:          eng,
 		ttft:         metrics.NewHistogram(1e-6, 1.05),
 		tbt:          metrics.NewHistogram(1e-6, 1.05),
-		perTierReads: make(map[int]units.Bytes, nTiers),
-		perTier:      make(map[int]units.Bytes, nTiers),
+		perTierReads: make([]units.Bytes, nTiers),
+		readTiers:    make([]bool, nTiers),
+		perTier:      make([]units.Bytes, nTiers),
 	}
 	// Weights: read-hot, effectively immortal (refreshed if on MRM).
 	id, _, err := cfg.Memory.Put(tier.Meta{
@@ -444,24 +466,48 @@ func (s *Sim) admit() error {
 	return nil
 }
 
-// flushPages writes n full KV pages for the request into the tiered store.
-func (s *Sim) flushPages(r *running, n int) error {
-	pageBytes := s.cfg.Model.KVBytesPerToken() * units.Bytes(s.cfg.PageTokens)
-	for i := 0; i < n; i++ {
-		id, _, err := s.cfg.Memory.Put(tier.Meta{
-			Kind:     core.KindKVCache,
-			Size:     pageBytes,
-			Lifetime: s.cfg.KVLifetime,
-			ReadHot:  true,
-		})
-		if err != nil {
-			return err
-		}
-		ti, _ := s.cfg.Memory.TierOf(id)
-		r.pages = append(r.pages, id)
-		r.pageTiers = append(r.pageTiers, ti)
+// kvMeta describes one KV page; every page a sim writes is identical.
+func (s *Sim) kvMeta() tier.Meta {
+	return tier.Meta{
+		Kind:     core.KindKVCache,
+		Size:     s.cfg.Model.KVBytesPerToken() * units.Bytes(s.cfg.PageTokens),
+		Lifetime: s.cfg.KVLifetime,
+		ReadHot:  true,
 	}
-	return nil
+}
+
+// flushScratch returns n-length views of the page-write scratch buffers. The
+// meta entries are all the same KV page descriptor, so they are filled once
+// per growth rather than per call.
+func (s *Sim) flushScratch(n int) ([]tier.Meta, []tier.ObjectID, []time.Duration, []int) {
+	if len(s.metaBuf) < n {
+		s.metaBuf = make([]tier.Meta, n)
+		meta := s.kvMeta()
+		for i := range s.metaBuf {
+			s.metaBuf[i] = meta
+		}
+		s.idBuf = make([]tier.ObjectID, n)
+		s.latBuf = make([]time.Duration, n)
+		s.tierBuf = make([]int, n)
+	}
+	return s.metaBuf[:n], s.idBuf[:n], s.latBuf[:n], s.tierBuf[:n]
+}
+
+// flushPages writes n full KV pages for the request into the tiered store as
+// one batched put (identical placement, device writes, and fault events to n
+// serial Puts). On error the pages stored before the failure are already
+// appended to the request, matching the serial path's partial progress.
+func (s *Sim) flushPages(r *running, n int) error {
+	if n == 0 {
+		return nil
+	}
+	metas, ids, lats, tiers := s.flushScratch(n)
+	done, err := s.cfg.Memory.PutBatch(metas, ids, lats, tiers)
+	for i := 0; i < done; i++ {
+		r.pages = append(r.pages, ids[i])
+		r.pageTiers = append(r.pageTiers, tiers[i])
+	}
+	return err
 }
 
 // decodeStep generates one token for every decoding request and, under
@@ -500,7 +546,9 @@ func (s *Sim) decodeStep() error {
 	// Per-tier read traffic: weights + every full KV page of decoding
 	// requests + partial pages and activations from scratch.
 	perTier := s.perTier
-	clear(perTier)
+	for i := range perTier {
+		perTier[i] = 0
+	}
 	kvPerTok := s.cfg.Model.KVBytesPerToken()
 	pageBytes := kvPerTok * units.Bytes(s.cfg.PageTokens)
 	for _, r := range decoding {
@@ -510,6 +558,7 @@ func (s *Sim) decodeStep() error {
 		n, err := s.cfg.Memory.GetBatch(r.pages)
 		for i := 0; i < n; i++ {
 			perTier[r.pageTiers[i]] += pageBytes
+			s.readTiers[r.pageTiers[i]] = true
 		}
 		if err != nil {
 			// KV pages are soft state: an uncorrectable (or expired) page
@@ -522,6 +571,7 @@ func (s *Sim) decodeStep() error {
 			}
 		}
 		perTier[s.cfg.ScratchTier] += kvPerTok * units.Bytes(r.partial)
+		s.readTiers[s.cfg.ScratchTier] = true
 	}
 	// Account the weights read against the device; a lost copy is restored
 	// from its durable upstream before the step proceeds.
@@ -529,6 +579,7 @@ func (s *Sim) decodeStep() error {
 		return err
 	}
 	perTier[s.wTier] += s.cfg.Model.WeightBytes()
+	s.readTiers[s.wTier] = true
 	memTime := s.cfg.Memory.ReadTime(perTier)
 	stepTime := s.eng.TimeForFLOPs(flops)
 	if memTime > stepTime {
@@ -543,35 +594,28 @@ func (s *Sim) decodeStep() error {
 	if err := s.cfg.Memory.Tick(stepTime); err != nil {
 		return err
 	}
-	// Advance prefilling requests by their chunk; flush filled pages.
-	survivors := s.batch[:0]
+	// Bookkeeping phase: advance every request's counters (pure in-memory
+	// work) and schedule the step's page writes and request finishes in
+	// exactly the order the per-page path performed them. The schedule then
+	// runs with consecutive writes coalesced into batched puts.
+	ops := s.ops[:0]
+	// Prefilling requests advance by their chunk; filled pages flush.
 	for _, r := range prefilling {
-		chunk := r.chunk
-		r.ctx += chunk
-		r.prefillLeft -= chunk
-		r.partial += chunk
-		ok := true
-		for r.partial >= s.cfg.PageTokens {
-			if err := s.flushPages(r, 1); err != nil {
-				s.truncated++
-				s.finish(r)
-				ok = false
-				break
-			}
-			r.partial -= s.cfg.PageTokens
-		}
-		if ok {
-			survivors = append(survivors, r)
+		r.ctx += r.chunk
+		r.prefillLeft -= r.chunk
+		r.partial += r.chunk
+		if n := r.partial / s.cfg.PageTokens; n > 0 {
+			ops = append(ops, stepOp{r: r, pages: n})
+			r.partial -= n * s.cfg.PageTokens
 		}
 	}
-	// Append one token per decoding request; flush pages as they fill.
+	// One token per decoding request; pages flush as they fill.
 	for _, r := range decoding {
 		if r.faulted {
 			// The KV read failed this step: no token was produced. The
 			// request stays batched and re-ingests its lost suffix through
 			// the prefill path starting next step.
 			r.faulted = false
-			survivors = append(survivors, r)
 			continue
 		}
 		r.ctx++
@@ -589,24 +633,95 @@ func (s *Sim) decodeStep() error {
 			s.tbt.Observe((s.clock - r.lastTok).Seconds())
 		}
 		r.lastTok = s.clock
-		done := r.generated >= r.req.OutputTokens || r.ctx >= s.cfg.Model.MaxContext
-		if !done && r.partial >= s.cfg.PageTokens {
-			if err := s.flushPages(r, 1); err != nil {
-				// Out of KV memory: finish the request early.
-				done = true
-				s.truncated++
-			} else {
-				r.partial = 0
-			}
+		if r.generated >= r.req.OutputTokens || r.ctx >= s.cfg.Model.MaxContext {
+			ops = append(ops, stepOp{r: r, fin: true})
+		} else if r.partial >= s.cfg.PageTokens {
+			ops = append(ops, stepOp{r: r, pages: 1, decode: true})
 		}
-		if done {
-			s.finish(r)
-		} else {
+	}
+	s.ops = ops
+	s.runStepOps(ops)
+	// Survivors keep batch order: prefilling requests first, then decoding,
+	// minus the requests the schedule retired.
+	survivors := s.batch[:0]
+	for _, r := range prefilling {
+		if !r.retired {
+			survivors = append(survivors, r)
+		}
+	}
+	for _, r := range decoding {
+		if !r.retired {
 			survivors = append(survivors, r)
 		}
 	}
 	s.batch = survivors
 	return nil
+}
+
+// runStepOps executes a decode step's schedule. Runs of consecutive page
+// writes issue as one batched put each; a finish op is a barrier (its page
+// deletes change where later writes may land, so batching across one would
+// perturb allocation). A failed page write truncates only the owning request
+// — its pages are released, freeing memory — and the writes after it retry,
+// exactly as the per-page path behaved.
+func (s *Sim) runStepOps(ops []stepOp) {
+	for len(ops) > 0 {
+		if ops[0].fin {
+			s.finish(ops[0].r)
+			ops = ops[1:]
+			continue
+		}
+		end, total := 0, 0
+		for end < len(ops) && !ops[end].fin {
+			total += ops[end].pages
+			end++
+		}
+		s.flushOps(ops[:end], total)
+		ops = ops[end:]
+	}
+}
+
+// flushOps writes the pages of one barrier-free run of flush ops, retrying
+// after each truncation until every surviving op's pages are stored.
+func (s *Sim) flushOps(ops []stepOp, total int) {
+	for len(ops) > 0 {
+		metas, ids, lats, tiers := s.flushScratch(total)
+		done, err := s.cfg.Memory.PutBatch(metas, ids, lats, tiers)
+		// Hand the stored pages to their owners in schedule order.
+		oi, assigned := 0, 0
+		for assigned < done {
+			op := &ops[oi]
+			take := op.pages
+			if take > done-assigned {
+				take = done - assigned
+			}
+			for j := 0; j < take; j++ {
+				op.r.pages = append(op.r.pages, ids[assigned+j])
+				op.r.pageTiers = append(op.r.pageTiers, tiers[assigned+j])
+			}
+			op.pages -= take
+			assigned += take
+			if op.pages == 0 {
+				if op.decode {
+					op.r.partial = 0
+				}
+				oi++
+			}
+		}
+		if err == nil {
+			return
+		}
+		// The write at index done failed: the owning op's request is out of
+		// KV memory (or its page write faulted). Finish it early — releasing
+		// its pages, including any stored above — and retry the rest.
+		s.truncated++
+		s.finish(ops[oi].r)
+		ops = ops[oi+1:]
+		total = 0
+		for i := range ops {
+			total += ops[i].pages
+		}
+	}
 }
 
 // dropKVFrom implements the KV degradation path: page i of the request's
@@ -682,6 +797,7 @@ func (s *Sim) finish(r *running) {
 		}
 	}
 	s.completed++
+	r.retired = true
 	s.freeList = append(s.freeList, r)
 }
 
@@ -708,7 +824,9 @@ func (s *Sim) result() Result {
 	}
 	infos := s.cfg.Memory.Tiers()
 	for idx, b := range s.perTierReads {
-		res.PerTierReads[infos[idx].Name] = b
+		if s.readTiers[idx] {
+			res.PerTierReads[infos[idx].Name] = b
+		}
 	}
 	if s.clock > 0 {
 		res.TokensPerSec = float64(s.tokensOut) / s.clock.Seconds()

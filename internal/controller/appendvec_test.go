@@ -1,0 +1,147 @@
+package controller
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mrm/internal/memdev"
+	"mrm/internal/units"
+)
+
+// newTwinZonedForAppend builds two identical zoned controllers with a mix of
+// open, partially-filled, empty, and full zones, optionally fault-armed.
+func newTwinZonedForAppend(t *testing.T, faults memdev.FaultConfig) (*Zoned, *Zoned) {
+	t.Helper()
+	mk := func() *Zoned {
+		spec := memdev.HBM3E
+		spec.Capacity = 64 * units.MiB
+		dev, err := memdev.NewDevice(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		z, err := NewZoned(dev, 4*units.MiB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Zones 0-3 open; 1 partially filled; 2 nearly full; 4+ left empty.
+		for id := 0; id < 4; id++ {
+			if err := z.Open(id, time.Hour); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := z.Append(1, units.MiB); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := z.Append(2, 4*units.MiB-512); err != nil {
+			t.Fatal(err)
+		}
+		dev.SetFaults(faults)
+		return z
+	}
+	return mk(), mk()
+}
+
+// compareAppendTwins runs one batch through both controllers (one serially,
+// one via AppendVec) and requires identical results, errors, zone state, and
+// device accounting.
+func compareAppendTwins(t *testing.T, ci int, seq, vec *Zoned, reqs []AppendReq) {
+	t.Helper()
+	seqResults := make([]memdev.Result, len(reqs))
+	seqDone, seqErr := len(reqs), error(nil)
+	for i, r := range reqs {
+		res, err := seq.Append(r.Zone, r.Size)
+		seqResults[i] = res
+		if err != nil {
+			seqDone, seqErr = i, err
+			break
+		}
+	}
+	vecResults := make([]memdev.Result, len(reqs))
+	vecDone, vecErr := vec.AppendVec(reqs, vecResults)
+	if vecDone != seqDone {
+		t.Fatalf("case %d: done %d != sequential %d (err %v vs %v)", ci, vecDone, seqDone, vecErr, seqErr)
+	}
+	if (vecErr == nil) != (seqErr == nil) ||
+		(vecErr != nil && vecErr.Error() != seqErr.Error()) {
+		t.Fatalf("case %d: err %q != sequential %q", ci, vecErr, seqErr)
+	}
+	for i := 0; i < seqDone; i++ {
+		if vecResults[i] != seqResults[i] {
+			t.Fatalf("case %d req %d: %+v != %+v", ci, i, vecResults[i], seqResults[i])
+		}
+	}
+	if ss, sv := seq.Device().Stats(), vec.Device().Stats(); ss != sv {
+		t.Fatalf("case %d: device stats diverged: %+v != %+v", ci, ss, sv)
+	}
+	if es, ev := seq.Device().Energy(), vec.Device().Energy(); es != ev {
+		t.Fatalf("case %d: device energy diverged: %+v != %+v", ci, es, ev)
+	}
+	for id := range seq.zones {
+		if seq.zones[id] != vec.zones[id] {
+			t.Fatalf("case %d zone %d: %+v != %+v", ci, id, seq.zones[id], vec.zones[id])
+		}
+	}
+}
+
+// TestAppendVecMatchesSequentialAppend checks the strict equivalence
+// contract on the write side: the vectored path must produce the same
+// per-request costs, the same error at the same index, the same zone state
+// (write pointers, ZoneFull transitions, WrittenAt stamps), and the same
+// device-side accounting as call-by-call Appends that stop at the first
+// failure — including batches with an invalid request in the middle and
+// repeated appends to the same zone within one batch.
+func TestAppendVecMatchesSequentialAppend(t *testing.T) {
+	cases := [][]AppendReq{
+		{{Zone: 0, Size: units.MiB}},
+		// Repeated appends to one zone: request 2's validation must see the
+		// pointer as advanced by requests 0-1.
+		{{Zone: 0, Size: units.MiB}, {Zone: 0, Size: units.MiB}, {Zone: 0, Size: 2 * units.MiB}},
+		// Mixed zones, one filling exactly to ZoneFull.
+		{{Zone: 0, Size: 4 * units.MiB}, {Zone: 1, Size: 3 * units.MiB}, {Zone: 3, Size: 512}},
+		// Request 1 overflows its zone mid-batch: request 0 is still charged,
+		// request 2 is not.
+		{{Zone: 0, Size: units.MiB}, {Zone: 2, Size: units.MiB}, {Zone: 3, Size: units.MiB}},
+		// Append to an empty (never-opened) zone mid-batch.
+		{{Zone: 3, Size: units.MiB}, {Zone: 5, Size: units.MiB}, {Zone: 0, Size: units.MiB}},
+		// Zero-size append and out-of-range zone id.
+		{{Zone: 0, Size: 0}},
+		{{Zone: 1, Size: units.MiB}, {Zone: 99, Size: units.MiB}},
+		// Zone filled by an earlier request in the same batch, then appended
+		// again: the second append must fail with the ZoneFull state error.
+		{{Zone: 2, Size: 512}, {Zone: 2, Size: 512}},
+	}
+	for ci, reqs := range cases {
+		seq, vec := newTwinZonedForAppend(t, memdev.FaultConfig{})
+		compareAppendTwins(t, ci, seq, vec, reqs)
+	}
+}
+
+// TestAppendVecMatchesSequentialUnderWriteFaults drives fault-armed twins
+// through random append batches: injected program failures must surface at
+// the same request index with the same error, counters, and zone state as
+// the sequential path (including the WrittenAt stamp the sequential path
+// leaves behind on a failed first append).
+func TestAppendVecMatchesSequentialUnderWriteFaults(t *testing.T) {
+	faults := memdev.FaultConfig{Seed: 7, WriteFaultRate: 0.15}
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 40; round++ {
+		seq, vec := newTwinZonedForAppend(t, faults)
+		n := 1 + rng.Intn(8)
+		reqs := make([]AppendReq, n)
+		for i := range reqs {
+			reqs[i] = AppendReq{
+				Zone: rng.Intn(5),
+				Size: units.Bytes(1+rng.Intn(512)) * units.KiB,
+			}
+		}
+		compareAppendTwins(t, round, seq, vec, reqs)
+	}
+}
+
+func TestAppendVecShortResults(t *testing.T) {
+	z, _ := newTwinZonedForAppend(t, memdev.FaultConfig{})
+	if _, err := z.AppendVec(make([]AppendReq, 2), make([]memdev.Result, 1)); err == nil {
+		t.Fatal("want error for short results slice")
+	}
+}

@@ -207,7 +207,8 @@ type Zoned struct {
 	dev      *memdev.Device
 	zoneSize units.Bytes
 	zones    []Zone
-	spanBuf  []memdev.Span // scratch for ReadVec, reused across calls
+	spanBuf  []memdev.Span // scratch for ReadVec/AppendVec, reused across calls
+	undoBuf  []appendUndo  // scratch for AppendVec rollback, reused across calls
 }
 
 // NewZoned carves the device into zones of zoneSize bytes.
@@ -348,6 +349,115 @@ func (z *Zoned) ReadVec(reqs []ReadReq, results []memdev.Result) (int, error) {
 		z.spanBuf = append(z.spanBuf, sp)
 	}
 	return z.dev.ReadSpans(z.spanBuf, results)
+}
+
+// AppendReq is one zone append within an AppendVec batch.
+type AppendReq struct {
+	Zone int
+	Size units.Bytes
+}
+
+// appendUndo records the zone mutations AppendVec applied for one request so
+// a mid-batch device failure can roll back exactly to what a sequential
+// caller would have left behind.
+type appendUndo struct {
+	zone          *Zone
+	size          units.Bytes
+	prevState     ZoneState
+	prevWrittenAt time.Duration
+	stamped       bool // this request stamped WrittenAt (first append to the zone)
+}
+
+// AppendVec performs the appends described by reqs exactly as if Append were
+// called once per request in order — same validation (against the write
+// pointer as advanced by the earlier requests in the batch), same per-write
+// device accounting and fault events, same error precedence — but coalesces
+// the device writes into a single batched call. results[i] (len(results)
+// must be >= len(reqs)) receives request i's cost. It returns the index of
+// the first request that failed plus its error, or (len(reqs), nil) on full
+// success. A validation failure at request i is reported only after the
+// device writes for requests [0, i) have been issued — and a device error
+// among those takes precedence. A device write fault leaves its zone exactly
+// as a failed sequential Append would: write pointer and state unchanged,
+// but the first-append WrittenAt stamp (applied before the device write on
+// the sequential path) persists.
+func (z *Zoned) AppendVec(reqs []AppendReq, results []memdev.Result) (int, error) {
+	if len(results) < len(reqs) {
+		return 0, fmt.Errorf("controller: AppendVec: %d results for %d requests", len(results), len(reqs))
+	}
+	z.spanBuf = z.spanBuf[:0]
+	z.undoBuf = z.undoBuf[:0]
+	for i, r := range reqs {
+		zn, err := z.zoneRef(r.Zone)
+		if err == nil {
+			if zn.State != ZoneOpen {
+				err = fmt.Errorf("controller: append to zone %d in state %v", r.Zone, zn.State)
+			} else if r.Size == 0 || r.Size > zn.Remaining() {
+				err = fmt.Errorf("controller: append %v exceeds zone %d remaining %v", r.Size, r.Zone, zn.Remaining())
+			}
+		}
+		if err != nil {
+			// A sequential caller has already issued (and committed) the device
+			// writes for the earlier, valid requests before hitting this one.
+			done, derr := z.flushAppends(results)
+			if derr != nil {
+				return done, derr
+			}
+			results[i] = memdev.Result{}
+			return i, err
+		}
+		u := appendUndo{zone: zn, size: r.Size, prevState: zn.State, prevWrittenAt: zn.WrittenAt}
+		if zn.WritePtr == 0 {
+			zn.WrittenAt = z.dev.Now()
+			u.stamped = true
+		}
+		z.spanBuf = append(z.spanBuf, memdev.Span{Addr: zn.Start + zn.WritePtr, Size: r.Size})
+		zn.WritePtr += r.Size
+		if zn.Remaining() == 0 {
+			zn.State = ZoneFull
+		}
+		z.undoBuf = append(z.undoBuf, u)
+	}
+	return z.flushAppends(results)
+}
+
+// flushAppends issues the accumulated spans in one device call and, on a
+// device failure, rolls the eagerly-applied zone mutations back to the exact
+// state a sequential caller stopping at that write would have left.
+func (z *Zoned) flushAppends(results []memdev.Result) (int, error) {
+	done, err := z.dev.WriteSpans(z.spanBuf, results)
+	if err != nil {
+		for k := len(z.undoBuf) - 1; k >= done; k-- {
+			u := &z.undoBuf[k]
+			u.zone.WritePtr -= u.size
+			u.zone.State = u.prevState
+			// The failing request itself keeps its WrittenAt stamp — the
+			// sequential path stamps before the device write; requests after it
+			// never ran at all.
+			if u.stamped && k > done {
+				u.zone.WrittenAt = u.prevWrittenAt
+			}
+		}
+	}
+	return done, err
+}
+
+// CancelOpen reverts an Open on a zone that was never appended to, returning
+// it to empty without counting a reset (nothing was written, so no wear).
+// It is the planning counterpart to Open: batched writers open zones ahead
+// of issuing the device writes and must release the unused ones when a
+// mid-batch failure cuts the batch short.
+func (z *Zoned) CancelOpen(id int) error {
+	zn, err := z.zoneRef(id)
+	if err != nil {
+		return err
+	}
+	if zn.State != ZoneOpen || zn.WritePtr != 0 {
+		return fmt.Errorf("controller: cannot cancel open of zone %d (state %v, write pointer %v)", id, zn.State, zn.WritePtr)
+	}
+	zn.State = ZoneEmpty
+	zn.Retention = 0
+	return nil
 }
 
 // Reset returns a zone to empty, incrementing its reset (wear) counter.

@@ -238,6 +238,25 @@ type MRM struct {
 	resBuf  []memdev.Result
 	objEnd  []int         // per-object end index into reqBuf (GetBatch)
 	sizeBuf []units.Bytes // per-object sizes (GetBatch stats)
+
+	// Scratch buffers for PutBatch, reused across calls so the write hot
+	// path allocates only per-object state that outlives the call.
+	putPlan []putChunk
+	putEnds []int // per-object end index into putPlan
+	putReqs []controller.AppendReq
+}
+
+// putChunk is one planned zone append within a PutBatch: enough to rebuild
+// the extent, replay open-zone rotation, and roll back an eager zone Open if
+// a mid-batch failure means the serial path would never have reached it.
+type putChunk struct {
+	objIdx    int
+	zid       int
+	off       units.Bytes
+	size      units.Bytes
+	opened    bool  // planning this chunk opened zid (empty -> open)
+	prevClass Class // zone's class label before the open, for rollback
+	fills     bool  // this chunk advances zid to ZoneFull
 }
 
 // New builds an MRM from cfg.
@@ -410,10 +429,189 @@ func (m *MRM) Put(size units.Bytes, opts WriteOptions) (ObjectID, time.Duration,
 	return id, lat, nil
 }
 
+// PutBatch stores len(sizes) objects sharing one set of write options exactly
+// as if Put were called once per size in order — same object ids, zone
+// selection and wear-leveling decisions, chunking, energy accumulation order,
+// retention deadlines and heap order, fault-injection decisions, and the same
+// error surfaced at the same object index — but issues every device write as
+// one vectored append (one device lock acquisition per batch instead of one
+// per chunk). ids[i] and lats[i] (both slices must be at least len(sizes)
+// long) receive object i's id and worst-extent write latency. It returns the
+// number of objects fully stored; when that is < len(sizes), the error is
+// what the first-failing Put would have returned, and the control-plane
+// residue (consumed ids, charged energy, zone membership of the failing
+// object's completed chunks, open-zone rotation) matches the serial path
+// bit for bit.
+func (m *MRM) PutBatch(sizes []units.Bytes, opts WriteOptions, ids []ObjectID, lats []time.Duration) (int, error) {
+	if len(ids) < len(sizes) || len(lats) < len(sizes) {
+		return 0, fmt.Errorf("core: PutBatch: %d ids / %d lats for %d sizes", len(ids), len(lats), len(sizes))
+	}
+	if len(sizes) == 0 {
+		return 0, nil
+	}
+	class, _ := m.ChooseClass(opts.Lifetime)
+	startID := m.nextID
+	m.putPlan = m.putPlan[:0]
+	m.putEnds = m.putEnds[:0]
+
+	// Plan: mirror the serial chunking loop — zone rotation tracked locally,
+	// zone Opens applied eagerly (they touch no device state and are rolled
+	// back if unreached), every device write deferred to one AppendVec.
+	oz := m.openZone[class]
+	var zPtr, zRem units.Bytes
+	ozLoaded := false
+	valErr := error(nil) // validation failure that ends the plan
+	idsConsumed := 0     // objects whose id the serial path consumed
+
+plan:
+	for i, size := range sizes {
+		if size == 0 {
+			// The serial path rejects this before consuming an id.
+			valErr = fmt.Errorf("core: zero-size object")
+			break
+		}
+		idsConsumed = i + 1
+		remaining := size
+		for remaining > 0 {
+			openedNow := false
+			var prevClass Class
+			if oz < 0 {
+				zid := m.zoned.LeastWornEmpty() // software wear-leveling
+				if zid < 0 {
+					valErr = ErrNoSpace
+					break plan
+				}
+				if err := m.zoned.Open(zid, m.cfg.Classes[class]); err != nil {
+					valErr = err
+					break plan
+				}
+				openedNow = true
+				prevClass = m.zones[zid].class
+				m.zones[zid].class = class
+				oz, zPtr, zRem, ozLoaded = zid, 0, m.cfg.ZoneSize, true
+			} else if !ozLoaded {
+				zn, err := m.zoned.Zone(oz)
+				if err != nil {
+					valErr = err
+					break plan
+				}
+				zPtr, zRem, ozLoaded = zn.WritePtr, zn.Remaining(), true
+			}
+			chunk := remaining
+			if chunk > zRem {
+				chunk = zRem
+			}
+			m.putPlan = append(m.putPlan, putChunk{
+				objIdx: i, zid: oz, off: zPtr, size: chunk,
+				opened: openedNow, prevClass: prevClass, fills: chunk == zRem,
+			})
+			if chunk == 0 {
+				// Degenerate: the open zone has no room. The serial path issues
+				// a zero-size append and fails with its error; AppendVec below
+				// reproduces it at this request.
+				break plan
+			}
+			zPtr += chunk
+			zRem -= chunk
+			if zRem == 0 {
+				oz = -1
+			}
+			remaining -= chunk
+		}
+		m.putEnds = append(m.putEnds, len(m.putPlan))
+	}
+
+	m.putReqs = m.putReqs[:0]
+	for j := range m.putPlan {
+		m.putReqs = append(m.putReqs, controller.AppendReq{Zone: m.putPlan[j].zid, Size: m.putPlan[j].size})
+	}
+	done, derr := m.zoned.AppendVec(m.putReqs, m.results(len(m.putReqs)))
+
+	op := m.ops[class]
+	wbw := m.zoned.Device().Spec().WriteBW
+	// Energy: same per-chunk values added in the same order as the serial
+	// chunk loop, so the float accumulation is bit-identical.
+	for j := 0; j < done; j++ {
+		m.energy.HostWrite += op.WriteEnergy.PerBit(m.putPlan[j].size)
+	}
+	if derr != nil {
+		// Zones opened for chunks the serial path never reached go back to
+		// empty with no reset charged; the failing chunk's own open stands
+		// (serially it happened before the failing device write).
+		for j := len(m.putPlan) - 1; j > done; j-- {
+			if e := &m.putPlan[j]; e.opened {
+				if err := m.zoned.CancelOpen(e.zid); err == nil {
+					m.zones[e.zid].class = e.prevClass
+				}
+			}
+		}
+	}
+	// Open-zone rotation: replay the serial transitions. Chunks before the
+	// failure take full effect; the failing chunk's zone selection happened
+	// but its fill did not; chunks after it never ran.
+	oz = m.openZone[class]
+	for j := range m.putPlan {
+		if derr != nil && j > done {
+			break
+		}
+		e := &m.putPlan[j]
+		if e.opened {
+			oz = e.zid
+		}
+		if e.fills && !(derr != nil && j == done) {
+			oz = -1
+		}
+	}
+	m.openZone[class] = oz
+
+	// Register fully-stored objects in id order: same deadlines (WrittenAt
+	// stamps are final — later appends in the batch cannot restamp a zone)
+	// and same heap push order as the serial path.
+	committed, start := 0, 0
+	for oi := 0; oi < len(m.putEnds); oi++ {
+		end := m.putEnds[oi]
+		if end > done {
+			break
+		}
+		id := startID + ObjectID(oi)
+		obj := &object{id: id, size: sizes[oi], class: class, opts: opts}
+		var worst time.Duration
+		for j := start; j < end; j++ {
+			e := &m.putPlan[j]
+			obj.extents = append(obj.extents, extent{zone: e.zid, off: e.off, size: e.size})
+			m.zones[e.zid].objects[id] = true
+			if lat := op.WriteLatency + wbw.Time(e.size); lat > worst {
+				worst = lat
+			}
+		}
+		obj.deadline = m.objectDeadline(obj)
+		m.objects[id] = obj
+		heap.Push(&m.heap, deadlineItem{id: id, deadline: obj.deadline})
+		m.stats.Puts++
+		m.stats.BytesWritten += sizes[oi]
+		ids[oi], lats[oi] = id, worst
+		start = end
+		committed++
+	}
+	// The failing object's completed chunks keep their zone membership — the
+	// residue a failed serial Put leaves behind.
+	for j := start; j < done && j < len(m.putPlan); j++ {
+		e := &m.putPlan[j]
+		m.zones[e.zid].objects[startID+ObjectID(e.objIdx)] = true
+	}
+	if derr != nil {
+		m.nextID = startID + ObjectID(m.putPlan[done].objIdx) + 1
+		return committed, derr
+	}
+	m.nextID = startID + ObjectID(idsConsumed)
+	return committed, valErr
+}
+
 // appendObject writes size bytes for obj into zones of its class, recording
 // extents. refresh marks the energy as refresh housekeeping.
 func (m *MRM) appendObject(obj *object, size units.Bytes, refresh bool) (time.Duration, error) {
 	op := m.ops[obj.class]
+	wbw := m.zoned.Device().Spec().WriteBW // invariant across chunks: hoisted out of the loop
 	var worst time.Duration
 	remaining := size
 	for remaining > 0 {
@@ -451,7 +649,7 @@ func (m *MRM) appendObject(obj *object, size units.Bytes, refresh bool) (time.Du
 			m.energy.HostWrite += e
 		}
 		// Write latency: class-specific cell write time + transfer.
-		lat := op.WriteLatency + m.zoned.Device().Spec().WriteBW.Time(chunk)
+		lat := op.WriteLatency + wbw.Time(chunk)
 		_ = res
 		if lat > worst {
 			worst = lat

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"mrm/internal/memdev"
+	"mrm/internal/units"
+)
+
+// comparePutTwins drives seq with serial Puts (stopping at the first error)
+// and bat with one PutBatch over the same sizes, then requires identical
+// done counts, errors, ids, latencies, stats, energy accounts, device-side
+// accounting, free-space view, and id-allocation state.
+func comparePutTwins(t *testing.T, label string, seq, bat *MRM, sizes []units.Bytes, opts WriteOptions) {
+	t.Helper()
+	seqIDs := make([]ObjectID, len(sizes))
+	seqLats := make([]time.Duration, len(sizes))
+	seqDone, seqErr := len(sizes), error(nil)
+	for i, size := range sizes {
+		id, lat, err := seq.Put(size, opts)
+		if err != nil {
+			seqDone, seqErr = i, err
+			break
+		}
+		seqIDs[i], seqLats[i] = id, lat
+	}
+	batIDs := make([]ObjectID, len(sizes))
+	batLats := make([]time.Duration, len(sizes))
+	batDone, batErr := bat.PutBatch(sizes, opts, batIDs, batLats)
+	if batDone != seqDone {
+		t.Fatalf("%s: done %d != sequential %d (err %v vs %v)", label, batDone, seqDone, batErr, seqErr)
+	}
+	if (batErr == nil) != (seqErr == nil) ||
+		(batErr != nil && batErr.Error() != seqErr.Error()) {
+		t.Fatalf("%s: err %q != sequential %q", label, batErr, seqErr)
+	}
+	for i := 0; i < seqDone; i++ {
+		if batIDs[i] != seqIDs[i] || batLats[i] != seqLats[i] {
+			t.Fatalf("%s obj %d: (id %d, lat %v) != sequential (id %d, lat %v)",
+				label, i, batIDs[i], batLats[i], seqIDs[i], seqLats[i])
+		}
+	}
+	if ss, sb := seq.Stats(), bat.Stats(); ss != sb {
+		t.Fatalf("%s: stats diverged: %+v != %+v", label, ss, sb)
+	}
+	if es, eb := seq.Energy(), bat.Energy(); es != eb {
+		t.Fatalf("%s: energy diverged: %+v != %+v", label, es, eb)
+	}
+	if ds, db := seq.zoned.Device().Stats(), bat.zoned.Device().Stats(); ds != db {
+		t.Fatalf("%s: device stats diverged: %+v != %+v", label, ds, db)
+	}
+	if es, eb := seq.zoned.Device().Energy(), bat.zoned.Device().Energy(); es != eb {
+		t.Fatalf("%s: device energy diverged: %+v != %+v", label, es, eb)
+	}
+	if fs, fb := seq.FreeBytes(), bat.FreeBytes(); fs != fb {
+		t.Fatalf("%s: free bytes diverged: %v != %v", label, fs, fb)
+	}
+	if seq.nextID != bat.nextID {
+		t.Fatalf("%s: nextID diverged: %d != %d", label, seq.nextID, bat.nextID)
+	}
+	for c := range seq.cfg.Classes {
+		if seq.openZone[Class(c)] != bat.openZone[Class(c)] {
+			t.Fatalf("%s: openZone[%d] diverged: %d != %d",
+				label, c, seq.openZone[Class(c)], bat.openZone[Class(c)])
+		}
+	}
+	// A failed serial Put can legitimately leave an invariant violation (the
+	// documented leak: zone membership for an object that was never
+	// registered); equivalence means the batched twin reports the exact same
+	// invariants verdict, violation or not.
+	is, ib := seq.CheckInvariants(), bat.CheckInvariants()
+	if (is == nil) != (ib == nil) || (is != nil && is.Error() != ib.Error()) {
+		t.Fatalf("%s: invariants verdicts diverged: %v != %v", label, is, ib)
+	}
+}
+
+var kvOpts = WriteOptions{Kind: KindKVCache, Lifetime: time.Hour, Policy: PolicyDrop}
+
+// TestPutBatchMatchesSequentialPuts covers the equivalence contract on the
+// clean path and control-plane validation failures: batches that span zones,
+// fill zones exactly, run the device out of space mid-batch, and contain a
+// zero-size object mid-batch.
+func TestPutBatchMatchesSequentialPuts(t *testing.T) {
+	zone := smallConfig().ZoneSize
+	cases := []struct {
+		name  string
+		sizes []units.Bytes
+	}{
+		{"single", []units.Bytes{512 * units.KiB}},
+		{"pages", []units.Bytes{64 * units.KiB, 64 * units.KiB, 64 * units.KiB, 64 * units.KiB}},
+		{"spans-zones", []units.Bytes{40 * units.MiB, 512 * units.KiB, 24 * units.MiB}},
+		{"fills-zone-exactly", []units.Bytes{zone, 512 * units.KiB, zone - 512*units.KiB}},
+		{"zero-size-mid-batch", []units.Bytes{512 * units.KiB, 0, 512 * units.KiB}},
+		{"zero-size-first", []units.Bytes{0, 512 * units.KiB}},
+	}
+	for _, tc := range cases {
+		seq, bat := newMRM(t, smallConfig()), newMRM(t, smallConfig())
+		comparePutTwins(t, tc.name, seq, bat, tc.sizes, kvOpts)
+		// The twins must also agree on everything that happens next.
+		comparePutTwins(t, tc.name+"/followup", seq, bat, []units.Bytes{256 * units.KiB}, kvOpts)
+	}
+}
+
+func TestPutBatchOutOfSpaceMidBatch(t *testing.T) {
+	seq, bat := newMRM(t, smallConfig()), newMRM(t, smallConfig())
+	// Fill all but one zone, then batch more than fits: the serial path fails
+	// with ErrNoSpace partway through an object, leaking that object's
+	// completed chunks; the batch must leave the identical residue.
+	fill := []units.Bytes{seq.Capacity() - seq.cfg.ZoneSize}
+	comparePutTwins(t, "fill", seq, bat, fill, kvOpts)
+	over := []units.Bytes{8 * units.MiB, 16 * units.MiB, 8 * units.MiB}
+	comparePutTwins(t, "overflow", seq, bat, over, kvOpts)
+	if _, err := bat.PutBatch([]units.Bytes{units.MiB}, kvOpts,
+		make([]ObjectID, 1), make([]time.Duration, 1)); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("want ErrNoSpace once full, got %v", err)
+	}
+}
+
+// TestPutBatchMatchesSequentialUnderWriteFaults is the write-path fault
+// equivalence gate: with injected program failures armed, serial Put and
+// PutBatch twins must report identical fault counters and surface the error
+// at the same object index, with identical residue (ids consumed, energy,
+// zone membership) — across many random rounds interleaved with Ticks.
+func TestPutBatchMatchesSequentialUnderWriteFaults(t *testing.T) {
+	seq, bat := newMRM(t, smallConfig()), newMRM(t, smallConfig())
+	faults := memdev.FaultConfig{Seed: 21, WriteFaultRate: 0.08}
+	seq.SetFaults(faults)
+	bat.SetFaults(faults)
+	rng := rand.New(rand.NewSource(5))
+	sawFault := false
+	for round := 0; round < 60; round++ {
+		n := 1 + rng.Intn(6)
+		sizes := make([]units.Bytes, n)
+		for i := range sizes {
+			sizes[i] = units.Bytes(1+rng.Intn(64)) * 64 * units.KiB
+		}
+		before := seq.zoned.Device().Stats().WriteFaults
+		comparePutTwins(t, "round", seq, bat, sizes, kvOpts)
+		if seq.zoned.Device().Stats().WriteFaults > before {
+			sawFault = true
+		}
+		dt := time.Duration(rng.Int63n(int64(5 * time.Minute)))
+		if err := seq.Tick(dt); err != nil {
+			t.Fatal(err)
+		}
+		if err := bat.Tick(dt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sawFault {
+		t.Fatal("fault rate never fired; the equivalence test exercised nothing")
+	}
+	if st := seq.zoned.Device().Stats(); st.WriteFaults == 0 {
+		t.Fatal("no write faults recorded")
+	}
+}
+
+// TestPutBatchShortOutputSlices pins the argument validation.
+func TestPutBatchShortOutputSlices(t *testing.T) {
+	m := newMRM(t, smallConfig())
+	if _, err := m.PutBatch(make([]units.Bytes, 2), kvOpts,
+		make([]ObjectID, 1), make([]time.Duration, 2)); err == nil {
+		t.Fatal("want error for short ids slice")
+	}
+	if _, err := m.PutBatch(make([]units.Bytes, 2), kvOpts,
+		make([]ObjectID, 2), make([]time.Duration, 1)); err == nil {
+		t.Fatal("want error for short lats slice")
+	}
+	if done, err := m.PutBatch(nil, kvOpts, nil, nil); done != 0 || err != nil {
+		t.Fatalf("empty batch: (%d, %v), want (0, nil)", done, err)
+	}
+}
+
+// TestPutLatencyMatchesPerChunkArithmetic pins the serial path's hoisted
+// write-cost lookups: the returned latency must equal the worst per-extent
+// class write latency + transfer time, recomputed from first principles.
+func TestPutLatencyMatchesPerChunkArithmetic(t *testing.T) {
+	m := newMRM(t, smallConfig())
+	opts := WriteOptions{Kind: KindWeights, Lifetime: 24 * time.Hour, Policy: PolicyRefresh}
+	id, lat, err := m.Put(40*units.MiB, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := m.objects[id]
+	if len(obj.extents) < 2 {
+		t.Fatalf("want a multi-extent object, got %d extents", len(obj.extents))
+	}
+	op := m.ops[obj.class]
+	wbw := m.zoned.Device().Spec().WriteBW
+	var want time.Duration
+	for _, ext := range obj.extents {
+		if l := op.WriteLatency + wbw.Time(ext.size); l > want {
+			want = l
+		}
+	}
+	if lat != want {
+		t.Fatalf("Put latency %v != per-chunk arithmetic %v", lat, want)
+	}
+}

@@ -40,6 +40,10 @@ const (
 	StreamLapse uint64 = 2
 	// StreamNodeFail is reserved for fleet-level fail-stop processes.
 	StreamNodeFail uint64 = 3
+	// StreamWriteFault is the per-write program-failure process: the write
+	// pulse completed (and is charged) but the cells did not latch, so the
+	// data is lost at write time rather than discovered on a later read.
+	StreamWriteFault uint64 = 4
 )
 
 // mix64 is the splitmix64 finalizer: a full-avalanche permutation of uint64.

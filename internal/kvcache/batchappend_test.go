@@ -1,0 +1,185 @@
+package kvcache
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestForkDropFromWithBatchedAppends pins the page-table side of the batched
+// write path: the cluster flushes several pages per decode step as one
+// multi-page Append, and that batch must not mutate pages shared with a
+// forked sibling — a shared partial page is copied (CoW) exactly once, never
+// written through, so a shared prefix can never be "double-flushed" by a
+// batch landing on both sequences.
+func TestForkDropFromWithBatchedAppends(t *testing.T) {
+	c := newCache(t)
+	pt := testConfig().PageTokens
+
+	// Parent: 3 full pages + a half page.
+	if err := c.NewSequence(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append(1, 3*pt+pt/2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Fork(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	parentBefore, _ := c.Tokens(1)
+
+	// Batched append on the child spanning several pages: fills its CoW'd
+	// partial page and allocates fresh ones. The parent must not move.
+	if err := c.Append(2, 3*pt); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.Tokens(1); got != parentBefore {
+		t.Fatalf("batched child append moved parent: %d -> %d tokens", parentBefore, got)
+	}
+	// The 3 full prefix pages are shared (ref 2); the partial was copied.
+	st := c.Stats()
+	if st.SharedPages != 3 {
+		t.Fatalf("shared pages = %d, want 3", st.SharedPages)
+	}
+	if st.CoWCopies != 1 {
+		t.Fatalf("CoW copies = %d, want exactly 1 (the forked partial page)", st.CoWCopies)
+	}
+
+	// Batched append on the parent: its last page is the shared-at-fork-time
+	// partial, now private again only if CoW fired on the parent's side too.
+	if err := c.Append(1, 2*pt); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	childTok, _ := c.Tokens(2)
+	if childTok != parentBefore+3*pt {
+		t.Fatalf("parent append moved child: %d tokens, want %d", childTok, parentBefore+3*pt)
+	}
+
+	// Drop the child's suffix from page 1: shared prefix page 1 onward loses
+	// the child's references, but the parent keeps every page.
+	dropped, err := c.DropFrom(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped <= 0 {
+		t.Fatalf("DropFrom rolled back %d tokens", dropped)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.Tokens(1); got != parentBefore+2*pt {
+		t.Fatalf("child DropFrom moved parent: %d tokens, want %d", got, parentBefore+2*pt)
+	}
+
+	// Both released: every page must come home.
+	if err := c.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.UsedPages != 0 || st.FreePages != testConfig().CapacityPages {
+		t.Fatalf("pages leaked: %+v", st)
+	}
+}
+
+// TestBatchedAppendInterleavingProperty drives a randomized interleaving of
+// batch-sized appends, forks, suffix drops, and releases — the operation mix
+// of a serving step stream under fault degradation — and requires
+// CheckInvariants to hold after every single operation.
+func TestBatchedAppendInterleavingProperty(t *testing.T) {
+	cfg := testConfig()
+	cfg.CapacityPages = 48
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	live := []SeqID{}
+	next := SeqID(1)
+	for op := 0; op < 800; op++ {
+		switch k := rng.Intn(10); {
+		case k < 3 || len(live) == 0: // new sequence
+			if err := c.NewSequence(next); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			live = append(live, next)
+			next++
+		case k < 7: // batched append, 1..3 pages worth
+			id := live[rng.Intn(len(live))]
+			n := (1 + rng.Intn(3)) * cfg.PageTokens
+			if err := c.Append(id, n); err != nil {
+				if errors.As(err, &ErrNoPages{}) {
+					// Out of pages: degrade like the serving loop — evict.
+					victim, ok := c.VictimLRU()
+					if !ok {
+						t.Fatalf("op %d: no pages and no victim", op)
+					}
+					if err := c.Release(victim); err != nil {
+						t.Fatalf("op %d: %v", op, err)
+					}
+					for i, v := range live {
+						if v == victim {
+							live = append(live[:i], live[i+1:]...)
+							break
+						}
+					}
+				} else {
+					t.Fatalf("op %d: %v", op, err)
+				}
+			}
+		case k < 8: // fork a shared prefix
+			parent := live[rng.Intn(len(live))]
+			if err := c.Fork(parent, next); err != nil {
+				if !errors.As(err, &ErrNoPages{}) {
+					t.Fatalf("op %d: %v", op, err)
+				}
+			} else {
+				live = append(live, next)
+				next++
+			}
+		case k < 9: // fault degradation: drop a suffix
+			id := live[rng.Intn(len(live))]
+			if tok, _ := c.Tokens(id); tok > 0 {
+				s := c.seqs[id]
+				if _, err := c.DropFrom(id, rng.Intn(len(s.pages))); err != nil {
+					t.Fatalf("op %d: %v", op, err)
+				}
+			}
+		default: // release
+			i := rng.Intn(len(live))
+			if err := c.Release(live[i]); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		}
+		c.Tick(time.Millisecond)
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("op %d: invariants: %v", op, err)
+		}
+	}
+	for _, id := range live {
+		if err := c.Release(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.UsedPages != 0 || st.FreePages != cfg.CapacityPages {
+		t.Fatalf("pages leaked after releasing all sequences: %+v", st)
+	}
+}

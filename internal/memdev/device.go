@@ -2,6 +2,7 @@ package memdev
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -57,16 +58,33 @@ func (e EnergyBreakdown) Total() units.Energy {
 // arrays small while making the typical weight-sized scan ~64x shorter.
 const superBlocks = 64
 
-// berMemo is a one-entry cache for RawBER. Both the block scan and the
-// superblock bound repeatedly evaluate RawBER at identical (cycles, age)
-// inputs — weight regions are written in one shot, so whole runs of blocks
-// share wear and age — and a memo hit returns the exact same float the
-// direct call would, so caching never changes a computed number.
-type berMemo struct {
-	valid  bool
-	cycles float64
-	age    time.Duration
-	ber    float64
+// The BER hot path caches the two expensive RawBER terms separately in
+// direct-mapped tables. cellphys.RawBER decomposes exactly into
+// floor + WearBERTerm(cycles) + DecayBERTerm(age) (clamped, terms added in
+// that order — pinned by cellphys.TestRawBERTermDecompositionExact), and the
+// two inputs repeat on different schedules: wear values recur across blocks
+// written together (weights are written once; interior blocks all sit at the
+// same cycle count), while ages recur within a read because many blocks share
+// a lastWrite stamp even as d.now advances every step. Caching each term on
+// its own key therefore hits where a combined (cycles, age) memo thrashes.
+// A hit returns the exact float the direct call would, so caching never
+// changes a computed number.
+const (
+	berCacheBits = 13
+	berCacheSize = 1 << berCacheBits
+)
+
+// berTermEnt is one direct-mapped cache slot: a raw 64-bit key (float bits
+// for wear, duration ticks for decay) and the cached term value.
+type berTermEnt struct {
+	key uint64
+	val float64
+	ok  bool
+}
+
+// berCacheIdx maps a key to its direct-mapped slot (fibonacci hashing).
+func berCacheIdx(key uint64) int {
+	return int((key * 0x9e3779b97f4a7c15) >> (64 - berCacheBits))
 }
 
 // Device simulates one memory device instance. It charges latency and energy
@@ -96,20 +114,22 @@ type Device struct {
 	// stale bound over-estimates age, over-estimates the BER ceiling, and
 	// pruning stays exact); it is tightened to the true minimum whenever a
 	// read scans the full superblock, and set exactly when a write covers it.
-	sbMaxWear      []float64       // guarded by mu
-	sbMinLastWrite []time.Duration // guarded by mu
-	memoScan       berMemo         // block-scan RawBER memo; guarded by mu
-	memoBound      berMemo         // superblock-ceiling RawBER memo; guarded by mu
+	sbMaxWear      []float64                // guarded by mu
+	sbMinLastWrite []time.Duration          // guarded by mu
+	wearTerms      [berCacheSize]berTermEnt // wear-term RawBER cache; guarded by mu
+	decayTerms     [berCacheSize]berTermEnt // decay-term RawBER cache; guarded by mu
 
 	// Fault injection (SetFaults). All decisions are pure functions of the
-	// fault seed and the read counter, so a device's fault sequence is
+	// fault seed and the read/write counters, so a device's fault sequence is
 	// deterministic regardless of goroutine scheduling.
 	maxBER        float64         // ECC correction ceiling; 0 disables the check; guarded by mu
 	transient     *fault.Injector // guarded by mu
 	lapse         *fault.Injector // guarded by mu
+	writeFault    *fault.Injector // guarded by mu
 	uncorrectable uint64          // total reads returning ErrUncorrectable; guarded by mu
 	transients    uint64          // guarded by mu
 	lapses        uint64          // guarded by mu
+	writeFaults   uint64          // writes returning ErrUncorrectable; guarded by mu
 }
 
 // NewDevice creates a device from spec. Wear is tracked per spec.BlockSize
@@ -177,6 +197,11 @@ type FaultConfig struct {
 	// retention lapsed before the scrubber reached it: the managed-retention
 	// failure mode §4 argues ECC must absorb.
 	LapseRate float64
+	// WriteFaultRate is the per-write probability of a program failure: the
+	// write is charged (latency, energy, wear) but the data did not latch,
+	// and the write surfaces fault.ErrUncorrectable so the layer above can
+	// retry or degrade at write time.
+	WriteFaultRate float64
 }
 
 // SetFaults installs (or, with a zero config, removes) fault injection.
@@ -189,6 +214,7 @@ func (d *Device) SetFaults(cfg FaultConfig) {
 	}
 	d.transient = fault.NewInjector(cfg.Seed, cfg.TransientRate)
 	d.lapse = fault.NewInjector(cfg.Seed, cfg.LapseRate)
+	d.writeFault = fault.NewInjector(cfg.Seed, cfg.WriteFaultRate)
 }
 
 // Now returns the device-local simulated time.
@@ -308,15 +334,47 @@ func (d *Device) readLocked(addr, size units.Bytes, first, last int) (Result, er
 }
 
 // rawBER evaluates cellphys.RawBER for a block with the given wear cycles and
-// lastWrite time, through a one-entry memo. Exact: a hit returns the same
-// float the direct call would. Caller holds d.mu.
-func (d *Device) rawBER(m *berMemo, cycles float64, age time.Duration) float64 {
-	if m.valid && m.cycles == cycles && m.age == age {
-		return m.ber
+// age, recombining the per-term caches exactly as cellphys.RawBER adds its
+// terms: floor + wear + decay, clamped at 0.5. Caller holds d.mu.
+func (d *Device) rawBERLocked(cycles float64, age time.Duration) float64 {
+	ber := d.berParams.Floor + d.wearTermLocked(cycles) + d.decayTermLocked(age)
+	if ber > 0.5 {
+		ber = 0.5
 	}
-	ber := cellphys.RawBER(d.op, cellphys.WearState{Cycles: cycles}, age, d.berParams)
-	*m = berMemo{valid: true, cycles: cycles, age: age, ber: ber}
 	return ber
+}
+
+// wearTerm returns cellphys.WearBERTerm(d.op, cycles, d.berParams) through
+// the direct-mapped cache; a hit returns the identical float. Caller holds
+// d.mu.
+func (d *Device) wearTermLocked(cycles float64) float64 {
+	if cycles <= 0 || d.op.Endurance <= 0 {
+		return 0
+	}
+	key := math.Float64bits(cycles)
+	e := &d.wearTerms[berCacheIdx(key)]
+	if e.ok && e.key == key {
+		return e.val
+	}
+	v := cellphys.WearBERTerm(d.op, cycles, d.berParams)
+	*e = berTermEnt{key: key, val: v, ok: true}
+	return v
+}
+
+// decayTerm returns cellphys.DecayBERTerm(d.op, age, d.berParams) through the
+// direct-mapped cache; a hit returns the identical float. Caller holds d.mu.
+func (d *Device) decayTermLocked(age time.Duration) float64 {
+	if age <= 0 || d.op.Retention <= 0 {
+		return 0
+	}
+	key := uint64(age)
+	e := &d.decayTerms[berCacheIdx(key)]
+	if e.ok && e.key == key {
+		return e.val
+	}
+	v := cellphys.DecayBERTerm(d.op, age, d.berParams)
+	*e = berTermEnt{key: key, val: v, ok: true}
+	return v
 }
 
 // worstBERLocked reports the exact maximum RawBER over blocks [first, last].
@@ -332,6 +390,21 @@ func (d *Device) rawBER(m *berMemo, cycles float64, age time.Duration) float64 {
 func (d *Device) worstBERLocked(first, last int) float64 {
 	worst := 0.0
 	lastIdx := len(d.wear) - 1
+	// Last-value memo: blocks written by one WriteAt share (wear, lastWrite),
+	// so runs of identical inputs skip even the term-cache lookups. rawBER is a
+	// pure function of its inputs, so the memo returns the identical float.
+	var memoCyc float64
+	var memoAge time.Duration
+	var memoBER float64
+	memoOK := false
+	blockBER := func(cycles float64, age time.Duration) float64 {
+		if memoOK && cycles == memoCyc && age == memoAge {
+			return memoBER
+		}
+		v := d.rawBERLocked(cycles, age)
+		memoCyc, memoAge, memoBER, memoOK = cycles, age, v, true
+		return v
+	}
 	for b := first; b <= last; {
 		sb := b / superBlocks
 		sbFirst := sb * superBlocks
@@ -342,7 +415,7 @@ func (d *Device) worstBERLocked(first, last int) float64 {
 			if maxAge < 0 {
 				maxAge = 0
 			}
-			bound := d.rawBER(&d.memoBound, d.sbMaxWear[sb], maxAge)
+			bound := d.rawBERLocked(d.sbMaxWear[sb], maxAge)
 			if bound <= worst {
 				b = sbLast + 1
 				continue
@@ -358,7 +431,7 @@ func (d *Device) worstBERLocked(first, last int) float64 {
 				if age < 0 {
 					age = 0
 				}
-				if ber := d.rawBER(&d.memoScan, d.wear[i], age); ber > worst {
+				if ber := blockBER(d.wear[i], age); ber > worst {
 					worst = ber
 				}
 			}
@@ -373,7 +446,7 @@ func (d *Device) worstBERLocked(first, last int) float64 {
 			if age < 0 {
 				age = 0
 			}
-			if ber := d.rawBER(&d.memoScan, d.wear[i], age); ber > worst {
+			if ber := blockBER(d.wear[i], age); ber > worst {
 				worst = ber
 			}
 		}
@@ -383,6 +456,10 @@ func (d *Device) worstBERLocked(first, last int) float64 {
 }
 
 // WriteAt performs a write of size bytes at addr, wearing the touched blocks.
+// With fault injection armed (SetFaults), a write hit by the program-failure
+// process returns fault.ErrUncorrectable alongside the cost: the pulse
+// happened and is fully charged (latency, energy, wear), but the data did not
+// latch and the caller must retry elsewhere or degrade.
 func (d *Device) WriteAt(addr, size units.Bytes) (Result, error) {
 	first, last, err := d.blockRange(addr, size)
 	if err != nil {
@@ -390,6 +467,44 @@ func (d *Device) WriteAt(addr, size units.Bytes) (Result, error) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return d.writeLocked(addr, size, first, last)
+}
+
+// WriteSpans performs the writes described by spans exactly as if WriteAt
+// were called once per span in order — each span is a distinct logical write
+// with its own latency, energy, wear charging, write-counter increment, and
+// fault check — but under a single lock acquisition, with the superblock
+// wear-aggregate folding batched across each span's interior blocks.
+// results[i] (len(results) must be >= len(spans)) receives span i's cost. It
+// returns the index of the first span that failed (with its error;
+// results[done] still carries the charged cost of a faulted write), or
+// (len(spans), nil) when every span succeeded. Spans after a failure are not
+// charged, matching a caller that stops issuing WriteAt calls at the first
+// error.
+func (d *Device) WriteSpans(spans []Span, results []Result) (int, error) {
+	if len(results) < len(spans) {
+		return 0, fmt.Errorf("memdev: WriteSpans: %d results for %d spans", len(results), len(spans))
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, sp := range spans {
+		first, last, err := d.blockRange(sp.Addr, sp.Size)
+		if err != nil {
+			results[i] = Result{}
+			return i, err
+		}
+		res, err := d.writeLocked(sp.Addr, sp.Size, first, last)
+		results[i] = res
+		if err != nil {
+			return i, err
+		}
+	}
+	return len(spans), nil
+}
+
+// writeLocked charges one logical write over blocks [first, last] and runs
+// its fault check. Caller holds d.mu.
+func (d *Device) writeLocked(addr, size units.Bytes, first, last int) (Result, error) {
 	lat := d.spec.WriteLatency + d.spec.WriteBW.Time(size)
 	e := d.spec.WriteEnergyPerBit.PerBit(size)
 	d.energy.Write += e
@@ -437,7 +552,14 @@ func (d *Device) WriteAt(addr, size units.Bytes) (Result, error) {
 			d.sbMinLastWrite[sb] = d.now
 		}
 	}
-	return Result{Latency: lat, Energy: e}, nil
+	res := Result{Latency: lat, Energy: e}
+	event := d.writes // monotone, deterministic event index for this write
+	if d.writeFault.Hit(fault.StreamWriteFault, event) {
+		d.writeFaults++
+		return res, fmt.Errorf("memdev: %s: program failure on write %d at [%d, %d): %w",
+			d.spec.Name, event, addr, addr+size, fault.ErrUncorrectable)
+	}
+	return res, nil
 }
 
 func overlap(a0, a1, b0, b1 units.Bytes) units.Bytes {
@@ -494,6 +616,10 @@ type Stats struct {
 	Uncorrectable   uint64
 	TransientFaults uint64
 	RetentionLapses uint64
+	// WriteFaults is the total writes that returned fault.ErrUncorrectable
+	// (injected program failures); write faults are counted separately from
+	// Uncorrectable, which is read-side by definition.
+	WriteFaults uint64
 }
 
 // Stats returns the access statistics.
@@ -506,5 +632,6 @@ func (d *Device) Stats() Stats {
 		Uncorrectable:   d.uncorrectable,
 		TransientFaults: d.transients,
 		RetentionLapses: d.lapses,
+		WriteFaults:     d.writeFaults,
 	}
 }

@@ -1,0 +1,254 @@
+package tier
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"mrm/internal/core"
+	"mrm/internal/fault"
+	"mrm/internal/memdev"
+	"mrm/internal/units"
+)
+
+// compareManagerPutTwins drives seq with serial Puts (stopping at the first
+// error) and bat with one PutBatch over the same metas, then requires
+// identical done counts, errors, ids, latencies, tier choices, id-allocation
+// state, free space, backend traffic, and backend energy.
+func compareManagerPutTwins(t *testing.T, label string, seq, bat *Manager, metas []Meta) (int, error) {
+	t.Helper()
+	seqIDs := make([]ObjectID, len(metas))
+	seqLats := make([]time.Duration, len(metas))
+	seqTiers := make([]int, len(metas))
+	seqDone, seqErr := len(metas), error(nil)
+	for i, meta := range metas {
+		id, lat, err := seq.Put(meta)
+		if err != nil {
+			seqDone, seqErr = i, err
+			break
+		}
+		ti, err := seq.TierOf(id)
+		if err != nil {
+			t.Fatalf("%s: TierOf(%d): %v", label, id, err)
+		}
+		seqIDs[i], seqLats[i], seqTiers[i] = id, lat, ti
+	}
+	batIDs := make([]ObjectID, len(metas))
+	batLats := make([]time.Duration, len(metas))
+	batTiers := make([]int, len(metas))
+	batDone, batErr := bat.PutBatch(metas, batIDs, batLats, batTiers)
+	if batDone != seqDone {
+		t.Fatalf("%s: done %d != sequential %d (err %v vs %v)", label, batDone, seqDone, batErr, seqErr)
+	}
+	if (batErr == nil) != (seqErr == nil) ||
+		(batErr != nil && batErr.Error() != seqErr.Error()) {
+		t.Fatalf("%s: err %q != sequential %q", label, batErr, seqErr)
+	}
+	for i := 0; i < seqDone; i++ {
+		if batIDs[i] != seqIDs[i] || batLats[i] != seqLats[i] || batTiers[i] != seqTiers[i] {
+			t.Fatalf("%s obj %d: (id %d, lat %v, tier %d) != sequential (id %d, lat %v, tier %d)",
+				label, i, batIDs[i], batLats[i], batTiers[i], seqIDs[i], seqLats[i], seqTiers[i])
+		}
+	}
+	if seq.nextID != bat.nextID {
+		t.Fatalf("%s: nextID diverged: %d != %d", label, seq.nextID, bat.nextID)
+	}
+	if sn, bn := seq.NumObjects(), bat.NumObjects(); sn != bn {
+		t.Fatalf("%s: object count diverged: %d != %d", label, sn, bn)
+	}
+	si, bi := seq.Tiers(), bat.Tiers()
+	for ti := range si {
+		if si[ti].Free != bi[ti].Free {
+			t.Fatalf("%s tier %d: free %v != sequential %v", label, ti, bi[ti].Free, si[ti].Free)
+		}
+		sr, sw := seq.tiers[ti].Traffic()
+		br, bw := bat.tiers[ti].Traffic()
+		if sr != br || sw != bw {
+			t.Fatalf("%s tier %d: traffic (%v,%v) != (%v,%v)", label, ti, br, bw, sr, sw)
+		}
+		if se, be := seq.tiers[ti].Energy(), bat.tiers[ti].Energy(); se != be {
+			t.Fatalf("%s tier %d: energy %v != sequential %v", label, ti, be, se)
+		}
+	}
+	return batDone, batErr
+}
+
+// twinPutManagers builds two identical HBM+MRM managers for write-path twin
+// tests: a small HBM tier that fills quickly so batches straddle tiers, and a
+// larger MRM tier behind it.
+func twinPutManagers(t *testing.T, policy Policy, hbmCap units.Bytes) (*Manager, *Manager) {
+	t.Helper()
+	mk := func() *Manager {
+		m, err := NewManager(policy, smallHBM(t, hbmCap), smallMRMTier(t, units.GiB))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	return mk(), mk()
+}
+
+func kvMeta(size units.Bytes) Meta {
+	return Meta{Kind: core.KindKVCache, Size: size, Lifetime: time.Hour}
+}
+
+// TestManagerPutBatchMatchesPuts covers the clean path and validation
+// failures: single-tier runs, batches whose placements straddle tiers (run
+// splits), mixed data kinds (MRM-side write-option run splits), zero-size
+// objects mid-batch, and batches that run every tier out of room.
+func TestManagerPutBatchMatchesPuts(t *testing.T) {
+	cases := []struct {
+		name  string
+		metas []Meta
+	}{
+		{"single", []Meta{kvMeta(512 * units.KiB)}},
+		{"one-tier-run", []Meta{kvMeta(256 * units.KiB), kvMeta(256 * units.KiB), kvMeta(256 * units.KiB)}},
+		{"straddles-tiers", []Meta{
+			kvMeta(512 * units.KiB), kvMeta(8 * units.MiB),
+			kvMeta(512 * units.KiB), kvMeta(8 * units.MiB),
+		}},
+		{"mixed-kinds", []Meta{
+			{Kind: core.KindWeights, Size: 8 * units.MiB, Lifetime: 24 * time.Hour},
+			{Kind: core.KindKVCache, Size: 8 * units.MiB, Lifetime: time.Hour},
+			{Kind: core.KindKVCache, Size: 8 * units.MiB, Lifetime: 2 * time.Hour},
+			{Kind: core.KindWeights, Size: 8 * units.MiB, Lifetime: 24 * time.Hour},
+		}},
+		{"zero-size-mid-batch", []Meta{kvMeta(512 * units.KiB), kvMeta(0), kvMeta(512 * units.KiB)}},
+		{"zero-size-first", []Meta{kvMeta(0), kvMeta(512 * units.KiB)}},
+		{"no-tier-fits", []Meta{kvMeta(512 * units.KiB), kvMeta(4 * units.GiB), kvMeta(512 * units.KiB)}},
+	}
+	for _, tc := range cases {
+		seq, bat := twinPutManagers(t, StaticPolicy{}, 4*units.MiB)
+		comparePutTwinsBothWays(t, tc.name, seq, bat, tc.metas)
+	}
+}
+
+// comparePutTwinsBothWays runs the twin comparison and then a follow-up
+// single Put on each manager, so divergence that only shows up in later
+// behavior (free-list shape, id allocation) is caught too.
+func comparePutTwinsBothWays(t *testing.T, label string, seq, bat *Manager, metas []Meta) {
+	t.Helper()
+	compareManagerPutTwins(t, label, seq, bat, metas)
+	compareManagerPutTwins(t, label+"/followup", seq, bat, []Meta{kvMeta(128 * units.KiB)})
+}
+
+// TestManagerPutBatchRetentionAware repeats the twin check under the
+// retention-aware policy, whose placements depend on kind and lifetime.
+func TestManagerPutBatchRetentionAware(t *testing.T) {
+	metas := []Meta{
+		{Kind: core.KindWeights, Size: 16 * units.MiB, Lifetime: 30 * 24 * time.Hour},
+		{Kind: core.KindActivation, Size: 512 * units.KiB, Lifetime: time.Millisecond},
+		{Kind: core.KindKVCache, Size: 4 * units.MiB, Lifetime: time.Hour},
+		{Kind: core.KindActivation, Size: 512 * units.KiB, Lifetime: time.Millisecond},
+		{Kind: core.KindKVCache, Size: 4 * units.MiB, Lifetime: 90 * 24 * time.Hour},
+	}
+	seq, bat := twinPutManagers(t, RetentionAwarePolicy{}, 64*units.MiB)
+	comparePutTwinsBothWays(t, "retention-aware", seq, bat, metas)
+}
+
+// TestManagerPutBatchUnderWriteFaults is the manager-level write-fault
+// equivalence gate: with program failures armed on every backend, serial Put
+// and PutBatch twins must surface the error at the same object index with
+// identical accounting and identical residual state — across many random
+// rounds interleaved with Ticks.
+func TestManagerPutBatchUnderWriteFaults(t *testing.T) {
+	seq, bat := twinPutManagers(t, StaticPolicy{}, 32*units.MiB)
+	faults := memdev.FaultConfig{Seed: 17, WriteFaultRate: 0.1}
+	for _, m := range []*Manager{seq, bat} {
+		for _, b := range m.Backends() {
+			b.(Faultable).SetFaults(faults)
+		}
+	}
+	rng := rand.New(rand.NewSource(9))
+	sawFault := false
+	for round := 0; round < 50; round++ {
+		n := 1 + rng.Intn(6)
+		metas := make([]Meta, n)
+		for i := range metas {
+			metas[i] = kvMeta(units.Bytes(1+rng.Intn(16)) * 256 * units.KiB)
+		}
+		if _, err := compareManagerPutTwins(t, "round", seq, bat, metas); errors.Is(err, fault.ErrUncorrectable) {
+			sawFault = true
+		}
+		dt := time.Duration(rng.Int63n(int64(time.Minute)))
+		if err := seq.Tick(dt); err != nil {
+			t.Fatal(err)
+		}
+		if err := bat.Tick(dt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sawFault {
+		t.Fatal("fault rate never fired; the equivalence test exercised nothing")
+	}
+}
+
+// TestDeviceTierPutBatchRewindsFreeList pins the device-error rollback: after
+// a mid-batch program failure, the free list, free-byte count, and id space
+// must match a serial caller's exactly — including the failing Put's
+// allocation, which the serial path leaves carved out.
+func TestDeviceTierPutBatchRewindsFreeList(t *testing.T) {
+	faults := memdev.FaultConfig{Seed: 3, WriteFaultRate: 0.2}
+	rng := rand.New(rand.NewSource(31))
+	for round := 0; round < 40; round++ {
+		seq := smallHBM(t, 64*units.MiB)
+		bat := smallHBM(t, 64*units.MiB)
+		seq.SetFaults(faults)
+		bat.SetFaults(faults)
+		n := 1 + rng.Intn(8)
+		metas := make([]Meta, n)
+		for i := range metas {
+			metas[i] = kvMeta(units.Bytes(1+rng.Intn(8)) * units.MiB)
+		}
+		seqDone, seqErr := n, error(nil)
+		for i, m := range metas {
+			if _, _, err := seq.Put(m); err != nil {
+				seqDone, seqErr = i, err
+				break
+			}
+		}
+		handles := make([]uint64, n)
+		lats := make([]time.Duration, n)
+		batDone, batErr := bat.PutBatch(metas, handles, lats)
+		if batDone != seqDone {
+			t.Fatalf("round %d: done %d != sequential %d", round, batDone, seqDone)
+		}
+		if (batErr == nil) != (seqErr == nil) ||
+			(batErr != nil && batErr.Error() != seqErr.Error()) {
+			t.Fatalf("round %d: err %q != sequential %q", round, batErr, seqErr)
+		}
+		if len(seq.free) != len(bat.free) {
+			t.Fatalf("round %d: free-list length %d != sequential %d", round, len(bat.free), len(seq.free))
+		}
+		for i := range seq.free {
+			if seq.free[i] != bat.free[i] {
+				t.Fatalf("round %d free[%d]: %+v != sequential %+v", round, i, bat.free[i], seq.free[i])
+			}
+		}
+		if seq.freeB != bat.freeB || seq.nextID != bat.nextID {
+			t.Fatalf("round %d: (freeB %v, nextID %d) != sequential (%v, %d)",
+				round, bat.freeB, bat.nextID, seq.freeB, seq.nextID)
+		}
+		if ss, bs := seq.dev.Stats(), bat.dev.Stats(); ss != bs {
+			t.Fatalf("round %d: device stats %+v != sequential %+v", round, bs, ss)
+		}
+	}
+}
+
+func TestManagerPutBatchShortSlices(t *testing.T) {
+	m, _ := twinPutManagers(t, StaticPolicy{}, 4*units.MiB)
+	metas := []Meta{kvMeta(units.KiB), kvMeta(units.KiB)}
+	if _, err := m.PutBatch(metas, make([]ObjectID, 1), make([]time.Duration, 2), make([]int, 2)); err == nil {
+		t.Fatal("want error for short ids slice")
+	}
+	if _, err := m.PutBatch(metas, make([]ObjectID, 2), make([]time.Duration, 1), make([]int, 2)); err == nil {
+		t.Fatal("want error for short lats slice")
+	}
+	if _, err := m.PutBatch(metas, make([]ObjectID, 2), make([]time.Duration, 2), make([]int, 1)); err == nil {
+		t.Fatal("want error for short tiers slice")
+	}
+	if done, err := m.PutBatch(nil, nil, nil, nil); done != 0 || err != nil {
+		t.Fatalf("empty batch: (%d, %v), want (0, nil)", done, err)
+	}
+}

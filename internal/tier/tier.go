@@ -79,6 +79,19 @@ type BatchGetter interface {
 	GetBatch(handles []uint64) (int, error)
 }
 
+// BatchPutter is implemented by backends that can coalesce a sequence of Puts
+// into one vectored device access. The contract mirrors BatchGetter on the
+// write side: PutBatch(metas, ...) must perform exactly the validation,
+// allocation decisions, device writes, fault events, and accounting of calling
+// Put(m) for each meta in order and stopping at the first error — including
+// any partial state a failed serial Put leaves behind. handles[i] and lats[i]
+// (both slices at least len(metas) long) receive object i's backend handle and
+// write latency. It returns the number of objects fully stored and the error
+// the first-failing Put would have returned.
+type BatchPutter interface {
+	PutBatch(metas []Meta, handles []uint64, lats []time.Duration) (int, error)
+}
+
 // ---- Device-backed tier (HBM / LPDDR / DDR) ----
 
 // DeviceTier wraps a raw memdev.Device with a first-fit allocator.
@@ -86,12 +99,14 @@ type DeviceTier struct {
 	name string
 	dev  *memdev.Device
 	// free is a sorted list of free extents.
-	free    []span
-	objects map[uint64]span
-	nextID  uint64
-	freeB   units.Bytes
-	spanBuf []memdev.Span   // scratch for GetBatch, reused across calls
-	resBuf  []memdev.Result // scratch for GetBatch, reused across calls
+	free     []span
+	objects  map[uint64]span
+	nextID   uint64
+	freeB    units.Bytes
+	spanBuf  []memdev.Span   // scratch for GetBatch/PutBatch, reused across calls
+	resBuf   []memdev.Result // scratch for GetBatch/PutBatch, reused across calls
+	freeSnap []span          // scratch for PutBatch rollback, reused across calls
+	allocBuf []span          // scratch for PutBatch planning, reused across calls
 }
 
 type span struct {
@@ -128,31 +143,101 @@ func (d *DeviceTier) Info() Info {
 	}
 }
 
+// alloc carves size bytes out of the free list first-fit, returning the
+// allocated span. The free list is mutated exactly as a serial Put would
+// before its device write; freeB is the caller's to update on commit.
+func (d *DeviceTier) alloc(size units.Bytes) (span, bool) {
+	for i, f := range d.free {
+		if f.size >= size {
+			sp := span{addr: f.addr, size: size}
+			if f.size == size {
+				d.free = append(d.free[:i], d.free[i+1:]...)
+			} else {
+				d.free[i] = span{addr: f.addr + size, size: f.size - size}
+			}
+			return sp, true
+		}
+	}
+	return span{}, false
+}
+
 // Put allocates and writes an object.
 func (d *DeviceTier) Put(m Meta) (uint64, time.Duration, error) {
 	if m.Size == 0 {
 		return 0, 0, fmt.Errorf("tier: zero-size object")
 	}
-	for i, f := range d.free {
-		if f.size >= m.Size {
-			sp := span{addr: f.addr, size: m.Size}
-			if f.size == m.Size {
-				d.free = append(d.free[:i], d.free[i+1:]...)
-			} else {
-				d.free[i] = span{addr: f.addr + m.Size, size: f.size - m.Size}
-			}
-			res, err := d.dev.WriteAt(sp.addr, sp.size)
-			if err != nil {
-				return 0, 0, err
-			}
-			id := d.nextID
-			d.nextID++
-			d.objects[id] = sp
-			d.freeB -= m.Size
-			return id, res.Latency, nil
+	sp, ok := d.alloc(m.Size)
+	if !ok {
+		return 0, 0, fmt.Errorf("tier: %s full (need %v, free %v)", d.name, m.Size, d.freeB)
+	}
+	res, err := d.dev.WriteAt(sp.addr, sp.size)
+	if err != nil {
+		return 0, 0, err
+	}
+	id := d.nextID
+	d.nextID++
+	d.objects[id] = sp
+	d.freeB -= m.Size
+	return id, res.Latency, nil
+}
+
+// PutBatch allocates and writes the listed objects as one vectored device
+// access with sequential-Put equivalence (see BatchPutter). Allocations are
+// planned against the live free list, the writes issue as a single WriteSpans
+// call, and on a device error the free list is rewound to exactly the state a
+// serial caller would observe: the failing Put's allocation stays carved out
+// (Put mutates the free list before its device write and does not roll back),
+// while allocations planned for never-attempted Puts are undone.
+func (d *DeviceTier) PutBatch(metas []Meta, handles []uint64, lats []time.Duration) (int, error) {
+	if len(handles) < len(metas) || len(lats) < len(metas) {
+		return 0, fmt.Errorf("tier: %s: PutBatch output slices shorter than metas", d.name)
+	}
+	d.freeSnap = append(d.freeSnap[:0], d.free...)
+	d.allocBuf = d.allocBuf[:0]
+	d.spanBuf = d.spanBuf[:0]
+	freeShadow := d.freeB
+	var valErr error
+	for _, m := range metas {
+		if m.Size == 0 {
+			valErr = fmt.Errorf("tier: zero-size object")
+			break
+		}
+		sp, ok := d.alloc(m.Size)
+		if !ok {
+			// The serial path reports the free-byte count as of its own turn.
+			valErr = fmt.Errorf("tier: %s full (need %v, free %v)", d.name, m.Size, freeShadow)
+			break
+		}
+		d.allocBuf = append(d.allocBuf, sp)
+		d.spanBuf = append(d.spanBuf, memdev.Span{Addr: sp.addr, Size: sp.size})
+		freeShadow -= m.Size
+	}
+	n := len(d.allocBuf)
+	if cap(d.resBuf) < n {
+		d.resBuf = make([]memdev.Result, n)
+	}
+	done, derr := d.dev.WriteSpans(d.spanBuf, d.resBuf[:n])
+	if derr != nil {
+		// Rewind to the snapshot and replay the allocations the serial path
+		// performed: every completed write plus the failing one. Allocation is
+		// deterministic, so the replay reproduces the exact free-list shape.
+		d.free = append(d.free[:0], d.freeSnap...)
+		for j := 0; j <= done && j < n; j++ {
+			d.alloc(d.allocBuf[j].size)
 		}
 	}
-	return 0, 0, fmt.Errorf("tier: %s full (need %v, free %v)", d.name, m.Size, d.freeB)
+	for j := 0; j < done; j++ {
+		id := d.nextID
+		d.nextID++
+		d.objects[id] = d.allocBuf[j]
+		d.freeB -= d.allocBuf[j].size
+		handles[j] = id
+		lats[j] = d.resBuf[j].Latency
+	}
+	if derr != nil {
+		return done, derr
+	}
+	return done, valErr
 }
 
 // Get reads an object.
@@ -234,9 +319,10 @@ func (d *DeviceTier) Traffic() (units.Bytes, units.Bytes) {
 
 // MRMTier adapts a core.MRM as a tier backend.
 type MRMTier struct {
-	name  string
-	mrm   *core.MRM
-	idBuf []core.ObjectID // scratch for GetBatch, reused across calls
+	name    string
+	mrm     *core.MRM
+	idBuf   []core.ObjectID // scratch for GetBatch/PutBatch, reused across calls
+	sizeBuf []units.Bytes   // scratch for PutBatch, reused across calls
 }
 
 // NewMRMTier wraps an MRM.
@@ -265,19 +351,54 @@ func (t *MRMTier) Info() Info {
 	}
 }
 
-// Put stores an object with kind-appropriate expiry policy: soft state
+// writeOptions maps a meta to the MRM write options Put uses: soft state
 // (KV, activations) is dropped at expiry; anything else is refreshed.
-func (t *MRMTier) Put(m Meta) (uint64, time.Duration, error) {
+func writeOptions(m Meta) core.WriteOptions {
 	policy := core.PolicyRefresh
 	if m.Kind == core.KindKVCache || m.Kind == core.KindActivation {
 		policy = core.PolicyDrop
 	}
-	id, lat, err := t.mrm.Put(m.Size, core.WriteOptions{
-		Kind:     m.Kind,
-		Lifetime: m.Lifetime,
-		Policy:   policy,
-	})
+	return core.WriteOptions{Kind: m.Kind, Lifetime: m.Lifetime, Policy: policy}
+}
+
+// Put stores an object with kind-appropriate expiry policy (see writeOptions).
+func (t *MRMTier) Put(m Meta) (uint64, time.Duration, error) {
+	id, lat, err := t.mrm.Put(m.Size, writeOptions(m))
 	return uint64(id), lat, err
+}
+
+// PutBatch stores the listed objects with sequential-Put equivalence (see
+// BatchPutter), splitting the batch into runs of identical write options so
+// each run flushes through the control plane as one vectored append.
+func (t *MRMTier) PutBatch(metas []Meta, handles []uint64, lats []time.Duration) (int, error) {
+	if len(handles) < len(metas) || len(lats) < len(metas) {
+		return 0, fmt.Errorf("tier: %s: PutBatch output slices shorter than metas", t.name)
+	}
+	done := 0
+	for done < len(metas) {
+		opts := writeOptions(metas[done])
+		end := done + 1
+		for end < len(metas) && writeOptions(metas[end]) == opts {
+			end++
+		}
+		t.sizeBuf = t.sizeBuf[:0]
+		for _, m := range metas[done:end] {
+			t.sizeBuf = append(t.sizeBuf, m.Size)
+		}
+		if cap(t.idBuf) < end-done {
+			t.idBuf = make([]core.ObjectID, end-done)
+		}
+		ids := t.idBuf[:end-done]
+		n, err := t.mrm.PutBatch(t.sizeBuf, opts, ids, lats[done:end])
+		for i := 0; i < n; i++ {
+			handles[done+i] = uint64(ids[i])
+		}
+		done += n
+		if err != nil {
+			return done, err
+		}
+	}
+	return done, nil
 }
 
 // Get reads an object.
@@ -325,18 +446,28 @@ type StaticPolicy struct{}
 // Name identifies the policy.
 func (StaticPolicy) Name() string { return "static-bandwidth" }
 
-// Place picks the highest-bandwidth tier with room.
+// Place picks the highest-bandwidth tier with room. Tiers are visited in
+// bandwidth-descending order with ties kept in manager order, selected one at
+// a time so the hot Put path allocates nothing (placement runs once per
+// object; a sorted index slice here dominated the write path's allocations).
 func (StaticPolicy) Place(m Meta, tiers []Info) (int, error) {
-	order := make([]int, len(tiers))
-	for i := range order {
-		order[i] = i
+	var used uint64 // bitmask over tier indices; managers have a handful of tiers
+	if len(tiers) > 64 {
+		return 0, fmt.Errorf("tier: too many tiers (%d)", len(tiers))
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return tiers[order[a]].ReadBW > tiers[order[b]].ReadBW
-	})
-	for _, i := range order {
-		if tiers[i].Free >= m.Size {
-			return i, nil
+	for picked := 0; picked < len(tiers); picked++ {
+		best := -1
+		for i := range tiers {
+			if used&(1<<uint(i)) != 0 {
+				continue
+			}
+			if best < 0 || tiers[i].ReadBW > tiers[best].ReadBW {
+				best = i
+			}
+		}
+		used |= 1 << uint(best)
+		if tiers[best].Free >= m.Size {
+			return best, nil
 		}
 	}
 	return 0, fmt.Errorf("tier: no tier fits %v", m.Size)
@@ -368,42 +499,53 @@ func (RetentionAwarePolicy) Place(m Meta, tiers []Info) (int, error) {
 			fastest = i
 		}
 	}
-	var prefer []int
+	var prefer [2]int
 	switch {
 	case m.Kind == core.KindActivation:
 		// Rewritten every forward pass: volatile memory, no wear, no
 		// retention to manage.
-		prefer = []int{fastest, managed}
+		prefer = [2]int{fastest, managed}
 	case m.Kind == core.KindWeights:
 		// Read-hot, immutable, persisted elsewhere: the MRM sweet spot.
 		// Lifetimes beyond the device's retention are covered by the control
 		// plane's refresh policy (cheap: updates are rare).
-		prefer = []int{managed, fastest}
+		prefer = [2]int{managed, fastest}
 	case managed >= 0 && m.Lifetime <= tiers[managed].MaxRetention:
 		// Soft state whose lifetime a retention class covers outright.
-		prefer = []int{managed, fastest}
+		prefer = [2]int{managed, fastest}
 	default:
-		prefer = []int{fastest, managed}
+		prefer = [2]int{fastest, managed}
 	}
-	// Fill in everything else as fallback, cheapest-read first.
-	rest := make([]int, 0, len(tiers))
-	for i := range tiers {
-		seen := false
-		for _, p := range prefer {
-			if p == i {
-				seen = true
+	if len(tiers) > 64 {
+		return 0, fmt.Errorf("tier: too many tiers (%d)", len(tiers))
+	}
+	var used uint64 // bitmask over tier indices (preferred tiers already tried)
+	for _, i := range prefer {
+		if i >= 0 {
+			used |= 1 << uint(i)
+			if tiers[i].Free >= m.Size {
+				return i, nil
 			}
 		}
-		if !seen {
-			rest = append(rest, i)
-		}
 	}
-	sort.SliceStable(rest, func(a, b int) bool {
-		return tiers[rest[a]].ReadBW > tiers[rest[b]].ReadBW
-	})
-	for _, i := range append(prefer, rest...) {
-		if i >= 0 && tiers[i].Free >= m.Size {
-			return i, nil
+	// Fall back over the remaining tiers, fastest-read first (ties in manager
+	// order), selected one at a time so the hot path allocates nothing.
+	for {
+		best := -1
+		for i := range tiers {
+			if used&(1<<uint(i)) != 0 {
+				continue
+			}
+			if best < 0 || tiers[i].ReadBW > tiers[best].ReadBW {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		used |= 1 << uint(best)
+		if tiers[best].Free >= m.Size {
+			return best, nil
 		}
 	}
 	return 0, fmt.Errorf("tier: no tier fits %v (%v)", m.Size, m.Kind)
@@ -424,9 +566,11 @@ type Manager struct {
 	objects map[ObjectID]placed
 	nextID  ObjectID
 
-	perTierReads map[int]units.Bytes // bytes read via Get, by tier
+	perTierReads []units.Bytes // bytes read via Get, indexed by tier
 	reseats      int64
-	handleBuf    []uint64 // scratch for GetBatch, reused across calls
+	handleBuf    []uint64 // scratch for GetBatch/PutBatch, reused across calls
+	runBuf       []placed // scratch for GetBatch run grouping, reused across calls
+	infoBuf      []Info   // scratch for Put/PutBatch placement, reused across calls
 
 	// Backoff is the base delay charged before a Reseat attempt (the
 	// controller's fault-isolation/remap window); callers double it per retry.
@@ -442,7 +586,7 @@ func NewManager(policy Policy, tiers ...Backend) (*Manager, error) {
 		tiers:        tiers,
 		policy:       policy,
 		objects:      make(map[ObjectID]placed),
-		perTierReads: make(map[int]units.Bytes),
+		perTierReads: make([]units.Bytes, len(tiers)),
 		Backoff:      100 * time.Microsecond,
 	}, nil
 }
@@ -467,9 +611,23 @@ func (m *Manager) Tiers() []Info {
 	return out
 }
 
+// infos fills the manager's info scratch with current tier infos. The slice
+// is invalidated by the next infos call; Put/PutBatch use it so per-object
+// placement doesn't allocate. Callers that hand infos out (Tiers, Reseat)
+// still take fresh copies.
+func (m *Manager) infos() []Info {
+	m.infoBuf = m.infoBuf[:0]
+	for i, t := range m.tiers {
+		info := t.Info()
+		info.Index = i
+		m.infoBuf = append(m.infoBuf, info)
+	}
+	return m.infoBuf
+}
+
 // Put places an object per the policy.
 func (m *Manager) Put(meta Meta) (ObjectID, time.Duration, error) {
-	idx, err := m.policy.Place(meta, m.Tiers())
+	idx, err := m.policy.Place(meta, m.infos())
 	if err != nil {
 		return 0, 0, err
 	}
@@ -484,6 +642,96 @@ func (m *Manager) Put(meta Meta) (ObjectID, time.Duration, error) {
 	m.nextID++
 	m.objects[id] = placed{tier: idx, handle: h, meta: meta}
 	return id, lat, nil
+}
+
+// PutBatch places the metas exactly as if Put were called once per meta in
+// order, stopping at the first error — identical placement decisions, object
+// ids, latencies, and backend state — but coalesces consecutive runs of
+// same-tier placements into one vectored backend call when the backend
+// supports it (BatchPutter). Placement for object i runs against a shadow of
+// the tier infos whose Free counts are decremented as earlier objects are
+// planned: both backend kinds shrink Free by exactly the object size on a
+// successful Put, so the shadow reproduces the serial path's placement inputs
+// without flushing between objects. ids, lats, and tiers (each at least
+// len(metas) long) receive each stored object's id, write latency, and tier
+// index. Returns the number of objects fully stored and, when that is <
+// len(metas), the first-failing Put's error.
+func (m *Manager) PutBatch(metas []Meta, ids []ObjectID, lats []time.Duration, tiers []int) (int, error) {
+	if len(ids) < len(metas) || len(lats) < len(metas) || len(tiers) < len(metas) {
+		return 0, fmt.Errorf("tier: PutBatch output slices shorter than metas")
+	}
+	infos := m.infos()
+	done := 0
+	for done < len(metas) {
+		idx, perr := m.policy.Place(metas[done], infos)
+		if perr == nil && (idx < 0 || idx >= len(m.tiers)) {
+			perr = fmt.Errorf("tier: policy chose bad tier %d", idx)
+		}
+		if perr != nil {
+			return done, perr
+		}
+		infos[idx].Free -= metas[done].Size
+		// Extend the run while the policy keeps choosing the same tier. A
+		// placement error inside the run only surfaces after the run's writes
+		// succeed, exactly as the serial caller would hit it.
+		end := done + 1
+		var pendErr error
+		for end < len(metas) {
+			j, err := m.policy.Place(metas[end], infos)
+			if err == nil && (j < 0 || j >= len(m.tiers)) {
+				err = fmt.Errorf("tier: policy chose bad tier %d", j)
+			}
+			if err != nil {
+				pendErr = err
+				break
+			}
+			if j != idx {
+				break
+			}
+			infos[j].Free -= metas[end].Size
+			end++
+		}
+		got, err := m.flushRun(idx, metas[done:end], ids[done:], lats[done:], tiers[done:])
+		done += got
+		if err != nil {
+			return done, err
+		}
+		if pendErr != nil {
+			return done, pendErr
+		}
+	}
+	return done, nil
+}
+
+// flushRun stores one same-tier run of metas on tier idx, preferring the
+// backend's vectored path, and registers the stored objects. The output
+// slices are positioned at the run's start.
+func (m *Manager) flushRun(idx int, metas []Meta, ids []ObjectID, lats []time.Duration, tiers []int) (int, error) {
+	if bp, ok := m.tiers[idx].(BatchPutter); ok && len(metas) > 1 {
+		if cap(m.handleBuf) < len(metas) {
+			m.handleBuf = make([]uint64, len(metas))
+		}
+		handles := m.handleBuf[:len(metas)]
+		got, err := bp.PutBatch(metas, handles, lats)
+		for i := 0; i < got; i++ {
+			id := m.nextID
+			m.nextID++
+			m.objects[id] = placed{tier: idx, handle: handles[i], meta: metas[i]}
+			ids[i], tiers[i] = id, idx
+		}
+		return got, err
+	}
+	for i := range metas {
+		h, lat, err := m.tiers[idx].Put(metas[i])
+		if err != nil {
+			return i, err
+		}
+		id := m.nextID
+		m.nextID++
+		m.objects[id] = placed{tier: idx, handle: h, meta: metas[i]}
+		ids[i], lats[i], tiers[i] = id, lat, idx
+	}
+	return len(metas), nil
 }
 
 // Get reads an object, returning the read latency and the tier it came from.
@@ -513,35 +761,37 @@ func (m *Manager) GetBatch(ids []ObjectID) (int, error) {
 		if !ok {
 			return done, fmt.Errorf("tier: no object %d", ids[done])
 		}
-		// Extend the run of consecutive objects on the same tier. Peeking at
-		// a later object's placement is safe: reads never change placement,
-		// so the lookup answers exactly what a sequential caller would see.
-		end := done + 1
-		for end < len(ids) {
-			q, ok := m.objects[ids[end]]
+		// Extend the run of consecutive objects on the same tier, keeping each
+		// placement so the flush below never re-resolves an id. Peeking at a
+		// later object's placement is safe: reads never change placement, so
+		// the lookup answers exactly what a sequential caller would see.
+		m.runBuf = append(m.runBuf[:0], p)
+		for done+len(m.runBuf) < len(ids) {
+			q, ok := m.objects[ids[done+len(m.runBuf)]]
 			if !ok || q.tier != p.tier {
 				break
 			}
-			end++
+			m.runBuf = append(m.runBuf, q)
 		}
-		if bg, isBatch := m.tiers[p.tier].(BatchGetter); isBatch && end-done > 1 {
+		if bg, isBatch := m.tiers[p.tier].(BatchGetter); isBatch && len(m.runBuf) > 1 {
 			m.handleBuf = m.handleBuf[:0]
-			for _, id := range ids[done:end] {
-				m.handleBuf = append(m.handleBuf, m.objects[id].handle)
+			for i := range m.runBuf {
+				m.handleBuf = append(m.handleBuf, m.runBuf[i].handle)
 			}
 			n, err := bg.GetBatch(m.handleBuf)
 			for i := 0; i < n; i++ {
-				m.perTierReads[p.tier] += m.objects[ids[done+i]].meta.Size
+				m.perTierReads[p.tier] += m.runBuf[i].meta.Size
 			}
 			done += n
 			if err != nil {
 				return done, err
 			}
 		} else {
-			for _, id := range ids[done:end] {
-				if _, _, err := m.Get(id); err != nil {
+			for i := range m.runBuf {
+				if _, err := m.tiers[p.tier].Get(m.runBuf[i].handle); err != nil {
 					return done, err
 				}
+				m.perTierReads[p.tier] += m.runBuf[i].meta.Size
 				done++
 			}
 		}
@@ -655,13 +905,13 @@ func (m *Manager) TotalEnergy() units.Energy {
 	return e
 }
 
-// ReadTime returns the time to read the given per-tier byte amounts,
-// assuming tiers transfer in parallel (independent links): the max of the
-// per-tier transfer times.
-func (m *Manager) ReadTime(perTier map[int]units.Bytes) time.Duration {
+// ReadTime returns the time to read the given per-tier byte amounts (indexed
+// by tier; extra entries are ignored), assuming tiers transfer in parallel
+// (independent links): the max of the per-tier transfer times.
+func (m *Manager) ReadTime(perTier []units.Bytes) time.Duration {
 	var worst time.Duration
 	for idx, n := range perTier {
-		if idx < 0 || idx >= len(m.tiers) || n == 0 {
+		if idx >= len(m.tiers) || n == 0 {
 			continue
 		}
 		info := m.tiers[idx].Info()

@@ -385,7 +385,7 @@ func TestReadTimeParallelTiers(t *testing.T) {
 	lpddr := smallLPDDR(t, units.GiB) // 68 GB/s
 	m, _ := NewManager(StaticPolicy{}, hbm, lpddr)
 	// 1 GB from HBM (1ms) and 68 MB from LPDDR (1ms): parallel → ~1ms.
-	d := m.ReadTime(map[int]units.Bytes{0: 1e9, 1: 68e6})
+	d := m.ReadTime([]units.Bytes{1e9, 68e6})
 	if d < 900*time.Microsecond || d > 1100*time.Microsecond {
 		t.Fatalf("ReadTime = %v, want ~1ms", d)
 	}
