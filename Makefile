@@ -49,9 +49,10 @@ bench:
 
 # bench-json captures the sweep-engine scaling benchmarks (workers=1 vs
 # workers=NumCPU), the device hot-path benchmarks (superblock-pruned BER
-# scan, coalesced reads, histogram bucket cache), and the cluster-level
-# serving benchmarks (coalesced decode loop, batched write path, fleet run)
-# as test2json event lines for regression tracking.
+# scan, coalesced reads, histogram bucket cache), the cluster-level serving
+# benchmarks (coalesced decode loop, batched write path, fleet run), and the
+# fleet-scale event-engine benchmarks (event vs stepping engine, 1000-node
+# fleet-day) as test2json event lines for regression tracking.
 bench-json:
 	go test -json -run '^$$' -bench '^BenchmarkSweep' -benchmem . > BENCH_sweep.json
 	@grep -c '"Action"' BENCH_sweep.json >/dev/null && echo "wrote BENCH_sweep.json"
@@ -61,6 +62,9 @@ bench-json:
 	go test -json -run '^$$' -bench '^(BenchmarkDecodeCoalesce|BenchmarkSimWritePath|BenchmarkFleetRun)' -benchmem \
 		./internal/cluster > BENCH_cluster.json
 	@grep -c '"Action"' BENCH_cluster.json >/dev/null && echo "wrote BENCH_cluster.json"
+	go test -json -run '^$$' -bench '^BenchmarkFleet' -benchmem \
+		./internal/cluster > BENCH_fleet.json
+	@grep -c '"Action"' BENCH_fleet.json >/dev/null && echo "wrote BENCH_fleet.json"
 
 # bench-diff compares the device and cluster hot-path benchmarks against a
 # saved baseline with benchstat when both are available. Save a baseline with:

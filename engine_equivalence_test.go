@@ -1,0 +1,75 @@
+package mrm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mrm/internal/cluster"
+	"mrm/internal/units"
+)
+
+// renderServingDrivers runs every experiment driver built on the serving
+// simulator — E7 (serving comparison), E19 (fleet scale-out), E21 (chunked
+// prefill), E24 (serving TCO), E27 (phase split), and E30 (fault sweep and
+// fleet failover, faults armed) — and concatenates their rendered tables.
+// The engine in effect is whatever cluster.SetDefaultStepping selected.
+func renderServingDrivers(t *testing.T) string {
+	t.Helper()
+	var out strings.Builder
+	add := func(name string, tab fmt.Stringer, err error) {
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		fmt.Fprintf(&out, "== %s ==\n%s\n", name, tab)
+	}
+	p := DefaultServingParams()
+	_, tab, err := RunServingComparison(p)
+	add("e7", tab, err)
+	_, tab, err = RunFleetScaleOut(p, []int{1, 2})
+	add("e19", tab, err)
+	pc := p
+	pc.NumReqs = 4
+	_, tab, err = RunChunkedPrefill(pc, []int{0, 64, 256})
+	add("e21", tab, err)
+	_, tab, err = RunServingTCO(p)
+	add("e24", tab, err)
+	ps := p
+	ps.RatePerSec = 20
+	_, tab, err = RunPhaseSplit(ps, 1, 1, 200*units.GBps)
+	add("e27", tab, err)
+	_, tab, err = RunFaultSweep(p, []float64{0, 1e-5, 1e-4, 1e-3}, 7)
+	add("e30-sweep", tab, err)
+	_, tab, err = RunFleetFailover(p, 3, 1, 1e-3, 7)
+	add("e30-failover", tab, err)
+	return out.String()
+}
+
+// TestEngineEquivalenceAcrossDrivers runs the full serving-driver suite under
+// the legacy stepping engine and again under the discrete-event engine and
+// requires byte-identical rendered output. This is the top-level twin gate
+// behind keeping the event engine as the default: every number an experiment
+// prints — throughput, latency percentiles, energy, fault and failover
+// accounting — must survive the engine swap untouched.
+func TestEngineEquivalenceAcrossDrivers(t *testing.T) {
+	prev := cluster.SetDefaultStepping(true)
+	defer cluster.SetDefaultStepping(prev)
+	stepped := renderServingDrivers(t)
+	cluster.SetDefaultStepping(false)
+	evented := renderServingDrivers(t)
+	if stepped != evented {
+		sl, el := strings.Split(stepped, "\n"), strings.Split(evented, "\n")
+		for i := range sl {
+			if i >= len(el) || sl[i] != el[i] {
+				t.Fatalf("engines diverged at line %d:\nstepping: %q\nevents:   %q", i+1, sl[i],
+					func() string {
+						if i < len(el) {
+							return el[i]
+						}
+						return "<missing>"
+					}())
+			}
+		}
+		t.Fatalf("engines diverged: stepping output has %d lines, events %d", len(sl), len(el))
+	}
+}

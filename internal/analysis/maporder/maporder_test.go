@@ -8,5 +8,5 @@ import (
 )
 
 func TestMaporder(t *testing.T) {
-	analysistest.Run(t, "testdata", maporder.Analyzer, "a")
+	analysistest.Run(t, "testdata", maporder.Analyzer, "a", "calfix")
 }

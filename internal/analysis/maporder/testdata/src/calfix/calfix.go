@@ -1,0 +1,72 @@
+// Package calfix is a maporder fixture for event-calendar patterns: picking
+// or draining "next events" out of a map leaks iteration order into the
+// simulation schedule, while a slice-backed calendar with an explicit
+// tie-break stays deterministic.
+package calfix
+
+import "sort"
+
+type event struct {
+	at  int64
+	seq int
+}
+
+// nextFromMap returns some due event id: with several events due at the same
+// instant, which one runs first is whatever key the runtime yields first.
+func nextFromMap(pending map[int]int64, now int64) int {
+	for id, at := range pending {
+		if at <= now {
+			return id // want `depends on map iteration order`
+		}
+	}
+	return -1
+}
+
+// drainFromMap gathers the due events in map iteration order, so the handler
+// sequence differs run to run.
+func drainFromMap(pending map[int]int64, now int64) []int {
+	var due []int
+	for id, at := range pending {
+		if at <= now {
+			due = append(due, id) // want `accumulates elements in map iteration order`
+		}
+	}
+	return due
+}
+
+// drainSorted gathers then sorts: order restored before anything observes it.
+func drainSorted(pending map[int]int64, now int64) []int {
+	var due []int
+	for id, at := range pending {
+		if at <= now {
+			due = append(due, id)
+		}
+	}
+	sort.Ints(due)
+	return due
+}
+
+// calendar is the deterministic counterpart: a slice ordered by (at, seq), so
+// equal-time events pop in insertion order no matter what the runtime does.
+type calendar struct {
+	h []event
+}
+
+func (c *calendar) push(at int64) {
+	c.h = append(c.h, event{at: at, seq: len(c.h)})
+	sort.Slice(c.h, func(i, j int) bool {
+		if c.h[i].at != c.h[j].at {
+			return c.h[i].at < c.h[j].at
+		}
+		return c.h[i].seq < c.h[j].seq
+	})
+}
+
+func (c *calendar) pop() (event, bool) {
+	if len(c.h) == 0 {
+		return event{}, false
+	}
+	ev := c.h[0]
+	c.h = c.h[1:]
+	return ev, true
+}

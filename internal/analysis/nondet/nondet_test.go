@@ -8,5 +8,5 @@ import (
 )
 
 func TestNondet(t *testing.T) {
-	analysistest.Run(t, "testdata", nondet.Analyzer, "sim/internal/fix", "demo")
+	analysistest.Run(t, "testdata", nondet.Analyzer, "sim/internal/fix", "sim/internal/evfix", "demo")
 }

@@ -1,0 +1,52 @@
+// Package evfix is a nondet fixture for event-engine patterns: stamping
+// events off the wall clock or merging event streams through select leaks
+// host scheduling into simulated time, while a virtual clock advanced by the
+// engine itself stays reproducible.
+package evfix
+
+import "time"
+
+type event struct {
+	at   time.Duration
+	kind int
+}
+
+// stampWall timestamps an event off the host clock: two runs of the same
+// simulation disagree on every At.
+func stampWall(kind int) event {
+	return event{at: time.Duration(time.Now().UnixNano()), kind: kind} // want `wall-clock call time.Now`
+}
+
+// stampVirtual timestamps off the engine's own clock: pure simulation state.
+func stampVirtual(clock time.Duration, kind int) event {
+	return event{at: clock, kind: kind}
+}
+
+// mergeChannels merges two nodes' event streams by select: which stream wins
+// an equal-time race is the scheduler's choice, not the calendar's.
+func mergeChannels(a, b chan event) event {
+	select { // want `select resolves by scheduling order`
+	case ev := <-a:
+		return ev
+	case ev := <-b:
+		return ev
+	}
+}
+
+// mergeCalendar merges by comparing timestamps with an explicit tie-break:
+// node order decides equal times, every run the same.
+func mergeCalendar(a, b []event) []event {
+	out := make([]event, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if b[j].at < a[i].at {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}

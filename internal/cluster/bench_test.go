@@ -12,10 +12,9 @@ import (
 	"mrm/internal/units"
 )
 
-// benchSim builds a serving simulator over a single HBM device tier holding
-// both weights and KV pages, with a fixed request stream — the decode loop's
-// per-step cost (weights read + per-page KV reads) is what this measures.
-func benchSim(b *testing.B) (*Sim, []Request) {
+// benchNode builds one single-HBM serving node — both weights and KV pages
+// on the device tier — under the requested engine.
+func benchNode(b *testing.B, stepping bool) *Sim {
 	b.Helper()
 	spec := memdev.HBM3E
 	spec.Capacity = 64 * units.GiB
@@ -36,10 +35,20 @@ func benchSim(b *testing.B) (*Sim, []Request) {
 		MaxBatch:    16,
 		KVLifetime:  30 * time.Minute,
 		ScratchTier: 0,
+		Stepping:    stepping,
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
+	return sim
+}
+
+// benchSim builds a serving simulator over a single HBM device tier holding
+// both weights and KV pages, with a fixed request stream — the decode loop's
+// per-step cost (weights read + per-page KV reads) is what this measures.
+func benchSim(b *testing.B) (*Sim, []Request) {
+	b.Helper()
+	sim := benchNode(b, false)
 	g := Generator{
 		Workload:   llm.SplitwiseConv,
 		RatePerSec: 50,
@@ -132,17 +141,16 @@ func BenchmarkSimWritePath(b *testing.B) {
 	b.ReportMetric(float64(res.DecodeSteps), "steps")
 }
 
-// BenchmarkFleetRun measures rack-scale orchestration end-to-end: a four-node
-// fleet (each node the single-HBM benchSim configuration) serving one
-// token-balanced request stream serially, so results are deterministic and
-// the per-node decode/write loops dominate.
-func BenchmarkFleetRun(b *testing.B) {
+// benchFleetRun is the shared body of the fleet benchmark under either
+// engine: a four-node fleet (each node the single-HBM benchNode
+// configuration) serving one token-balanced request stream serially, so
+// results are deterministic and the per-node decode/write loops dominate.
+func benchFleetRun(b *testing.B, stepping bool) {
 	var res FleetResult
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		f, err := NewFleet(4, func(int) (*Sim, error) {
-			sim, _ := benchSim(b)
-			return sim, nil
+			return benchNode(b, stepping), nil
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -166,4 +174,50 @@ func BenchmarkFleetRun(b *testing.B) {
 	}
 	b.ReportMetric(float64(res.Completed), "completed")
 	b.ReportMetric(res.TokensPerSec, "tokens/sec")
+}
+
+// BenchmarkFleetRun measures rack-scale orchestration end-to-end under the
+// discrete-event engine (the default).
+func BenchmarkFleetRun(b *testing.B) { benchFleetRun(b, false) }
+
+// BenchmarkFleetRunStepping runs the identical workload under the legacy
+// tick-by-tick engine: the before/after pair the event-engine speedup is
+// quoted from.
+func BenchmarkFleetRunStepping(b *testing.B) { benchFleetRun(b, true) }
+
+// BenchmarkFleetDay is the scale target: a 1000-node fleet serving a sparse
+// day-long Poisson stream (0.25 req/s fleet-wide over ~24 simulated hours),
+// run serially. The discrete-event engine jumps each node's clock between
+// arrivals instead of grinding through idle ticks, which is what makes a
+// simulated fleet-day of wall time affordable; the budget is under a minute
+// of CPU. Reported sim-hours is the span the simulation covered.
+func BenchmarkFleetDay(b *testing.B) {
+	var res FleetResult
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		f, err := NewFleet(1000, func(int) (*Sim, error) {
+			return benchNode(b, false), nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.Workers = 1
+		g := Generator{
+			Workload:   llm.SplitwiseConv,
+			RatePerSec: 0.25,
+			Mix:        [3]float64{0.5, 0.3, 0.2},
+			MaxContext: 4096,
+		}
+		reqs, err := g.Generate(dist.NewRNG(11), 21600)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err = f.Run(reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.WallTime.Hours(), "sim-hours")
+	b.ReportMetric(float64(res.Completed), "completed")
 }

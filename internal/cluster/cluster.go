@@ -14,6 +14,7 @@ import (
 
 	"mrm/internal/core"
 	"mrm/internal/dist"
+	"mrm/internal/eventq"
 	"mrm/internal/fault"
 	"mrm/internal/llm"
 	"mrm/internal/metrics"
@@ -21,6 +22,21 @@ import (
 	"mrm/internal/tier"
 	"mrm/internal/units"
 )
+
+// defaultStepping selects the legacy tick-by-tick engine for sims whose
+// Config leaves Stepping unset. The default is the discrete-event engine;
+// the toggle exists so equivalence suites and benchmarks can run whole
+// experiment drivers under either engine without threading a flag through
+// every Config literal (mirroring sweep.SetDefaultWorkers).
+var defaultStepping bool
+
+// SetDefaultStepping switches the engine used by sims that don't set
+// Config.Stepping, returning the previous default.
+func SetDefaultStepping(on bool) bool {
+	prev := defaultStepping
+	defaultStepping = on
+	return prev
+}
 
 // SLAClass is a request's service class (§4: diversified requirements).
 type SLAClass int
@@ -152,6 +168,19 @@ type Config struct {
 	// piggybacked on the running batch, instead of a monolithic prefill
 	// that stalls every running decode.
 	PrefillChunk int
+	// Stepping selects the legacy tick-by-tick outer loop instead of the
+	// discrete-event calendar. Both engines share admission, decode, and
+	// accounting code and produce bit-identical results; the event engine
+	// additionally resolves KV reads into reusable plans (tier.ReadPlan),
+	// which is where its speed comes from. Kept for twin-instance
+	// equivalence suites and as a reference implementation.
+	Stepping bool
+	// IdleTick opts into advancing memory time through idle windows
+	// (segmented at every scrub/retention deadline, so no refresh or expiry
+	// fires late). The default preserves the original semantics — idle gaps
+	// jump the request clock without aging the devices — which the recorded
+	// experiment goldens pin.
+	IdleTick bool
 }
 
 type running struct {
@@ -162,9 +191,14 @@ type running struct {
 	chunk       int // this step's prefill chunk (scratch, valid within decodeStep)
 	pages       []tier.ObjectID
 	pageTiers   []int
-	partial     int // tokens accumulated in the scratch partial page
-	firstTok    time.Duration
-	lastTok     time.Duration
+	// plan caches the resolved read path of pages (event engine only): the
+	// per-step KV read replays it instead of re-resolving every page id.
+	// Kept in lockstep with pages — appended on flush, truncated on KV
+	// drop, reset on reuse.
+	plan     tier.ReadPlan
+	partial  int // tokens accumulated in the scratch partial page
+	firstTok time.Duration
+	lastTok  time.Duration
 	// faulted marks that this step's KV read hit an uncorrectable error: the
 	// request emits no token this step and re-ingests the lost suffix.
 	faulted bool
@@ -221,10 +255,15 @@ type Result struct {
 
 // Sim runs a serving workload to completion.
 type Sim struct {
-	cfg     Config
-	eng     *llm.Engine
-	weights tier.ObjectID
-	wTier   int
+	cfg      Config
+	eng      *llm.Engine
+	weights  tier.ObjectID
+	wTier    int
+	stepping bool // legacy tick-by-tick outer loop (Config.Stepping or package default)
+	idleTick bool
+	plans    bool // event engine: KV and weights reads go through ReadPlans
+	cal      eventq.Calendar
+	wPlan    tier.ReadPlan // resolved weights read (event engine); rebuilt on reseat
 
 	clock   time.Duration
 	pending []Request
@@ -285,9 +324,13 @@ func NewSim(cfg Config) (*Sim, error) {
 		return nil, err
 	}
 	nTiers := len(cfg.Memory.Tiers())
+	stepping := cfg.Stepping || defaultStepping
 	s := &Sim{
 		cfg:          cfg,
 		eng:          eng,
+		stepping:     stepping,
+		idleTick:     cfg.IdleTick,
+		plans:        !stepping,
 		ttft:         metrics.NewHistogram(1e-6, 1.05),
 		tbt:          metrics.NewHistogram(1e-6, 1.05),
 		perTierReads: make([]units.Bytes, nTiers),
@@ -309,6 +352,19 @@ func NewSim(cfg Config) (*Sim, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.plans {
+		// Nothing on the planned read path consumes Result.RawBER, so the
+		// worst-BER scan is wasted work; an armed ECC budget forces the scan
+		// regardless, keeping organic fault decisions identical.
+		for _, b := range cfg.Memory.Backends() {
+			if bt, ok := b.(tier.BERTunable); ok {
+				bt.SetBERTracking(false)
+			}
+		}
+		if err := cfg.Memory.PlanAppend(&s.wPlan, id); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -329,46 +385,25 @@ func (s *Sim) Run(reqs []Request) (Result, error) {
 // are counted as WastedTokens. The fleet requeues them onto survivors.
 func (s *Sim) RunUntil(reqs []Request, stopAt time.Duration) (Result, []Request, error) {
 	s.pending = append(s.pending, reqs...)
-	sort.SliceStable(s.pending, func(i, j int) bool {
-		return s.pending[i].Arrival < s.pending[j].Arrival
-	})
-	// Admission order is class priority, then arrival. Requests are only ever
-	// consumed from the head after this point, so one stable sort up front
-	// replaces the per-admit re-sort the hot path used to pay for.
+	// Admission order is class priority, then arrival — one stable sort up
+	// front; requests are only ever consumed from the head after this point.
+	// Generated streams arrive time-ordered, but stability makes no further
+	// assumption: equal-class requests keep their input order, which for a
+	// time-sorted input is arrival order.
 	sort.SliceStable(s.pending, func(i, j int) bool {
 		if s.pending[i].Class != s.pending[j].Class {
 			return s.pending[i].Class < s.pending[j].Class
 		}
 		return s.pending[i].Arrival < s.pending[j].Arrival
 	})
-	for len(s.pending) > 0 || len(s.batch) > 0 {
-		if stopAt >= 0 && s.clock >= stopAt {
-			break
-		}
-		if err := s.admit(); err != nil {
-			return Result{}, nil, err
-		}
-		if len(s.batch) == 0 {
-			// Idle: jump to the next arrival (or the fail-stop, whichever
-			// comes first).
-			if len(s.pending) == 0 {
-				break
-			}
-			next := s.pending[0].Arrival
-			if stopAt >= 0 && next > stopAt {
-				next = stopAt
-			}
-			if idle := next - s.clock; idle > 0 {
-				s.clock += idle
-				if err := s.cfg.Memory.Tick(idle); err != nil {
-					return Result{}, nil, err
-				}
-			}
-			continue
-		}
-		if err := s.decodeStep(); err != nil {
-			return Result{}, nil, err
-		}
+	var err error
+	if s.stepping {
+		err = s.runStepping(stopAt)
+	} else {
+		err = s.runEvents(stopAt)
+	}
+	if err != nil {
+		return Result{}, nil, err
 	}
 	var unfinished []Request
 	if stopAt >= 0 && (len(s.batch) > 0 || len(s.pending) > 0) {
@@ -390,14 +425,153 @@ func (s *Sim) RunUntil(reqs []Request, stopAt time.Duration) (Result, []Request,
 	return s.result(), unfinished, nil
 }
 
+// runStepping is the legacy engine: a tick-by-tick outer loop that re-derives
+// "what happens next" at the top of every iteration. Kept as the reference
+// implementation the event engine is equivalence-tested against.
+func (s *Sim) runStepping(stopAt time.Duration) error {
+	for len(s.pending) > 0 || len(s.batch) > 0 {
+		if stopAt >= 0 && s.clock >= stopAt {
+			break
+		}
+		if err := s.admit(); err != nil {
+			return err
+		}
+		if len(s.batch) == 0 {
+			// Idle: jump to the next arrival (or the fail-stop, whichever
+			// comes first). Without IdleTick, admit has already consumed the
+			// idle window by jumping the clock (memory time intentionally
+			// does not advance — the goldens pin that); with it, the window
+			// is ticked through every housekeeping deadline inside it.
+			if len(s.pending) == 0 {
+				break
+			}
+			next := s.pending[0].Arrival
+			if stopAt >= 0 && next > stopAt {
+				next = stopAt
+			}
+			if next > s.clock {
+				if s.idleTick {
+					if err := s.tickThrough(next); err != nil {
+						return err
+					}
+				} else {
+					idle := next - s.clock
+					s.clock = next
+					if err := s.cfg.Memory.Tick(idle); err != nil {
+						return err
+					}
+				}
+			}
+			continue
+		}
+		if err := s.decodeStep(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runEvents is the discrete-event engine: each iteration builds the node's
+// tiny calendar — the next decode step, the next admissible arrival, and (in
+// IdleTick mode) the fail-stop and the next scrub/retention deadline — and
+// jumps the clock straight to the earliest event. Ties break deterministically
+// by (time, kind, push order); see eventq. Arrival and step events share one
+// handler that admits and then decodes, because that is exactly one iteration
+// of the stepping loop: splitting them would insert a fail-stop check between
+// admission and the decode it feeds, and the engines would diverge whenever a
+// monolithic prefill pushes the clock past stopAt.
+func (s *Sim) runEvents(stopAt time.Duration) error {
+	for len(s.pending) > 0 || len(s.batch) > 0 {
+		if stopAt >= 0 && s.clock >= stopAt {
+			break
+		}
+		s.cal.Reset()
+		if len(s.batch) > 0 {
+			s.cal.Push(s.clock, eventq.KindStep, 0)
+		} else if s.idleTick {
+			// Idle window: age memory up to whichever comes first — the
+			// fail-stop, a housekeeping deadline, or the next arrival below.
+			if stopAt >= 0 {
+				s.cal.Push(stopAt, eventq.KindFailStop, 0)
+			}
+			if at, ok := s.cfg.Memory.NextHousekeeping(); ok {
+				if at < s.clock {
+					at = s.clock
+				}
+				s.cal.Push(at, eventq.KindDeadline, 0)
+			}
+		}
+		if len(s.pending) > 0 && len(s.batch) < s.cfg.MaxBatch {
+			at := s.pending[0].Arrival
+			if at < s.clock {
+				at = s.clock
+			}
+			s.cal.Push(at, eventq.KindArrival, 0)
+		}
+		ev, ok := s.cal.Pop()
+		if !ok {
+			break // nothing runnable and nothing scheduled: drained
+		}
+		switch ev.Kind {
+		case eventq.KindFailStop:
+			// At stopAt == arrival the fail-stop wins the tie: the stepping
+			// engine clamps the idle jump to stopAt and halts before
+			// admitting, and so does this.
+			if err := s.tickThrough(ev.At); err != nil {
+				return err
+			}
+		case eventq.KindDeadline:
+			if err := s.tickThrough(ev.At); err != nil {
+				return err
+			}
+		default: // KindArrival, KindStep
+			if ev.Kind == eventq.KindArrival && s.idleTick {
+				if err := s.tickThrough(ev.At); err != nil {
+					return err
+				}
+			}
+			if err := s.admit(); err != nil {
+				return err
+			}
+			if len(s.batch) > 0 {
+				if err := s.decodeStep(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// tickThrough advances the virtual clock to target, splitting the advance at
+// every pending housekeeping deadline so refresh and expiry work fires at the
+// same instants a fine-grained driver would perform it — not late, bunched at
+// the window's end. Only IdleTick mode routes idle windows through here; busy
+// periods age memory via the per-step Ticks in admit and decodeStep.
+func (s *Sim) tickThrough(target time.Duration) error {
+	for s.clock < target {
+		next := target
+		if at, ok := s.cfg.Memory.NextHousekeeping(); ok && at > s.clock && at < next {
+			next = at
+		}
+		dt := next - s.clock
+		s.clock = next
+		if err := s.cfg.Memory.Tick(dt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // newRunning returns a request state struct, reusing one retired by finish
 // so the pages/pageTiers slices keep their grown capacity across requests.
 func (s *Sim) newRunning() *running {
 	if n := len(s.freeList); n > 0 {
 		r := s.freeList[n-1]
 		s.freeList = s.freeList[:n-1]
-		pages, tiers := r.pages[:0], r.pageTiers[:0]
-		*r = running{pages: pages, pageTiers: tiers}
+		pages, tiers, plan := r.pages[:0], r.pageTiers[:0], r.plan
+		plan.Reset()
+		*r = running{pages: pages, pageTiers: tiers, plan: plan}
 		return r
 	}
 	return &running{}
@@ -408,10 +582,14 @@ func (s *Sim) newRunning() *running {
 func (s *Sim) admit() error {
 	for len(s.pending) > 0 && len(s.batch) < s.cfg.MaxBatch {
 		req := s.pending[0]
-		if req.Arrival > s.clock && len(s.batch) > 0 {
-			break // not here yet; keep decoding
+		if req.Arrival > s.clock && (len(s.batch) > 0 || s.idleTick) {
+			// Not here yet: keep decoding, or (IdleTick) let the engine age
+			// memory through the gap before admitting.
+			break
 		}
 		if req.Arrival > s.clock {
+			// Idle jump: the request clock advances but memory time does not
+			// — the original semantics, pinned by the experiment goldens.
 			s.clock = req.Arrival
 		}
 		if s.cfg.PrefillChunk > 0 {
@@ -506,6 +684,11 @@ func (s *Sim) flushPages(r *running, n int) error {
 	for i := 0; i < done; i++ {
 		r.pages = append(r.pages, ids[i])
 		r.pageTiers = append(r.pageTiers, tiers[i])
+		if s.plans {
+			if perr := s.cfg.Memory.PlanAppend(&r.plan, ids[i]); perr != nil {
+				return perr
+			}
+		}
 	}
 	return err
 }
@@ -554,11 +737,31 @@ func (s *Sim) decodeStep() error {
 	for _, r := range decoding {
 		// One vectored read for the request's whole KV sequence: identical
 		// device reads and fault events to page-by-page Gets, one batched
-		// call instead of one per page.
-		n, err := s.cfg.Memory.GetBatch(r.pages)
-		for i := 0; i < n; i++ {
-			perTier[r.pageTiers[i]] += pageBytes
-			s.readTiers[r.pageTiers[i]] = true
+		// call instead of one per page. The event engine replays the
+		// request's resolved plan instead of re-resolving every page id.
+		var n int
+		var err error
+		if s.plans {
+			n, err = s.cfg.Memory.GetPlanned(&r.plan)
+			// Per-tier accounting over the plan's runs: O(runs) for the same
+			// sums the per-page loop below accumulates.
+			for ri := 0; ri < r.plan.Runs(); ri++ {
+				tierIdx, start, end := r.plan.Run(ri)
+				if end > n {
+					end = n
+				}
+				if end <= start {
+					break
+				}
+				perTier[tierIdx] += pageBytes * units.Bytes(end-start)
+				s.readTiers[tierIdx] = true
+			}
+		} else {
+			n, err = s.cfg.Memory.GetBatch(r.pages)
+			for i := 0; i < n; i++ {
+				perTier[r.pageTiers[i]] += pageBytes
+				s.readTiers[r.pageTiers[i]] = true
+			}
 		}
 		if err != nil {
 			// KV pages are soft state: an uncorrectable (or expired) page
@@ -640,7 +843,9 @@ func (s *Sim) decodeStep() error {
 		}
 	}
 	s.ops = ops
-	s.runStepOps(ops)
+	if err := s.runStepOps(ops); err != nil {
+		return err
+	}
 	// Survivors keep batch order: prefilling requests first, then decoding,
 	// minus the requests the schedule retired.
 	survivors := s.batch[:0]
@@ -664,7 +869,7 @@ func (s *Sim) decodeStep() error {
 // perturb allocation). A failed page write truncates only the owning request
 // — its pages are released, freeing memory — and the writes after it retry,
 // exactly as the per-page path behaved.
-func (s *Sim) runStepOps(ops []stepOp) {
+func (s *Sim) runStepOps(ops []stepOp) error {
 	for len(ops) > 0 {
 		if ops[0].fin {
 			s.finish(ops[0].r)
@@ -676,14 +881,17 @@ func (s *Sim) runStepOps(ops []stepOp) {
 			total += ops[end].pages
 			end++
 		}
-		s.flushOps(ops[:end], total)
+		if err := s.flushOps(ops[:end], total); err != nil {
+			return err
+		}
 		ops = ops[end:]
 	}
+	return nil
 }
 
 // flushOps writes the pages of one barrier-free run of flush ops, retrying
 // after each truncation until every surviving op's pages are stored.
-func (s *Sim) flushOps(ops []stepOp, total int) {
+func (s *Sim) flushOps(ops []stepOp, total int) error {
 	for len(ops) > 0 {
 		metas, ids, lats, tiers := s.flushScratch(total)
 		done, err := s.cfg.Memory.PutBatch(metas, ids, lats, tiers)
@@ -698,6 +906,11 @@ func (s *Sim) flushOps(ops []stepOp, total int) {
 			for j := 0; j < take; j++ {
 				op.r.pages = append(op.r.pages, ids[assigned+j])
 				op.r.pageTiers = append(op.r.pageTiers, tiers[assigned+j])
+				if s.plans {
+					if perr := s.cfg.Memory.PlanAppend(&op.r.plan, ids[assigned+j]); perr != nil {
+						return perr
+					}
+				}
 			}
 			op.pages -= take
 			assigned += take
@@ -709,7 +922,7 @@ func (s *Sim) flushOps(ops []stepOp, total int) {
 			}
 		}
 		if err == nil {
-			return
+			return nil
 		}
 		// The write at index done failed: the owning op's request is out of
 		// KV memory (or its page write faulted). Finish it early — releasing
@@ -722,6 +935,7 @@ func (s *Sim) flushOps(ops []stepOp, total int) {
 			total += ops[i].pages
 		}
 	}
+	return nil
 }
 
 // dropKVFrom implements the KV degradation path: page i of the request's
@@ -732,6 +946,9 @@ func (s *Sim) flushOps(ops []stepOp, total int) {
 func (s *Sim) dropKVFrom(r *running, i int) {
 	intact := i * s.cfg.PageTokens
 	lost := r.ctx - intact
+	// The plan must drop the suffix before its objects are deleted (validity
+	// contract: a deleted member invalidates the plan from that member on).
+	r.plan.Truncate(i)
 	for _, pid := range r.pages[i:] {
 		// The backend may have dropped the object already (expiry).
 		if err := s.cfg.Memory.Delete(pid); err != nil {
@@ -754,7 +971,7 @@ func (s *Sim) dropKVFrom(r *running, i int) {
 // reseats them (retry with exponential backoff, preferring another tier) and
 // the read is retried. Only exhausting every tier fails the simulation.
 func (s *Sim) readWeights() error {
-	_, _, err := s.cfg.Memory.Get(s.weights)
+	err := s.getWeights()
 	if err == nil {
 		return nil
 	}
@@ -780,11 +997,29 @@ func (s *Sim) readWeights() error {
 		if s.wTier, rerr = s.cfg.Memory.TierOf(s.weights); rerr != nil {
 			return rerr
 		}
-		if _, _, err = s.cfg.Memory.Get(s.weights); err == nil {
+		if s.plans {
+			// The reseat re-placed the weights: rebuild the resolved plan.
+			s.wPlan.Reset()
+			if rerr = s.cfg.Memory.PlanAppend(&s.wPlan, s.weights); rerr != nil {
+				return rerr
+			}
+		}
+		if err = s.getWeights(); err == nil {
 			return nil
 		}
 	}
 	return fmt.Errorf("cluster: weights unreadable after %d reseats: %w", attempts, err)
+}
+
+// getWeights performs one weights read: the resolved plan under the event
+// engine, the by-id lookup under stepping — device-identical either way.
+func (s *Sim) getWeights() error {
+	if s.plans {
+		_, err := s.cfg.Memory.GetPlanned(&s.wPlan)
+		return err
+	}
+	_, _, err := s.cfg.Memory.Get(s.weights)
+	return err
 }
 
 // finish releases a request's pages, records completion, and retires the

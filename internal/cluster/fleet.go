@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"mrm/internal/eventq"
 	"mrm/internal/metrics"
 	"mrm/internal/sweep"
 	"mrm/internal/units"
@@ -152,25 +153,31 @@ func (f *Fleet) Run(reqs []Request) (FleetResult, error) {
 		if err != nil {
 			return FleetResult{}, err
 		}
-		// Requeue serially in node order: an orphan re-arrives no earlier
-		// than its node's fail-stop (detection), fresh (its KV died), on the
-		// least-loaded survivor.
+		// Requeue through a cross-node event merge: an orphan re-arrives no
+		// earlier than its node's fail-stop (detection), fresh (its KV died).
+		// Each failing node pushes its orphans in node order onto one
+		// calendar, and popping yields them in (re-arrival time, push order) —
+		// the same order a stable sort by arrival produces, with the tie-break
+		// explicit in the event queue rather than implicit in sort stability.
 		var orphans []Request
+		var merge eventq.Calendar
 		for k, node := range failing {
 			perNode[node] = parts[k].res
 			for _, req := range parts[k].left {
 				if req.Arrival < failAt[node] {
 					req.Arrival = failAt[node]
 				}
+				merge.Push(req.Arrival, eventq.KindArrival, uint64(len(orphans)))
 				orphans = append(orphans, req)
 			}
 		}
-		sort.SliceStable(orphans, func(i, j int) bool { return orphans[i].Arrival < orphans[j].Arrival })
 		if len(surviving) == 0 {
 			out.Unserved = len(orphans)
 		} else {
 			out.Requeued = len(orphans)
-			for _, req := range orphans {
+			for merge.Len() > 0 {
+				ev, _ := merge.Pop()
+				req := orphans[ev.Data]
 				best := surviving[0]
 				for _, i := range surviving[1:] {
 					if load[i] < load[best] {

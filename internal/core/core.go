@@ -384,6 +384,10 @@ func (m *MRM) SetFaults(cfg memdev.FaultConfig) {
 	m.zoned.Device().SetFaults(cfg)
 }
 
+// SetBERTracking forwards the read path's BER-scan switch to the underlying
+// device (see memdev.Device.SetBERTracking).
+func (m *MRM) SetBERTracking(on bool) { m.zoned.Device().SetBERTracking(on) }
+
 // Now returns device time.
 func (m *MRM) Now() time.Duration { return m.zoned.Device().Now() }
 
@@ -747,13 +751,97 @@ func (m *MRM) GetBatch(ids []ObjectID) (int, error) {
 // liveObject resolves id to a readable object, with Get's error contract.
 func (m *MRM) liveObject(id ObjectID) (*object, error) {
 	obj, ok := m.objects[id]
-	if !ok || obj.state == objDeleted {
+	if !ok {
 		return nil, fmt.Errorf("core: no object %d", id)
 	}
-	if obj.state == objExpired {
-		return nil, ErrExpired
+	if err := obj.liveErr(); err != nil {
+		return nil, err
 	}
 	return obj, nil
+}
+
+// liveErr reports whether the object is readable, with liveObject's exact
+// error contract (object ids are never reused, so o.id is the id any lookup
+// found it under).
+func (o *object) liveErr() error {
+	if o.state == objDeleted {
+		return fmt.Errorf("core: no object %d", o.id)
+	}
+	if o.state == objExpired {
+		return ErrExpired
+	}
+	return nil
+}
+
+// ObjRef is an opaque reference to a resolved object, for callers that read
+// the same objects every step (the serving simulator's KV plans) and want to
+// skip the per-read id lookup. A ref stays valid until its object is deleted;
+// reads through a ref observe expiry exactly like reads by id.
+type ObjRef *object
+
+// ResolveRef resolves id for repeated planned reads. The object must be
+// readable now (same errors as Get).
+func (m *MRM) ResolveRef(id ObjectID) (ObjRef, error) {
+	obj, err := m.liveObject(id)
+	if err != nil {
+		return nil, err
+	}
+	return ObjRef(obj), nil
+}
+
+// GetRefs reads the referenced objects exactly as GetBatch reads their ids —
+// same validation order and errors, same device read sequence and fault
+// events, same per-object energy and stats — minus the id lookups, which the
+// refs carry pre-resolved. Extents are walked live, so a refresh that moved
+// an object between calls is observed, not a stale snapshot. It returns the
+// number of objects read in full and the first-failing Get's error.
+func (m *MRM) GetRefs(refs []ObjRef) (int, error) {
+	m.reqBuf = m.reqBuf[:0]
+	m.objEnd = m.objEnd[:0]
+	m.sizeBuf = m.sizeBuf[:0]
+	for idx, ref := range refs {
+		obj := (*object)(ref)
+		if verr := obj.liveErr(); verr != nil {
+			// Same precedence as GetBatch: earlier objects' device reads are
+			// issued first, and a device failure among those wins.
+			done, err := m.flushReads(idx)
+			if err != nil {
+				return done, err
+			}
+			return idx, verr
+		}
+		for _, ext := range obj.extents {
+			m.reqBuf = append(m.reqBuf, controller.ReadReq{Zone: ext.zone, Off: ext.off, Size: ext.size})
+		}
+		m.objEnd = append(m.objEnd, len(m.reqBuf))
+		m.sizeBuf = append(m.sizeBuf, obj.size)
+	}
+	return m.flushReads(len(refs))
+}
+
+// NextDeadline reports the earliest simulated time at which Tick would
+// perform deadline housekeeping: the fire time — deadline minus the refresh
+// margin for PolicyRefresh objects, the deadline itself for PolicyDrop — of
+// the earliest live heap entry, mirroring Tick's own staleness filter. The
+// scan is linear over the heap; it runs once per idle window, not per step.
+func (m *MRM) NextDeadline() (time.Duration, bool) {
+	var best time.Duration
+	found := false
+	for _, it := range m.heap {
+		obj, ok := m.objects[it.id]
+		if !ok || obj.state == objDeleted || it.deadline != obj.deadline {
+			continue // stale entry; Tick would pop and ignore it
+		}
+		fire := it.deadline
+		if obj.opts.Policy == PolicyRefresh {
+			margin := time.Duration(float64(m.cfg.Classes[obj.class]) * m.cfg.RefreshMargin)
+			fire = it.deadline - margin
+		}
+		if !found || fire < best {
+			best, found = fire, true
+		}
+	}
+	return best, found
 }
 
 // flushReads issues the extent reads accumulated in reqBuf for the first

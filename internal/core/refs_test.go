@@ -1,0 +1,250 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"mrm/internal/units"
+)
+
+// refTwins builds two identically-stocked MRMs — a refresh-policy weights
+// object, a run of KV pages, and one soft-state object — with refs resolved
+// on the second BEFORE the expiry tick, so the ref-holding twin exercises
+// reads through a reference whose object has since expired.
+func refTwins(t *testing.T) (seq *MRM, ref *MRM, ids []ObjectID, refs []ObjRef, expIdx int) {
+	t.Helper()
+	mk := func(resolve bool) (*MRM, []ObjectID, []ObjRef) {
+		m := newMRM(t, smallConfig())
+		var ids []ObjectID
+		big, _, err := m.Put(40*units.MiB, WriteOptions{Kind: KindWeights, Lifetime: 24 * time.Hour, Policy: PolicyRefresh})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, big)
+		for i := 0; i < 6; i++ {
+			id, _, err := m.Put(512*units.KiB, WriteOptions{Kind: KindKVCache, Lifetime: time.Hour, Policy: PolicyDrop})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+		exp, _, err := m.Put(256*units.KiB, WriteOptions{Kind: KindKVCache, Lifetime: time.Minute, Policy: PolicyDrop})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, exp)
+		var refs []ObjRef
+		if resolve {
+			for _, id := range ids {
+				r, err := m.ResolveRef(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				refs = append(refs, r)
+			}
+		}
+		if err := m.Tick(15 * time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		return m, ids, refs
+	}
+	seq, idsA, _ := mk(false)
+	ref, idsB, refs := mk(true)
+	for i := range idsA {
+		if idsA[i] != idsB[i] {
+			t.Fatal("twin MRMs diverged during setup")
+		}
+	}
+	return seq, ref, idsA, refs, len(idsA) - 1
+}
+
+// TestGetRefsMatchesGetBatch drives one MRM with GetBatch by id and its twin
+// with GetRefs over pre-resolved references to the same objects — including a
+// reference whose object expired after resolution — and requires identical
+// done counts, errors, stats, and energy. GetRefs is the planned read path
+// under the serving simulator's event engine and must not change any number.
+func TestGetRefsMatchesGetBatch(t *testing.T) {
+	seq, ref, ids, refs, expIdx := refTwins(t)
+	pick := func(idx ...int) ([]ObjectID, []ObjRef) {
+		var is []ObjectID
+		var rs []ObjRef
+		for _, i := range idx {
+			is = append(is, ids[i])
+			rs = append(rs, refs[i])
+		}
+		return is, rs
+	}
+	batches := [][]int{
+		{0, 1, 2, 3, 4, 5, 6},
+		{1, 2, 3},
+		{0},
+		{1, expIdx, 2}, // expired mid-batch
+		{},
+	}
+	for bi, idx := range batches {
+		is, rs := pick(idx...)
+		seqDone, seqErr := seq.GetBatch(is)
+		refDone, refErr := ref.GetRefs(rs)
+		if refDone != seqDone {
+			t.Fatalf("batch %d: done %d != by-id %d", bi, refDone, seqDone)
+		}
+		if (refErr == nil) != (seqErr == nil) ||
+			(refErr != nil && refErr.Error() != seqErr.Error()) {
+			t.Fatalf("batch %d: err %v != by-id %v", bi, refErr, seqErr)
+		}
+		if ss, sr := seq.Stats(), ref.Stats(); ss != sr {
+			t.Fatalf("batch %d: stats diverged: %+v != %+v", bi, ss, sr)
+		}
+		if es, er := seq.Energy(), ref.Energy(); es != er {
+			t.Fatalf("batch %d: energy diverged: %+v != %+v", bi, es, er)
+		}
+	}
+	if _, err := ref.GetRefs([]ObjRef{refs[expIdx]}); !errors.Is(err, ErrExpired) {
+		t.Fatalf("GetRefs on expired ref: err %v, want ErrExpired", err)
+	}
+}
+
+// TestGetRefsSurvivesRefresh pins that a reference resolved before a
+// refresh-driven relocation reads the object's live extents afterwards:
+// GetRefs must match GetBatch on the twin even once the refresh policy has
+// rewritten the object elsewhere.
+func TestGetRefsSurvivesRefresh(t *testing.T) {
+	cfg := smallConfig()
+	mk := func() (*MRM, ObjectID) {
+		m := newMRM(t, cfg)
+		id, _, err := m.Put(8*units.MiB, WriteOptions{Kind: KindWeights, Lifetime: 365 * 24 * time.Hour, Policy: PolicyRefresh})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, id
+	}
+	seq, idA := mk()
+	ref, idB := mk()
+	r, err := ref.ResolveRef(idB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advance both twins far enough that the refresh deadline fires at least
+	// once (longest class minus margin).
+	classes := cfg.Classes
+	step := classes[len(classes)-1]
+	for i := 0; i < 3; i++ {
+		if err := seq.Tick(step); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Tick(step); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if seq.Stats().Refreshes == 0 {
+		t.Fatal("setup: no refresh fired; test exercises nothing")
+	}
+	if _, err := seq.GetBatch([]ObjectID{idA}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.GetRefs([]ObjRef{r}); err != nil {
+		t.Fatal(err)
+	}
+	if ss, sr := seq.Stats(), ref.Stats(); ss != sr {
+		t.Fatalf("stats diverged after refresh: %+v != %+v", ss, sr)
+	}
+	if es, er := seq.Energy(), ref.Energy(); es != er {
+		t.Fatalf("energy diverged after refresh: %+v != %+v", es, er)
+	}
+}
+
+// TestResolveRefErrors pins ResolveRef's error contract: Get's exact errors
+// for unknown, deleted, and expired objects.
+func TestResolveRefErrors(t *testing.T) {
+	m := newMRM(t, smallConfig())
+	if _, err := m.ResolveRef(ObjectID(9999)); err == nil || !strings.Contains(err.Error(), "no object 9999") {
+		t.Fatalf("unknown id: err %v", err)
+	}
+	id, _, err := m.Put(units.MiB, WriteOptions{Kind: KindKVCache, Lifetime: time.Minute, Policy: PolicyDrop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Tick(15 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ResolveRef(id); !errors.Is(err, ErrExpired) {
+		t.Fatalf("expired id: err %v, want ErrExpired", err)
+	}
+	id2, _, err := m.Put(units.MiB, WriteOptions{Kind: KindWeights, Lifetime: time.Hour, Policy: PolicyRefresh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete(id2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ResolveRef(id2); err == nil || !strings.Contains(err.Error(), "no object") {
+		t.Fatalf("deleted id: err %v", err)
+	}
+}
+
+// TestNextDeadlineFireTimes pins NextDeadline against Tick's own thresholds:
+// advancing to one instant before the reported time performs no deadline
+// housekeeping; advancing to the reported time does. Both refresh (deadline
+// minus margin) and drop (deadline) arms are exercised.
+func TestNextDeadlineFireTimes(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts WriteOptions
+		hit  func(s Stats) int64
+	}{
+		{"refresh", WriteOptions{Kind: KindWeights, Lifetime: 365 * 24 * time.Hour, Policy: PolicyRefresh}, func(s Stats) int64 { return s.Refreshes }},
+		{"drop", WriteOptions{Kind: KindKVCache, Lifetime: time.Minute, Policy: PolicyDrop}, func(s Stats) int64 { return s.Expirations }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := newMRM(t, smallConfig())
+			if _, _, err := m.Put(units.MiB, tc.opts); err != nil {
+				t.Fatal(err)
+			}
+			fire, ok := m.NextDeadline()
+			if !ok {
+				t.Fatal("NextDeadline reported nothing pending")
+			}
+			if err := m.Tick(fire - m.Now() - time.Nanosecond); err != nil {
+				t.Fatal(err)
+			}
+			if n := tc.hit(m.Stats()); n != 0 {
+				t.Fatalf("housekeeping fired %d times before the reported deadline", n)
+			}
+			if err := m.Tick(time.Nanosecond); err != nil {
+				t.Fatal(err)
+			}
+			if n := tc.hit(m.Stats()); n == 0 {
+				t.Fatal("housekeeping did not fire at the reported deadline")
+			}
+		})
+	}
+}
+
+// TestNextDeadlineSkipsStale pins the staleness filter: after a refresh moves
+// an object's deadline forward, the superseded heap entry must not be
+// reported as the next deadline.
+func TestNextDeadlineSkipsStale(t *testing.T) {
+	m := newMRM(t, smallConfig())
+	if _, _, err := m.Put(units.MiB, WriteOptions{Kind: KindWeights, Lifetime: 365 * 24 * time.Hour, Policy: PolicyRefresh}); err != nil {
+		t.Fatal(err)
+	}
+	first, ok := m.NextDeadline()
+	if !ok {
+		t.Fatal("NextDeadline reported nothing pending")
+	}
+	if err := m.Tick(first - m.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Refreshes == 0 {
+		t.Fatal("setup: refresh did not fire")
+	}
+	next, ok := m.NextDeadline()
+	if !ok {
+		t.Fatal("NextDeadline lost the refreshed object")
+	}
+	if next <= m.Now() {
+		t.Fatalf("NextDeadline %v is not in the future (now %v): stale entry reported", next, m.Now())
+	}
+}

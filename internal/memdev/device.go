@@ -3,6 +3,7 @@ package memdev
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sync"
 	"time"
 
@@ -94,6 +95,10 @@ func berCacheIdx(key uint64) int {
 type Device struct {
 	spec      Spec
 	wearBlock units.Bytes // granularity at which wear is tracked
+	// wearShift is log2(wearBlock) when the block size is a power of two,
+	// else -1. Block-range mapping runs once per span on the read hot path;
+	// the shift replaces two 64-bit divisions there.
+	wearShift int
 
 	mu         sync.Mutex
 	now        time.Duration           // simulated device-local time; guarded by mu
@@ -118,6 +123,23 @@ type Device struct {
 	sbMinLastWrite []time.Duration          // guarded by mu
 	wearTerms      [berCacheSize]berTermEnt // wear-term RawBER cache; guarded by mu
 	decayTerms     [berCacheSize]berTermEnt // decay-term RawBER cache; guarded by mu
+
+	// Single-entry memo of the pure per-size read cost. KV paging makes
+	// almost every span on the read hot path the same size, and the
+	// latency/energy arithmetic (float divide + two conversions per span)
+	// shows up in profiles; the memo is a pure function of size, so results
+	// are bit-identical. Zero size never reaches readLocked (blockRange
+	// rejects it), so lastReadSize == 0 means "empty".
+	lastReadSize   units.Bytes   // guarded by mu
+	lastReadLat    time.Duration // guarded by mu
+	lastReadEnergy units.Energy  // guarded by mu
+
+	// trackBER controls whether reads evaluate the worst-block raw BER when no
+	// ECC budget forces it (SetBERTracking). On by default; callers that never
+	// consume Result.RawBER turn it off to skip the scan entirely. With an ECC
+	// budget armed (maxBER > 0) the scan always runs — the organic-fault check
+	// needs it — so fault decisions are identical either way.
+	trackBER bool // guarded by mu
 
 	// Fault injection (SetFaults). All decisions are pure functions of the
 	// fault seed and the read/write counters, so a device's fault sequence is
@@ -161,15 +183,21 @@ func NewDevice(spec Spec) (*Device, error) {
 	// and derate cells in ways the curve cannot know.
 	op.Endurance = spec.Endurance
 	nsb := (int(n) + superBlocks - 1) / superBlocks
+	shift := -1
+	if wb&(wb-1) == 0 {
+		shift = bits.TrailingZeros64(uint64(wb))
+	}
 	return &Device{
 		spec:           spec,
 		wearBlock:      wb,
+		wearShift:      shift,
 		wear:           make([]float64, n),
 		lastWrite:      make([]time.Duration, n),
 		sbMaxWear:      make([]float64, nsb),
 		sbMinLastWrite: make([]time.Duration, nsb),
 		berParams:      cellphys.DefaultBER,
 		op:             op,
+		trackBER:       true,
 	}, nil
 }
 
@@ -217,6 +245,18 @@ func (d *Device) SetFaults(cfg FaultConfig) {
 	d.writeFault = fault.NewInjector(cfg.Seed, cfg.WriteFaultRate)
 }
 
+// SetBERTracking enables or disables the read path's worst-block BER scan
+// when no ECC budget requires it. Everything else a read does — latency,
+// energy, counters, injected-fault decisions — is untouched; only
+// Result.RawBER becomes 0 while tracking is off and no budget is armed.
+// Organic fault checks are unaffected: an armed ECC budget (SetFaults with a
+// Code) forces the scan regardless of this setting.
+func (d *Device) SetBERTracking(on bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.trackBER = on
+}
+
 // Now returns the device-local simulated time.
 func (d *Device) Now() time.Duration {
 	d.mu.Lock()
@@ -245,6 +285,9 @@ func (d *Device) blockRange(addr, size units.Bytes) (first, last int, err error)
 	if addr+size > d.spec.Capacity {
 		return 0, 0, fmt.Errorf("memdev: access [%d, %d) beyond capacity %v",
 			addr, addr+size, d.spec.Capacity)
+	}
+	if d.wearShift >= 0 {
+		return int(addr >> uint(d.wearShift)), int((addr + size - 1) >> uint(d.wearShift)), nil
 	}
 	first = int(addr / d.wearBlock)
 	last = int((addr + size - 1) / d.wearBlock)
@@ -305,12 +348,22 @@ func (d *Device) ReadSpans(spans []Span, results []Result) (int, error) {
 // readLocked charges one logical read over blocks [first, last] and runs its
 // fault checks. Caller holds d.mu.
 func (d *Device) readLocked(addr, size units.Bytes, first, last int) (Result, error) {
-	lat := d.spec.ReadLatency + d.spec.ReadBW.Time(size)
-	e := d.spec.ReadEnergyPerBit.PerBit(size)
+	if size != d.lastReadSize {
+		d.lastReadSize = size
+		d.lastReadLat = d.spec.ReadLatency + d.spec.ReadBW.Time(size)
+		d.lastReadEnergy = d.spec.ReadEnergyPerBit.PerBit(size)
+	}
+	lat := d.lastReadLat
+	e := d.lastReadEnergy
 	d.energy.Read += e
 	d.reads++
 	d.readBytes += size
-	worst := d.worstBERLocked(first, last)
+	// The worst-BER scan is the read path's dominant cost; it only matters
+	// when an ECC budget gates the read or the caller consumes Result.RawBER.
+	var worst float64
+	if d.maxBER > 0 || d.trackBER {
+		worst = d.worstBERLocked(first, last)
+	}
 	res := Result{Latency: lat, Energy: e, RawBER: worst}
 	event := d.reads // monotone, deterministic event index for this read
 	if d.transient.Hit(fault.StreamTransient, event) {

@@ -69,6 +69,14 @@ type Faultable interface {
 	SetFaults(memdev.FaultConfig)
 }
 
+// BERTunable is implemented by backends whose device exposes the read-path
+// BER-scan switch (memdev.Device.SetBERTracking). Callers that never consume
+// raw-BER results (the serving simulator) turn the scan off; fault behavior
+// is unchanged because an armed ECC budget forces the scan regardless.
+type BERTunable interface {
+	SetBERTracking(on bool)
+}
+
 // BatchGetter is implemented by backends that can coalesce a sequence of Gets
 // into one vectored device access. The contract is strict sequential
 // equivalence: GetBatch(handles) must perform exactly the validation, device
@@ -77,6 +85,35 @@ type Faultable interface {
 // read in full and the error the first-failing Get would have returned.
 type BatchGetter interface {
 	GetBatch(handles []uint64) (int, error)
+}
+
+// SpanGetter is implemented by backends whose objects resolve to fixed device
+// spans (DeviceTier), letting planned readers skip the per-read handle lookup.
+// GetSpans must perform exactly the device reads, fault events, and accounting
+// of calling Get on the handles the spans were resolved from, in order,
+// stopping at the first error. A resolved span is valid until its object is
+// deleted.
+type SpanGetter interface {
+	ResolveSpan(handle uint64) (memdev.Span, error)
+	GetSpans(spans []memdev.Span) (int, error)
+}
+
+// RefGetter is implemented by backends whose objects live behind a control
+// plane that relocates extents (MRMTier): the resolved reference is stable
+// across refresh-driven moves, and reads through it observe expiry exactly
+// like reads by handle. GetRefs carries GetBatch's strict sequential
+// equivalence, minus the id lookups.
+type RefGetter interface {
+	ResolveRef(handle uint64) (core.ObjRef, error)
+	GetRefs(refs []core.ObjRef) (int, error)
+}
+
+// Housekeeper is implemented by backends with deadline-driven housekeeping
+// (MRM refresh/expiry). NextDeadline reports the earliest simulated time at
+// which the backend's Tick would act on a deadline, letting a discrete-event
+// driver jump idle windows without missing scrub or retention work.
+type Housekeeper interface {
+	NextDeadline() (time.Duration, bool)
 }
 
 // BatchPutter is implemented by backends that can coalesce a sequence of Puts
@@ -276,6 +313,27 @@ func (d *DeviceTier) GetBatch(handles []uint64) (int, error) {
 	return d.dev.ReadSpans(d.spanBuf, d.resBuf[:len(handles)])
 }
 
+// ResolveSpan resolves a handle to its device span for planned reads (see
+// SpanGetter). Device-tier objects never move, so the span is valid until the
+// object is deleted.
+func (d *DeviceTier) ResolveSpan(handle uint64) (memdev.Span, error) {
+	sp, ok := d.objects[handle]
+	if !ok {
+		return memdev.Span{}, fmt.Errorf("tier: %s has no object %d", d.name, handle)
+	}
+	return memdev.Span{Addr: sp.addr, Size: sp.size}, nil
+}
+
+// GetSpans reads the resolved spans as one vectored device access — the same
+// ReadSpans call GetBatch issues after its lookups, so counters, energy, and
+// fault-stream positions are identical.
+func (d *DeviceTier) GetSpans(spans []memdev.Span) (int, error) {
+	if cap(d.resBuf) < len(spans) {
+		d.resBuf = make([]memdev.Result, len(spans))
+	}
+	return d.dev.ReadSpans(spans, d.resBuf[:len(spans)])
+}
+
 // Delete frees an object, coalescing adjacent free spans.
 func (d *DeviceTier) Delete(handle uint64) error {
 	sp, ok := d.objects[handle]
@@ -302,6 +360,9 @@ func (d *DeviceTier) Delete(handle uint64) error {
 
 // SetFaults arms fault injection on the underlying device.
 func (d *DeviceTier) SetFaults(cfg memdev.FaultConfig) { d.dev.SetFaults(cfg) }
+
+// SetBERTracking forwards the BER-scan switch to the device.
+func (d *DeviceTier) SetBERTracking(on bool) { d.dev.SetBERTracking(on) }
 
 // Tick advances device time (charging static + refresh energy).
 func (d *DeviceTier) Tick(dt time.Duration) error { return d.dev.Advance(dt) }
@@ -416,6 +477,23 @@ func (t *MRMTier) GetBatch(handles []uint64) (int, error) {
 	return t.mrm.GetBatch(t.idBuf)
 }
 
+// ResolveRef resolves a handle for planned reads (see RefGetter).
+func (t *MRMTier) ResolveRef(handle uint64) (core.ObjRef, error) {
+	return t.mrm.ResolveRef(core.ObjectID(handle))
+}
+
+// GetRefs reads the referenced objects with GetBatch's sequential-Get
+// equivalence, minus the id lookups.
+func (t *MRMTier) GetRefs(refs []core.ObjRef) (int, error) {
+	return t.mrm.GetRefs(refs)
+}
+
+// NextDeadline reports the MRM's earliest pending housekeeping deadline (see
+// Housekeeper).
+func (t *MRMTier) NextDeadline() (time.Duration, bool) {
+	return t.mrm.NextDeadline()
+}
+
 // Delete removes an object.
 func (t *MRMTier) Delete(handle uint64) error {
 	return t.mrm.Delete(core.ObjectID(handle))
@@ -423,6 +501,9 @@ func (t *MRMTier) Delete(handle uint64) error {
 
 // SetFaults arms fault injection on the MRM's device.
 func (t *MRMTier) SetFaults(cfg memdev.FaultConfig) { t.mrm.SetFaults(cfg) }
+
+// SetBERTracking forwards the BER-scan switch to the MRM's device.
+func (t *MRMTier) SetBERTracking(on bool) { t.mrm.SetBERTracking(on) }
 
 // Tick advances the MRM control plane.
 func (t *MRMTier) Tick(dt time.Duration) error { return t.mrm.Tick(dt) }
@@ -571,6 +652,10 @@ type Manager struct {
 	handleBuf    []uint64 // scratch for GetBatch/PutBatch, reused across calls
 	runBuf       []placed // scratch for GetBatch run grouping, reused across calls
 	infoBuf      []Info   // scratch for Put/PutBatch placement, reused across calls
+	// readBW caches each backend's read bandwidth, which is fixed at device
+	// construction; ReadTime runs per decode step and must not pay Info()
+	// (an MRM Info scans zones for its Free count) to learn a constant.
+	readBW []units.Bandwidth
 
 	// Backoff is the base delay charged before a Reseat attempt (the
 	// controller's fault-isolation/remap window); callers double it per retry.
@@ -582,11 +667,16 @@ func NewManager(policy Policy, tiers ...Backend) (*Manager, error) {
 	if policy == nil || len(tiers) == 0 {
 		return nil, fmt.Errorf("tier: need a policy and at least one tier")
 	}
+	readBW := make([]units.Bandwidth, len(tiers))
+	for i, t := range tiers {
+		readBW[i] = t.Info().ReadBW
+	}
 	return &Manager{
 		tiers:        tiers,
 		policy:       policy,
 		objects:      make(map[ObjectID]placed),
 		perTierReads: make([]units.Bytes, len(tiers)),
+		readBW:       readBW,
 		Backoff:      100 * time.Microsecond,
 	}, nil
 }
@@ -799,6 +889,200 @@ func (m *Manager) GetBatch(ids []ObjectID) (int, error) {
 	return done, nil
 }
 
+// planRun is one run of consecutive same-tier objects within a ReadPlan.
+type planRun struct {
+	tier int
+	end  int // exclusive end index into the plan's parallel arrays
+}
+
+// ReadPlan caches the resolved read path of an append-only object list so a
+// caller that reads the same objects every step (the serving simulator's KV
+// pages) pays the id lookup and run grouping once, at append time, instead of
+// once per read. GetPlanned(p) performs exactly the device reads, fault
+// events, and per-tier accounting of GetBatch over the same ids.
+//
+// Validity contract: a plan may only be executed while every member object is
+// still placed where it was appended. Deleting, forgetting, migrating, or
+// reseating a member invalidates the plan from that member on — Truncate
+// before deleting a suffix, Reset before anything else. Expiry of an
+// MRM-backed member does NOT invalidate the plan: refs observe expiry exactly
+// like reads by id.
+type ReadPlan struct {
+	ids     []ObjectID
+	handles []uint64
+	tiers   []int
+	sizes   []units.Bytes
+	sums    []units.Bytes // prefix sums: sums[i] = total size of objects [0, i)
+	spans   []memdev.Span // valid where the tier is a SpanGetter
+	refs    []core.ObjRef // valid where the tier is a RefGetter
+	runs    []planRun
+}
+
+// Len returns the number of planned objects.
+func (p *ReadPlan) Len() int { return len(p.ids) }
+
+// IDs returns the planned object ids in read order (shared storage; callers
+// must not mutate).
+func (p *ReadPlan) IDs() []ObjectID { return p.ids }
+
+// Tier returns the tier index object i was resolved on.
+func (p *ReadPlan) Tier(i int) int { return p.tiers[i] }
+
+// Runs returns the number of consecutive same-tier runs in the plan, letting
+// callers account per-tier totals in O(runs) instead of O(objects).
+func (p *ReadPlan) Runs() int { return len(p.runs) }
+
+// Run returns run i's tier and its [start, end) range of object indices.
+func (p *ReadPlan) Run(i int) (tier, start, end int) {
+	if i > 0 {
+		start = p.runs[i-1].end
+	}
+	return p.runs[i].tier, start, p.runs[i].end
+}
+
+// Reset empties the plan, keeping capacity.
+func (p *ReadPlan) Reset() {
+	p.ids = p.ids[:0]
+	p.handles = p.handles[:0]
+	p.tiers = p.tiers[:0]
+	p.sizes = p.sizes[:0]
+	if len(p.sums) > 0 {
+		p.sums = p.sums[:1]
+	}
+	p.spans = p.spans[:0]
+	p.refs = p.refs[:0]
+	p.runs = p.runs[:0]
+}
+
+// Truncate drops all planned objects at index n and beyond, keeping capacity.
+func (p *ReadPlan) Truncate(n int) {
+	if n < 0 || n >= len(p.ids) {
+		return
+	}
+	p.ids = p.ids[:n]
+	p.handles = p.handles[:n]
+	p.tiers = p.tiers[:n]
+	p.sizes = p.sizes[:n]
+	p.sums = p.sums[:n+1]
+	p.spans = p.spans[:n]
+	p.refs = p.refs[:n]
+	for len(p.runs) > 0 {
+		last := len(p.runs) - 1
+		start := 0
+		if last > 0 {
+			start = p.runs[last-1].end
+		}
+		if start >= n {
+			p.runs = p.runs[:last]
+			continue
+		}
+		if p.runs[last].end > n {
+			p.runs[last].end = n
+		}
+		break
+	}
+}
+
+// PlanAppend resolves id once and appends it to the plan, extending the final
+// run when the object lives on the same tier as its predecessor. Resolution
+// errors match Get's: a missing id fails the manager lookup, an expired or
+// deleted MRM object fails ref resolution.
+func (m *Manager) PlanAppend(p *ReadPlan, id ObjectID) error {
+	pl, ok := m.objects[id]
+	if !ok {
+		return fmt.Errorf("tier: no object %d", id)
+	}
+	var (
+		span memdev.Span
+		ref  core.ObjRef
+		err  error
+	)
+	switch b := m.tiers[pl.tier].(type) {
+	case SpanGetter:
+		span, err = b.ResolveSpan(pl.handle)
+	case RefGetter:
+		ref, err = b.ResolveRef(pl.handle)
+	}
+	if err != nil {
+		return err
+	}
+	p.ids = append(p.ids, id)
+	p.handles = append(p.handles, pl.handle)
+	p.tiers = append(p.tiers, pl.tier)
+	p.sizes = append(p.sizes, pl.meta.Size)
+	if len(p.sums) == 0 {
+		p.sums = append(p.sums, 0)
+	}
+	p.sums = append(p.sums, p.sums[len(p.sums)-1]+pl.meta.Size)
+	p.spans = append(p.spans, span)
+	p.refs = append(p.refs, ref)
+	if n := len(p.runs); n > 0 && p.runs[n-1].tier == pl.tier {
+		p.runs[n-1].end = len(p.ids)
+	} else {
+		p.runs = append(p.runs, planRun{tier: pl.tier, end: len(p.ids)})
+	}
+	return nil
+}
+
+// GetPlanned executes the plan: the same device read sequence, fault events,
+// per-tier accounting, and error contract as GetBatch(p.IDs()), with the id
+// lookups and run grouping already paid at append time. Each run issues
+// through the backend's resolved vectored path; the single-span (single-ref)
+// case is device-identical to the serial Get that GetBatch would use for a
+// length-1 run. Returns the number of objects read in full and the
+// first-failing Get's error.
+func (m *Manager) GetPlanned(p *ReadPlan) (int, error) {
+	done := 0
+	for _, run := range p.runs {
+		switch b := m.tiers[run.tier].(type) {
+		case SpanGetter:
+			n, err := b.GetSpans(p.spans[done:run.end])
+			// Prefix sums give the completed objects' total in O(1); integer
+			// addition makes it the exact per-object sum.
+			m.perTierReads[run.tier] += p.sums[done+n] - p.sums[done]
+			done += n
+			if err != nil {
+				return done, err
+			}
+		case RefGetter:
+			n, err := b.GetRefs(p.refs[done:run.end])
+			m.perTierReads[run.tier] += p.sums[done+n] - p.sums[done]
+			done += n
+			if err != nil {
+				return done, err
+			}
+		default:
+			// No resolved fast path: serial Gets, exactly GetBatch's fallback.
+			for i := done; i < run.end; i++ {
+				if _, err := m.tiers[run.tier].Get(p.handles[i]); err != nil {
+					return done, err
+				}
+				m.perTierReads[run.tier] += p.sizes[i]
+				done++
+			}
+		}
+	}
+	return done, nil
+}
+
+// NextHousekeeping reports the earliest pending housekeeping deadline across
+// tiers with deadline-driven work (see Housekeeper), letting a discrete-event
+// driver segment idle windows so no refresh or expiry fires late.
+func (m *Manager) NextHousekeeping() (time.Duration, bool) {
+	var best time.Duration
+	found := false
+	for _, t := range m.tiers {
+		hk, ok := t.(Housekeeper)
+		if !ok {
+			continue
+		}
+		if at, ok := hk.NextDeadline(); ok && (!found || at < best) {
+			best, found = at, true
+		}
+	}
+	return best, found
+}
+
 // Delete removes an object.
 func (m *Manager) Delete(id ObjectID) error {
 	p, ok := m.objects[id]
@@ -914,8 +1198,7 @@ func (m *Manager) ReadTime(perTier []units.Bytes) time.Duration {
 		if idx >= len(m.tiers) || n == 0 {
 			continue
 		}
-		info := m.tiers[idx].Info()
-		if t := info.ReadBW.Time(n); t > worst {
+		if t := m.readBW[idx].Time(n); t > worst {
 			worst = t
 		}
 	}
