@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet lint test ci bench bench-json bench-diff run-experiments cover fmt fmt-check fault-smoke fault-golden
+.PHONY: all build vet lint test ci bench bench-json bench-diff run-experiments cover fmt fmt-check fault-smoke fault-golden daemon-smoke
 
 all: build vet test
 
@@ -25,6 +25,7 @@ test:
 	go test ./...
 	go test -race ./...
 	$(MAKE) fault-smoke
+	$(MAKE) daemon-smoke
 
 # ci is what .github/workflows/ci.yml runs: the full gate plus a formatting
 # check.
@@ -43,6 +44,13 @@ fault-smoke:
 
 fault-golden:
 	go run ./cmd/mrmsim -exp e30 -seed 42 -fault-rate 1e-3 -fault-seed 7 -parallel 8 > testdata/e30_golden.txt
+
+# daemon-smoke drills the mrmd serving daemon end-to-end: start on an
+# ephemeral port, probe /healthz and /readyz, submit a request, arm /chaos,
+# reconfigure tiering live, then SIGTERM and require a clean drain (exit 0
+# within the drain deadline).
+daemon-smoke:
+	sh scripts/daemon_smoke.sh
 
 bench:
 	go test -bench=. -benchmem ./...

@@ -1,0 +1,142 @@
+// Command mrmd is the long-running serving daemon: it hosts MRM-backed
+// serving-node simulators as a persistent HTTP/JSON service with per-request
+// deadlines, bounded-queue backpressure, transient-fault retry, live chaos
+// injection, and graceful SIGTERM drain.
+//
+// Usage:
+//
+//	mrmd -addr 127.0.0.1:8080 -nodes 2 -memory hbm+mrm
+//
+// Then:
+//
+//	curl localhost:8080/healthz
+//	curl -XPOST localhost:8080/v1/submit -d '{"prompt_tokens":128,"output_tokens":32}'
+//	curl -XPOST localhost:8080/v1/chaos -d '{"seed":7,"transient_rate":1e-4}'
+//	kill -TERM <pid>   # graceful drain, exit 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mrm"
+	"mrm/internal/cluster"
+	"mrm/internal/llm"
+	"mrm/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		addrFile = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using -addr :0)")
+		nodes    = flag.Int("nodes", 1, "number of serving nodes")
+		memory   = flag.String("memory", "hbm+mrm", "memory system per node: hbm-only, hbm+lpddr, or hbm+mrm")
+		model    = flag.String("model", "Llama2-7B", "model preset served by each node")
+		queue    = flag.Int("queue-depth", 64, "bounded admission queue depth (full queue = 429)")
+		maxBatch = flag.Int("max-batch", 8, "max requests per node sim batch")
+		reqTO    = flag.Duration("request-timeout", 30*time.Second, "default per-request deadline")
+		drainTO  = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain deadline")
+		seed     = flag.Uint64("seed", 1, "daemon seed (retry jitter, default chaos derivation)")
+		attempts = flag.Int("retries", 4, "total attempts per batch on transient faults (1 disables)")
+		pageToks = flag.Int("page-tokens", 16, "KV page size in token vectors")
+		kvLife   = flag.Duration("kv-lifetime", 30*time.Minute, "KV page lifetime hint")
+	)
+	flag.Parse()
+
+	var memCfg mrm.MemoryConfig
+	switch *memory {
+	case "hbm-only":
+		memCfg = mrm.HBMOnly
+	case "hbm+lpddr":
+		memCfg = mrm.HBMPlusLPDDR
+	case "hbm+mrm":
+		memCfg = mrm.HBMPlusMRM
+	default:
+		fmt.Fprintf(os.Stderr, "mrmd: unknown -memory %q (want hbm-only, hbm+lpddr, or hbm+mrm)\n", *memory)
+		return 2
+	}
+	mc, err := llm.ModelByName(*model)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mrmd: %v\n", err)
+		return 2
+	}
+
+	build := func(node int) (server.Node, error) {
+		ms, err := mrm.BuildMemory(memCfg)
+		if err != nil {
+			return server.Node{}, err
+		}
+		sim, err := cluster.NewSim(cluster.Config{
+			Model: mc, Acc: llm.B200, Memory: ms.Manager,
+			PageTokens: *pageToks, MaxBatch: *maxBatch,
+			KVLifetime: *kvLife, ScratchTier: ms.ScratchTier,
+		})
+		if err != nil {
+			return server.Node{}, err
+		}
+		return server.Node{Sim: sim, Mem: ms.Manager, Arm: ms.ApplyFaults}, nil
+	}
+
+	srv, err := server.New(server.Config{
+		Build:          build,
+		Nodes:          *nodes,
+		QueueDepth:     *queue,
+		MaxBatch:       *maxBatch,
+		RequestTimeout: *reqTO,
+		DrainTimeout:   *drainTO,
+		Retry:          server.RetryPolicy{MaxAttempts: *attempts},
+		Seed:           *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mrmd: %v\n", err)
+		return 1
+	}
+	if err := srv.Listen(*addr); err != nil {
+		fmt.Fprintf(os.Stderr, "mrmd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "mrmd: serving %d node(s) of %s on %s (listening on %s)\n",
+		*nodes, mc.Name, memCfg, srv.Addr())
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(srv.Addr()+"\n"), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mrmd: writing -addr-file: %v\n", err)
+			return 1
+		}
+	}
+
+	// Graceful drain on SIGTERM/SIGINT: stop admitting (429), finish every
+	// admitted request within the drain deadline, flush final metrics, exit
+	// 0. A second signal force-exits.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	drained := make(chan error, 1)
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "mrmd: %v: draining (deadline %v)\n", sig, *drainTO)
+		go func() {
+			<-sigc
+			fmt.Fprintln(os.Stderr, "mrmd: second signal, aborting")
+			os.Exit(130)
+		}()
+		drained <- srv.Shutdown(os.Stderr)
+	}()
+
+	if err := srv.Serve(); err != nil {
+		fmt.Fprintf(os.Stderr, "mrmd: %v\n", err)
+		return 1
+	}
+	if err := <-drained; err != nil {
+		fmt.Fprintf(os.Stderr, "mrmd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "mrmd: drained cleanly")
+	return 0
+}

@@ -27,11 +27,31 @@ var Analyzer = &analysis.Analyzer{
 // prefer per-site //mrm:allow-nondet directives, which carry a reason).
 var AllowPackages = map[string]bool{}
 
+// shellPackages are the import-path tails of the nondeterministic shell: the
+// long-running serving daemon and its binary. They face real traffic and real
+// time — wall-clock deadlines, OS signals, goroutine wakeups — and feed the
+// deterministic core through a virtual clock, so the determinism contract
+// deliberately stops at their boundary. Everything under them (subpackages
+// included) is exempt; the sim core they call into stays locked.
+var shellPackages = []string{"internal/server", "cmd/mrmd"}
+
+// isShell reports whether path is part of the nondeterministic shell.
+func isShell(path string) bool {
+	for _, s := range shellPackages {
+		if path == s || strings.HasSuffix(path, "/"+s) ||
+			strings.Contains(path, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
 // inScope reports whether a package holds simulation code: the module root
 // (the experiment drivers), internal packages, and commands. Example programs
-// are demo code and exempt.
+// are demo code, and the serving shell (internal/server, cmd/mrmd) is the
+// designated nondeterministic layer; both are exempt.
 func inScope(path string) bool {
-	if AllowPackages[path] {
+	if AllowPackages[path] || isShell(path) {
 		return false
 	}
 	return path == "mrm" ||

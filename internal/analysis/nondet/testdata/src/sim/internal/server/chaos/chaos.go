@@ -1,0 +1,9 @@
+// Package chaos is a nondet fixture pinning that the shell exemption covers
+// subpackages of internal/server, not just the package itself.
+package chaos
+
+import "time"
+
+func armedAt() time.Time {
+	return time.Now()
+}

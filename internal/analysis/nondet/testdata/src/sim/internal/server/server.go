@@ -1,0 +1,28 @@
+// Package server is a nondet fixture for the shell exemption: its import
+// path ends in "internal/server", the designated nondeterministic shell, so
+// wall-clock reads, global rand, and scheduling-dependent selects — the
+// daemon's bread and butter (deadlines, jittered backoff, queue waits) — are
+// not flagged even though the path also matches the "internal/" scope rule.
+package server
+
+import (
+	"math/rand"
+	"time"
+)
+
+func deadline() time.Time {
+	return time.Now().Add(30 * time.Second)
+}
+
+func jitter(max time.Duration) time.Duration {
+	return time.Duration(rand.Int63n(int64(max)))
+}
+
+func waitOrTimeout(done chan int, t *time.Timer) int {
+	select {
+	case v := <-done:
+		return v
+	case <-t.C:
+		return -1
+	}
+}

@@ -7,6 +7,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -181,6 +182,32 @@ type Config struct {
 	// jump the request clock without aging the devices — which the recorded
 	// experiment goldens pin.
 	IdleTick bool
+	// OnDone, when set, streams a completion record for every request the
+	// sim retires (completed or truncated), in retirement order. The record
+	// is a pure function of sim state, so a nil OnDone leaves the sim
+	// byte-identical; a serving shell hooks it to deliver per-request
+	// TTFT/TBT results as they happen instead of waiting for Result's
+	// aggregate histograms. The callback runs synchronously on the sim's
+	// goroutine and must not call back into the sim.
+	OnDone func(Done)
+}
+
+// Done is one request's completion record, streamed to Config.OnDone the
+// instant the sim retires the request. Times are virtual (simulated).
+type Done struct {
+	ID     uint64
+	Tokens int // tokens generated (0 if truncated before the first token)
+	// TTFT is the first-token latency (prefill completion for monolithic
+	// prefill, first generated token under chunked prefill) — the same
+	// quantity the sim's TTFT histogram observes.
+	TTFT time.Duration
+	// TBT is the mean time between tokens (0 with fewer than two tokens).
+	TBT time.Duration
+	// At is the virtual completion time.
+	At time.Duration
+	// Truncated marks a request cut short by memory pressure rather than
+	// run to its output length.
+	Truncated bool
 }
 
 type running struct {
@@ -272,6 +299,8 @@ type Sim struct {
 	ttft *metrics.Histogram
 	tbt  *metrics.Histogram
 
+	onDone func(Done)
+
 	tokensOut    int64
 	completed    int
 	truncated    int
@@ -330,6 +359,7 @@ func NewSim(cfg Config) (*Sim, error) {
 		eng:          eng,
 		stepping:     stepping,
 		idleTick:     cfg.IdleTick,
+		onDone:       cfg.OnDone,
 		plans:        !stepping,
 		ttft:         metrics.NewHistogram(1e-6, 1.05),
 		tbt:          metrics.NewHistogram(1e-6, 1.05),
@@ -371,9 +401,31 @@ func NewSim(cfg Config) (*Sim, error) {
 // WeightsTier reports where the weights landed.
 func (s *Sim) WeightsTier() int { return s.wTier }
 
+// Clock returns the sim's current virtual time. An ingest layer feeding the
+// sim live (the serving daemon) stamps new requests' arrivals with it, so
+// arrivals are expressed on the virtual timeline and TTFT/TBT stay pure
+// simulated quantities.
+func (s *Sim) Clock() time.Duration { return s.clock }
+
+// SetOnDone installs (or, with nil, removes) the per-request completion
+// callback after construction; see Config.OnDone. Must not be called while
+// a Run is in progress.
+func (s *Sim) SetOnDone(fn func(Done)) { s.onDone = fn }
+
 // Run executes the request stream to completion and returns the result.
 func (s *Sim) Run(reqs []Request) (Result, error) {
 	res, _, err := s.RunUntil(reqs, -1)
+	return res, err
+}
+
+// RunContext is Run with a cancellation context: the engines poll ctx
+// between events and abort with a wrapped ctx.Err() when it fires. The sim's
+// state stays consistent on cancellation — requests already retired have
+// been reported, the rest remain pending — so a shell enforcing a drain
+// deadline can bound a batch without corrupting the node. A background (or
+// nil) context is byte-identical to Run.
+func (s *Sim) RunContext(ctx context.Context, reqs []Request) (Result, error) {
+	res, _, err := s.RunUntilContext(ctx, reqs, -1)
 	return res, err
 }
 
@@ -384,6 +436,11 @@ func (s *Sim) Run(reqs []Request) (Result, error) {
 // remote-prefill credit die with the node) and their already-generated tokens
 // are counted as WastedTokens. The fleet requeues them onto survivors.
 func (s *Sim) RunUntil(reqs []Request, stopAt time.Duration) (Result, []Request, error) {
+	return s.RunUntilContext(context.Background(), reqs, stopAt)
+}
+
+// RunUntilContext is RunUntil with a cancellation context; see RunContext.
+func (s *Sim) RunUntilContext(ctx context.Context, reqs []Request, stopAt time.Duration) (Result, []Request, error) {
 	s.pending = append(s.pending, reqs...)
 	// Admission order is class priority, then arrival — one stable sort up
 	// front; requests are only ever consumed from the head after this point.
@@ -396,11 +453,14 @@ func (s *Sim) RunUntil(reqs []Request, stopAt time.Duration) (Result, []Request,
 		}
 		return s.pending[i].Arrival < s.pending[j].Arrival
 	})
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var err error
 	if s.stepping {
-		err = s.runStepping(stopAt)
+		err = s.runStepping(ctx, stopAt)
 	} else {
-		err = s.runEvents(stopAt)
+		err = s.runEvents(ctx, stopAt)
 	}
 	if err != nil {
 		return Result{}, nil, err
@@ -428,8 +488,11 @@ func (s *Sim) RunUntil(reqs []Request, stopAt time.Duration) (Result, []Request,
 // runStepping is the legacy engine: a tick-by-tick outer loop that re-derives
 // "what happens next" at the top of every iteration. Kept as the reference
 // implementation the event engine is equivalence-tested against.
-func (s *Sim) runStepping(stopAt time.Duration) error {
+func (s *Sim) runStepping(ctx context.Context, stopAt time.Duration) error {
 	for len(s.pending) > 0 || len(s.batch) > 0 {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("cluster: run canceled: %w", err)
+		}
 		if stopAt >= 0 && s.clock >= stopAt {
 			break
 		}
@@ -480,8 +543,11 @@ func (s *Sim) runStepping(stopAt time.Duration) error {
 // of the stepping loop: splitting them would insert a fail-stop check between
 // admission and the decode it feeds, and the engines would diverge whenever a
 // monolithic prefill pushes the clock past stopAt.
-func (s *Sim) runEvents(stopAt time.Duration) error {
+func (s *Sim) runEvents(ctx context.Context, stopAt time.Duration) error {
 	for len(s.pending) > 0 || len(s.batch) > 0 {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("cluster: run canceled: %w", err)
+		}
 		if stopAt >= 0 && s.clock >= stopAt {
 			break
 		}
@@ -626,6 +692,9 @@ func (s *Sim) admit() error {
 			if len(s.batch) == 0 {
 				s.pending = s.pending[1:]
 				s.truncated++
+				if s.onDone != nil {
+					s.onDone(Done{ID: req.ID, At: s.clock, Truncated: true})
+				}
 				continue
 			}
 			return nil
@@ -872,7 +941,7 @@ func (s *Sim) decodeStep() error {
 func (s *Sim) runStepOps(ops []stepOp) error {
 	for len(ops) > 0 {
 		if ops[0].fin {
-			s.finish(ops[0].r)
+			s.finish(ops[0].r, false)
 			ops = ops[1:]
 			continue
 		}
@@ -928,7 +997,7 @@ func (s *Sim) flushOps(ops []stepOp, total int) error {
 		// KV memory (or its page write faulted). Finish it early — releasing
 		// its pages, including any stored above — and retry the rest.
 		s.truncated++
-		s.finish(ops[oi].r)
+		s.finish(ops[oi].r, true)
 		ops = ops[oi+1:]
 		total = 0
 		for i := range ops {
@@ -1023,8 +1092,10 @@ func (s *Sim) getWeights() error {
 }
 
 // finish releases a request's pages, records completion, and retires the
-// state struct to the reuse pool.
-func (s *Sim) finish(r *running) {
+// state struct to the reuse pool. truncated marks a request cut short by
+// memory pressure; it only affects the streamed completion record — the
+// caller has already counted it in s.truncated.
+func (s *Sim) finish(r *running, truncated bool) {
 	for _, pid := range r.pages {
 		// Pages may have already expired inside an MRM tier; tolerate it.
 		if err := s.cfg.Memory.Delete(pid); err != nil {
@@ -1032,8 +1103,34 @@ func (s *Sim) finish(r *running) {
 		}
 	}
 	s.completed++
+	s.emitDone(r, truncated)
 	r.retired = true
 	s.freeList = append(s.freeList, r)
+}
+
+// emitDone streams a request's completion record to the OnDone observer (a
+// no-op when none is registered — the sim's own state is untouched either
+// way).
+func (s *Sim) emitDone(r *running, truncated bool) {
+	if s.onDone == nil {
+		return
+	}
+	d := Done{
+		ID:        r.req.ID,
+		Tokens:    r.generated,
+		At:        s.clock,
+		Truncated: truncated,
+	}
+	// firstTok is stamped at monolithic-prefill completion, or at the first
+	// generated token under chunked prefill; a request truncated before
+	// either has no first-token latency to report.
+	if r.firstTok > 0 || r.generated > 0 {
+		d.TTFT = r.firstTok - r.req.Arrival
+	}
+	if r.generated > 1 {
+		d.TBT = (r.lastTok - r.firstTok) / time.Duration(r.generated-1)
+	}
+	s.onDone(d)
 }
 
 // Observations exposes the simulator's latency histograms so callers that

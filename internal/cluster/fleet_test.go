@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"errors"
+	"fmt"
 	"reflect"
 	"testing"
 	"time"
@@ -207,6 +208,53 @@ func TestFleetFailoverDeterministicAcrossWorkers(t *testing.T) {
 		if got := run(w); !reflect.DeepEqual(got, serial) {
 			t.Fatalf("workers=%d: degraded fleet result diverged from serial:\n got %+v\nwant %+v",
 				w, got, serial)
+		}
+	}
+}
+
+func TestFleetSimultaneousFailStopDeterministic(t *testing.T) {
+	// Two nodes fail-stopping at the SAME virtual instant is the nastiest
+	// requeue case: both orphan sets merge into the survivors' queues in one
+	// scheduling round. The merge must be deterministic — byte-identical
+	// results at any worker count and any -parallel setting, over repeated
+	// runs.
+	t.Parallel()
+	reqs := shortRequests(24)
+	run := func(workers int) FleetResult {
+		f := fleetOf(t, 4)
+		f.Workers = workers
+		// Same instant, deliberately listed out of node order.
+		f.Failures = []NodeFailure{
+			{Node: 2, At: 400 * time.Millisecond},
+			{Node: 1, At: 400 * time.Millisecond},
+		}
+		res, err := f.Run(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	if serial.FailedNodes != 2 {
+		t.Fatalf("FailedNodes = %d, want 2", serial.FailedNodes)
+	}
+	if serial.Requeued == 0 {
+		t.Fatal("test wants a failure instant that actually orphans work")
+	}
+	if serial.Completed+serial.Truncated != len(reqs) {
+		t.Fatalf("completed %d + truncated %d != %d", serial.Completed, serial.Truncated, len(reqs))
+	}
+	want := fmt.Sprintf("%+v", serial)
+	for rep := 0; rep < 3; rep++ {
+		for _, w := range []int{1, 2, 8} {
+			got := run(w)
+			if !reflect.DeepEqual(got, serial) {
+				t.Fatalf("rep=%d workers=%d: simultaneous fail-stop diverged:\n got %+v\nwant %+v",
+					rep, w, got, serial)
+			}
+			if s := fmt.Sprintf("%+v", got); s != want {
+				t.Fatalf("rep=%d workers=%d: rendered result not byte-identical", rep, w)
+			}
 		}
 	}
 }

@@ -13,7 +13,9 @@ package metrics
 
 import (
 	"fmt"
+	"io"
 	"math"
+	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -371,6 +373,64 @@ func (r *Registry) Histogram(name string) *Histogram {
 		r.histograms[name] = h
 	}
 	return h
+}
+
+// WriteText renders every metric as one flat numeric sample per line in the
+// Prometheus text exposition style — counters and gauges as `name value`,
+// histograms exploded into `name{q="0.5"}` quantile samples plus `_count`,
+// `_mean`, and `_max` — in deterministic (sorted) order, so two snapshots of
+// identical state render byte-identically and scrapes diff cleanly.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var err error
+	emit := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		emit("%s %d\n", n, r.counters[n].Value())
+	}
+	names = names[:0]
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		emit("%s %g\n", n, r.gauges[n].Value())
+	}
+	names = names[:0]
+	for n := range r.histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s := r.histograms[n].Snapshot()
+		emit("%s{q=\"0.5\"} %g\n", n, s.P50)
+		emit("%s{q=\"0.9\"} %g\n", n, s.P90)
+		emit("%s{q=\"0.99\"} %g\n", n, s.P99)
+		emit("%s{q=\"0.999\"} %g\n", n, s.P999)
+		emit("%s_count %d\n", n, s.Count)
+		emit("%s_mean %g\n", n, s.Mean)
+		emit("%s_max %g\n", n, s.Max)
+	}
+	return err
+}
+
+// ServeHTTP exposes the registry as a text /metrics endpoint (WriteText's
+// format), making a *Registry mountable directly on an HTTP mux.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := r.WriteText(w); err != nil {
+		// The response is already streaming; nothing useful to send.
+		return
+	}
 }
 
 // Each calls fn for every metric in deterministic (sorted) order with a

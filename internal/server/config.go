@@ -1,0 +1,145 @@
+// Package server is the robustness-first serving shell around the
+// deterministic simulation core: a long-running daemon that hosts serving
+// nodes (cluster.Sim instances) as a persistent service behind an HTTP/JSON
+// control plane.
+//
+// The deterministic/nondeterministic boundary is load-bearing and
+// mrmlint-enforced. This package is the nondeterministic side — it reads the
+// wall clock, sleeps jittered backoffs, races goroutines on selects, and
+// reacts to OS signals. The sim core it hosts stays pure: the ingest layer
+// stamps every admitted request with the node's *virtual* clock, so
+// TTFT/TBT remain simulated quantities, and per-request results stream out
+// through cluster.Config.OnDone without the core ever observing real time.
+//
+// Robustness machinery, in the order a request meets it:
+//
+//   - panic-recovery middleware (a handler bug 500s one request, not the
+//     daemon);
+//   - per-request deadlines propagated via context.Context, with typed
+//     timeout errors (TimeoutError, errors.Is-compatible with
+//     context.DeadlineExceeded);
+//   - a bounded admission queue with explicit backpressure: when full,
+//     submissions are rejected with ErrQueueFull (HTTP 429 + Retry-After),
+//     never buffered without bound;
+//   - retry with exponential backoff and full jitter for transient
+//     fault-class errors (fault.ErrUncorrectable and friends, classified
+//     with errors.Is); permanent errors fail fast and rebuild the node;
+//   - graceful drain: shutdown stops admitting (429), runs every admitted
+//     request to completion within a drain deadline, then flushes final
+//     metrics;
+//   - live chaos: deterministic seeded fault injection can be armed against
+//     running nodes, so degradation paths are exercisable in production
+//     posture.
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"mrm/internal/cluster"
+	"mrm/internal/tier"
+)
+
+// Node is one serving node as the daemon sees it: the deterministic sim, its
+// tiered memory (for live tiering reconfiguration), and an Arm hook that
+// installs seeded fault injection on that memory (for live chaos). Builders
+// construct fresh Nodes; the daemon also invokes the builder again to
+// rebuild a node whose sim failed permanently.
+type Node struct {
+	Sim *cluster.Sim
+	Mem *tier.Manager
+	// Arm installs deterministic fault injection on the node's memory
+	// (rates of zero disarm). Optional; a nil Arm makes /chaos a no-op for
+	// this node. It is only invoked from the node's own goroutine, between
+	// batches, so it never races the sim.
+	Arm func(seed uint64, transientRate, lapseRate float64)
+}
+
+// Builder constructs the node with the given index. It is called once per
+// node at startup and again whenever a node is rebuilt after a permanent
+// failure, so it must return an independent, fully initialized node each
+// time.
+type Builder func(node int) (Node, error)
+
+// RetryPolicy bounds the retry-with-backoff loop around transient sim
+// faults.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts, including the first
+	// (minimum 1; a value of 1 disables retries).
+	MaxAttempts int
+	// Base is the backoff ceiling before the first retry; the ceiling
+	// doubles each further retry, capped at Max. The actual sleep is drawn
+	// uniformly from [0, ceiling) — "full jitter" — so retrying nodes
+	// decorrelate instead of thundering together.
+	Base time.Duration
+	// Max caps the backoff ceiling.
+	Max time.Duration
+}
+
+// Config assembles a daemon.
+type Config struct {
+	// Build constructs the serving nodes. Required.
+	Build Builder
+	// Nodes is the number of serving nodes (default 1).
+	Nodes int
+	// QueueDepth bounds the admission queue (default 64). A full queue
+	// rejects with ErrQueueFull — explicit backpressure, never unbounded
+	// buffering.
+	QueueDepth int
+	// MaxBatch caps how many queued requests one node pulls per sim batch
+	// (default 8).
+	MaxBatch int
+	// RequestTimeout is the default per-request wall-clock deadline applied
+	// when a submission names none (default 30s); MaxTimeout caps
+	// client-requested deadlines (default 2m).
+	RequestTimeout time.Duration
+	MaxTimeout     time.Duration
+	// DrainTimeout bounds graceful shutdown: admitted requests get this
+	// long to finish before the daemon abandons them (default 15s).
+	DrainTimeout time.Duration
+	// Retry is the transient-fault retry policy (defaults: 4 attempts, 5ms
+	// base, 250ms cap).
+	Retry RetryPolicy
+	// Seed seeds the daemon's own randomness (retry jitter) and the default
+	// chaos-seed derivation. Deterministic tests pin it; production can
+	// leave the default.
+	Seed uint64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() (Config, error) {
+	if c.Build == nil {
+		return c, fmt.Errorf("server: config needs a node Builder")
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 15 * time.Second
+	}
+	if c.Retry.MaxAttempts <= 0 {
+		c.Retry.MaxAttempts = 4
+	}
+	if c.Retry.Base <= 0 {
+		c.Retry.Base = 5 * time.Millisecond
+	}
+	if c.Retry.Max <= 0 {
+		c.Retry.Max = 250 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c, nil
+}

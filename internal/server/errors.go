@@ -1,0 +1,42 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrQueueFull reports that the bounded admission queue rejected a
+// submission: the daemon sheds load explicitly (HTTP 429 + Retry-After)
+// instead of buffering without bound.
+var ErrQueueFull = errors.New("server: admission queue full")
+
+// ErrDraining reports that the daemon is shutting down and no longer admits
+// work (HTTP 429 + Retry-After; retry against another replica).
+var ErrDraining = errors.New("server: draining, not admitting")
+
+// ErrNodeFailed reports that the serving node processing the request failed
+// permanently (after exhausting the transient-retry budget) and was rebuilt;
+// the request's work is lost (HTTP 500).
+var ErrNodeFailed = errors.New("server: serving node failed")
+
+// TimeoutError is the typed per-request deadline error. It wraps
+// context.DeadlineExceeded for errors.Is, and records at which stage the
+// deadline expired so 504 bodies can say whether the request ever reached a
+// node.
+type TimeoutError struct {
+	// Stage is "queued" (deadline expired before a node picked the request
+	// up) or "running" (expired while the request was inside a sim batch).
+	Stage string
+	// Elapsed is how long the request had been in the daemon.
+	Elapsed time.Duration
+}
+
+// Error implements error.
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("server: request deadline exceeded after %v (%s)", e.Elapsed, e.Stage)
+}
+
+// Unwrap makes errors.Is(err, context.DeadlineExceeded) true.
+func (e *TimeoutError) Unwrap() error { return context.DeadlineExceeded }

@@ -1,0 +1,353 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"mrm/internal/cluster"
+	"mrm/internal/dist"
+	"mrm/internal/llm"
+)
+
+// routes mounts the control plane.
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.Handle("GET /metrics", s.reg)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/submit", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/trace", s.handleTrace)
+	s.mux.HandleFunc("POST /v1/chaos", s.handleChaos)
+	s.mux.HandleFunc("POST /v1/config/tiering", s.handleTiering)
+}
+
+// recoverMiddleware contains handler panics: the request gets a 500, the
+// daemon keeps serving.
+func (s *Server) recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.reg.Counter("mrmd_panics_total").Inc()
+				// Best effort: if the handler already wrote, this is a no-op.
+				writeJSONError(w, http.StatusInternalServerError,
+					fmt.Sprintf("internal error: %v", rec))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// writeSubmitError maps the service's typed errors onto HTTP statuses:
+// backpressure is 429 with a Retry-After hint, deadlines are 504, node loss
+// is 500.
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	var te *TimeoutError
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", strconv.Itoa(s.svc.RetryAfter()))
+		writeJSONError(w, http.StatusTooManyRequests, err.Error())
+	case errors.As(err, &te):
+		writeJSONError(w, http.StatusGatewayTimeout, te.Error())
+	case errors.Is(err, ErrNodeFailed):
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+	default:
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz reports readiness: 503 once draining so load balancers stop
+// routing here before the listener goes away.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.svc.Draining() {
+		writeJSONError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"nodes":       len(s.svc.nodes),
+		"queue_depth": s.svc.QueueDepth(),
+		"queue_cap":   s.cfg.QueueDepth,
+		"max_batch":   s.cfg.MaxBatch,
+		"draining":    s.svc.Draining(),
+	})
+}
+
+// submitBody is the /v1/submit request.
+type submitBody struct {
+	PromptTokens int    `json:"prompt_tokens"`
+	OutputTokens int    `json:"output_tokens"`
+	Class        string `json:"class"` // interactive | throughput | best-effort
+	Prefilled    bool   `json:"prefilled"`
+	TimeoutMS    int    `json:"timeout_ms"`
+}
+
+// submitReply is the /v1/submit response: virtual-clock service quality plus
+// shell-side accounting.
+type submitReply struct {
+	ID           uint64  `json:"id"`
+	Node         int     `json:"node"`
+	Attempts     int     `json:"attempts"`
+	Tokens       int     `json:"tokens"`
+	Truncated    bool    `json:"truncated"`
+	TTFTVirtualS float64 `json:"ttft_virtual_s"`
+	TBTVirtualS  float64 `json:"tbt_virtual_s"`
+	DoneVirtualS float64 `json:"done_at_virtual_s"`
+	WallS        float64 `json:"wall_s"`
+}
+
+func parseClass(s string) (cluster.SLAClass, error) {
+	switch s {
+	case "", "interactive":
+		return cluster.Interactive, nil
+	case "throughput":
+		return cluster.Throughput, nil
+	case "best-effort":
+		return cluster.BestEffort, nil
+	default:
+		return 0, fmt.Errorf("unknown class %q (want interactive, throughput, or best-effort)", s)
+	}
+}
+
+// timeoutFor resolves the request's wall-clock deadline: client ask, clamped
+// to MaxTimeout, defaulting to RequestTimeout.
+func (s *Server) timeoutFor(ms int) time.Duration {
+	d := s.cfg.RequestTimeout
+	if ms > 0 {
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var body submitBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	class, err := parseClass(body.Class)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(body.TimeoutMS))
+	defer cancel()
+	res, err := s.svc.Submit(ctx, SubmitRequest{
+		PromptTokens: body.PromptTokens,
+		OutputTokens: body.OutputTokens,
+		Class:        class,
+		Prefilled:    body.Prefilled,
+	})
+	if err != nil {
+		s.writeSubmitError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, submitReply{
+		ID:           res.ID,
+		Node:         res.Node,
+		Attempts:     res.Attempts,
+		Tokens:       res.Done.Tokens,
+		Truncated:    res.Done.Truncated,
+		TTFTVirtualS: res.Done.TTFT.Seconds(),
+		TBTVirtualS:  res.Done.TBT.Seconds(),
+		DoneVirtualS: res.Done.At.Seconds(),
+		WallS:        res.Wall.Seconds(),
+	})
+}
+
+// traceBody is the /v1/trace request: draw a deterministic request stream
+// from a workload preset and push it through the daemon's front door (same
+// admission, backpressure, and retry path as individual submissions).
+type traceBody struct {
+	Requests   int    `json:"requests"`
+	Workload   string `json:"workload"` // splitwise-conv (default) | splitwise-code
+	Seed       uint64 `json:"seed"`
+	MaxContext int    `json:"max_context"`
+	TimeoutMS  int    `json:"timeout_ms"`
+}
+
+type traceReply struct {
+	Submitted int     `json:"submitted"`
+	Completed int     `json:"completed"`
+	Truncated int     `json:"truncated"`
+	Rejected  int     `json:"rejected"`
+	TimedOut  int     `json:"timed_out"`
+	Failed    int     `json:"failed"`
+	TTFTP50S  float64 `json:"ttft_virtual_p50_s"`
+	TTFTP99S  float64 `json:"ttft_virtual_p99_s"`
+	WallS     float64 `json:"wall_s"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	var body traceBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if body.Requests <= 0 || body.Requests > 4096 {
+		writeJSONError(w, http.StatusBadRequest, "requests must be in [1, 4096]")
+		return
+	}
+	wl := llm.SplitwiseConv
+	switch body.Workload {
+	case "", "splitwise-conv":
+	case "splitwise-code":
+		wl = llm.SplitwiseCode
+	default:
+		writeJSONError(w, http.StatusBadRequest,
+			fmt.Sprintf("unknown workload %q (want splitwise-conv or splitwise-code)", body.Workload))
+		return
+	}
+	seed := body.Seed
+	if seed == 0 {
+		seed = s.cfg.Seed
+	}
+	maxCtx := body.MaxContext
+	if maxCtx <= 0 {
+		maxCtx = 8192
+	}
+	gen := cluster.Generator{
+		Workload:   wl,
+		RatePerSec: 1, // arrivals are re-stamped at admission; rate is moot
+		Mix:        [3]float64{0.5, 0.3, 0.2},
+		MaxContext: maxCtx,
+	}
+	reqs, err := gen.Generate(dist.NewRNG(seed), body.Requests)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	timeout := s.timeoutFor(body.TimeoutMS)
+	start := time.Now()
+	var (
+		mu      sync.Mutex
+		reply   traceReply
+		ttfts   []float64
+		wg      sync.WaitGroup
+		backoff = 5 * time.Millisecond
+	)
+	for _, req := range reqs {
+		wg.Add(1)
+		go func(req cluster.Request) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), timeout)
+			defer cancel()
+			res, err := s.svc.Submit(ctx, SubmitRequest{
+				PromptTokens: req.PromptTokens,
+				OutputTokens: req.OutputTokens,
+				Class:        req.Class,
+				Prefilled:    req.Prefilled,
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			reply.Submitted++
+			var te *TimeoutError
+			switch {
+			case err == nil:
+				if res.Done.Truncated {
+					reply.Truncated++
+				} else {
+					reply.Completed++
+				}
+				ttfts = append(ttfts, res.Done.TTFT.Seconds())
+			case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+				reply.Rejected++
+			case errors.As(err, &te):
+				reply.TimedOut++
+			default:
+				reply.Failed++
+			}
+		}(req)
+		// Light pacing so a big trace ramps the queue instead of slamming
+		// the full burst into one admission instant.
+		if len(reqs) > s.cfg.QueueDepth {
+			time.Sleep(backoff / time.Duration(len(reqs)))
+		}
+	}
+	wg.Wait()
+	sort.Float64s(ttfts)
+	if n := len(ttfts); n > 0 {
+		reply.TTFTP50S = ttfts[n/2]
+		reply.TTFTP99S = ttfts[(n*99)/100]
+	}
+	reply.WallS = time.Since(start).Seconds()
+	writeJSON(w, http.StatusOK, reply)
+}
+
+// chaosBody is the /v1/chaos request: arm deterministic seeded fault
+// injection against a running node (or all nodes with node = -1). Rates of
+// zero disarm.
+type chaosBody struct {
+	Node          *int    `json:"node"` // nil or -1 = all nodes
+	Seed          uint64  `json:"seed"`
+	TransientRate float64 `json:"transient_rate"`
+	LapseRate     float64 `json:"lapse_rate"`
+}
+
+func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
+	var body chaosBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	node := -1
+	if body.Node != nil {
+		node = *body.Node
+	}
+	armed, err := s.svc.ArmChaos(node, body.Seed, body.TransientRate, body.LapseRate)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"armed_nodes":    armed,
+		"transient_rate": body.TransientRate,
+		"lapse_rate":     body.LapseRate,
+	})
+}
+
+// tieringBody is the /v1/config/tiering request.
+type tieringBody struct {
+	Policy string `json:"policy"` // static | retention-aware
+}
+
+func (s *Server) handleTiering(w http.ResponseWriter, r *http.Request) {
+	var body tieringBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if err := s.svc.SetTiering(body.Policy); err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"policy": body.Policy})
+}

@@ -1,0 +1,87 @@
+package server
+
+import "sync"
+
+// queue is the bounded admission queue: submissions enter non-blocking (a
+// full queue is an ErrQueueFull rejection, the backpressure signal), node
+// workers block dequeuing batches. Closing the queue stops admission while
+// letting workers drain what was already admitted — the graceful-shutdown
+// half of the contract: everything admitted gets an answer, nothing new gets
+// in.
+//
+// A cond-guarded slice rather than a channel: Enqueue must fail fast when
+// full (never block the HTTP handler), Dequeue must take up to max items in
+// one wakeup, and Close must be idempotent and safe against concurrent
+// enqueues — all awkward on a channel, all trivial here.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond // signaled on enqueue and close; set once in newQueue
+	items  []*call    // guarded by mu
+	cap    int        // guarded by mu
+	closed bool       // guarded by mu
+}
+
+func newQueue(capacity int) *queue {
+	q := &queue{cap: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Enqueue admits c, or rejects immediately with ErrQueueFull (bounded) or
+// ErrDraining (closed).
+func (q *queue) Enqueue(c *call) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrDraining
+	}
+	if len(q.items) >= q.cap {
+		return ErrQueueFull
+	}
+	q.items = append(q.items, c)
+	q.cond.Signal()
+	return nil
+}
+
+// Dequeue blocks until at least one call is queued, then returns up to max
+// of them in admission order. It returns nil only when the queue is closed
+// and fully drained — the worker's signal to exit.
+func (q *queue) Dequeue(max int) []*call {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil
+	}
+	n := max
+	if n > len(q.items) {
+		n = len(q.items)
+	}
+	batch := make([]*call, n)
+	copy(batch, q.items[:n])
+	// Shift rather than re-slice so dequeued calls don't pin the array.
+	rest := copy(q.items, q.items[n:])
+	for i := rest; i < len(q.items); i++ {
+		q.items[i] = nil
+	}
+	q.items = q.items[:rest]
+	return batch
+}
+
+// Len reports the current depth (for Retry-After hints and metrics).
+func (q *queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Close stops admission. Idempotent; queued calls remain dequeueable so
+// workers can drain them.
+func (q *queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}

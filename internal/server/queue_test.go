@@ -1,0 +1,94 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func mkCall(id uint64) *call { return &call{id: id, out: make(chan outcome, 1)} }
+
+func TestQueueBoundedAndOrdered(t *testing.T) {
+	q := newQueue(3)
+	for i := uint64(1); i <= 3; i++ {
+		if err := q.Enqueue(mkCall(i)); err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+	}
+	// The bound is the backpressure contract: the fourth admission sheds.
+	if err := q.Enqueue(mkCall(4)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-cap enqueue = %v, want ErrQueueFull", err)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	// Batch dequeue respects admission order and the max.
+	batch := q.Dequeue(2)
+	if len(batch) != 2 || batch[0].id != 1 || batch[1].id != 2 {
+		t.Fatalf("batch = %+v", batch)
+	}
+	// Shedding freed capacity: admission works again.
+	if err := q.Enqueue(mkCall(5)); err != nil {
+		t.Fatalf("enqueue after dequeue: %v", err)
+	}
+}
+
+func TestQueueCloseDrains(t *testing.T) {
+	q := newQueue(8)
+	for i := uint64(1); i <= 4; i++ {
+		q.Enqueue(mkCall(i))
+	}
+	q.Close()
+	q.Close() // idempotent
+	if err := q.Enqueue(mkCall(9)); !errors.Is(err, ErrDraining) {
+		t.Fatalf("enqueue after close = %v, want ErrDraining", err)
+	}
+	// Already-admitted calls stay dequeueable — the drain half of shutdown.
+	got := 0
+	for {
+		batch := q.Dequeue(3)
+		if batch == nil {
+			break
+		}
+		got += len(batch)
+	}
+	if got != 4 {
+		t.Fatalf("drained %d calls, want 4", got)
+	}
+}
+
+func TestQueueWakesBlockedWorkers(t *testing.T) {
+	q := newQueue(4)
+	var wg sync.WaitGroup
+	results := make(chan int, 2)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := 0
+			for {
+				batch := q.Dequeue(2)
+				if batch == nil {
+					break
+				}
+				n += len(batch)
+			}
+			results <- n
+		}()
+	}
+	for i := uint64(1); i <= 4; i++ {
+		if err := q.Enqueue(mkCall(i)); err != nil {
+			t.Fatalf("enqueue: %v", err)
+		}
+	}
+	q.Close()
+	wg.Wait()
+	close(results)
+	total := 0
+	for n := range results {
+		total += n
+	}
+	if total != 4 {
+		t.Fatalf("workers drained %d calls, want 4", total)
+	}
+}

@@ -1,0 +1,58 @@
+package server
+
+import (
+	"errors"
+	"time"
+
+	"mrm/internal/core"
+	"mrm/internal/dist"
+	"mrm/internal/fault"
+)
+
+// Retryable reports whether err is a transient fault-class error worth
+// retrying on the same node. The split is the daemon's reliability contract,
+// so it leans entirely on errors.Is against the simulator's sentinels —
+// wrapped or not:
+//
+//   - fault.ErrUncorrectable: device-level uncorrectable reads/writes
+//     (injected or organic). The layers below have already degraded
+//     gracefully where they could (KV recompute, weight reseat); what
+//     escapes is a window the next attempt may miss — transient.
+//   - core.ErrExpired: soft state aged out (retention lapse by the virtual
+//     clock); by definition recomputable — transient.
+//
+// Everything else — configuration errors, capacity exhaustion
+// (core.ErrNoSpace), unreachable scrub targets (ecc.ErrUnreachableTarget),
+// canceled contexts — is permanent: retrying cannot help, and the node is
+// rebuilt instead.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, fault.ErrUncorrectable) || errors.Is(err, core.ErrExpired)
+}
+
+// Backoff returns the sleep before retry attempt (1-based): a duration drawn
+// uniformly from [0, min(Max, Base<<(attempt-1))) — exponential backoff with
+// full jitter. rng is the caller's owned generator, so tests can pin the
+// draw.
+func (p RetryPolicy) Backoff(attempt int, rng *dist.RNG) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	ceiling := p.Base
+	for i := 1; i < attempt; i++ {
+		ceiling *= 2
+		if ceiling >= p.Max {
+			ceiling = p.Max
+			break
+		}
+	}
+	if ceiling > p.Max {
+		ceiling = p.Max
+	}
+	if ceiling <= 0 {
+		return 0
+	}
+	return time.Duration(rng.Float64() * float64(ceiling))
+}

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"mrm/internal/core"
+	"mrm/internal/dist"
+	"mrm/internal/ecc"
+	"mrm/internal/fault"
+)
+
+// TestRetryableTable pins the daemon's retryability contract: which simulator
+// errors are transient (retried with backoff) versus permanent (fail fast,
+// rebuild the node). The table deliberately includes wrapped forms — the
+// classification must survive every fmt.Errorf("%w") layer the stack adds.
+func TestRetryableTable(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"uncorrectable", fault.ErrUncorrectable, true},
+		{"uncorrectable wrapped once",
+			fmt.Errorf("memdev: hbm read [0x0,0x1000): %w", fault.ErrUncorrectable), true},
+		{"uncorrectable wrapped twice",
+			fmt.Errorf("cluster: weights unreadable after 2 reseats: %w",
+				fmt.Errorf("memdev: read: %w", fault.ErrUncorrectable)), true},
+		{"expired", core.ErrExpired, true},
+		{"expired wrapped",
+			fmt.Errorf("cluster: KV page read: %w", core.ErrExpired), true},
+		{"no space", core.ErrNoSpace, false},
+		{"no space wrapped",
+			fmt.Errorf("cluster: admission: %w", core.ErrNoSpace), false},
+		{"unreachable scrub target", ecc.ErrUnreachableTarget, false},
+		{"unreachable wrapped",
+			fmt.Errorf("ecc: plan: %w", ecc.ErrUnreachableTarget), false},
+		{"context canceled", context.Canceled, false},
+		{"deadline exceeded", context.DeadlineExceeded, false},
+		{"canceled wrapped",
+			fmt.Errorf("cluster: run canceled: %w", context.Canceled), false},
+		{"plain error", errors.New("cluster: bad config"), false},
+		{"daemon sentinels are not retryable themselves", ErrNodeFailed, false},
+		{"queue full is backpressure, not retry-here", ErrQueueFull, false},
+	}
+	for _, tc := range cases {
+		if got := Retryable(tc.err); got != tc.want {
+			t.Errorf("%s: Retryable(%v) = %v, want %v", tc.name, tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestBackoffFullJitter checks the draw stays inside the exponential
+// envelope: attempt k draws from [0, min(Max, Base·2^(k-1))).
+func TestBackoffFullJitter(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 8, Base: 10 * time.Millisecond, Max: 80 * time.Millisecond}
+	rng := dist.NewRNG(7)
+	ceilings := []time.Duration{
+		10 * time.Millisecond, // attempt 1
+		20 * time.Millisecond, // attempt 2
+		40 * time.Millisecond, // attempt 3
+		80 * time.Millisecond, // attempt 4
+		80 * time.Millisecond, // attempt 5: capped
+		80 * time.Millisecond, // attempt 99: still capped
+	}
+	attempts := []int{1, 2, 3, 4, 5, 99}
+	for round := 0; round < 200; round++ {
+		for i, a := range attempts {
+			d := p.Backoff(a, rng)
+			if d < 0 || d >= ceilings[i] {
+				t.Fatalf("attempt %d: backoff %v outside [0, %v)", a, d, ceilings[i])
+			}
+		}
+	}
+	// Degenerate attempt values clamp rather than panic.
+	if d := p.Backoff(0, rng); d < 0 || d >= p.Base {
+		t.Fatalf("attempt 0 should clamp to the first ceiling, got %v", d)
+	}
+	// The draw is deterministic under a pinned RNG.
+	a := p.Backoff(3, dist.NewRNG(42))
+	b := p.Backoff(3, dist.NewRNG(42))
+	if a != b {
+		t.Fatalf("same seed drew %v then %v", a, b)
+	}
+}
+
+// TestTimeoutErrorIsDeadlineExceeded pins the typed timeout's errors.Is
+// compatibility (handlers and clients both rely on it).
+func TestTimeoutErrorIsDeadlineExceeded(t *testing.T) {
+	err := error(&TimeoutError{Stage: "queued", Elapsed: time.Second})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatal("TimeoutError must unwrap to context.DeadlineExceeded")
+	}
+	var te *TimeoutError
+	if !errors.As(err, &te) || te.Stage != "queued" {
+		t.Fatalf("errors.As lost the typed error: %+v", te)
+	}
+	wrapped := fmt.Errorf("submit: %w", err)
+	if !errors.As(wrapped, &te) {
+		t.Fatal("wrapped TimeoutError must still errors.As")
+	}
+}

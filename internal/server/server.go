@@ -1,0 +1,108 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"mrm/internal/metrics"
+)
+
+// Server is the daemon: the service (nodes + queue) plus its HTTP control
+// plane.
+type Server struct {
+	cfg Config
+	svc *service
+	reg *metrics.Registry
+	mux *http.ServeMux
+	hs  *http.Server
+
+	lis  net.Listener
+	shut atomic.Bool
+}
+
+// New assembles a daemon from cfg (nodes are built and their workers started
+// immediately; requests flow once a listener is attached or the Handler is
+// mounted).
+func New(cfg Config) (*Server, error) {
+	reg := metrics.NewRegistry()
+	svc, err := newService(cfg, reg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: svc.cfg, svc: svc, reg: reg, mux: http.NewServeMux()}
+	s.routes()
+	s.hs = &http.Server{Handler: s.Handler()}
+	return s, nil
+}
+
+// Handler returns the daemon's full HTTP handler (all routes, wrapped in
+// panic recovery). Tests mount it on httptest.Server.
+func (s *Server) Handler() http.Handler {
+	return s.recoverMiddleware(s.mux)
+}
+
+// Metrics exposes the daemon's registry (the smoke test and final flush read
+// it directly).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Listen binds addr (":0" picks a free port).
+func (s *Server) Listen(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	s.lis = lis
+	return nil
+}
+
+// Addr reports the bound address ("" before Listen).
+func (s *Server) Addr() string {
+	if s.lis == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
+
+// Serve runs the HTTP server on the bound listener until Shutdown. It
+// returns nil on graceful shutdown.
+func (s *Server) Serve() error {
+	if s.lis == nil {
+		return fmt.Errorf("server: Serve before Listen")
+	}
+	if err := s.hs.Serve(s.lis); err != nil && err != http.ErrServerClosed {
+		return fmt.Errorf("server: serve: %w", err)
+	}
+	return nil
+}
+
+// Shutdown drains the daemon gracefully: stop admitting (submissions get 429
+// while the listener stays up so in-flight responses can complete), drain
+// every admitted request within the drain deadline, stop the HTTP server,
+// and flush final metrics to w (if non-nil). Returns nil on a clean drain;
+// a drain-deadline overrun returns the wrapped context error after
+// force-failing what was left. Idempotent.
+func (s *Server) Shutdown(w io.Writer) error {
+	if s.shut.Swap(true) {
+		return nil
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	drainErr := s.svc.Shutdown(drainCtx)
+	// The service has answered every admitted call; now close the HTTP side
+	// (brief deadline — handlers only have responses left to write).
+	httpCtx, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel2()
+	if err := s.hs.Shutdown(httpCtx); err != nil {
+		s.hs.Close()
+	}
+	if w != nil {
+		fmt.Fprintf(w, "# mrmd final metrics\n")
+		s.reg.WriteText(w)
+	}
+	return drainErr
+}

@@ -1,0 +1,430 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mrm/internal/cluster"
+	"mrm/internal/ecc"
+	"mrm/internal/fault"
+	"mrm/internal/llm"
+	"mrm/internal/memdev"
+	"mrm/internal/tier"
+	"mrm/internal/units"
+)
+
+// testBuilder returns a Builder producing small HBM-only serving nodes with
+// a chaos Arm hook, the same shape cmd/mrmd builds from the full memory
+// configurations.
+func testBuilder(t *testing.T) Builder {
+	t.Helper()
+	return func(node int) (Node, error) {
+		spec := memdev.HBM3E
+		spec.Capacity = 64 * units.GiB
+		spec.ReadBW = 8 * units.TBps
+		hbm, err := tier.NewDeviceTier("hbm", spec)
+		if err != nil {
+			return Node{}, err
+		}
+		m, err := tier.NewManager(tier.StaticPolicy{}, hbm)
+		if err != nil {
+			return Node{}, err
+		}
+		sim, err := cluster.NewSim(cluster.Config{
+			Model: llm.Llama27B, Acc: llm.B200,
+			Memory: m, PageTokens: 16, MaxBatch: 4,
+		})
+		if err != nil {
+			return Node{}, err
+		}
+		arm := func(seed uint64, transient, lapse float64) {
+			for i, b := range m.Backends() {
+				if f, ok := b.(tier.Faultable); ok {
+					f.SetFaults(memdev.FaultConfig{
+						Seed:          fault.DeriveSeed(seed, i),
+						TransientRate: transient,
+						Code:          ecc.RSSpec(255, 223),
+						UBERTarget:    1e-18,
+					})
+				}
+			}
+		}
+		return Node{Sim: sim, Mem: m, Arm: arm}, nil
+	}
+}
+
+func newTestServer(t *testing.T, mod func(*Config)) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg := Config{
+		Build:          testBuilder(t),
+		Nodes:          1,
+		QueueDepth:     16,
+		MaxBatch:       4,
+		RequestTimeout: 20 * time.Second,
+		DrainTimeout:   20 * time.Second,
+		Retry:          RetryPolicy{MaxAttempts: 2, Base: time.Millisecond, Max: 2 * time.Millisecond},
+		Seed:           7,
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Shutdown(nil)
+	})
+	return srv, hs
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		out = nil
+	}
+	return resp, out
+}
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return resp.StatusCode, sb.String()
+}
+
+func TestSubmitCompletesOverHTTP(t *testing.T) {
+	_, hs := newTestServer(t, nil)
+	if code, _ := getBody(t, hs.URL+"/healthz"); code != 200 {
+		t.Fatalf("healthz = %d", code)
+	}
+	if code, _ := getBody(t, hs.URL+"/readyz"); code != 200 {
+		t.Fatalf("readyz = %d", code)
+	}
+	resp, out := postJSON(t, hs.URL+"/v1/submit", map[string]any{
+		"prompt_tokens": 64, "output_tokens": 16, "class": "interactive",
+	})
+	if resp.StatusCode != 200 {
+		t.Fatalf("submit = %d (%v)", resp.StatusCode, out)
+	}
+	if out["tokens"].(float64) != 16 {
+		t.Fatalf("tokens = %v", out["tokens"])
+	}
+	if out["ttft_virtual_s"].(float64) <= 0 {
+		t.Fatalf("ttft = %v, want > 0 (virtual clock)", out["ttft_virtual_s"])
+	}
+	if out["truncated"].(bool) {
+		t.Fatal("short request should not truncate")
+	}
+	code, metrics := getBody(t, hs.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics = %d", code)
+	}
+	for _, want := range []string{"mrmd_requests_total 1", "mrmd_completed_total 1", "mrmd_ttft_virtual_seconds_count 1"} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	if code, _ := getBody(t, hs.URL+"/v1/stats"); code != 200 {
+		t.Fatalf("stats = %d", code)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	_, hs := newTestServer(t, nil)
+	resp, _ := postJSON(t, hs.URL+"/v1/submit", map[string]any{"prompt_tokens": 0, "output_tokens": 4})
+	if resp.StatusCode != 400 {
+		t.Fatalf("zero prompt = %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, hs.URL+"/v1/submit", map[string]any{
+		"prompt_tokens": 8, "output_tokens": 4, "class": "warp-speed"})
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad class = %d, want 400", resp.StatusCode)
+	}
+	r, err := http.Post(hs.URL+"/v1/submit", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != 400 {
+		t.Fatalf("bad json = %d, want 400", r.StatusCode)
+	}
+}
+
+func TestPerRequestDeadline(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	_, err := srv.svc.Submit(ctx, SubmitRequest{PromptTokens: 64, OutputTokens: 512})
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want *TimeoutError", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatal("timeout must satisfy errors.Is(err, context.DeadlineExceeded)")
+	}
+	if te.Stage != "queued" && te.Stage != "running" {
+		t.Fatalf("stage = %q", te.Stage)
+	}
+}
+
+// TestBackpressureShedsWith429 is the saturation test: with the worker
+// pinned down by armed chaos (every attempt faults, so it cycles through
+// retry backoffs), a tiny queue fills and the next admission is shed with
+// 429 + Retry-After — never buffered without bound.
+func TestBackpressureShedsWith429(t *testing.T) {
+	srv, hs := newTestServer(t, func(c *Config) {
+		c.QueueDepth = 1
+		c.MaxBatch = 1
+		// Long retry budget with real sleeps: the worker stays busy. A short
+		// drain deadline keeps the test's cleanup Shutdown fast.
+		c.Retry = RetryPolicy{MaxAttempts: 1000, Base: 20 * time.Millisecond, Max: 50 * time.Millisecond}
+		c.DrainTimeout = 200 * time.Millisecond
+	})
+	if _, err := srv.svc.ArmChaos(-1, 7, 1.0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// First submission: the worker dequeues it and starts fault-retrying.
+	go srv.svc.Submit(context.Background(), SubmitRequest{PromptTokens: 64, OutputTokens: 16})
+	waitFor(t, func() bool { return srv.reg.Gauge("mrmd_inflight").Value() >= 1 })
+	// Second submission: sits in the queue (depth 1), filling it.
+	go srv.svc.Submit(context.Background(), SubmitRequest{PromptTokens: 64, OutputTokens: 16})
+	waitFor(t, func() bool { return srv.svc.QueueDepth() >= 1 })
+	// Third submission over HTTP: the queue is full — explicit shed.
+	resp, out := postJSON(t, hs.URL+"/v1/submit", map[string]any{
+		"prompt_tokens": 64, "output_tokens": 16})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated submit = %d (%v), want 429", resp.StatusCode, out)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 must carry a Retry-After hint")
+	}
+	if srv.reg.Counter("mrmd_rejected_full_total").Value() < 1 {
+		t.Fatal("shed not accounted in mrmd_rejected_full_total")
+	}
+}
+
+// TestChaosRetryExhaustionRebuildsNode arms live chaos at rate 1.0 (every
+// read uncorrectable): the daemon retries to its budget, fails the node's
+// calls with ErrNodeFailed (HTTP 500), and rebuilds the node. Disarming
+// returns the daemon to healthy service — the full degradation round-trip.
+func TestChaosRetryExhaustionRebuildsNode(t *testing.T) {
+	srv, hs := newTestServer(t, nil)
+	resp, out := postJSON(t, hs.URL+"/v1/chaos", map[string]any{
+		"seed": 7, "transient_rate": 1.0})
+	if resp.StatusCode != 200 || out["armed_nodes"].(float64) != 1 {
+		t.Fatalf("chaos arm = %d %v", resp.StatusCode, out)
+	}
+	resp, out = postJSON(t, hs.URL+"/v1/submit", map[string]any{
+		"prompt_tokens": 64, "output_tokens": 16})
+	if resp.StatusCode != 500 {
+		t.Fatalf("submit under total chaos = %d (%v), want 500", resp.StatusCode, out)
+	}
+	if !strings.Contains(out["error"].(string), "node") {
+		t.Fatalf("error body %q should name the node failure", out["error"])
+	}
+	if srv.reg.Counter("mrmd_retries_total").Value() < 1 {
+		t.Fatal("transient faults should be retried before giving up")
+	}
+	if srv.reg.Counter("mrmd_node_rebuilds_total").Value() < 1 {
+		t.Fatal("exhausted node should be rebuilt")
+	}
+	// Disarm: the rebuilt node serves cleanly again.
+	if resp, _ := postJSON(t, hs.URL+"/v1/chaos", map[string]any{"transient_rate": 0.0}); resp.StatusCode != 200 {
+		t.Fatalf("chaos disarm = %d", resp.StatusCode)
+	}
+	resp, out = postJSON(t, hs.URL+"/v1/submit", map[string]any{
+		"prompt_tokens": 64, "output_tokens": 16})
+	if resp.StatusCode != 200 {
+		t.Fatalf("submit after disarm = %d (%v), want 200", resp.StatusCode, out)
+	}
+}
+
+// TestGracefulDrain pins the shutdown contract: every admitted request gets
+// a definitive answer (zero drops), new admissions are rejected 429-style,
+// readiness flips, and Shutdown returns nil within the drain deadline.
+func TestGracefulDrain(t *testing.T) {
+	srv, hs := newTestServer(t, func(c *Config) { c.QueueDepth = 64; c.MaxBatch = 2 })
+	const n = 10
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = srv.svc.Submit(context.Background(),
+				SubmitRequest{PromptTokens: 64, OutputTokens: 24})
+		}(i)
+	}
+	// Wait until the burst is at least partly admitted, then drain.
+	waitFor(t, func() bool {
+		return srv.reg.Counter("mrmd_requests_total").Value() >= n
+	})
+	var buf bytes.Buffer
+	if err := srv.Shutdown(&buf); err != nil {
+		t.Fatalf("drain should complete inside the deadline: %v", err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d dropped during drain: %v", i, err)
+		}
+	}
+	if !strings.Contains(buf.String(), "mrmd_completed_total") {
+		t.Fatal("shutdown should flush final metrics")
+	}
+	// Post-drain admissions are refused, and readiness reports draining.
+	if _, err := srv.svc.Submit(context.Background(), SubmitRequest{PromptTokens: 8, OutputTokens: 4}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain submit = %v, want ErrDraining", err)
+	}
+	if code, _ := getBody(t, hs.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after drain = %d, want 503", code)
+	}
+	if code, _ := getBody(t, hs.URL+"/healthz"); code != 200 {
+		t.Fatalf("healthz should stay 200 while the process lives, got %d", code)
+	}
+	if err := srv.Shutdown(nil); err != nil {
+		t.Fatalf("shutdown must be idempotent: %v", err)
+	}
+}
+
+// TestDrainDeadlineAbandons pins the other half: when in-flight work cannot
+// finish inside the drain deadline, the daemon abandons it — the calls still
+// get answers (errors, not silence) and Shutdown reports the overrun.
+func TestDrainDeadlineAbandons(t *testing.T) {
+	srv, _ := newTestServer(t, func(c *Config) {
+		c.QueueDepth = 4
+		c.MaxBatch = 1
+		c.DrainTimeout = 30 * time.Millisecond
+		c.Retry = RetryPolicy{MaxAttempts: 1 << 20, Base: 20 * time.Millisecond, Max: 40 * time.Millisecond}
+	})
+	if _, err := srv.svc.ArmChaos(-1, 7, 1.0, 0); err != nil {
+		t.Fatal(err)
+	}
+	res := make(chan error, 1)
+	go func() {
+		_, err := srv.svc.Submit(context.Background(), SubmitRequest{PromptTokens: 64, OutputTokens: 16})
+		res <- err
+	}()
+	waitFor(t, func() bool { return srv.reg.Gauge("mrmd_inflight").Value() >= 1 })
+	err := srv.Shutdown(nil)
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("overrun drain = %v, want wrapped DeadlineExceeded", err)
+	}
+	select {
+	case serr := <-res:
+		if serr == nil {
+			t.Fatal("abandoned call should fail, not succeed")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("abandoned call never answered — a dropped response")
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, func(c *Config) { c.QueueDepth = 64; c.Nodes = 2 })
+	resp, out := postJSON(t, hs.URL+"/v1/trace", map[string]any{
+		"requests": 8, "workload": "splitwise-code", "seed": 11})
+	if resp.StatusCode != 200 {
+		t.Fatalf("trace = %d (%v)", resp.StatusCode, out)
+	}
+	sum := out["completed"].(float64) + out["truncated"].(float64) +
+		out["rejected"].(float64) + out["timed_out"].(float64) + out["failed"].(float64)
+	if out["submitted"].(float64) != 8 || sum != 8 {
+		t.Fatalf("trace accounting: %v", out)
+	}
+	if out["completed"].(float64) == 0 {
+		t.Fatalf("healthy trace completed nothing: %v", out)
+	}
+}
+
+func TestTieringReconfig(t *testing.T) {
+	_, hs := newTestServer(t, nil)
+	resp, _ := postJSON(t, hs.URL+"/v1/config/tiering", map[string]any{"policy": "retention-aware"})
+	if resp.StatusCode != 200 {
+		t.Fatalf("tiering swap = %d", resp.StatusCode)
+	}
+	// The staged policy applies before the next batch; service continues.
+	resp, out := postJSON(t, hs.URL+"/v1/submit", map[string]any{
+		"prompt_tokens": 64, "output_tokens": 8})
+	if resp.StatusCode != 200 {
+		t.Fatalf("submit after reconfig = %d (%v)", resp.StatusCode, out)
+	}
+	resp, _ = postJSON(t, hs.URL+"/v1/config/tiering", map[string]any{"policy": "zirp"})
+	if resp.StatusCode != 400 {
+		t.Fatalf("unknown policy = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestChaosValidation(t *testing.T) {
+	_, hs := newTestServer(t, nil)
+	resp, _ := postJSON(t, hs.URL+"/v1/chaos", map[string]any{"node": 9, "transient_rate": 0.1})
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad node = %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, hs.URL+"/v1/chaos", map[string]any{"transient_rate": 1.5})
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad rate = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestPanicRecoveryMiddleware pins that a panicking handler costs one 500,
+// not the daemon.
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	h := srv.recoverMiddleware(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("handler bug")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/boom", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler = %d, want 500", rec.Code)
+	}
+	if srv.reg.Counter("mrmd_panics_total").Value() != 1 {
+		t.Fatal("panic not accounted")
+	}
+}
+
+// waitFor polls cond (shell-side wall-clock helper) with a generous bound.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

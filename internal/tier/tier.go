@@ -691,6 +691,19 @@ func (m *Manager) Reseats() int64 { return m.reseats }
 // Policy returns the active policy.
 func (m *Manager) Policy() Policy { return m.policy }
 
+// SetPolicy swaps the placement policy live and returns the previous one.
+// Only future placements (Put/PutBatch/Reseat) consult the policy, so
+// already-placed objects stay where they are — the serving daemon uses this
+// to reconfigure tiering on a running node without disturbing its state.
+func (m *Manager) SetPolicy(p Policy) (Policy, error) {
+	if p == nil {
+		return nil, fmt.Errorf("tier: nil policy")
+	}
+	prev := m.policy
+	m.policy = p
+	return prev, nil
+}
+
 // Tiers returns current tier infos (with indices filled in).
 func (m *Manager) Tiers() []Info {
 	out := make([]Info, len(m.tiers))

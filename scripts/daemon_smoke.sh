@@ -1,0 +1,100 @@
+#!/bin/sh
+# daemon_smoke.sh — end-to-end liveness drill for the mrmd serving daemon.
+#
+# Builds mrmd, starts it on an ephemeral port, probes /healthz and /readyz,
+# submits a request and expects a 200 result, arms /chaos and watches the
+# daemon absorb it, reconfigures tiering live, then sends SIGTERM and
+# requires a clean drain: exit code 0 within the drain deadline.
+#
+# POSIX sh + curl only; no test framework. Exits non-zero on the first
+# failed expectation.
+set -eu
+
+workdir="$(mktemp -d)"
+bin="$workdir/mrmd"
+addrfile="$workdir/addr"
+logfile="$workdir/mrmd.log"
+pid=""
+
+cleanup() {
+    [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "daemon-smoke: FAIL: $*" >&2
+    echo "--- mrmd log ---" >&2
+    cat "$logfile" >&2 || true
+    exit 1
+}
+
+echo "daemon-smoke: building mrmd"
+go build -o "$bin" ./cmd/mrmd
+
+echo "daemon-smoke: starting daemon"
+"$bin" -addr 127.0.0.1:0 -addr-file "$addrfile" -nodes 2 -memory hbm+mrm \
+    -drain-timeout 30s 2>"$logfile" &
+pid=$!
+
+# Wait for the bound address to appear.
+for _ in $(seq 1 100); do
+    [ -s "$addrfile" ] && break
+    kill -0 "$pid" 2>/dev/null || fail "daemon exited during startup"
+    sleep 0.1
+done
+[ -s "$addrfile" ] || fail "daemon never wrote its address"
+addr="$(head -n1 "$addrfile")"
+base="http://$addr"
+echo "daemon-smoke: daemon up at $base (pid $pid)"
+
+# Liveness and readiness.
+curl -fsS "$base/healthz" >/dev/null || fail "/healthz not 200"
+curl -fsS "$base/readyz" >/dev/null || fail "/readyz not 200"
+
+# Submit a request; expect a 200 with tokens out.
+out="$(curl -fsS -XPOST "$base/v1/submit" \
+    -d '{"prompt_tokens":128,"output_tokens":32,"class":"interactive"}')" \
+    || fail "submit rejected"
+case "$out" in
+*'"tokens":32'*) ;;
+*) fail "submit result missing tokens: $out" ;;
+esac
+echo "daemon-smoke: submit ok: $out"
+
+# Arm live chaos at a low rate; the daemon must keep answering 200s.
+out="$(curl -fsS -XPOST "$base/v1/chaos" \
+    -d '{"seed":7,"transient_rate":1e-4}')" || fail "chaos arm rejected"
+case "$out" in
+*'"armed_nodes":2'*) ;;
+*) fail "chaos arm result wrong: $out" ;;
+esac
+curl -fsS -XPOST "$base/v1/submit" \
+    -d '{"prompt_tokens":64,"output_tokens":16}' >/dev/null \
+    || fail "submit under low-rate chaos should still succeed"
+echo "daemon-smoke: chaos armed, daemon still serving"
+
+# Live tiering reconfiguration.
+curl -fsS -XPOST "$base/v1/config/tiering" -d '{"policy":"static"}' >/dev/null \
+    || fail "tiering reconfig rejected"
+
+# Metrics exposition names the daemon's counters.
+curl -fsS "$base/metrics" | grep -q '^mrmd_requests_total' \
+    || fail "/metrics missing mrmd_requests_total"
+
+# Graceful drain: SIGTERM must exit 0 within the drain deadline.
+echo "daemon-smoke: sending SIGTERM"
+kill -TERM "$pid"
+deadline=$(( $(date +%s) + 35 ))
+while kill -0 "$pid" 2>/dev/null; do
+    [ "$(date +%s)" -lt "$deadline" ] || fail "daemon did not exit within drain deadline"
+    sleep 0.2
+done
+rc=0
+wait "$pid" || rc=$?
+pid=""
+[ "$rc" -eq 0 ] || fail "daemon exited $rc, want 0 after graceful drain"
+grep -q "drained cleanly" "$logfile" || fail "daemon log missing clean-drain line"
+grep -q "mrmd final metrics" "$logfile" || fail "daemon log missing final metrics flush"
+
+echo "daemon-smoke: PASS"
