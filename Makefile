@@ -60,7 +60,9 @@ bench:
 # scan, coalesced reads, histogram bucket cache), the cluster-level serving
 # benchmarks (coalesced decode loop, batched write path, fleet run), and the
 # fleet-scale event-engine benchmarks (event vs stepping engine, 1000-node
-# fleet-day) as test2json event lines for regression tracking.
+# fleet-day batch and streamed — BENCH_fleet.json carries the
+# BenchmarkFleetDayStream metrics) as test2json event lines for regression
+# tracking.
 bench-json:
 	go test -json -run '^$$' -bench '^BenchmarkSweep' -benchmem . > BENCH_sweep.json
 	@grep -c '"Action"' BENCH_sweep.json >/dev/null && echo "wrote BENCH_sweep.json"
@@ -74,9 +76,10 @@ bench-json:
 		./internal/cluster > BENCH_fleet.json
 	@grep -c '"Action"' BENCH_fleet.json >/dev/null && echo "wrote BENCH_fleet.json"
 
-# bench-diff compares the device and cluster hot-path benchmarks against a
-# saved baseline with benchstat when both are available. Save a baseline with:
-#   go test -run '^$$' -bench '^(BenchmarkDevice|BenchmarkDecodeCoalesce|BenchmarkSimWritePath|BenchmarkFleetRun)' -count 5 ./internal/memdev ./internal/cluster > bench_baseline.txt
+# bench-diff compares the device and cluster hot-path benchmarks — including
+# the streamed fleet-day path — against a saved baseline with benchstat when
+# both are available. Save a baseline with:
+#   go test -run '^$$' -bench '^(BenchmarkDevice|BenchmarkDecodeCoalesce|BenchmarkSimWritePath|BenchmarkFleetRun|BenchmarkFleetDayStream)' -count 5 ./internal/memdev ./internal/cluster > bench_baseline.txt
 # The target degrades gracefully: it explains what is missing rather than
 # failing when benchstat or the baseline is absent.
 bench-diff:
@@ -84,7 +87,7 @@ bench-diff:
 		echo "bench-diff: no bench_baseline.txt; save one with the command in the Makefile comment"; \
 		exit 0; \
 	fi; \
-	go test -run '^$$' -bench '^(BenchmarkDevice|BenchmarkDecodeCoalesce|BenchmarkSimWritePath|BenchmarkFleetRun)' -count 5 \
+	go test -run '^$$' -bench '^(BenchmarkDevice|BenchmarkDecodeCoalesce|BenchmarkSimWritePath|BenchmarkFleetRun|BenchmarkFleetDayStream)' -count 5 \
 		./internal/memdev ./internal/cluster > bench_new.txt; \
 	if command -v benchstat >/dev/null 2>&1; then \
 		benchstat bench_baseline.txt bench_new.txt; \

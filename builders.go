@@ -113,6 +113,30 @@ func buildMemory(cfg MemoryConfig) (*MemorySystem, error) {
 			return nil, err
 		}
 		return &MemorySystem{Manager: m, ScratchTier: 0, Description: "24 GiB HBM + 384 GiB MRM-RRAM"}, nil
+	case HBMPlusHBF:
+		// The Ma & Patterson rival substrate: a small HBM tier for
+		// activations and partial pages, with two HBF stacks (480 GiB,
+		// 2 TB/s aggregate read) carrying weights and cold KV. Writes and
+		// endurance stay flash-grade — exactly the asymmetry the fleetday
+		// mixes are meant to expose against MRM.
+		hbm, err := tier.NewDeviceTier("hbm", hbmSpec(24*units.GiB))
+		if err != nil {
+			return nil, err
+		}
+		hbfSpec := memdev.HBFlash
+		hbfSpec.Capacity = 480 * units.GiB
+		hbfSpec.ReadBW = 2 * units.TBps
+		hbfSpec.WriteBW = 16 * units.GBps
+		hbfSpec.StaticPower = 0.8
+		hbf, err := tier.NewDeviceTier("hbf", hbfSpec)
+		if err != nil {
+			return nil, err
+		}
+		m, err := tier.NewManager(tier.StaticPolicy{}, hbm, hbf)
+		if err != nil {
+			return nil, err
+		}
+		return &MemorySystem{Manager: m, ScratchTier: 0, Description: "24 GiB HBM + 480 GiB HBF"}, nil
 	default:
 		return nil, fmt.Errorf("mrm: unknown memory config %d", int(cfg))
 	}

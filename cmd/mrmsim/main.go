@@ -42,6 +42,15 @@ func run() int {
 		"peak per-read fault rate for the e30 degradation sweep (transient + retention-lapse)")
 	faultSeed := flag.Uint64("fault-seed", 7,
 		"seed for the deterministic fault streams (e30); results are identical across runs and -parallel settings")
+	fleetNodes := flag.Int("fleet-nodes", 1000, "fleetday: node count")
+	fleetRate := flag.Float64("fleet-rate", 25, "fleetday: fleet-wide request rate (req/s)")
+	fleetHours := flag.Float64("fleet-hours", 24, "fleetday: simulated day length in hours")
+	fleetMix := flag.String("fleet-mix", "0.5,0.3,0.2",
+		"fleetday: SLA class mix (interactive,throughput,best-effort)")
+	fleetWindow := flag.Int("fleet-window", 0,
+		"fleetday: streamed execution window in requests (0 = default); peak memory is O(nodes x window)")
+	fleetMem := flag.String("fleet-mem", "hbm",
+		"fleetday: node memory system (hbm, lpddr, mrm, hbf)")
 	timing := flag.Bool("timing", false,
 		"report per-experiment wall-clock time on stderr (stdout tables are unaffected)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -355,9 +364,61 @@ func run() int {
 			fmt.Println(tab2)
 		}
 	}
+	// fleetday is opt-in only (-exp fleetday): the default million-user day
+	// replays ~2.2M requests and takes minutes, not the seconds the e1..e30
+	// suite budgets for.
+	if want["fleetday"] && run("fleetday") {
+		p := mrm.DefaultFleetDayParams()
+		p.Nodes = *fleetNodes
+		p.Rate = *fleetRate
+		p.Duration = time.Duration(*fleetHours * float64(time.Hour))
+		p.Seed = *seed
+		p.Window = *fleetWindow
+		if mix, err := parseMix(*fleetMix); err != nil {
+			fail("fleetday", err)
+		} else {
+			p.Mix = mix
+		}
+		switch *fleetMem {
+		case "hbm":
+			p.Memory = mrm.HBMOnly
+		case "lpddr":
+			p.Memory = mrm.HBMPlusLPDDR
+		case "mrm":
+			p.Memory = mrm.HBMPlusMRM
+		case "hbf":
+			p.Memory = mrm.HBMPlusHBF
+		default:
+			fail("fleetday", fmt.Errorf("unknown -fleet-mem %q", *fleetMem))
+		}
+		if !failed {
+			_, tab, err := mrm.RunFleetDay(p)
+			if err != nil {
+				fail("fleetday", err)
+			} else {
+				fmt.Println(tab)
+			}
+		}
+	}
 	finishTiming()
 	if failed {
 		return 1
 	}
 	return 0
+}
+
+// parseMix parses "a,b,c" into a class-mix triple; RunFleetDay validates the
+// probabilities themselves.
+func parseMix(s string) ([3]float64, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return [3]float64{}, fmt.Errorf("mix %q: want three comma-separated probabilities", s)
+	}
+	var mix [3]float64
+	for i, p := range parts {
+		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%g", &mix[i]); err != nil {
+			return [3]float64{}, fmt.Errorf("mix %q: %v", s, err)
+		}
+	}
+	return mix, nil
 }

@@ -416,6 +416,8 @@ func tierCostPerGB(name string) float64 {
 		return float64(memdev.LPDDR5X.CostPerGB)
 	case "mrm":
 		return float64(memdev.MRMSpec(cellphys.RRAM, 24*time.Hour).CostPerGB)
+	case "hbf":
+		return float64(memdev.HBFlash.CostPerGB)
 	default:
 		return float64(memdev.DDR5.CostPerGB)
 	}

@@ -221,3 +221,39 @@ func BenchmarkFleetDay(b *testing.B) {
 	b.ReportMetric(res.WallTime.Hours(), "sim-hours")
 	b.ReportMetric(float64(res.Completed), "completed")
 }
+
+// BenchmarkFleetDayStream is BenchmarkFleetDay through the stream-native
+// path: the same 1000 nodes and 21.6k-request day, but generated block by
+// block (Generator.Stream) and executed windowed (Fleet.RunStream), so the
+// request stream is never materialized. Results are bit-identical to the
+// batch twin; the interesting deltas are B/op and allocs/op.
+func BenchmarkFleetDayStream(b *testing.B) {
+	var res FleetResult
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		f, err := NewFleet(1000, func(int) (*Sim, error) {
+			return benchNode(b, false), nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.Workers = 1
+		g := Generator{
+			Workload:   llm.SplitwiseConv,
+			RatePerSec: 0.25,
+			Mix:        [3]float64{0.5, 0.3, 0.2},
+			MaxContext: 4096,
+		}
+		b.StartTimer()
+		src, err := g.Stream(dist.NewRNG(11), 21600)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err = f.RunStream(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.WallTime.Hours(), "sim-hours")
+	b.ReportMetric(float64(res.Completed), "completed")
+}

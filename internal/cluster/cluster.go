@@ -99,8 +99,33 @@ const GenBlock = 64
 // Generate returns n requests with increasing arrival times. The rng seeds
 // the stream: its first draw becomes the base seed from which every
 // GenBlock-sized block of requests derives its own generator, keeping the
-// stream reproducible even if block sampling is parallelized.
+// stream reproducible even if block sampling is parallelized. Generate is
+// Stream drained into a slice; the two produce byte-identical sequences.
 func (g Generator) Generate(rng *dist.RNG, n int) ([]Request, error) {
+	st, err := g.Stream(rng, n)
+	if err != nil {
+		return nil, err
+	}
+	reqs := make([]Request, 0, n)
+	for {
+		req, ok := st.Next()
+		if !ok {
+			return reqs, nil
+		}
+		reqs = append(reqs, req)
+	}
+}
+
+// Stream returns a block-streaming iterator over the same request sequence
+// Generate materializes: Next yields Generate's output element by element
+// without ever holding more than the current GenBlock's derived generator.
+// The rng's first draw becomes the base seed, exactly as in Generate, so a
+// drained Stream and a Generate call on equal rng states are byte-identical
+// — the pinned-stream test holds for both. Reset rewinds to the first
+// request and replays the identical sequence (block seeds re-derive from the
+// captured base), which is what lets the fleet replay a day-long stream once
+// per SLA class without materializing it.
+func (g Generator) Stream(rng *dist.RNG, n int) (*Stream, error) {
 	if g.RatePerSec <= 0 || n <= 0 {
 		return nil, fmt.Errorf("cluster: need positive rate and count")
 	}
@@ -111,40 +136,71 @@ func (g Generator) Generate(rng *dist.RNG, n int) ([]Request, error) {
 	if g.MaxContext <= 1 {
 		return nil, fmt.Errorf("cluster: MaxContext too small")
 	}
-	inter := dist.Exponential{Rate: g.RatePerSec}
-	prompt := dist.Lognormal{Median: g.Workload.PromptMedian, Sigma: g.Workload.PromptSigma}
-	output := dist.Lognormal{Median: g.Workload.OutputMedian, Sigma: g.Workload.OutputSigma}
-	base := rng.Uint64()
-	reqs := make([]Request, n)
-	var clock time.Duration
-	for start := 0; start < n; start += GenBlock {
-		end := start + GenBlock
-		if end > n {
-			end = n
-		}
-		brng := dist.NewRNG(sweep.DeriveSeed(base, start/GenBlock))
-		for i := start; i < end; i++ {
-			clock += time.Duration(inter.Sample(brng) * float64(time.Second))
-			p := int(dist.Clamp(prompt.Sample(brng), 1, float64(g.MaxContext-1)))
-			maxOut := g.MaxContext - p
-			o := int(dist.Clamp(output.Sample(brng), 1, float64(maxOut)))
-			u := brng.Float64()
-			var cl SLAClass
-			switch {
-			case u < g.Mix[0]:
-				cl = Interactive
-			case u < g.Mix[0]+g.Mix[1]:
-				cl = Throughput
-			default:
-				cl = BestEffort
-			}
-			reqs[i] = Request{
-				ID: uint64(i), Arrival: clock,
-				PromptTokens: p, OutputTokens: o, Class: cl,
-			}
-		}
+	return &Stream{
+		g:      g,
+		inter:  dist.Exponential{Rate: g.RatePerSec},
+		prompt: dist.Lognormal{Median: g.Workload.PromptMedian, Sigma: g.Workload.PromptSigma},
+		output: dist.Lognormal{Median: g.Workload.OutputMedian, Sigma: g.Workload.OutputSigma},
+		base:   rng.Uint64(),
+		n:      n,
+	}, nil
+}
+
+// Stream iterates a Generator's request sequence block by block; see
+// Generator.Stream. The zero value is not useful — construct via Stream.
+type Stream struct {
+	g      Generator
+	inter  dist.Exponential
+	prompt dist.Lognormal
+	output dist.Lognormal
+	base   uint64
+	n      int
+	next   int
+	clock  time.Duration
+	brng   *dist.RNG
+}
+
+// Len returns the total number of requests the stream yields.
+func (s *Stream) Len() int { return s.n }
+
+// Reset rewinds the stream to its first request; the replayed sequence is
+// identical (block generators re-derive from the captured base seed, and the
+// arrival clock restarts its prefix sum).
+func (s *Stream) Reset() {
+	s.next = 0
+	s.clock = 0
+	s.brng = nil
+}
+
+// Next returns the stream's next request, or ok=false once n requests have
+// been yielded. Arrival times are non-decreasing across the whole stream.
+func (s *Stream) Next() (Request, bool) {
+	if s.next >= s.n {
+		return Request{}, false
 	}
-	return reqs, nil
+	if s.next%GenBlock == 0 {
+		s.brng = dist.NewRNG(sweep.DeriveSeed(s.base, s.next/GenBlock))
+	}
+	s.clock += time.Duration(s.inter.Sample(s.brng) * float64(time.Second))
+	p := int(dist.Clamp(s.prompt.Sample(s.brng), 1, float64(s.g.MaxContext-1)))
+	maxOut := s.g.MaxContext - p
+	o := int(dist.Clamp(s.output.Sample(s.brng), 1, float64(maxOut)))
+	u := s.brng.Float64()
+	var cl SLAClass
+	switch {
+	case u < s.g.Mix[0]:
+		cl = Interactive
+	case u < s.g.Mix[0]+s.g.Mix[1]:
+		cl = Throughput
+	default:
+		cl = BestEffort
+	}
+	req := Request{
+		ID: uint64(s.next), Arrival: s.clock,
+		PromptTokens: p, OutputTokens: o, Class: cl,
+	}
+	s.next++
+	return req, true
 }
 
 // Config assembles a serving simulation.
@@ -295,6 +351,10 @@ type Sim struct {
 	clock   time.Duration
 	pending []Request
 	batch   []*running
+	// feeding marks a segmented run (RunSegment more=true): further requests
+	// will be fed, so the engines park when pending drains rather than idle
+	// or finish — the next decision depends on the head they don't have yet.
+	feeding bool
 
 	ttft *metrics.Histogram
 	tbt  *metrics.Histogram
@@ -440,31 +500,61 @@ func (s *Sim) RunUntil(reqs []Request, stopAt time.Duration) (Result, []Request,
 }
 
 // RunUntilContext is RunUntil with a cancellation context; see RunContext.
+// It is one RunSegment (the whole stream as a single final segment) followed
+// by a Harvest.
 func (s *Sim) RunUntilContext(ctx context.Context, reqs []Request, stopAt time.Duration) (Result, []Request, error) {
+	if err := s.RunSegment(ctx, reqs, stopAt, false); err != nil {
+		return Result{}, nil, err
+	}
+	res, unfinished := s.Harvest(stopAt)
+	return res, unfinished, nil
+}
+
+// RunSegment ingests one segment of the request stream and advances the sim
+// exactly as far as the fed prefix permits. Segments must arrive in
+// admission order — class priority, then arrival — across calls: every
+// request in a later segment sorts at or after every request in an earlier
+// one. more promises at least one further segment; the engine then parks the
+// instant its pending queue drains instead of idling or declaring the run
+// complete, because whether to admit, idle-jump, or keep decoding depends on
+// the head request it has not been fed yet. The engines only ever consult
+// the head of the sorted pending queue, so a sequence of RunSegment calls
+// whose concatenated segments equal one request slice leaves the sim in
+// exactly the state a single RunUntilContext over that slice reaches —
+// bit-identical results, O(segment) peak memory. The final segment is
+// flagged more=false and the run is then closed out with Harvest.
+func (s *Sim) RunSegment(ctx context.Context, reqs []Request, stopAt time.Duration, more bool) error {
 	s.pending = append(s.pending, reqs...)
-	// Admission order is class priority, then arrival — one stable sort up
-	// front; requests are only ever consumed from the head after this point.
+	// Admission order is class priority, then arrival — one stable sort per
+	// feed; requests are only ever consumed from the head after this point.
 	// Generated streams arrive time-ordered, but stability makes no further
 	// assumption: equal-class requests keep their input order, which for a
-	// time-sorted input is arrival order.
-	sort.SliceStable(s.pending, func(i, j int) bool {
-		if s.pending[i].Class != s.pending[j].Class {
-			return s.pending[i].Class < s.pending[j].Class
-		}
-		return s.pending[i].Arrival < s.pending[j].Arrival
-	})
+	// time-sorted input is arrival order. Segment feeds and mostly-drained
+	// queues are usually already in admission order, so an O(n) sortedness
+	// check skips the stable sort (which would be the identity permutation).
+	if !admissionOrdered(s.pending) {
+		sort.SliceStable(s.pending, func(i, j int) bool {
+			if s.pending[i].Class != s.pending[j].Class {
+				return s.pending[i].Class < s.pending[j].Class
+			}
+			return s.pending[i].Arrival < s.pending[j].Arrival
+		})
+	}
+	s.feeding = more
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	var err error
 	if s.stepping {
-		err = s.runStepping(ctx, stopAt)
-	} else {
-		err = s.runEvents(ctx, stopAt)
+		return s.runStepping(ctx, stopAt)
 	}
-	if err != nil {
-		return Result{}, nil, err
-	}
+	return s.runEvents(ctx, stopAt)
+}
+
+// Harvest closes out a (possibly segmented) run: for a fail-stopped node
+// (stopAt >= 0) with work left, it tears down the in-flight batch — KV pages
+// released, generated tokens counted as wasted — and returns the unfinished
+// requests for the fleet to requeue, exactly as RunUntil always has.
+func (s *Sim) Harvest(stopAt time.Duration) (Result, []Request) {
 	var unfinished []Request
 	if stopAt >= 0 && (len(s.batch) > 0 || len(s.pending) > 0) {
 		for _, r := range s.batch {
@@ -482,7 +572,24 @@ func (s *Sim) RunUntilContext(ctx context.Context, reqs []Request, stopAt time.D
 		unfinished = append(unfinished, s.pending...)
 		s.pending = nil
 	}
-	return s.result(), unfinished, nil
+	return s.result(), unfinished
+}
+
+// admissionOrdered reports whether reqs are already sorted by (class,
+// arrival) — in which case the stable sort is the identity and is skipped.
+func admissionOrdered(reqs []Request) bool {
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Class != reqs[i-1].Class {
+			if reqs[i].Class < reqs[i-1].Class {
+				return false
+			}
+			continue
+		}
+		if reqs[i].Arrival < reqs[i-1].Arrival {
+			return false
+		}
+	}
+	return true
 }
 
 // runStepping is the legacy engine: a tick-by-tick outer loop that re-derives
@@ -498,6 +605,15 @@ func (s *Sim) runStepping(ctx context.Context, stopAt time.Duration) error {
 		}
 		if err := s.admit(); err != nil {
 			return err
+		}
+		if s.feeding && len(s.pending) == 0 {
+			// Parked: the queue just drained mid-feed, and an unfed request
+			// may be admissible before the next decode step (a full queue
+			// admits it in this same admit pass, since prefill advances the
+			// clock). Stop before decoding; state is untouched, so admission
+			// resumes seamlessly — back-to-back admit calls across the feed
+			// boundary collapse into exactly one full-queue admit pass.
+			break
 		}
 		if len(s.batch) == 0 {
 			// Idle: jump to the next arrival (or the fail-stop, whichever
@@ -598,6 +714,10 @@ func (s *Sim) runEvents(ctx context.Context, stopAt time.Duration) error {
 			}
 			if err := s.admit(); err != nil {
 				return err
+			}
+			if s.feeding && len(s.pending) == 0 {
+				// Parked mid-feed before the decode; see runStepping.
+				return nil
 			}
 			if len(s.batch) > 0 {
 				if err := s.decodeStep(); err != nil {

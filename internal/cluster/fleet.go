@@ -29,7 +29,18 @@ type Fleet struct {
 	// degraded-mode latency and goodput. Multiple entries for one node keep
 	// the earliest time.
 	Failures []NodeFailure
+	// Window bounds the number of requests RunStream buffers between
+	// execution sweeps (0 = DefaultWindow). Peak memory for a streamed
+	// replay is O(nodes + Window + orphans), independent of stream length;
+	// smaller windows trade memory for more sweep barriers.
+	Window int
 }
+
+// DefaultWindow is RunStream's buffered-request budget when Fleet.Window is
+// zero: large enough that sweep-barrier overhead is negligible against node
+// simulation work, small enough that a streamed million-user day never holds
+// more than a sliver of it in memory.
+const DefaultWindow = 8192
 
 // NodeFailure schedules a fail-stop: node Node halts at simulated time At.
 type NodeFailure struct {
@@ -37,20 +48,29 @@ type NodeFailure struct {
 	At   time.Duration
 }
 
-// NewFleet constructs n nodes with the given factory.
+// NewFleet constructs n nodes with the given factory. Construction fans out
+// over the sweep pool — nodes are independent simulators, and thousand-node
+// fleets are built inside every daemon rebuild and benchmark setup — so mk
+// must be safe for concurrent calls (each call should build its own memory
+// system, as every existing factory does). Nodes land in index order and a
+// failing factory reports the lowest failing index, exactly as the serial
+// loop it replaces did.
 func NewFleet(n int, mk func(node int) (*Sim, error)) (*Fleet, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("cluster: need at least one node")
 	}
-	f := &Fleet{nodes: make([]*Sim, n)}
-	for i := range f.nodes {
-		s, err := mk(i)
-		if err != nil {
-			return nil, fmt.Errorf("cluster: building node %d: %w", i, err)
-		}
-		f.nodes[i] = s
+	nodes, err := sweep.Run(context.Background(), sweep.Config{}, n,
+		func(_ context.Context, c sweep.Cell) (*Sim, error) {
+			s, err := mk(c.Index)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: building node %d: %w", c.Index, err)
+			}
+			return s, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return f, nil
+	return &Fleet{nodes: nodes}, nil
 }
 
 // NumNodes returns the fleet size.
@@ -87,6 +107,46 @@ type FleetResult struct {
 	Faults FaultStats
 }
 
+// failurePlan validates Failures and splits the fleet by fate: failAt[i] < 0
+// means node i survives. failing and surviving are ascending node indices.
+func (f *Fleet) failurePlan() (failAt []time.Duration, failing, surviving []int, err error) {
+	failAt = make([]time.Duration, len(f.nodes))
+	for i := range failAt {
+		failAt[i] = -1
+	}
+	for _, nf := range f.Failures {
+		if nf.Node < 0 || nf.Node >= len(f.nodes) {
+			return nil, nil, nil, fmt.Errorf("cluster: failure names bad node %d", nf.Node)
+		}
+		if nf.At < 0 {
+			return nil, nil, nil, fmt.Errorf("cluster: failure time %v for node %d", nf.At, nf.Node)
+		}
+		if failAt[nf.Node] < 0 || nf.At < failAt[nf.Node] {
+			failAt[nf.Node] = nf.At
+		}
+	}
+	for i := range f.nodes {
+		if failAt[i] >= 0 {
+			failing = append(failing, i)
+		} else {
+			surviving = append(surviving, i)
+		}
+	}
+	return failAt, failing, surviving, nil
+}
+
+// arrivalOrdered reports whether reqs already have non-decreasing arrivals —
+// Generator output always does — in which case Run's defensive copy and
+// stable sort are the identity and are skipped.
+func arrivalOrdered(reqs []Request) bool {
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Arrival < reqs[i-1].Arrival {
+			return false
+		}
+	}
+	return true
+}
+
 // Run partitions the stream (token-balanced, arrival order preserved per
 // node) and runs every node to completion — or, for nodes with a scheduled
 // failure, until their fail-stop time. Failing nodes run first (one sweep
@@ -94,14 +154,23 @@ type FleetResult struct {
 // survivors, then survivors run. Nodes simulate concurrently on the sweep
 // pool; every phase reduces in node order, so the outcome is bit-identical
 // to running the nodes one after another at any worker count.
+//
+// Run materializes every shard for the whole run; RunStream is the
+// stream-native twin that replays the same placement and execution with
+// windowed peak memory, bit-identical on arrival-sorted input.
 func (f *Fleet) Run(reqs []Request) (FleetResult, error) {
 	shards := make([][]Request, len(f.nodes))
 	load := make([]int64, len(f.nodes))
-	ordered := make([]Request, len(reqs))
-	copy(ordered, reqs)
-	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Arrival < ordered[j].Arrival })
+	ordered := reqs
+	if !arrivalOrdered(reqs) {
+		ordered = make([]Request, len(reqs))
+		copy(ordered, reqs)
+		sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Arrival < ordered[j].Arrival })
+	}
 	for _, r := range ordered {
-		// Least-loaded placement by assigned token volume.
+		// Least-loaded placement by assigned token volume. The linear scan is
+		// kept as the reference the RunStream placement heap is pinned
+		// against (lowest index wins load ties).
 		best := 0
 		for i := 1; i < len(load); i++ {
 			if load[i] < load[best] {
@@ -111,29 +180,9 @@ func (f *Fleet) Run(reqs []Request) (FleetResult, error) {
 		shards[best] = append(shards[best], r)
 		load[best] += int64(r.PromptTokens + r.OutputTokens)
 	}
-	// Split the fleet by fate: failAt[i] < 0 means node i survives.
-	failAt := make([]time.Duration, len(f.nodes))
-	for i := range failAt {
-		failAt[i] = -1
-	}
-	for _, nf := range f.Failures {
-		if nf.Node < 0 || nf.Node >= len(f.nodes) {
-			return FleetResult{}, fmt.Errorf("cluster: failure names bad node %d", nf.Node)
-		}
-		if nf.At < 0 {
-			return FleetResult{}, fmt.Errorf("cluster: failure time %v for node %d", nf.At, nf.Node)
-		}
-		if failAt[nf.Node] < 0 || nf.At < failAt[nf.Node] {
-			failAt[nf.Node] = nf.At
-		}
-	}
-	var failing, surviving []int
-	for i := range f.nodes {
-		if failAt[i] >= 0 {
-			failing = append(failing, i)
-		} else {
-			surviving = append(surviving, i)
-		}
+	failAt, failing, surviving, err := f.failurePlan()
+	if err != nil {
+		return FleetResult{}, err
 	}
 	perNode := make([]Result, len(f.nodes))
 	out := FleetResult{PerNode: perNode, FailedNodes: len(failing)}
@@ -205,12 +254,19 @@ func (f *Fleet) Run(reqs []Request) (FleetResult, error) {
 			perNode[node] = res[k]
 		}
 	}
-	// Ordered reduction after the barriers: aggregates come out in node
-	// order, independent of which worker finished first.
+	f.reduce(&out)
+	return out, nil
+}
+
+// reduce folds the per-node results already stored in out.PerNode into the
+// fleet aggregates. It runs serially in node order after the sweep barriers,
+// so sums and histogram merges come out independent of which worker finished
+// first — Run and RunStream share it, which is half of their equivalence.
+func (f *Fleet) reduce(out *FleetResult) {
 	ttft := metrics.NewHistogram(1e-6, 1.05)
 	tbt := metrics.NewHistogram(1e-6, 1.05)
 	var minTok, maxTok int64 = 1<<62 - 1, 0
-	for i, res := range perNode {
+	for i, res := range out.PerNode {
 		out.Completed += res.Completed
 		out.Truncated += res.Truncated
 		out.TokensOut += res.TokensOut
@@ -243,5 +299,346 @@ func (f *Fleet) Run(reqs []Request) (FleetResult, error) {
 	if maxTok > 0 {
 		out.Balance = float64(minTok) / float64(maxTok)
 	}
+}
+
+// RequestSource is a restartable stream of requests in arrival order (what
+// Generator.Stream yields). RunStream replays the source once per SLA class,
+// so Reset must rewind to the first request and the replayed sequence must
+// be identical — for a seeded generator stream that holds by construction.
+type RequestSource interface {
+	// Next returns the stream's next request, or ok=false at the end.
+	Next() (Request, bool)
+	// Reset rewinds the source to the beginning.
+	Reset()
+}
+
+// SliceSource adapts an arrival-sorted request slice to RequestSource — the
+// bridge the twin-equivalence suite uses to run the same requests through
+// Run and RunStream.
+type SliceSource struct {
+	Reqs []Request
+	next int
+}
+
+// Next yields the next request in the slice.
+func (s *SliceSource) Next() (Request, bool) {
+	if s.next >= len(s.Reqs) {
+		return Request{}, false
+	}
+	r := s.Reqs[s.next]
+	s.next++
+	return r, true
+}
+
+// Reset rewinds to the first request.
+func (s *SliceSource) Reset() { s.next = 0 }
+
+// loadHeap is a deterministic min-heap of node indices keyed by (assigned
+// load, node index): the least-loaded node is always at the root, and load
+// ties break to the lowest node index — pinned byte-for-byte to the linear
+// least-loaded scan it replaces (which also yields the lowest index among
+// minima) by the placement-equivalence test. The key is a total order (node
+// indices are unique), so the root is unique no matter how the heap's
+// interior is arranged, and assignment is O(log n) per request instead of
+// O(n).
+type loadHeap struct {
+	heap []int   // node indices in heap order
+	load []int64 // indexed by node; shared with (and mutated for) the caller
+}
+
+// newLoadHeap builds a heap over the given node indices and their loads.
+func newLoadHeap(nodes []int, load []int64) loadHeap {
+	h := loadHeap{heap: append([]int(nil), nodes...), load: load}
+	for i := len(h.heap)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+	return h
+}
+
+// less orders node a before node b by (load, index).
+func (h *loadHeap) less(a, b int) bool {
+	if h.load[a] != h.load[b] {
+		return h.load[a] < h.load[b]
+	}
+	return a < b
+}
+
+// assign places `tokens` of work on the least-loaded node and returns it.
+func (h *loadHeap) assign(tokens int64) int {
+	n := h.heap[0]
+	h.load[n] += tokens
+	h.siftDown(0)
+	return n
+}
+
+func (h *loadHeap) siftDown(i int) {
+	n := len(h.heap)
+	for {
+		least := i
+		if l := 2*i + 1; l < n && h.less(h.heap[l], h.heap[least]) {
+			least = l
+		}
+		if r := 2*i + 2; r < n && h.less(h.heap[r], h.heap[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		h.heap[i], h.heap[least] = h.heap[least], h.heap[i]
+		i = least
+	}
+}
+
+// RunStream is Run's stream-native twin: it replays an arrival-ordered
+// request source through the fleet with peak memory O(nodes × window)
+// instead of O(requests), bit-identical to Run on the same sequence.
+//
+// Three things make that possible. Placement is a pure function of the
+// arrival-ordered stream — a deterministic min-heap keyed (load, node index)
+// assigns each request in O(log nodes), reproducing the linear least-loaded
+// scan's lowest-index-wins tie-break — so it can be replayed exactly rather
+// than stored. Each node consumes its shard strictly in admission order
+// (class priority, then arrival; see RunSegment), so the source is replayed
+// once per SLA class and each node is fed its class-c requests in arrival
+// order, never holding more than a window of them. And execution is
+// windowed: buffered shard segments flush to the nodes in sweep rounds every
+// Window requests, buffers recycle across rounds, and nodes park exactly
+// when their next decision would depend on a request not yet fed.
+//
+// Fail-stops follow Run's phases: failing nodes stream first (halting at
+// their fail-stop), their orphans merge through the requeue calendar onto
+// survivors — heap-placed against the canonical full-stream loads — and the
+// survivors then stream with orphan segments merged into admission order.
+func (f *Fleet) RunStream(src RequestSource) (FleetResult, error) {
+	failAt, failing, surviving, err := f.failurePlan()
+	if err != nil {
+		return FleetResult{}, err
+	}
+	window := f.Window
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	perNode := make([]Result, len(f.nodes))
+	out := FleetResult{PerNode: perNode, FailedNodes: len(failing)}
+	// Canonical full-stream placement loads, filled by the first replay pass
+	// and verified identical on every later one (a source whose replays
+	// diverge would silently corrupt placement).
+	load := make([]int64, len(f.nodes))
+	loadKnown := false
+	if len(failing) > 0 {
+		if err := f.streamPhase(src, failing, failAt, nil, load, &loadKnown, window); err != nil {
+			return FleetResult{}, err
+		}
+		type partial struct {
+			res  Result
+			left []Request
+		}
+		parts, err := sweep.Map(context.Background(), sweep.Config{Workers: f.Workers}, failing,
+			func(_ context.Context, _ sweep.Cell, node int) (partial, error) {
+				res, left := f.nodes[node].Harvest(failAt[node])
+				return partial{res: res, left: left}, nil
+			})
+		if err != nil {
+			return FleetResult{}, err
+		}
+		// The requeue merge is Run's, verbatim: orphans re-arrive no earlier
+		// than their node's fail-stop, in (re-arrival, push order).
+		var orphans []Request
+		var merge eventq.Calendar
+		for k, node := range failing {
+			perNode[node] = parts[k].res
+			for _, req := range parts[k].left {
+				if req.Arrival < failAt[node] {
+					req.Arrival = failAt[node]
+				}
+				merge.Push(req.Arrival, eventq.KindArrival, uint64(len(orphans)))
+				orphans = append(orphans, req)
+			}
+		}
+		if len(surviving) == 0 {
+			out.Unserved = len(orphans)
+			f.reduce(&out)
+			return out, nil
+		}
+		out.Requeued = len(orphans)
+		// Heap-placed requeue against a copy of the canonical loads: same
+		// survivors, same (load, lowest-index) choice the linear scan makes —
+		// and the originals stay pristine for phase 2's replay check.
+		requeueLoad := append([]int64(nil), load...)
+		h := newLoadHeap(surviving, requeueLoad)
+		orphansFor := make([][]Request, len(f.nodes))
+		for merge.Len() > 0 {
+			ev, _ := merge.Pop()
+			req := orphans[ev.Data]
+			node := h.assign(int64(req.PromptTokens + req.OutputTokens))
+			orphansFor[node] = append(orphansFor[node], req)
+		}
+		// Each node feeds its orphans in admission order; the stable sort
+		// keeps calendar pop order among equal (class, arrival) keys, exactly
+		// as Run's per-node stable sort keeps shard-append order.
+		for _, node := range surviving {
+			o := orphansFor[node]
+			sort.SliceStable(o, func(i, j int) bool {
+				if o[i].Class != o[j].Class {
+					return o[i].Class < o[j].Class
+				}
+				return o[i].Arrival < o[j].Arrival
+			})
+		}
+		if err := f.streamPhase(src, surviving, nil, orphansFor, load, &loadKnown, window); err != nil {
+			return FleetResult{}, err
+		}
+	} else {
+		if err := f.streamPhase(src, surviving, nil, nil, load, &loadKnown, window); err != nil {
+			return FleetResult{}, err
+		}
+	}
+	res, err := sweep.Map(context.Background(), sweep.Config{Workers: f.Workers}, surviving,
+		func(_ context.Context, _ sweep.Cell, node int) (Result, error) {
+			r, _ := f.nodes[node].Harvest(-1)
+			return r, nil
+		})
+	if err != nil {
+		return FleetResult{}, err
+	}
+	for k, node := range surviving {
+		perNode[node] = res[k]
+	}
+	f.reduce(&out)
 	return out, nil
+}
+
+// streamPhase feeds the target nodes their shards in admission order: one
+// placement replay of the source per SLA class, so each node receives its
+// class-c requests in arrival order, all of class c before any of class c+1
+// — exactly the (class, arrival) stable order Run's per-node sort produces.
+// Every pass replays placement over the whole stream (assignments depend on
+// the loads every earlier request accumulated, whatever its class), with a
+// fresh heap each pass so the decisions are identical; requests owned by
+// non-target nodes are placed but not buffered. Orphan lists (requeued work
+// for surviving nodes, already in admission order) merge into the feed:
+// stream requests first on equal (class, arrival) keys, matching Run's
+// shard-append-then-stable-sort order. Buffers flush into RunSegment sweeps
+// every `window` buffered requests and are recycled, so peak memory is
+// O(target × window) plus the orphans.
+//
+// stopAt, when non-nil, carries per-node fail-stop times (-1 = none); load
+// is filled with the full-stream placement loads on the first pass and
+// checked against every later pass, failing loudly on a source whose
+// replays diverge.
+func (f *Fleet) streamPhase(src RequestSource, target []int, stopAt []time.Duration,
+	orphans [][]Request, load []int64, loadKnown *bool, window int) error {
+	inTarget := make([]bool, len(f.nodes))
+	for _, n := range target {
+		inTarget[n] = true
+	}
+	bufs := make([][]Request, len(f.nodes))
+	passLoad := make([]int64, len(f.nodes))
+	allNodes := make([]int, len(f.nodes))
+	for i := range allNodes {
+		allNodes[i] = i
+	}
+	orphanNext := make([]int, len(f.nodes))
+	buffered := 0
+	var active []int // target nodes with buffered work this round
+
+	flush := func(final bool) error {
+		nodes := active
+		if final {
+			nodes = target // every target gets its more=false close-out call
+		}
+		if len(nodes) == 0 {
+			return nil
+		}
+		_, err := sweep.Map(context.Background(), sweep.Config{Workers: f.Workers}, nodes,
+			func(_ context.Context, _ sweep.Cell, node int) (struct{}, error) {
+				stop := time.Duration(-1)
+				if stopAt != nil {
+					stop = stopAt[node]
+				}
+				if err := f.nodes[node].RunSegment(context.Background(), bufs[node], stop, !final); err != nil {
+					return struct{}{}, fmt.Errorf("cluster: node %d: %w", node, err)
+				}
+				return struct{}{}, nil
+			})
+		if err != nil {
+			return err
+		}
+		for _, n := range nodes {
+			bufs[n] = bufs[n][:0] // recycle: capacity survives the round
+		}
+		active = active[:0]
+		buffered = 0
+		return nil
+	}
+	emit := func(node int, req Request) {
+		if len(bufs[node]) == 0 {
+			active = append(active, node)
+		}
+		bufs[node] = append(bufs[node], req)
+		buffered++
+	}
+
+	for class := SLAClass(0); class <= BestEffort; class++ {
+		src.Reset()
+		for i := range passLoad {
+			passLoad[i] = 0
+		}
+		h := newLoadHeap(allNodes, passLoad)
+		prev := time.Duration(-1)
+		for {
+			req, ok := src.Next()
+			if !ok {
+				break
+			}
+			if req.Arrival < prev {
+				return fmt.Errorf("cluster: RunStream source not arrival-ordered (%v after %v)", req.Arrival, prev)
+			}
+			prev = req.Arrival
+			node := h.assign(int64(req.PromptTokens + req.OutputTokens))
+			if !inTarget[node] || req.Class != class {
+				continue
+			}
+			// Orphans sorting strictly before this stream request go first;
+			// equal keys emit the stream request first (Run's stable order).
+			if orphans != nil {
+				for o := orphans[node]; orphanNext[node] < len(o); orphanNext[node]++ {
+					or := o[orphanNext[node]]
+					if or.Class > class || (or.Class == class && or.Arrival >= req.Arrival) {
+						break
+					}
+					emit(node, or)
+				}
+			}
+			emit(node, req)
+			if buffered >= window {
+				if err := flush(false); err != nil {
+					return err
+				}
+			}
+		}
+		// Class close-out: trailing orphans of this class (arrivals past the
+		// node's last stream request of the class).
+		if orphans != nil {
+			for _, node := range target {
+				for o := orphans[node]; orphanNext[node] < len(o); orphanNext[node]++ {
+					if o[orphanNext[node]].Class > class {
+						break
+					}
+					emit(node, o[orphanNext[node]])
+				}
+			}
+		}
+		if *loadKnown {
+			for i, l := range passLoad {
+				if l != load[i] {
+					return fmt.Errorf("cluster: RunStream source replay diverged (node %d load %d vs %d)", i, l, load[i])
+				}
+			}
+		} else {
+			copy(load, passLoad)
+			*loadKnown = true
+		}
+	}
+	return flush(true)
 }

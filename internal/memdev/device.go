@@ -144,14 +144,19 @@ type Device struct {
 	// Fault injection (SetFaults). All decisions are pure functions of the
 	// fault seed and the read/write counters, so a device's fault sequence is
 	// deterministic regardless of goroutine scheduling.
-	maxBER        float64         // ECC correction ceiling; 0 disables the check; guarded by mu
-	transient     *fault.Injector // guarded by mu
-	lapse         *fault.Injector // guarded by mu
-	writeFault    *fault.Injector // guarded by mu
-	uncorrectable uint64          // total reads returning ErrUncorrectable; guarded by mu
-	transients    uint64          // guarded by mu
-	lapses        uint64          // guarded by mu
-	writeFaults   uint64          // writes returning ErrUncorrectable; guarded by mu
+	maxBER     float64         // ECC correction ceiling; 0 disables the check; guarded by mu
+	transient  *fault.Injector // guarded by mu
+	lapse      *fault.Injector // guarded by mu
+	writeFault *fault.Injector // guarded by mu
+	// readInjecting/writeInjecting cache whether any injector on that path is
+	// armed: Hit is not inlinable (it hashes), so the unarmed hot path would
+	// otherwise pay two calls per read just to learn nothing fires.
+	readInjecting  bool   // guarded by mu
+	writeInjecting bool   // guarded by mu
+	uncorrectable  uint64 // total reads returning ErrUncorrectable; guarded by mu
+	transients     uint64 // guarded by mu
+	lapses         uint64 // guarded by mu
+	writeFaults    uint64 // writes returning ErrUncorrectable; guarded by mu
 }
 
 // NewDevice creates a device from spec. Wear is tracked per spec.BlockSize
@@ -243,6 +248,8 @@ func (d *Device) SetFaults(cfg FaultConfig) {
 	d.transient = fault.NewInjector(cfg.Seed, cfg.TransientRate)
 	d.lapse = fault.NewInjector(cfg.Seed, cfg.LapseRate)
 	d.writeFault = fault.NewInjector(cfg.Seed, cfg.WriteFaultRate)
+	d.readInjecting = d.transient != nil || d.lapse != nil
+	d.writeInjecting = d.writeFault != nil
 }
 
 // SetBERTracking enables or disables the read path's worst-block BER scan
@@ -365,18 +372,20 @@ func (d *Device) readLocked(addr, size units.Bytes, first, last int) (Result, er
 		worst = d.worstBERLocked(first, last)
 	}
 	res := Result{Latency: lat, Energy: e, RawBER: worst}
-	event := d.reads // monotone, deterministic event index for this read
-	if d.transient.Hit(fault.StreamTransient, event) {
-		d.transients++
-		d.uncorrectable++
-		return res, fmt.Errorf("memdev: %s: transient fault on read %d at [%d, %d): %w",
-			d.spec.Name, event, addr, addr+size, fault.ErrUncorrectable)
-	}
-	if d.lapse.Hit(fault.StreamLapse, event) {
-		d.lapses++
-		d.uncorrectable++
-		return res, fmt.Errorf("memdev: %s: retention lapse on read %d at [%d, %d): %w",
-			d.spec.Name, event, addr, addr+size, fault.ErrUncorrectable)
+	if d.readInjecting {
+		event := d.reads // monotone, deterministic event index for this read
+		if d.transient.Hit(fault.StreamTransient, event) {
+			d.transients++
+			d.uncorrectable++
+			return res, fmt.Errorf("memdev: %s: transient fault on read %d at [%d, %d): %w",
+				d.spec.Name, event, addr, addr+size, fault.ErrUncorrectable)
+		}
+		if d.lapse.Hit(fault.StreamLapse, event) {
+			d.lapses++
+			d.uncorrectable++
+			return res, fmt.Errorf("memdev: %s: retention lapse on read %d at [%d, %d): %w",
+				d.spec.Name, event, addr, addr+size, fault.ErrUncorrectable)
+		}
 	}
 	if d.maxBER > 0 && worst > d.maxBER {
 		d.uncorrectable++
@@ -606,11 +615,13 @@ func (d *Device) writeLocked(addr, size units.Bytes, first, last int) (Result, e
 		}
 	}
 	res := Result{Latency: lat, Energy: e}
-	event := d.writes // monotone, deterministic event index for this write
-	if d.writeFault.Hit(fault.StreamWriteFault, event) {
-		d.writeFaults++
-		return res, fmt.Errorf("memdev: %s: program failure on write %d at [%d, %d): %w",
-			d.spec.Name, event, addr, addr+size, fault.ErrUncorrectable)
+	if d.writeInjecting {
+		event := d.writes // monotone, deterministic event index for this write
+		if d.writeFault.Hit(fault.StreamWriteFault, event) {
+			d.writeFaults++
+			return res, fmt.Errorf("memdev: %s: program failure on write %d at [%d, %d): %w",
+				d.spec.Name, event, addr, addr+size, fault.ErrUncorrectable)
+		}
 	}
 	return res, nil
 }

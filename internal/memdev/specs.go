@@ -232,6 +232,31 @@ var (
 		StackLayers: 300, LayerDensityGbit: 6,
 	}
 
+	// High-Bandwidth Flash: NAND dies re-architected for an HBM-style wide
+	// interface, proposed by Ma & Patterson's LLM-inference-hardware analysis
+	// (PAPERS.md) as the capacity-tier rival to MRM: ~10x HBM stack capacity
+	// at HBM-like *read* bandwidth, with flash media underneath — microsecond
+	// reads, slow block writes, TLC-class endurance and page granularity.
+	// Numbers are engineering estimates from that proposal scaled to one
+	// stack: 240 GB (10x HBM3E), 1 TB/s read (interface-limited), writes
+	// TLC-like. Read energy benefits from the short interposer path (~8
+	// pJ/bit vs ~35 end-to-end over NVMe); cost near commodity TLC with a
+	// packaging premium. Endurance is the binding constraint for mutable
+	// data — exactly the trade the fleetday KV/weights mixes probe.
+	HBFlash = Spec{
+		Name: "HBF", Tech: cellphys.NANDFlash, Class: NonVolatile,
+		Capacity:    240 * units.GiB,
+		ReadLatency: 20 * time.Microsecond, WriteLatency: 600 * time.Microsecond,
+		ReadBW: 1 * units.TBps, WriteBW: 8 * units.GBps,
+		ReadEnergyPerBit: 8 * units.PicoJoule, WriteEnergyPerBit: 2500 * units.PicoJoule,
+		StaticPower: 0.4 * units.Watt,
+		Retention:   units.Year,
+		Endurance:   3e3, EndurancePotential: 1e5,
+		CostPerGB:   0.4,
+		BlockSize:   16 * units.KiB,
+		StackLayers: 300, LayerDensityGbit: 6,
+	}
+
 	// Intel Optane PCM DIMM (discontinued; the iconic SCM product [16]).
 	// 128 GB DIMM, ~6.7/2.3 GB/s R/W, 300 ns read; per-cell endurance ~1e6
 	// at media level [5]. Technology potential ~1e9 [24, 30].
@@ -286,7 +311,7 @@ var (
 func AllSpecs() []Spec {
 	return []Spec{
 		HBM3E, HBM4, DDR5, LPDDR5X,
-		NANDSLC, NANDTLC,
+		NANDSLC, NANDTLC, HBFlash,
 		OptanePCM, WeebitRRAM, EverspinSTT,
 		MRMSpec(cellphys.PCM, 24*time.Hour),
 		MRMSpec(cellphys.RRAM, 24*time.Hour),

@@ -26,6 +26,34 @@ func TestAllSpecsValidate(t *testing.T) {
 	}
 }
 
+// TestHBFlashShape pins the High-Bandwidth-Flash design point to its pitch:
+// an order of magnitude more capacity than an HBM3E stack at HBM-class read
+// bandwidth, with flash's write and endurance story intact underneath.
+func TestHBFlashShape(t *testing.T) {
+	s, err := SpecByName("HBF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Capacity != 10*HBM3E.Capacity {
+		t.Fatalf("HBF capacity %v, want 10x HBM3E (%v)", s.Capacity, 10*HBM3E.Capacity)
+	}
+	if s.ReadBW != HBM3E.ReadBW {
+		t.Fatalf("HBF read BW %v, want HBM-class %v", s.ReadBW, HBM3E.ReadBW)
+	}
+	if s.Tech != cellphys.NANDFlash || s.Class != NonVolatile {
+		t.Fatalf("HBF must stay flash underneath: tech %v class %v", s.Tech, s.Class)
+	}
+	if s.Endurance > NANDTLC.Endurance {
+		t.Fatalf("HBF endurance %v must not beat TLC %v", s.Endurance, NANDTLC.Endurance)
+	}
+	if s.WriteBW >= s.ReadBW/10 {
+		t.Fatalf("HBF writes must stay flash-slow: %v vs read %v", s.WriteBW, s.ReadBW)
+	}
+	if s.BlockSize != 16*units.KiB {
+		t.Fatalf("HBF keeps flash page granularity, got %v", s.BlockSize)
+	}
+}
+
 func TestSpecByName(t *testing.T) {
 	s, err := SpecByName("HBM3E")
 	if err != nil || s.Name != "HBM3E" {

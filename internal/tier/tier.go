@@ -251,7 +251,7 @@ func (d *DeviceTier) PutBatch(metas []Meta, handles []uint64, lats []time.Durati
 	}
 	n := len(d.allocBuf)
 	if cap(d.resBuf) < n {
-		d.resBuf = make([]memdev.Result, n)
+		d.resBuf = make([]memdev.Result, max(n, 2*cap(d.resBuf)))
 	}
 	done, derr := d.dev.WriteSpans(d.spanBuf, d.resBuf[:n])
 	if derr != nil {
@@ -329,7 +329,9 @@ func (d *DeviceTier) ResolveSpan(handle uint64) (memdev.Span, error) {
 // fault-stream positions are identical.
 func (d *DeviceTier) GetSpans(spans []memdev.Span) (int, error) {
 	if cap(d.resBuf) < len(spans) {
-		d.resBuf = make([]memdev.Result, len(spans))
+		// Grow geometrically: span counts creep up with context length, and
+		// exact-size growth would reallocate on nearly every decode step.
+		d.resBuf = make([]memdev.Result, max(len(spans), 2*cap(d.resBuf)))
 	}
 	return d.dev.ReadSpans(spans, d.resBuf[:len(spans)])
 }
@@ -812,7 +814,9 @@ func (m *Manager) PutBatch(metas []Meta, ids []ObjectID, lats []time.Duration, t
 func (m *Manager) flushRun(idx int, metas []Meta, ids []ObjectID, lats []time.Duration, tiers []int) (int, error) {
 	if bp, ok := m.tiers[idx].(BatchPutter); ok && len(metas) > 1 {
 		if cap(m.handleBuf) < len(metas) {
-			m.handleBuf = make([]uint64, len(metas))
+			// Geometric growth: run lengths vary call to call, and exact-size
+			// growth would churn an allocation per flush.
+			m.handleBuf = make([]uint64, max(len(metas), 2*cap(m.handleBuf)))
 		}
 		handles := m.handleBuf[:len(metas)]
 		got, err := bp.PutBatch(metas, handles, lats)

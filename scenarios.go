@@ -287,6 +287,10 @@ const (
 	HBMOnly MemoryConfig = iota
 	HBMPlusLPDDR
 	HBMPlusMRM
+	// HBMPlusHBF pairs the HBM tier with High-Bandwidth Flash, the
+	// Ma & Patterson capacity-tier rival to MRM: 10x stack capacity at
+	// HBM-class read bandwidth but flash writes and endurance underneath.
+	HBMPlusHBF
 )
 
 // String names the configuration.
@@ -298,6 +302,8 @@ func (m MemoryConfig) String() string {
 		return "hbm+lpddr"
 	case HBMPlusMRM:
 		return "hbm+mrm"
+	case HBMPlusHBF:
+		return "hbm+hbf"
 	default:
 		return fmt.Sprintf("MemoryConfig(%d)", int(m))
 	}
