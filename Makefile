@@ -10,9 +10,13 @@ build:
 vet:
 	go vet ./...
 
-# lint runs the project-specific analyzers (cmd/mrmlint): nondeterminism,
-# map-iteration-order leaks, mutex-guard contracts, and seed purity. A clean
-# tree exits 0; waivers are //mrm:allow-<analyzer> directives with reasons.
+# lint runs the project-specific analyzers (cmd/mrmlint): nondeterminism and
+# seed purity (interprocedural — impurities reached through helper chains are
+# reported at the simulation call site), map-iteration-order leaks,
+# mutex-guard contracts, error-matching hygiene (errcmp), shell context
+# discipline (ctxflow), and stale-waiver detection (staleallow). A clean tree
+# exits 0; waivers are //mrm:allow-<analyzer> directives with reasons, and a
+# waiver that stops suppressing anything becomes a finding itself.
 lint:
 	go run ./cmd/mrmlint ./...
 

@@ -1,88 +1,150 @@
-// Command mrmlint runs the repo's determinism and concurrency analyzers
-// (internal/analysis/...) over the given packages and exits non-zero on any
-// finding. It is the mechanical safety net behind the simulator's
-// reproducibility contract: `make lint` (wired into `make test` and CI) runs
-// it over ./... so a stray time.Now, an unsorted map-range feeding output, an
-// unguarded shared field, or an impure fault decision fails the build
-// instead of corrupting a golden file three PRs later.
+// Command mrmlint runs the repo's determinism, concurrency, and hygiene
+// analyzers (internal/analysis/...) over the given packages and exits
+// non-zero on any finding. It is the mechanical safety net behind the
+// simulator's reproducibility contract: `make lint` (wired into `make test`
+// and CI) runs it over ./... so a stray time.Now — even one laundered through
+// two helper packages — an unsorted map-range feeding output, an unguarded
+// shared field, an impure fault decision, a sentinel == comparison, a dropped
+// context, or a waiver that outlived its code fails the build instead of
+// corrupting a golden file three PRs later.
 //
 // Usage:
 //
-//	mrmlint [-only nondet,maporder] [-list] [packages]
+//	mrmlint [-only nondet,maporder] [-json] [-list] [packages]
 //
-// Packages default to ./... . Findings are waived per site with
-// //mrm:allow-<analyzer> <reason>; the reason is mandatory and audited.
+// Packages default to ./... . All loaded packages are analyzed through one
+// Program, so interprocedural analyzers (nondet, seedpurity) see facts flow
+// across package boundaries. Findings are waived per site with
+// //mrm:allow-<analyzer> <reason>; the reason is mandatory, audited, and —
+// via the staleallow post-pass — expired the moment it stops suppressing
+// anything. Output is sorted by (file, line, column, analyzer) and is
+// byte-identical across runs; -json emits the same findings as a
+// schema-stable JSON document for tooling.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 
 	"mrm/internal/analysis"
+	"mrm/internal/analysis/ctxflow"
+	"mrm/internal/analysis/errcmp"
 	"mrm/internal/analysis/maporder"
 	"mrm/internal/analysis/mutexguard"
 	"mrm/internal/analysis/nondet"
 	"mrm/internal/analysis/seedpurity"
 )
 
-// analyzers is the suite, in reporting-name order.
+// analyzers is the suite, in reporting-name order. StaleAllow is last: it is
+// the post-pass over every other analyzer's suppression tallies.
 var analyzers = []*analysis.Analyzer{
+	ctxflow.Analyzer,
+	errcmp.Analyzer,
 	maporder.Analyzer,
 	mutexguard.Analyzer,
 	nondet.Analyzer,
 	seedpurity.Analyzer,
+	analysis.StaleAllow,
 }
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(".", os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	only := flag.String("only", "", "comma-separated subset of analyzers to run (default: all)")
-	list := flag.Bool("list", false, "list analyzers and exit")
-	flag.Parse()
+// jsonFinding is one finding in -json output. The schema is stable: tools
+// (and the CI problem matcher) key on these exact field names.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the -json document.
+type jsonReport struct {
+	Version  int           `json:"version"`
+	Findings []jsonFinding `json:"findings"`
+}
+
+// run is main minus the process boundary: dir anchors package loading and
+// path relativization, so tests can drive the whole binary against fixture
+// modules and assert on bytes and exit codes.
+func run(dir string, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mrmlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated subset of analyzers to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit findings as JSON on stdout")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
 	enabled, err := selectAnalyzers(*only)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mrmlint:", err)
+		fmt.Fprintln(stderr, "mrmlint:", err)
 		return 2
 	}
 	known := make(map[string]bool, len(analyzers))
+	ran := make(map[string]bool, len(enabled))
+	runStale := false
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
+	for _, a := range enabled {
+		if a == analysis.StaleAllow {
+			runStale = true
+			continue
+		}
+		ran[a.Name] = true
+	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	loader := analysis.NewLoader()
-	pkgs, err := loader.LoadPatterns(".", patterns...)
+	pkgs, err := loader.LoadPatterns(dir, patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mrmlint:", err)
+		fmt.Fprintln(stderr, "mrmlint:", err)
 		return 2
 	}
 
+	// One Program over everything the loader saw: facts flow across package
+	// boundaries exactly once, shared by every analyzer and the stale pass.
+	prog := analysis.NewProgram(loader.Loaded())
 	var diags []analysis.Diagnostic
 	for _, pkg := range pkgs {
 		diags = append(diags, analysis.DirectiveDiagnostics(pkg, known)...)
 		for _, a := range enabled {
-			ds, err := analysis.RunAnalyzer(a, pkg)
+			if a.Run == nil {
+				continue
+			}
+			ds, err := prog.Run(a, pkg)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "mrmlint:", err)
+				fmt.Fprintln(stderr, "mrmlint:", err)
 				return 2
 			}
 			diags = append(diags, ds...)
+		}
+	}
+	// The stale-waiver pass runs after every analyzer has tallied its
+	// suppressions over every package.
+	if runStale {
+		for _, pkg := range pkgs {
+			diags = append(diags, prog.StaleDirectives(pkg, ran)...)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -98,16 +160,39 @@ func run() int {
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	cwd, _ := os.Getwd()
-	for _, d := range diags {
-		name := d.Position.Filename
-		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-			name = rel
+
+	absDir, _ := filepath.Abs(dir)
+	relName := func(name string) string {
+		if rel, err := filepath.Rel(absDir, name); err == nil && !strings.HasPrefix(rel, "..") {
+			return rel
 		}
-		fmt.Printf("%s:%d:%d: %s (%s)\n", name, d.Position.Line, d.Position.Column, d.Message, d.Analyzer)
+		return name
+	}
+	if *asJSON {
+		report := jsonReport{Version: 1, Findings: []jsonFinding{}}
+		for _, d := range diags {
+			report.Findings = append(report.Findings, jsonFinding{
+				File:     relName(d.Position.Filename),
+				Line:     d.Position.Line,
+				Col:      d.Position.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(stderr, "mrmlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s (%s)\n",
+				relName(d.Position.Filename), d.Position.Line, d.Position.Column, d.Message, d.Analyzer)
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "mrmlint: %d finding(s)\n", len(diags))
+		fmt.Fprintf(stderr, "mrmlint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// lint drives the full binary against a fixture module and returns
+// (exit code, stdout, stderr).
+func lint(t *testing.T, dir string, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(dir, args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestExitCodes pins the contract CI depends on: 0 clean, 1 findings,
+// 2 usage or load errors.
+func TestExitCodes(t *testing.T) {
+	if code, out, _ := lint(t, "testdata/cleanmod", "./..."); code != 0 || out != "" {
+		t.Errorf("clean module: code=%d out=%q, want 0 and no output", code, out)
+	}
+	if code, _, errOut := lint(t, "testdata/brokenmod", "./..."); code != 1 || !strings.Contains(errOut, "finding(s)") {
+		t.Errorf("broken module: code=%d stderr=%q, want 1 with a findings tally", code, errOut)
+	}
+	if code, _, errOut := lint(t, "testdata/cleanmod", "-only", "nosuch", "./..."); code != 2 || !strings.Contains(errOut, "unknown analyzer") {
+		t.Errorf("unknown analyzer: code=%d stderr=%q, want 2", code, errOut)
+	}
+	if code, _, _ := lint(t, "testdata/cleanmod", "./nosuchdir/..."); code != 2 {
+		t.Errorf("bad pattern: code=%d, want 2", code)
+	}
+}
+
+// TestFindings checks each analyzer family surfaces in the broken module:
+// direct and laundered nondet, errcmp, ctxflow, seedpurity, staleallow —
+// and that the shell package's wall-clock read is NOT flagged.
+func TestFindings(t *testing.T) {
+	_, out, _ := lint(t, "testdata/brokenmod", "./...")
+	for _, want := range []string{
+		"wall-clock call time.Now in simulation code",
+		"call to lib.Stamp reaches wall-clock time.Now (lib.Stamp)",
+		"compares error identity against sentinel ErrGone",
+		"context.Context is parameter 2 of wait",
+		"decision path touches package-level var trials",
+		"//mrm:allow-maporder suppressed no findings in this run",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "server.go:12") || strings.Contains(out, "time.Since") {
+		t.Errorf("shell package wall-clock read was flagged:\n%s", out)
+	}
+}
+
+// TestDeterministicOutput: two independent runs over the same tree produce
+// byte-identical bytes, in both text and JSON modes.
+func TestDeterministicOutput(t *testing.T) {
+	for _, args := range [][]string{{"./..."}, {"-json", "./..."}} {
+		code1, out1, _ := lint(t, "testdata/brokenmod", args...)
+		code2, out2, _ := lint(t, "testdata/brokenmod", args...)
+		if code1 != code2 || out1 != out2 {
+			t.Errorf("args %v: runs disagree (codes %d/%d):\n%s---\n%s", args, code1, code2, out1, out2)
+		}
+	}
+}
+
+// TestJSONSchema: -json emits the stable document shape, sorted by
+// (file, line, col, analyzer), with an empty (not null) findings array on a
+// clean run.
+func TestJSONSchema(t *testing.T) {
+	type finding struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	var report struct {
+		Version  int       `json:"version"`
+		Findings []finding `json:"findings"`
+	}
+
+	code, out, _ := lint(t, "testdata/brokenmod", "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if report.Version != 1 || len(report.Findings) == 0 {
+		t.Fatalf("unexpected report: version=%d findings=%d", report.Version, len(report.Findings))
+	}
+	for _, f := range report.Findings {
+		if f.File == "" || f.Line == 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+		if strings.HasPrefix(f.File, "/") {
+			t.Errorf("finding path %q is absolute, want module-relative", f.File)
+		}
+	}
+	if !sort.SliceIsSorted(report.Findings, func(i, j int) bool {
+		a, b := report.Findings[i], report.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	}) {
+		t.Errorf("findings not sorted: %+v", report.Findings)
+	}
+
+	out = ""
+	code, out, _ = lint(t, "testdata/cleanmod", "-json", "./...")
+	if code != 0 {
+		t.Fatalf("clean module JSON run: exit %d", code)
+	}
+	if !strings.Contains(out, `"findings": []`) {
+		t.Errorf("clean run should emit an empty findings array, got:\n%s", out)
+	}
+}
+
+// TestOnlySubset: -only restricts the run, and a subset run must not condemn
+// waivers belonging to analyzers that sat it out (staleallow gating).
+func TestOnlySubset(t *testing.T) {
+	_, out, _ := lint(t, "testdata/brokenmod", "-only", "errcmp,staleallow", "./...")
+	if !strings.Contains(out, "ErrGone") {
+		t.Errorf("-only errcmp should still flag the sentinel comparison:\n%s", out)
+	}
+	if strings.Contains(out, "wall-clock") {
+		t.Errorf("-only errcmp ran nondet anyway:\n%s", out)
+	}
+	if strings.Contains(out, "suppressed no findings") {
+		t.Errorf("staleallow condemned a maporder waiver in a run where maporder did not execute:\n%s", out)
+	}
+}

@@ -1,0 +1,30 @@
+// Package core seeds the mrmlint integration tests with one finding per
+// analyzer family: direct nondeterminism, a laundered wall-clock read, a
+// sentinel identity comparison, and a waiver that outlived its code.
+package core
+
+import (
+	"errors"
+	"time"
+
+	"brokenmod/lib"
+)
+
+// ErrGone is a sentinel for the errcmp finding below.
+var ErrGone = errors.New("gone")
+
+func stamp() time.Time {
+	return time.Now() // nondet: direct wall-clock read
+}
+
+func laundered() time.Time {
+	return lib.Stamp() // nondet: reached through the helper package
+}
+
+func isGone(err error) bool {
+	return err == ErrGone // errcmp: identity comparison
+}
+
+func pure(x int) int {
+	return x + 1 //mrm:allow-maporder stale: the loop this excused was rewritten
+}

@@ -1,0 +1,11 @@
+// Package fault is in seedpurity's scope: the trial counter below violates
+// the purity contract.
+package fault
+
+var trials int
+
+// Decide is impure: it reads and writes a package-level counter.
+func Decide(seed uint64) bool {
+	trials++
+	return (seed+uint64(trials))&1 == 0
+}

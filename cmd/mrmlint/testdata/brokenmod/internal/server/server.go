@@ -1,0 +1,22 @@
+// Package server matches the shell scope, so ctxflow applies here — and
+// nondet does not, despite the wall-clock read.
+package server
+
+import (
+	"context"
+	"time"
+)
+
+// Uptime may read the wall clock: the shell is nondet's boundary.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+func wait(d time.Duration, ctx context.Context) { // ctxflow: ctx must come first
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}

@@ -1,0 +1,10 @@
+// Package lib is outside mrmlint's reporting scopes: its wall-clock read is
+// never flagged here, only at call sites in scoped packages.
+package lib
+
+import "time"
+
+// Stamp reads the wall clock; the fact propagates to scoped callers.
+func Stamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,12 @@
+// Package calc is scoped, pure, and waiver-free: mrmlint must exit 0 over
+// this module.
+package calc
+
+// Sum adds deterministically.
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -417,7 +417,7 @@ func parseMix(s string) ([3]float64, error) {
 	var mix [3]float64
 	for i, p := range parts {
 		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%g", &mix[i]); err != nil {
-			return [3]float64{}, fmt.Errorf("mix %q: %v", s, err)
+			return [3]float64{}, fmt.Errorf("mix %q: %w", s, err)
 		}
 	}
 	return mix, nil

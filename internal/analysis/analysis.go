@@ -21,12 +21,14 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 	"strings"
 )
 
 // An Analyzer describes one analysis: a named invariant and the function
-// that checks a package against it.
+// that checks a package against it. An analyzer with a Facts hook is
+// interprocedural: the framework computes its per-function facts over the
+// whole program, propagates them caller-ward along the call graph, and the
+// Run function reports facts that surface at call sites in its scope.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in the suppression
 	// directive //mrm:allow-<Name>. It must be a valid identifier.
@@ -36,6 +38,37 @@ type Analyzer struct {
 	Doc string
 	// Run checks one package, reporting findings through the Pass.
 	Run func(*Pass) error
+	// Facts, if non-nil, computes the direct facts of the functions declared
+	// in the pass's package: properties (an impurity, a wall-clock read) that
+	// should follow the function to every call site. Keys are the canonical
+	// (Origin) *types.Func objects from the package's Defs.
+	Facts func(*Pass) map[*types.Func][]Fact
+	// Scope reports the packages the analyzer reports diagnostics in. Facts
+	// do not originate in scope packages — a direct finding there is already
+	// reported at its own site by Run — and do not relay through them, so
+	// each impurity is reported exactly once, at the deepest scoped frame.
+	Scope func(pkgPath string) bool
+	// Boundary reports packages whose functions neither emit nor relay
+	// facts: designated-impure layers (the serving shell) where the
+	// invariant deliberately stops.
+	Boundary func(pkgPath string) bool
+}
+
+// A Fact is one function-level property an interprocedural analyzer tracks:
+// the kind of construct, where it occurs, and a human-readable detail for
+// diagnostics ("time.Now", "package-level var trials").
+type Fact struct {
+	Kind   string
+	Pos    token.Pos
+	Detail string
+}
+
+// A FlowFact is a fact as seen from some function: the root fact plus the
+// first hop of the call chain through which the function reaches it. Via is
+// nil when the function contains the root construct itself.
+type FlowFact struct {
+	Fact Fact
+	Via  *types.Func
 }
 
 // A Pass provides one analyzer run with a type-checked package and collects
@@ -47,6 +80,9 @@ type Pass struct {
 	Pkg       *types.Package
 	PkgPath   string
 	TypesInfo *types.Info
+	// Program is the whole-program view (call graph + propagated facts).
+	// It is nil only for Facts hooks, which must be intraprocedural.
+	Program *Program
 
 	diags []Diagnostic
 }
@@ -69,29 +105,11 @@ type Diagnostic struct {
 	Message  string
 }
 
-// RunAnalyzer runs a on pkg, filters out diagnostics waived by an
-// //mrm:allow-<name> directive, and returns the survivors sorted by position.
+// RunAnalyzer runs a on pkg in isolation: a single-package Program with no
+// cross-package fact flow. Tests of purely intraprocedural analyzers use it;
+// interprocedural runs build a Program over every loaded package instead.
 func RunAnalyzer(a *Analyzer, pkg *Pkg) ([]Diagnostic, error) {
-	pass := &Pass{
-		Analyzer:  a,
-		Fset:      pkg.Fset,
-		Files:     pkg.Syntax,
-		Pkg:       pkg.Types,
-		PkgPath:   pkg.PkgPath,
-		TypesInfo: pkg.TypesInfo,
-	}
-	if err := a.Run(pass); err != nil {
-		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
-	}
-	idx := indexDirectives(pkg)
-	kept := pass.diags[:0]
-	for _, d := range pass.diags {
-		if !idx.allows(pkg, a.Name, d) {
-			kept = append(kept, d)
-		}
-	}
-	sort.Slice(kept, func(i, j int) bool { return posLess(kept[i].Position, kept[j].Position) })
-	return kept, nil
+	return NewProgram([]*Pkg{pkg}).Run(a, pkg)
 }
 
 func posLess(a, b token.Position) bool {
@@ -102,6 +120,45 @@ func posLess(a, b token.Position) bool {
 		return a.Line < b.Line
 	}
 	return a.Column < b.Column
+}
+
+// ShellPackages are the import-path tails of the nondeterministic shell: the
+// long-running serving daemon and its binary. They face real traffic and real
+// time — wall-clock deadlines, OS signals, goroutine wakeups — and feed the
+// deterministic core through a virtual clock, so the determinism contracts
+// deliberately stop at their boundary. Analyzers treat them as out of scope
+// and as fact-propagation boundaries.
+var ShellPackages = []string{"internal/server", "cmd/mrmd"}
+
+// IsShellPackage reports whether path is part of the nondeterministic shell
+// (either shell package or any subpackage under one).
+func IsShellPackage(path string) bool {
+	for _, s := range ShellPackages {
+		if path == s || strings.HasSuffix(path, "/"+s) ||
+			strings.Contains(path, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// ForEachFuncDecl visits every function declaration with a body in the
+// pass's package, in file and position order, along with its canonical
+// types.Func object. Fact hooks build their per-function tables with it.
+func ForEachFuncDecl(pass *Pass, fn func(obj *types.Func, fd *ast.FuncDecl)) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fn(obj.Origin(), fd)
+		}
+	}
 }
 
 // Callee resolves the static callee of a call, or nil for calls through
@@ -117,6 +174,11 @@ func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
 		return nil
 	}
 	fn, _ := info.Uses[id].(*types.Func)
+	if fn != nil {
+		// Canonicalize instantiated generic functions and methods to their
+		// origin so facts and call-graph edges agree across instantiations.
+		fn = fn.Origin()
+	}
 	return fn
 }
 

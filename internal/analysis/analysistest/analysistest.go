@@ -24,7 +24,10 @@ import (
 )
 
 // Run loads each fixture package from testdata/src and checks a's diagnostics
-// against the // want comments in its files.
+// against the // want comments in its files. All listed packages (plus any
+// sibling fixture packages they import) are loaded into one Program first,
+// so interprocedural analyzers see facts flow across fixture package
+// boundaries exactly as they do across real ones.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 	t.Helper()
 	loader := analysis.NewLoader()
@@ -32,8 +35,9 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 	if err != nil {
 		t.Fatalf("loading fixtures: %v", err)
 	}
+	prog := analysis.NewProgram(loader.Loaded())
 	for _, pkg := range pkgs {
-		diags, err := analysis.RunAnalyzer(a, pkg)
+		diags, err := prog.Run(a, pkg)
 		if err != nil {
 			t.Fatalf("%s: %v", pkg.PkgPath, err)
 		}

@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// A CallGraph is a deterministic static call graph over a set of loaded
+// packages. Nodes are the canonical *types.Func objects of functions declared
+// in those packages (methods included), plus the abstract methods of
+// interfaces declared in them. Edges are:
+//
+//   - static calls: f() and x.M() where the callee resolves to a concrete
+//     function declared in the program;
+//   - dynamic dispatch, over-approximated by method sets: a call through an
+//     interface method I.M gets an edge to T.M for every program-declared
+//     named type T (or *T) that implements I.
+//
+// Calls through plain function values (closures stored in variables, fields,
+// or parameters) are not resolved; impurity inside a function literal is
+// attributed to the function whose body lexically contains it, which covers
+// the common helper-closure pattern.
+//
+// All adjacency lists are sorted by declaration position so traversals — and
+// therefore every diagnostic derived from them — are stable run to run.
+type CallGraph struct {
+	fset *token.FileSet
+	// callees and callers are the forward and reverse edge sets.
+	callees map[*types.Func][]*types.Func
+	callers map[*types.Func][]*types.Func
+	// decls maps each declared function to the file syntax that declares it;
+	// iteration happens over the sorted funcs slice, never over this map.
+	decls map[*types.Func]*ast.FuncDecl
+	funcs []*types.Func // every node, sorted by position
+}
+
+// buildCallGraph constructs the graph over pkgs. The packages must share one
+// FileSet and one type-checking session (the Loader guarantees both), so a
+// function referenced from two packages is the same object in both.
+func buildCallGraph(pkgs []*Pkg) *CallGraph {
+	g := &CallGraph{
+		callees: make(map[*types.Func][]*types.Func),
+		callers: make(map[*types.Func][]*types.Func),
+		decls:   make(map[*types.Func]*ast.FuncDecl),
+	}
+	if len(pkgs) > 0 {
+		g.fset = pkgs[0].Fset
+	}
+	declared := make(map[*types.Func]bool)
+	var named []*types.Named
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fn = fn.Origin()
+				declared[fn] = true
+				g.decls[fn] = fd
+			}
+		}
+		// Collect the package's named types for method-set resolution of
+		// interface calls. Scope names are returned sorted.
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if n, ok := tn.Type().(*types.Named); ok {
+				named = append(named, n)
+			}
+		}
+	}
+
+	// rawEdges gathers edges per caller before dedup/sort.
+	rawEdges := make(map[*types.Func][]*types.Func)
+	addEdge := func(from, to *types.Func) {
+		rawEdges[from] = append(rawEdges[from], to)
+	}
+	// ifaceTargets resolves an abstract interface method to the matching
+	// concrete methods declared in the program.
+	ifaceTargets := func(m *types.Func) []*types.Func {
+		sig, ok := m.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return nil
+		}
+		iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
+		if !ok {
+			return nil
+		}
+		var out []*types.Func
+		for _, n := range named {
+			if types.IsInterface(n) {
+				continue
+			}
+			var recv types.Type = n
+			if !types.Implements(recv, iface) {
+				recv = types.NewPointer(n)
+				if !types.Implements(recv, iface) {
+					continue
+				}
+			}
+			obj, _, _ := types.LookupFieldOrMethod(recv, true, m.Pkg(), m.Name())
+			if impl, ok := obj.(*types.Func); ok {
+				impl = impl.Origin()
+				if declared[impl] {
+					out = append(out, impl)
+				}
+			}
+		}
+		return out
+	}
+
+	for _, pkg := range pkgs {
+		info := pkg.TypesInfo
+		// Iterate declared functions in file/position order for determinism.
+		for _, f := range pkg.Syntax {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				caller, ok := info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				caller = caller.Origin()
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee := Callee(info, call)
+					if callee == nil {
+						return true
+					}
+					if declared[callee] {
+						addEdge(caller, callee)
+						return true
+					}
+					if targets := ifaceTargets(callee); len(targets) > 0 {
+						// Route dispatch through the abstract method node so
+						// call sites and fact chains name the interface.
+						addEdge(caller, callee)
+						declared[callee] = true
+						for _, t := range targets {
+							addEdge(callee, t)
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	// Dedup and sort adjacency; build the reverse graph the same way.
+	nodeSet := make(map[*types.Func]bool)
+	for fn := range declared {
+		nodeSet[fn] = true
+	}
+	for from, tos := range rawEdges {
+		g.callees[from] = g.sortFuncs(dedupFuncs(tos))
+		nodeSet[from] = true
+		for _, to := range g.callees[from] {
+			g.callers[to] = append(g.callers[to], from)
+			nodeSet[to] = true
+		}
+	}
+	for to, froms := range g.callers {
+		g.callers[to] = g.sortFuncs(dedupFuncs(froms))
+	}
+	for fn := range nodeSet {
+		g.funcs = append(g.funcs, fn)
+	}
+	g.funcs = g.sortFuncs(g.funcs)
+	return g
+}
+
+// Callees returns fn's statically resolved callees, sorted by position.
+func (g *CallGraph) Callees(fn *types.Func) []*types.Func { return g.callees[fn] }
+
+// Callers returns the functions with a static edge to fn, sorted by position.
+func (g *CallGraph) Callers(fn *types.Func) []*types.Func { return g.callers[fn] }
+
+// Funcs returns every node in the graph, sorted by declaration position.
+func (g *CallGraph) Funcs() []*types.Func { return g.funcs }
+
+// sortFuncs orders functions by (file, offset) of their declaration, with
+// the full name as a tiebreak for objects synthesized without positions.
+func (g *CallGraph) sortFuncs(fns []*types.Func) []*types.Func {
+	sort.Slice(fns, func(i, j int) bool { return g.funcLess(fns[i], fns[j]) })
+	return fns
+}
+
+func (g *CallGraph) funcLess(a, b *types.Func) bool {
+	pa, pb := g.fset.Position(a.Pos()), g.fset.Position(b.Pos())
+	if pa.Filename != pb.Filename {
+		return pa.Filename < pb.Filename
+	}
+	if pa.Offset != pb.Offset {
+		return pa.Offset < pb.Offset
+	}
+	return a.FullName() < b.FullName()
+}
+
+func dedupFuncs(fns []*types.Func) []*types.Func {
+	seen := make(map[*types.Func]bool, len(fns))
+	out := fns[:0]
+	for _, fn := range fns {
+		if !seen[fn] {
+			seen[fn] = true
+			out = append(out, fn)
+		}
+	}
+	return out
+}

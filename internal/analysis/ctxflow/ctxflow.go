@@ -1,0 +1,158 @@
+// Package ctxflow enforces context discipline in the nondeterministic shell
+// (internal/server, cmd/mrmd) — the one layer of the repo that is allowed to
+// block, and therefore the one layer where a dropped context turns a drain
+// deadline into a hang. Three rules:
+//
+//   - a function that takes a context.Context takes it first, per Go
+//     convention, so call sites and wrappers stay uniform;
+//   - contexts are not stored in struct fields: a field outlives any single
+//     call and decouples cancellation from the request it belongs to (the
+//     rare deliberate lifetime-context field carries //mrm:allow-ctxflow);
+//   - a function that receives a ctx threads it: calling
+//     context.Background()/TODO(), or a blocking method's context-less
+//     variant when a ...Context sibling exists (Sim.Run vs Sim.RunContext),
+//     detaches the work from the caller's deadline.
+//
+// The analyzer is scoped to the shell; simulation code takes no contexts at
+// all (nondet polices its blocking constructs instead).
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mrm/internal/analysis"
+)
+
+// Analyzer enforces shell context discipline.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "in shell packages (internal/server, cmd/mrmd): context parameters come " +
+		"first, contexts are not stored in struct fields, and a received ctx must " +
+		"reach blocking calls — no context.Background()/TODO() and no context-less " +
+		"variant of a method with a ...Context sibling; waive a deliberate " +
+		"lifetime context with //mrm:allow-ctxflow <reason>",
+	Run: run,
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsShellPackage(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				checkFunc(pass, decl)
+			case *ast.GenDecl:
+				checkStructFields(pass, decl)
+			}
+		}
+	}
+	return nil
+}
+
+// checkStructFields flags context.Context stored in struct fields.
+func checkStructFields(pass *analysis.Pass, decl *ast.GenDecl) {
+	for _, spec := range decl.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			t := pass.TypesInfo.TypeOf(field.Type)
+			if t == nil || !isContextType(t) {
+				continue
+			}
+			name := "(embedded)"
+			if len(field.Names) > 0 {
+				name = field.Names[0].Name
+			}
+			pass.Reportf(field.Pos(),
+				"context.Context stored in struct field %s outlives any one call and detaches cancellation from the request: pass ctx as a parameter", name)
+		}
+	}
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	sig, _ := pass.TypesInfo.TypeOf(fd.Name).(*types.Signature)
+	if sig == nil {
+		return
+	}
+	// Rule 1: a context parameter comes first.
+	hasCtx := false
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			hasCtx = true
+			if i > 0 {
+				pass.Reportf(sig.Params().At(i).Pos(),
+					"context.Context is parameter %d of %s: contexts come first so wrappers and call sites stay uniform", i+1, fd.Name.Name)
+			}
+		}
+	}
+	if fd.Body == nil || !hasCtx {
+		return
+	}
+	// The threading rules apply only inside functions that received a ctx:
+	// a fresh Background() at the top of main or a constructor is legitimate.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.Callee(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		if fn.Pkg() != nil && fn.Pkg().Path() == "context" &&
+			(fn.Name() == "Background" || fn.Name() == "TODO") {
+			pass.Reportf(call.Pos(),
+				"context.%s() inside a function that receives a ctx detaches the work from the caller's deadline: thread the ctx through", fn.Name())
+			return true
+		}
+		if sibling := contextSibling(fn); sibling != nil && sibling != obj {
+			pass.Reportf(call.Pos(),
+				"call to %s discards the received ctx: use %s so cancellation reaches the blocking call",
+				analysis.FuncDisplayName(fn), analysis.FuncDisplayName(sibling))
+		}
+		return true
+	})
+}
+
+// contextSibling returns the <Name>Context variant of method fn — a method on
+// the same receiver type whose first parameter is a context.Context — or nil.
+// A method that already takes a context has no work to hand off.
+func contextSibling(fn *types.Func) *types.Func {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	if sig.Params().Len() > 0 && isContextType(sig.Params().At(0).Type()) {
+		return nil
+	}
+	obj, _, _ := types.LookupFieldOrMethod(sig.Recv().Type(), true, fn.Pkg(), fn.Name()+"Context")
+	sib, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	sibSig, ok := sib.Type().(*types.Signature)
+	if !ok || sibSig.Params().Len() == 0 || !isContextType(sibSig.Params().At(0).Type()) {
+		return nil
+	}
+	return sib
+}

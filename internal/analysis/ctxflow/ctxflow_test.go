@@ -1,0 +1,14 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"mrm/internal/analysis/analysistest"
+	"mrm/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	// sim/internal/server matches the shell scope; sim/internal/engine does
+	// not, and must stay silent despite containing the same shapes.
+	analysistest.Run(t, "testdata", ctxflow.Analyzer, "sim/internal/server", "sim/internal/engine")
+}

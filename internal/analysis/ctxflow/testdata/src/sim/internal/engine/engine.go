@@ -1,0 +1,13 @@
+// Package engine is outside the shell: ctxflow must produce no diagnostics
+// here even though the same shapes appear (nondet polices this layer).
+package engine
+
+import "context"
+
+type holder struct {
+	ctx context.Context // out of scope: no finding
+}
+
+func ctxLast(steps int, ctx context.Context) int { // out of scope: no finding
+	return steps
+}

@@ -1,0 +1,73 @@
+// Package server is the ctxflow fixture: a stand-in for the real serving
+// shell, where every rule of context discipline applies.
+package server
+
+import (
+	"context"
+	"time"
+)
+
+// Sim mimics a blocking engine with paired context-less/context-ful entry
+// points, like the real Sim.Run / Sim.RunContext.
+type Sim struct{}
+
+// Run blocks with no cancellation path.
+func (s *Sim) Run(steps int) int { return steps }
+
+// RunContext is the cancellable variant; calling s.Run from here is how the
+// pair is implemented and must not be flagged.
+func (s *Sim) RunContext(ctx context.Context, steps int) int {
+	select {
+	case <-ctx.Done():
+		return 0
+	default:
+	}
+	return s.Run(steps)
+}
+
+// Server stores configuration; storing a context would detach cancellation.
+type Server struct {
+	sim     *Sim
+	timeout time.Duration
+	ctx     context.Context // want `context.Context stored in struct field ctx outlives any one call and detaches cancellation from the request: pass ctx as a parameter`
+}
+
+// lifetime is the reviewed exception: the waiver records why.
+type lifetime struct {
+	//mrm:allow-ctxflow fixture: process-lifetime context, applied between batches only
+	runCtx context.Context
+}
+
+func ctxLast(steps int, ctx context.Context) int { // want `context.Context is parameter 2 of ctxLast: contexts come first so wrappers and call sites stay uniform`
+	return steps
+}
+
+func ctxFirst(ctx context.Context, steps int) int { // correct order: fine
+	return steps
+}
+
+func detached(ctx context.Context, s *Sim) int {
+	c, cancel := context.WithTimeout(context.Background(), time.Second) // want `context.Background\(\) inside a function that receives a ctx detaches the work from the caller's deadline: thread the ctx through`
+	defer cancel()
+	<-c.Done()
+	return s.RunContext(c, 1)
+}
+
+func todo(ctx context.Context) context.Context {
+	return context.TODO() // want `context.TODO\(\) inside a function that receives a ctx detaches the work from the caller's deadline: thread the ctx through`
+}
+
+func dropped(ctx context.Context, s *Sim) int {
+	return s.Run(3) // want `call to server.Sim.Run discards the received ctx: use server.Sim.RunContext so cancellation reaches the blocking call`
+}
+
+func threaded(ctx context.Context, s *Sim) int {
+	return s.RunContext(ctx, 3) // the blessed form
+}
+
+// boot has no ctx parameter: Background at the root is legitimate.
+func boot(s *Sim) int {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	return s.RunContext(ctx, 1)
+}

@@ -21,20 +21,30 @@ type Directive struct {
 	Reason string // justification text; "" is malformed
 }
 
+// A directiveUse is one directive site plus its suppression tally. A
+// directive is "used" once it waives a diagnostic or gates a fact root; the
+// staleallow pass flags well-formed directives that end a run unused.
+type directiveUse struct {
+	d    Directive
+	used bool
+}
+
 // directiveIndex locates directives by file and line, plus the directives in
-// every function's doc comment, for suppression lookups.
+// every function's doc comment, for suppression lookups. The byLine and
+// funcs tables share *directiveUse entries with the uses list, so a match
+// through either path marks the same site used.
 type directiveIndex struct {
-	// byLine maps filename -> line -> set of analyzer names allowed there.
-	byLine map[string]map[int]map[string]bool
-	// funcs lists, per file, each function's body extent and the analyzer
-	// names its doc comment allows.
+	// byLine maps filename -> line -> analyzer name -> directive site.
+	byLine map[string]map[int]map[string]*directiveUse
+	// funcs lists, per file, each function's body extent and the directives
+	// its doc comment carries.
 	funcs map[string][]funcDirectives
-	all   []Directive
+	uses  []*directiveUse
 }
 
 type funcDirectives struct {
 	start, end token.Pos
-	names      map[string]bool
+	names      map[string]*directiveUse
 }
 
 // parseDirective parses one comment, returning ok=false for non-directives.
@@ -49,9 +59,12 @@ func parseDirective(c *ast.Comment) (Directive, bool) {
 
 func indexDirectives(pkg *Pkg) *directiveIndex {
 	idx := &directiveIndex{
-		byLine: make(map[string]map[int]map[string]bool),
+		byLine: make(map[string]map[int]map[string]*directiveUse),
 		funcs:  make(map[string][]funcDirectives),
 	}
+	// byPos lets the function-doc walk below reference the same use entry
+	// the comment walk created, so either match path marks one site.
+	byPos := make(map[token.Pos]*directiveUse)
 	for _, f := range pkg.Syntax {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -59,17 +72,19 @@ func indexDirectives(pkg *Pkg) *directiveIndex {
 				if !ok {
 					continue
 				}
-				idx.all = append(idx.all, d)
+				u := &directiveUse{d: d}
+				idx.uses = append(idx.uses, u)
+				byPos[d.Pos] = u
 				pos := pkg.Fset.Position(c.Pos())
 				lines := idx.byLine[pos.Filename]
 				if lines == nil {
-					lines = make(map[int]map[string]bool)
+					lines = make(map[int]map[string]*directiveUse)
 					idx.byLine[pos.Filename] = lines
 				}
 				if lines[pos.Line] == nil {
-					lines[pos.Line] = make(map[string]bool)
+					lines[pos.Line] = make(map[string]*directiveUse)
 				}
-				lines[pos.Line][d.Name] = true
+				lines[pos.Line][d.Name] = u
 			}
 		}
 		for _, decl := range f.Decls {
@@ -77,10 +92,10 @@ func indexDirectives(pkg *Pkg) *directiveIndex {
 			if !ok || fd.Doc == nil || fd.Body == nil {
 				continue
 			}
-			names := make(map[string]bool)
+			names := make(map[string]*directiveUse)
 			for _, c := range fd.Doc.List {
 				if d, ok := parseDirective(c); ok {
-					names[d.Name] = true
+					names[d.Name] = byPos[d.Pos]
 				}
 			}
 			if len(names) == 0 {
@@ -95,17 +110,22 @@ func indexDirectives(pkg *Pkg) *directiveIndex {
 	return idx
 }
 
-// allows reports whether diagnostic d of analyzer name is waived: a matching
-// directive sits on d's line, the line above it, or in the doc comment of the
-// function whose body contains d.
-func (idx *directiveIndex) allows(pkg *Pkg, name string, d Diagnostic) bool {
-	if lines := idx.byLine[d.Position.Filename]; lines != nil {
-		if lines[d.Position.Line][name] || lines[d.Position.Line-1][name] {
-			return true
+// allows reports whether a finding of analyzer name at the given position is
+// waived: a matching directive sits on its line, the line above it, or in the
+// doc comment of the function whose body contains it. A match marks the
+// directive used.
+func (idx *directiveIndex) allows(name string, position token.Position, pos token.Pos) bool {
+	if lines := idx.byLine[position.Filename]; lines != nil {
+		for _, line := range []int{position.Line, position.Line - 1} {
+			if u := lines[line][name]; u != nil {
+				u.used = true
+				return true
+			}
 		}
 	}
-	for _, fn := range idx.funcs[d.Position.Filename] {
-		if fn.names[name] && d.Pos >= fn.start && d.Pos < fn.end {
+	for _, fn := range idx.funcs[position.Filename] {
+		if u := fn.names[name]; u != nil && pos >= fn.start && pos < fn.end {
+			u.used = true
 			return true
 		}
 	}
@@ -123,13 +143,13 @@ func DirectiveDiagnostics(pkg *Pkg, known map[string]bool) []Diagnostic {
 		out = append(out, p.diags...)
 	}
 	idx := indexDirectives(pkg)
-	for _, d := range idx.all {
-		if !known[d.Name] {
-			report(d.Pos, "//mrm:allow-%s names no known analyzer", d.Name)
+	for _, u := range idx.uses {
+		if !known[u.d.Name] {
+			report(u.d.Pos, "//mrm:allow-%s names no known analyzer", u.d.Name)
 			continue
 		}
-		if d.Reason == "" {
-			report(d.Pos, "//mrm:allow-%s needs a reason: every waived finding must say why", d.Name)
+		if u.d.Reason == "" {
+			report(u.d.Pos, "//mrm:allow-%s needs a reason: every waived finding must say why", u.d.Name)
 		}
 	}
 	return out

@@ -1,0 +1,218 @@
+// Package errcmp enforces the repo's error-matching discipline. The serving
+// layer's retry classifier and the fault pipeline both depend on wrapped
+// errors staying matchable: Retryable walks chains with errors.Is, and trace
+// replay distinguishes parse failures by unwrapping. Two habits silently
+// break that:
+//
+//   - comparing an error against a package-level sentinel with == or != (or a
+//     switch case), which matches identity and misses every wrapped cause;
+//   - formatting a cause into fmt.Errorf with %v or %s, which flattens it to
+//     text and cuts the Unwrap chain that errors.Is/errors.As need.
+//
+// errcmp flags both. Nil checks (err == nil), errors.Is/As calls, and %w are
+// the blessed forms and never flagged. Deliberate identity comparisons — the
+// rare cases where a flattened cause is the point — carry
+// //mrm:allow-errcmp <reason>.
+package errcmp
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"mrm/internal/analysis"
+)
+
+// Analyzer flags sentinel identity comparisons and %v/%s-flattened causes.
+var Analyzer = &analysis.Analyzer{
+	Name: "errcmp",
+	Doc: "flags ==/!=/switch comparisons of errors against sentinel values (use " +
+		"errors.Is, which matches wrapped causes) and fmt.Errorf %v/%s applied to an " +
+		"error (use %w, which preserves the Unwrap chain); waive a deliberate " +
+		"identity match with //mrm:allow-errcmp <reason>",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkBinary(pass, n)
+			case *ast.SwitchStmt:
+				checkSwitch(pass, n)
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinel returns the package-level error variable e refers to, if any:
+// the io.EOF / fault.ErrUncorrectable shape — a *types.Var at package scope
+// whose type implements error.
+func sentinel(info *types.Info, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !analysis.IsErrorType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+// isErrorExpr reports whether e is error-typed (not untyped nil).
+func isErrorExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	return t != nil && analysis.IsErrorType(t)
+}
+
+func checkBinary(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if !isErrorExpr(pass.TypesInfo, be.X) || !isErrorExpr(pass.TypesInfo, be.Y) {
+		return // err == nil and friends: nil is untyped, not error-typed
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		if v := sentinel(pass.TypesInfo, side); v != nil {
+			pass.Reportf(be.Pos(),
+				"%s compares error identity against sentinel %s and misses wrapped causes: use errors.Is(err, %s)",
+				be.Op, v.Name(), v.Name())
+			return
+		}
+	}
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !isErrorExpr(pass.TypesInfo, sw.Tag) {
+		return
+	}
+	for _, clause := range sw.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if v := sentinel(pass.TypesInfo, e); v != nil {
+				pass.Reportf(e.Pos(),
+					"switch case matches error identity against sentinel %s and misses wrapped causes: use if errors.Is(err, %s)",
+					v.Name(), v.Name())
+			}
+		}
+	}
+}
+
+// checkErrorf flags fmt.Errorf calls whose format string applies %v or %s to
+// an error-typed argument: the cause is flattened to text and the Unwrap
+// chain is cut. %w is the preserving form.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // non-constant format string: nothing to parse
+	}
+	format := constant.StringVal(tv.Value)
+	args := call.Args[1:]
+	for _, v := range parseVerbs(format) {
+		if v.verb != 'v' && v.verb != 's' {
+			continue
+		}
+		if v.arg >= len(args) {
+			continue // malformed format: vet territory, not ours
+		}
+		arg := args[v.arg]
+		if isErrorExpr(pass.TypesInfo, arg) {
+			pass.Reportf(arg.Pos(),
+				"fmt.Errorf flattens an error cause with %%%c, cutting the Unwrap chain: use %%w so callers can errors.Is/errors.As it",
+				v.verb)
+		}
+	}
+}
+
+// verbRef is one formatting verb and the operand index it consumes.
+type verbRef struct {
+	verb rune
+	arg  int
+}
+
+// parseVerbs walks a fmt format string and pairs each verb with the operand
+// index it will format, tracking '*' width/precision operands and explicit
+// [n] argument indexes the way the fmt package does.
+func parseVerbs(format string) []verbRef {
+	var out []verbRef
+	arg := 0
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(runes) {
+			break
+		}
+		if runes[i] == '%' {
+			continue // literal percent
+		}
+		// Flags.
+		for i < len(runes) && (runes[i] == '+' || runes[i] == '-' || runes[i] == '#' ||
+			runes[i] == ' ' || runes[i] == '0') {
+			i++
+		}
+		// Width, possibly '*' (consumes an operand).
+		for i < len(runes) && runes[i] >= '0' && runes[i] <= '9' {
+			i++
+		}
+		if i < len(runes) && runes[i] == '*' {
+			arg++
+			i++
+		}
+		// Precision.
+		if i < len(runes) && runes[i] == '.' {
+			i++
+			for i < len(runes) && runes[i] >= '0' && runes[i] <= '9' {
+				i++
+			}
+			if i < len(runes) && runes[i] == '*' {
+				arg++
+				i++
+			}
+		}
+		// Explicit argument index: %[n]v.
+		if i < len(runes) && runes[i] == '[' {
+			j := i + 1
+			for j < len(runes) && runes[j] != ']' {
+				j++
+			}
+			if j < len(runes) {
+				if n, err := strconv.Atoi(string(runes[i+1 : j])); err == nil && n >= 1 {
+					arg = n - 1
+				}
+				i = j + 1
+			}
+		}
+		if i >= len(runes) {
+			break
+		}
+		out = append(out, verbRef{verb: runes[i], arg: arg})
+		arg++
+	}
+	return out
+}

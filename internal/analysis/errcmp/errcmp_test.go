@@ -1,0 +1,12 @@
+package errcmp_test
+
+import (
+	"testing"
+
+	"mrm/internal/analysis/analysistest"
+	"mrm/internal/analysis/errcmp"
+)
+
+func TestErrcmp(t *testing.T) {
+	analysistest.Run(t, "testdata", errcmp.Analyzer, "errfix")
+}

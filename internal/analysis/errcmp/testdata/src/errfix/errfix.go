@@ -1,0 +1,86 @@
+// Package errfix is the errcmp fixture: sentinel identity comparisons and
+// %v/%s-flattened causes are flagged; errors.Is, nil checks, %w, and waived
+// sites are not.
+package errfix
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrExpired is a local sentinel.
+var ErrExpired = errors.New("lease expired")
+
+func compare(err error) int {
+	if err == ErrExpired { // want `== compares error identity against sentinel ErrExpired and misses wrapped causes: use errors.Is\(err, ErrExpired\)`
+		return 1
+	}
+	if err != io.EOF { // want `!= compares error identity against sentinel EOF and misses wrapped causes: use errors.Is\(err, EOF\)`
+		return 2
+	}
+	if io.EOF == err { // want `== compares error identity against sentinel EOF`
+		return 3
+	}
+	return 0
+}
+
+func blessed(err error) int {
+	if err == nil { // nil check: fine
+		return 0
+	}
+	if errors.Is(err, ErrExpired) { // the recommended form
+		return 1
+	}
+	other := errors.New("local")
+	if err == other { // not a package-level sentinel: out of scope
+		return 2
+	}
+	return 3
+}
+
+func classify(err error) string {
+	switch err {
+	case nil:
+		return "ok"
+	case ErrExpired: // want `switch case matches error identity against sentinel ErrExpired and misses wrapped causes: use if errors.Is\(err, ErrExpired\)`
+		return "expired"
+	case io.EOF: // want `switch case matches error identity against sentinel EOF`
+		return "eof"
+	default:
+		return "other"
+	}
+}
+
+func wrap(err error, line int) error {
+	return fmt.Errorf("line %d: %v", line, err) // want `fmt.Errorf flattens an error cause with %v, cutting the Unwrap chain: use %w so callers can errors.Is/errors.As it`
+}
+
+func wrapString(err error) error {
+	return fmt.Errorf("cause: %s", err) // want `fmt.Errorf flattens an error cause with %s`
+}
+
+func wrapIndexed(err error) error {
+	return fmt.Errorf("%[2]d: %[1]v", err, 7) // want `fmt.Errorf flattens an error cause with %v`
+}
+
+func wrapStar(err error, w int) error {
+	return fmt.Errorf("%*d %v", w, 3, err) // want `fmt.Errorf flattens an error cause with %v`
+}
+
+func wrapGood(err error, line int) error {
+	return fmt.Errorf("line %d: %w", line, err) // %w preserves the chain: fine
+}
+
+func wrapValue(line int) error {
+	return fmt.Errorf("line %d: %v", line, "text") // %v on a non-error: fine
+}
+
+func wrapDynamic(err error, format string) error {
+	return fmt.Errorf(format, err) // non-constant format: not parsed
+}
+
+// deliberate flattens on purpose: the waiver records the reviewed judgment.
+func deliberate(err error) error {
+	return fmt.Errorf("terminal: %v", err) //mrm:allow-errcmp fixture: flattening is the point, callers must not retry this
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -14,6 +15,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -140,7 +142,11 @@ func (l *Loader) registerTreeDir(path string) error {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		files = append(files, filepath.Join(dir, name))
+		full := filepath.Join(dir, name)
+		if !buildTagsSatisfied(full) {
+			continue
+		}
+		files = append(files, full)
 	}
 	if len(files) == 0 {
 		return fmt.Errorf("analysis: fixture package %s: no Go files in %s", path, dir)
@@ -149,6 +155,48 @@ func (l *Loader) registerTreeDir(path string) error {
 	l.dirs[path] = dir
 	l.files[path] = files
 	return nil
+}
+
+// buildTagsSatisfied reports whether the file's //go:build constraint (if
+// any) holds for the current GOOS/GOARCH. Module packages get this filtering
+// from `go list`; fixture trees must do it themselves or a tagged-out file
+// (say a GOOS twin or an intentionally broken fixture) would be parsed into
+// the package and break type-checking.
+func buildTagsSatisfied(filename string) bool {
+	src, err := os.ReadFile(filename)
+	if err != nil {
+		return true // let the parser produce the real error
+	}
+	for _, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "package ") {
+			break // constraints must precede the package clause
+		}
+		if !constraint.IsGoBuild(line) {
+			continue
+		}
+		expr, err := constraint.Parse(line)
+		if err != nil {
+			return true
+		}
+		return expr.Eval(func(tag string) bool {
+			return tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc"
+		})
+	}
+	return true
+}
+
+// Loaded returns every package this Loader has parsed and type-checked so
+// far — explicit targets and in-module dependencies alike — sorted by import
+// path. NewProgram wants this full set: facts propagate through dependency
+// packages even when diagnostics are only wanted for the targets.
+func (l *Loader) Loaded() []*Pkg {
+	out := make([]*Pkg, 0, len(l.loaded))
+	for _, pkg := range l.loaded {
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out
 }
 
 // load parses and type-checks one registered package (and, recursively, its
@@ -236,7 +284,7 @@ func goList(dir string, deps bool, patterns []string) ([]listPkg, error) {
 	cmd.Stdout = &stdout
 	cmd.Stderr = &stderr
 	if err := cmd.Run(); err != nil {
-		return nil, fmt.Errorf("analysis: go list: %v\n%s", err, stderr.String())
+		return nil, fmt.Errorf("analysis: go list: %w\n%s", err, stderr.String())
 	}
 	var out []listPkg
 	dec := json.NewDecoder(&stdout)
@@ -245,7 +293,7 @@ func goList(dir string, deps bool, patterns []string) ([]listPkg, error) {
 		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
 		}
 		out = append(out, p)
 	}

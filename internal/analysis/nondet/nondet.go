@@ -4,6 +4,14 @@
 // contract is that every result is a pure function of its inputs and seeds —
 // bit-identical across runs and -parallel settings — and a single time.Now or
 // rand.Intn silently breaks every golden file and sweep downstream.
+//
+// The analyzer is interprocedural: wall-clock and global-rand reads are
+// recorded as facts on the functions that contain them and propagated
+// caller-ward along the program call graph, so an impurity laundered through
+// any chain of project-internal helpers is reported at the call site in
+// simulation code, with the chain spelled out. The nondeterministic shell
+// (internal/server, cmd/mrmd) is a propagation boundary: its functions
+// neither emit nor relay facts.
 package nondet
 
 import (
@@ -18,32 +26,26 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "nondet",
 	Doc: "flags wall-clock reads (time.Now and friends), global math/rand calls, " +
-		"and multi-way selects in simulation packages; waive a deliberate use with " +
+		"and multi-way selects in simulation packages, including impurities reached " +
+		"only through chains of project-internal helpers; waive a deliberate use with " +
 		"//mrm:allow-nondet <reason>",
-	Run: run,
+	Facts:    facts,
+	Scope:    inScope,
+	Boundary: boundary,
 }
+
+// run references Analyzer (to query its own flow facts), so it is wired up
+// here rather than in the literal to break the initialization cycle.
+func init() { Analyzer.Run = run }
 
 // AllowPackages lists import paths exempted wholesale (none by default —
 // prefer per-site //mrm:allow-nondet directives, which carry a reason).
 var AllowPackages = map[string]bool{}
 
-// shellPackages are the import-path tails of the nondeterministic shell: the
-// long-running serving daemon and its binary. They face real traffic and real
-// time — wall-clock deadlines, OS signals, goroutine wakeups — and feed the
-// deterministic core through a virtual clock, so the determinism contract
-// deliberately stops at their boundary. Everything under them (subpackages
-// included) is exempt; the sim core they call into stays locked.
-var shellPackages = []string{"internal/server", "cmd/mrmd"}
-
-// isShell reports whether path is part of the nondeterministic shell.
-func isShell(path string) bool {
-	for _, s := range shellPackages {
-		if path == s || strings.HasSuffix(path, "/"+s) ||
-			strings.Contains(path, s+"/") {
-			return true
-		}
-	}
-	return false
+// boundary reports packages whose functions neither emit nor relay impurity
+// facts: the nondeterministic shell and wholesale-exempted packages.
+func boundary(path string) bool {
+	return analysis.IsShellPackage(path) || AllowPackages[path]
 }
 
 // inScope reports whether a package holds simulation code: the module root
@@ -51,7 +53,7 @@ func isShell(path string) bool {
 // are demo code, and the serving shell (internal/server, cmd/mrmd) is the
 // designated nondeterministic layer; both are exempt.
 func inScope(path string) bool {
-	if AllowPackages[path] || isShell(path) {
+	if boundary(path) {
 		return false
 	}
 	return path == "mrm" ||
@@ -76,6 +78,55 @@ var seededConstructors = map[string]bool{
 	"NewPCG": true, "NewChaCha8": true,
 }
 
+// Fact kinds attached to functions containing primitive impurities.
+const (
+	kindWallClock  = "wallclock"
+	kindGlobalRand = "globalrand"
+)
+
+// classifyCall identifies a primitive impurity at a call: a wall-clock read
+// or a draw from the shared global generator. It returns ok=false for
+// everything else, including methods on owned *Rand values and seeded
+// constructors.
+func classifyCall(info *types.Info, call *ast.CallExpr) (kind, detail string, ok bool) {
+	fn := analysis.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", "", false
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClock[fn.Name()] {
+			return kindWallClock, "time." + fn.Name(), true
+		}
+	case "math/rand", "math/rand/v2":
+		sig, sok := fn.Type().(*types.Signature)
+		if (sok && sig.Recv() != nil) || seededConstructors[fn.Name()] {
+			return "", "", false // owned *Rand methods and seeded constructors are fine
+		}
+		return kindGlobalRand, fn.Pkg().Name() + "." + fn.Name(), true
+	}
+	return "", "", false
+}
+
+// facts records one fact per primitive impurity in each function body, so
+// the framework can flow them to call sites in simulation code.
+func facts(pass *analysis.Pass) map[*types.Func][]analysis.Fact {
+	out := make(map[*types.Func][]analysis.Fact)
+	analysis.ForEachFuncDecl(pass, func(obj *types.Func, fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if kind, detail, ok := classifyCall(pass.TypesInfo, call); ok {
+				out[obj] = append(out[obj], analysis.Fact{Kind: kind, Pos: call.Pos(), Detail: detail})
+			}
+			return true
+		})
+	})
+	return out
+}
+
 func run(pass *analysis.Pass) error {
 	if !inScope(pass.PkgPath) {
 		return nil
@@ -95,24 +146,36 @@ func run(pass *analysis.Pass) error {
 }
 
 func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
-	fn := analysis.Callee(pass.TypesInfo, call)
-	if fn == nil || fn.Pkg() == nil {
+	// Primitive impurity at this very call: report directly.
+	if kind, detail, ok := classifyCall(pass.TypesInfo, call); ok {
+		switch kind {
+		case kindWallClock:
+			pass.Reportf(call.Pos(),
+				"wall-clock call %s in simulation code: results must be pure in (inputs, seeds); derive time from the simulated clock", detail)
+		case kindGlobalRand:
+			pass.Reportf(call.Pos(),
+				"global %s draws from the shared process-wide RNG: use a generator seeded from the sweep cell (dist.NewRNG / rand.New(rand.NewSource(seed)))", detail)
+		}
 		return
 	}
-	switch fn.Pkg().Path() {
-	case "time":
-		if wallClock[fn.Name()] {
+	// Laundered impurity: the callee (or something it transitively calls,
+	// outside this analyzer's reporting scope) contains one.
+	if pass.Program == nil {
+		return
+	}
+	callee := analysis.Callee(pass.TypesInfo, call)
+	for _, ff := range pass.Program.FlowFacts(Analyzer, callee) {
+		chain := pass.Program.ChainString(Analyzer, callee, ff)
+		switch ff.Fact.Kind {
+		case kindWallClock:
 			pass.Reportf(call.Pos(),
-				"wall-clock call time.%s in simulation code: results must be pure in (inputs, seeds); derive time from the simulated clock", fn.Name())
+				"call to %s reaches wall-clock %s (%s): results must be pure in (inputs, seeds); derive time from the simulated clock",
+				analysis.FuncDisplayName(callee), ff.Fact.Detail, chain)
+		case kindGlobalRand:
+			pass.Reportf(call.Pos(),
+				"call to %s reaches global %s (%s): use a generator seeded from the sweep cell (dist.NewRNG / rand.New(rand.NewSource(seed)))",
+				analysis.FuncDisplayName(callee), ff.Fact.Detail, chain)
 		}
-	case "math/rand", "math/rand/v2":
-		sig, ok := fn.Type().(*types.Signature)
-		if (ok && sig.Recv() != nil) || seededConstructors[fn.Name()] {
-			return // methods on an owned *Rand and seeded constructors are fine
-		}
-		pass.Reportf(call.Pos(),
-			"global %s.%s draws from the shared process-wide RNG: use a generator seeded from the sweep cell (dist.NewRNG / rand.New(rand.NewSource(seed)))",
-			fn.Pkg().Name(), fn.Name())
 	}
 }
 

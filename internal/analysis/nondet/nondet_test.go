@@ -10,6 +10,12 @@ import (
 func TestNondet(t *testing.T) {
 	analysistest.Run(t, "testdata", nondet.Analyzer,
 		"sim/internal/fix", "sim/internal/evfix", "demo",
+		// Interprocedural: impurities laundered through helper chains in the
+		// out-of-scope sim/lib/... packages are reported at these call sites.
+		"sim/internal/deep",
+		// The helper packages themselves are outside the reporting scope:
+		// loading them directly must produce no diagnostics.
+		"sim/lib/a", "sim/lib/b", "sim/lib/g", "sim/lib/iface", "sim/lib/waived",
 		// The nondeterministic shell: exempt even though the paths match the
 		// internal/ and cmd/ scope rules. No diagnostics expected.
 		"sim/internal/server", "sim/internal/server/chaos", "sim/cmd/mrmd")

@@ -1,0 +1,57 @@
+// Package deep is simulation code (import path contains "internal/") whose
+// impurities all arrive through helper chains in out-of-scope packages: the
+// interprocedural pass must flag the call sites here, chain spelled out.
+package deep
+
+import (
+	"time"
+
+	"sim/lib/a"
+	"sim/lib/b"
+	"sim/lib/g"
+	"sim/lib/iface"
+	"sim/lib/waived"
+)
+
+// twoDeep reaches time.Now only through a two-package helper chain.
+func twoDeep() time.Time {
+	return a.Stamp() // want `call to a.Stamp reaches wall-clock time.Now \(a.Stamp → b.Clock\)`
+}
+
+// oneDeep reaches the global generator one package down.
+func oneDeep() int {
+	return b.Dice() // want `call to b.Dice reaches global rand.Intn \(b.Dice\)`
+}
+
+// pure calls only clean helpers: no diagnostic.
+func pure(d time.Duration) time.Duration {
+	return a.Pure(d)
+}
+
+// generic reaches time.Now through an instantiated generic helper: the fact
+// rides the origin function.
+func generic() (int, time.Time) {
+	return g.Tag(3) // want `call to g.Tag reaches wall-clock time.Now \(g.Tag\)`
+}
+
+// genericPure instantiates a clean generic helper: no diagnostic.
+func genericPure(x int) int {
+	return g.Id(x)
+}
+
+// dispatch calls through an interface whose method set includes an impure
+// implementation: flagged via the abstract-method node.
+func dispatch(c iface.Clock) time.Duration {
+	return iface.Via(c) // want `call to iface.Via reaches wall-clock time.Now \(iface.Via → iface.Clock.Now → iface.Wall.Now\)`
+}
+
+// waivedRoot calls a helper whose impurity carries a root waiver: the
+// reviewed judgment holds for every caller, so no diagnostic.
+func waivedRoot() time.Time {
+	return waived.Quiet()
+}
+
+// waivedCall waives the laundered finding at the call site instead.
+func waivedCall() time.Time {
+	return a.Stamp() //mrm:allow-nondet fixture: boot-time stamp taken before the simulated clock starts
+}

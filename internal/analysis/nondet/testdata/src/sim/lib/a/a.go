@@ -1,0 +1,20 @@
+// Package a is the middle of the laundering chain: it relays package b's
+// wall-clock impurity without containing one itself.
+package a
+
+import (
+	"time"
+
+	"sim/lib/b"
+)
+
+// Stamp reaches time.Now only through b.Clock — one hop down, two hops from
+// the simulation code that calls Stamp.
+func Stamp() time.Time {
+	return b.Clock()
+}
+
+// Pure has no impurity anywhere below it.
+func Pure(d time.Duration) time.Duration {
+	return 2 * d
+}

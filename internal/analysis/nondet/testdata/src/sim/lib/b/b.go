@@ -1,0 +1,20 @@
+// Package b is the bottom of the laundering chain: a helper package outside
+// nondet's reporting scope (not internal/, not cmd/) that reads the wall
+// clock. Nothing is reported here — the fact propagates to scoped callers.
+package b
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Clock reads the wall clock. No diagnostic in this package; the fact is
+// attached to Clock and flows caller-ward.
+func Clock() time.Time {
+	return time.Now()
+}
+
+// Dice draws from the shared global generator; same story.
+func Dice() int {
+	return rand.Intn(6)
+}

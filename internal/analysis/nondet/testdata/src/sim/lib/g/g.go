@@ -1,0 +1,15 @@
+// Package g holds a generic helper: the impurity fact attaches to the
+// generic origin function, so every instantiation carries it.
+package g
+
+import "time"
+
+// Tag stamps a value with the wall clock — generically impure.
+func Tag[T any](v T) (T, time.Time) {
+	return v, time.Now()
+}
+
+// Id is a pure generic helper.
+func Id[T any](v T) T {
+	return v
+}

@@ -1,0 +1,33 @@
+// Package iface exercises method-set propagation: a call through an
+// interface method reaches every program-declared implementation, so an
+// impure implementation taints the dispatch site.
+package iface
+
+import "time"
+
+// Clock abstracts a time source.
+type Clock interface {
+	Now() time.Duration
+}
+
+// Wall is an impure implementation: it reads the wall clock.
+type Wall struct{}
+
+// Now reads the wall clock.
+func (Wall) Now() time.Duration {
+	return time.Duration(time.Now().UnixNano())
+}
+
+// Fixed is a pure implementation.
+type Fixed time.Duration
+
+// Now returns the fixed instant.
+func (f Fixed) Now() time.Duration {
+	return time.Duration(f)
+}
+
+// Via dispatches through the interface: the wall-clock fact of Wall.Now
+// reaches it through the abstract Clock.Now node.
+func Via(c Clock) time.Duration {
+	return c.Now()
+}

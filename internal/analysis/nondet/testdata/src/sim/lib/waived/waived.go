@@ -1,0 +1,11 @@
+// Package waived shows the root-waiver lifecycle: an //mrm:allow-nondet on
+// the primitive impurity is a reviewed judgment that the site preserves the
+// contract, so nothing propagates from it and scoped callers stay clean.
+package waived
+
+import "time"
+
+// Quiet reads the wall clock under a waiver; callers are not flagged.
+func Quiet() time.Time {
+	return time.Now() //mrm:allow-nondet fixture: profiling hook outside the simulated clock
+}

@@ -1,0 +1,292 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// A Program is the whole-program view an interprocedural run works in: the
+// loaded packages, their shared call graph, and, per analyzer, the function
+// facts after caller-ward propagation. Build one over every package the
+// Loader has loaded (dependencies included) and run analyzers through it; a
+// fact attached to a helper three packages away then surfaces at the call
+// site in the analyzer's scope.
+type Program struct {
+	Pkgs  []*Pkg
+	Graph *CallGraph
+
+	// facts[analyzer][fn][fact] is the next hop toward the fact's root
+	// (nil when fn contains the root construct itself).
+	facts map[*Analyzer]map[*types.Func]map[Fact]*types.Func
+	// dirs caches each package's directive index so suppression marks
+	// accumulate across analyzers — the staleallow pass reads the tallies.
+	dirs map[*Pkg]*directiveIndex
+}
+
+// NewProgram builds the call graph over pkgs and returns a ready Program.
+// The packages must come from one Loader (shared FileSet and type identity).
+func NewProgram(pkgs []*Pkg) *Program {
+	sorted := make([]*Pkg, len(pkgs))
+	copy(sorted, pkgs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].PkgPath < sorted[j].PkgPath })
+	return &Program{
+		Pkgs:  sorted,
+		Graph: buildCallGraph(sorted),
+		facts: make(map[*Analyzer]map[*types.Func]map[Fact]*types.Func),
+		dirs:  make(map[*Pkg]*directiveIndex),
+	}
+}
+
+// Run executes a on pkg within the program: facts are computed and propagated
+// on first use, diagnostics waived by //mrm:allow-<name> directives are
+// dropped (and the directive marked used), and the survivors come back sorted
+// by position.
+func (p *Program) Run(a *Analyzer, pkg *Pkg) ([]Diagnostic, error) {
+	if err := p.ensureFacts(a); err != nil {
+		return nil, err
+	}
+	pass := p.newPass(a, pkg)
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+	}
+	idx := p.directives(pkg)
+	kept := pass.diags[:0]
+	for _, d := range pass.diags {
+		if !idx.allows(a.Name, d.Position, d.Pos) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return posLess(kept[i].Position, kept[j].Position) })
+	return kept, nil
+}
+
+func (p *Program) newPass(a *Analyzer, pkg *Pkg) *Pass {
+	return &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Syntax,
+		Pkg:       pkg.Types,
+		PkgPath:   pkg.PkgPath,
+		TypesInfo: pkg.TypesInfo,
+		Program:   p,
+	}
+}
+
+// directives returns pkg's shared directive index, creating it on first use.
+func (p *Program) directives(pkg *Pkg) *directiveIndex {
+	idx, ok := p.dirs[pkg]
+	if !ok {
+		idx = indexDirectives(pkg)
+		p.dirs[pkg] = idx
+	}
+	return idx
+}
+
+// factEligible reports whether a's facts may originate in or relay through
+// functions of the given package: not in a boundary package (designated
+// impure) and not in the analyzer's reporting scope (a direct finding there
+// is already reported at its own site, so relaying it caller-ward would
+// report the same root twice).
+func factEligible(a *Analyzer, pkgPath string) bool {
+	if a.Boundary != nil && a.Boundary(pkgPath) {
+		return false
+	}
+	if a.Scope != nil && a.Scope(pkgPath) {
+		return false
+	}
+	return true
+}
+
+// ensureFacts computes and propagates a's facts over the whole program once.
+func (p *Program) ensureFacts(a *Analyzer) error {
+	if a.Facts == nil {
+		return nil
+	}
+	if _, done := p.facts[a]; done {
+		return nil
+	}
+	flows := make(map[*types.Func]map[Fact]*types.Func)
+	p.facts[a] = flows
+
+	// Direct facts, with waived roots dropped: an //mrm:allow-<name>
+	// directive on the root construct is a reviewed judgment that the site
+	// preserves the invariant, so nothing propagates from it — and the
+	// directive counts as used even though the root itself is outside the
+	// reporting scope and never produced a diagnostic of its own.
+	for _, pkg := range p.Pkgs {
+		if !factEligible(a, pkg.PkgPath) {
+			continue
+		}
+		idx := p.directives(pkg)
+		for fn, facts := range a.Facts(p.newPass(a, pkg)) {
+			fn = fn.Origin()
+			for _, f := range facts {
+				pos := pkg.Fset.Position(f.Pos)
+				if idx.allows(a.Name, pos, f.Pos) {
+					continue
+				}
+				if flows[fn] == nil {
+					flows[fn] = make(map[Fact]*types.Func)
+				}
+				flows[fn][f] = nil
+			}
+		}
+	}
+
+	// Propagate caller-ward to a fixed point. The worklist pops the
+	// position-least function each round and callers are visited in sorted
+	// order, so the first-writer-wins Via hop is deterministic.
+	var work []*types.Func
+	inWork := make(map[*types.Func]bool)
+	push := func(fn *types.Func) {
+		if !inWork[fn] {
+			inWork[fn] = true
+			work = append(work, fn)
+		}
+	}
+	for _, fn := range p.Graph.Funcs() {
+		if len(flows[fn]) > 0 {
+			push(fn)
+		}
+	}
+	for len(work) > 0 {
+		sort.Slice(work, func(i, j int) bool { return p.Graph.funcLess(work[i], work[j]) })
+		fn := work[0]
+		work = work[1:]
+		inWork[fn] = false
+		keys := sortedFacts(flows[fn])
+		for _, caller := range p.Graph.Callers(fn) {
+			if caller.Pkg() == nil || !factEligible(a, caller.Pkg().Path()) {
+				continue
+			}
+			changed := false
+			for _, f := range keys {
+				if _, ok := flows[caller][f]; ok {
+					continue
+				}
+				if flows[caller] == nil {
+					flows[caller] = make(map[Fact]*types.Func)
+				}
+				flows[caller][f] = fn
+				changed = true
+			}
+			if changed {
+				push(caller)
+			}
+		}
+	}
+	return nil
+}
+
+// sortedFacts orders a fact set by (position, kind, detail).
+func sortedFacts(m map[Fact]*types.Func) []Fact {
+	out := make([]Fact, 0, len(m))
+	for f := range m {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos < out[j].Pos
+		}
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Detail < out[j].Detail
+	})
+	return out
+}
+
+// FlowFacts returns the propagated facts of fn for analyzer a, sorted.
+// Empty for functions outside the fact domain and for analyzers without a
+// Facts hook.
+func (p *Program) FlowFacts(a *Analyzer, fn *types.Func) []FlowFact {
+	if fn == nil {
+		return nil
+	}
+	m := p.facts[a][fn.Origin()]
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]FlowFact, 0, len(m))
+	for _, f := range sortedFacts(m) {
+		out = append(out, FlowFact{Fact: f, Via: m[f]})
+	}
+	return out
+}
+
+// Chain reconstructs the call chain from fn to the root of f: the functions
+// visited, starting with fn itself and ending with the function that contains
+// the root construct.
+func (p *Program) Chain(a *Analyzer, fn *types.Func, f FlowFact) []*types.Func {
+	chain := []*types.Func{fn.Origin()}
+	cur := f.Via
+	for cur != nil && len(chain) < 64 {
+		chain = append(chain, cur)
+		cur = p.facts[a][cur][f.Fact]
+	}
+	return chain
+}
+
+// ChainString renders a Chain as "a.F → b.G" for diagnostics.
+func (p *Program) ChainString(a *Analyzer, fn *types.Func, f FlowFact) string {
+	var parts []string
+	for _, fn := range p.Chain(a, fn, f) {
+		parts = append(parts, FuncDisplayName(fn))
+	}
+	return strings.Join(parts, " → ")
+}
+
+// FuncDisplayName renders fn compactly for diagnostics: pkg.Name for
+// top-level functions, pkg.Recv.Name for methods.
+func FuncDisplayName(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			name = n.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+// StaleDirectives is the staleallow post-pass: after every enabled analyzer
+// has run over every target package through this Program, it flags the
+// well-formed //mrm:allow-<name> directives in pkg that suppressed nothing —
+// neither a diagnostic nor a fact root. ran lists the analyzer names that
+// actually executed, so a subset run (-only) never condemns a directive whose
+// analyzer sat the round out.
+func (p *Program) StaleDirectives(pkg *Pkg, ran map[string]bool) []Diagnostic {
+	idx := p.directives(pkg)
+	var out []Diagnostic
+	pass := &Pass{Analyzer: StaleAllow, Fset: pkg.Fset}
+	for _, u := range idx.uses {
+		if u.used || !ran[u.d.Name] || u.d.Reason == "" {
+			continue
+		}
+		pass.Reportf(u.d.Pos,
+			"//mrm:allow-%s suppressed no findings in this run: the code under the waiver was fixed or removed, delete the directive (reason was: %s)",
+			u.d.Name, u.d.Reason)
+	}
+	out = append(out, pass.diags...)
+	sort.Slice(out, func(i, j int) bool { return posLess(out[i].Position, out[j].Position) })
+	return out
+}
+
+// StaleAllow is the waiver-lifecycle pseudo-analyzer. It has no Run of its
+// own: the multichecker invokes Program.StaleDirectives after all other
+// analyzers have reported, flagging //mrm:allow directives that no longer
+// suppress anything so waivers cannot quietly outlive the code they excused.
+var StaleAllow = &Analyzer{
+	Name: "staleallow",
+	Doc: "flags //mrm:allow-<analyzer> directives that suppressed zero diagnostics " +
+		"(and gated zero fact roots) in the run: stale waivers rot into misleading " +
+		"documentation; delete them when the code under them is fixed",
+}

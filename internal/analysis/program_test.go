@@ -1,0 +1,200 @@
+package analysis_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"mrm/internal/analysis"
+)
+
+// newMarkerAnalyzer builds a minimal interprocedural analyzer for framework
+// tests: the "marker construct" is the string literal "TAINT". Functions
+// containing one get a fact; scoped packages report both direct literals and
+// laundered facts at call sites, mirroring how nondet and seedpurity use the
+// framework.
+func newMarkerAnalyzer() *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name:  "marker",
+		Doc:   "test analyzer: flags the TAINT literal, directly and through helpers",
+		Scope: func(path string) bool { return path == "factflow/top" || path == "stalefix" },
+	}
+	isMarker := func(n ast.Node) (token.Pos, bool) {
+		lit, ok := n.(*ast.BasicLit)
+		if ok && lit.Kind == token.STRING && lit.Value == `"TAINT"` {
+			return lit.Pos(), true
+		}
+		return token.NoPos, false
+	}
+	a.Facts = func(pass *analysis.Pass) map[*types.Func][]analysis.Fact {
+		out := make(map[*types.Func][]analysis.Fact)
+		analysis.ForEachFuncDecl(pass, func(obj *types.Func, fd *ast.FuncDecl) {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if pos, ok := isMarker(n); ok {
+					out[obj] = append(out[obj], analysis.Fact{Kind: "marker", Pos: pos, Detail: "TAINT literal"})
+				}
+				return true
+			})
+		})
+		return out
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		if !a.Scope(pass.PkgPath) {
+			return nil
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if pos, ok := isMarker(n); ok {
+					pass.Reportf(pos, "marker literal in scoped code")
+					return true
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := analysis.Callee(pass.TypesInfo, call)
+				for _, ff := range pass.Program.FlowFacts(a, callee) {
+					pass.Reportf(call.Pos(), "call to %s reaches %s (%s)",
+						analysis.FuncDisplayName(callee), ff.Fact.Detail,
+						pass.Program.ChainString(a, callee, ff))
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// runMarker loads path from testdata/src into a fresh Program and runs the
+// marker analyzer over it, returning the program, the package, and the
+// formatted diagnostics.
+func runMarker(t *testing.T, path string) (*analysis.Program, *analysis.Pkg, []string) {
+	t.Helper()
+	loader := analysis.NewLoader()
+	pkgs, err := loader.LoadTree("testdata/src", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := analysis.NewProgram(loader.Loaded())
+	diags, err := prog.Run(newMarkerAnalyzer(), pkgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, d := range diags {
+		out = append(out, fmt.Sprintf("%s:%d:%d: %s", d.Position.Filename, d.Position.Line, d.Position.Column, d.Message))
+	}
+	return prog, pkgs[0], out
+}
+
+// TestFactPropagation: a fact rooted two packages below the scope surfaces at
+// the scoped call site with the full helper chain, pure paths stay silent,
+// and the whole pipeline is deterministic across independent loads.
+func TestFactPropagation(t *testing.T) {
+	prog, _, diags := runMarker(t, "factflow/top")
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	want := "call to mid.Mid reaches TAINT literal (mid.Mid → leaf.Leaf)"
+	if !strings.Contains(diags[0], want) {
+		t.Errorf("diagnostic %q does not contain %q", diags[0], want)
+	}
+
+	// The call graph agrees: leaf.Leaf's sole caller is mid.Mid.
+	var leafPkg *analysis.Pkg
+	for _, p := range prog.Pkgs {
+		if p.PkgPath == "factflow/leaf" {
+			leafPkg = p
+		}
+	}
+	if leafPkg == nil {
+		t.Fatal("factflow/leaf not loaded as a dependency")
+	}
+	leafFn, _ := leafPkg.Types.Scope().Lookup("Leaf").(*types.Func)
+	if leafFn == nil {
+		t.Fatal("leaf.Leaf not found")
+	}
+	callers := prog.Graph.Callers(leafFn)
+	if len(callers) != 1 || analysis.FuncDisplayName(callers[0]) != "mid.Mid" {
+		t.Errorf("Callers(leaf.Leaf) = %v, want [mid.Mid]", callers)
+	}
+
+	// Determinism: an independent load and run produces identical output.
+	_, _, again := runMarker(t, "factflow/top")
+	if strings.Join(diags, "\n") != strings.Join(again, "\n") {
+		t.Errorf("two runs disagree:\n%v\n---\n%v", diags, again)
+	}
+}
+
+// TestStaleDirectives: a directive that suppressed a finding is live; one on
+// clean code is flagged by the staleallow post-pass — but only when its
+// analyzer actually ran.
+func TestStaleDirectives(t *testing.T) {
+	prog, pkg, diags := runMarker(t, "stalefix")
+	if len(diags) != 0 {
+		t.Fatalf("waived fixture produced diagnostics: %v", diags)
+	}
+	stale := prog.StaleDirectives(pkg, map[string]bool{"marker": true})
+	if len(stale) != 1 {
+		t.Fatalf("got %d stale directives, want 1: %+v", len(stale), stale)
+	}
+	if !strings.Contains(stale[0].Message, "suppressed no findings") ||
+		!strings.Contains(stale[0].Message, "the marker this excused is long gone") {
+		t.Errorf("stale message %q should name the lifecycle and echo the reason", stale[0].Message)
+	}
+	if got := stale[0].Analyzer; got != "staleallow" {
+		t.Errorf("stale diagnostic attributed to %q, want staleallow", got)
+	}
+	// A subset run that skipped the analyzer must not condemn its waivers.
+	if skipped := prog.StaleDirectives(pkg, map[string]bool{}); len(skipped) != 0 {
+		t.Errorf("StaleDirectives flagged waivers of an analyzer that did not run: %+v", skipped)
+	}
+}
+
+// TestLoadTreeBuildTags: files excluded by //go:build constraints are dropped
+// before parsing; loading succeeds where including them would redeclare.
+func TestLoadTreeBuildTags(t *testing.T) {
+	loader := analysis.NewLoader()
+	pkgs, err := loader.LoadTree("testdata/src", "tagged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs[0].Syntax) != 1 {
+		t.Fatalf("got %d files, want 1 (tagged_excluded.go must be filtered)", len(pkgs[0].Syntax))
+	}
+}
+
+// TestGenericInstantiation: Callee canonicalizes instantiated generic callees
+// to their origin object, so facts attached to the origin are found.
+func TestGenericInstantiation(t *testing.T) {
+	loader := analysis.NewLoader()
+	pkgs, err := loader.LoadTree("testdata/src", "genfix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := pkgs[0]
+	origin, _ := pkg.Types.Scope().Lookup("Map").(*types.Func)
+	if origin == nil {
+		t.Fatal("genfix.Map not found")
+	}
+	var resolved *types.Func
+	for _, f := range pkg.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := analysis.Callee(pkg.TypesInfo, call); fn != nil && fn.Name() == "Map" {
+				resolved = fn
+			}
+			return true
+		})
+	}
+	if resolved != origin {
+		t.Fatalf("instantiated callee resolved to %v, want the origin %v", resolved, origin)
+	}
+}

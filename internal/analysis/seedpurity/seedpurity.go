@@ -6,6 +6,12 @@
 // operations, or goroutines. The sweep engine's scheduler plumbing is the
 // deliberate exception and carries //mrm:allow-seedpurity directives
 // explaining why each exemption preserves the contract.
+//
+// The analyzer is interprocedural: impurities in helper packages the decision
+// code calls into (a global counter bumped two packages away, a channel
+// receive behind a utility function) are recorded as facts, propagated
+// caller-ward along the call graph, and reported at the call site inside
+// internal/fault or internal/sweep with the helper chain spelled out.
 package seedpurity
 
 import (
@@ -21,15 +27,76 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "seedpurity",
 	Doc: "flags package-level variable access, channel operations, and goroutine " +
-		"spawns inside internal/fault and internal/sweep, whose decisions must be " +
-		"pure in (seed, stream, event); waive engine plumbing with " +
-		"//mrm:allow-seedpurity <reason>",
-	Run: run,
+		"spawns inside internal/fault and internal/sweep — directly or through any " +
+		"chain of helper calls; decisions must be pure in (seed, stream, event); " +
+		"waive engine plumbing with //mrm:allow-seedpurity <reason>",
+	Facts:    facts,
+	Scope:    inScope,
+	Boundary: analysis.IsShellPackage,
 }
+
+// run references Analyzer (to query its own flow facts), so it is wired up
+// here rather than in the literal to break the initialization cycle.
+func init() { Analyzer.Run = run }
 
 // inScope reports whether path is one of the purity-contract packages.
 func inScope(path string) bool {
 	return strings.HasSuffix(path, "internal/fault") || strings.HasSuffix(path, "internal/sweep")
+}
+
+// Fact kinds for impurities that flow to decision-path call sites.
+const (
+	kindPkgVar = "pkgvar"
+	kindChanOp = "chanop"
+	kindGo     = "gostmt"
+)
+
+// collect walks one function body and hands every impurity to report: the
+// direct checker and the fact builder share exactly this definition of
+// impure, so a helper flagged here is flagged identically via a call chain.
+func collect(info *types.Info, body *ast.BlockStmt, report func(kind string, pos token.Pos, detail string)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			v, ok := info.Uses[n].(*types.Var)
+			if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+				return true // not a package-level variable
+			}
+			if analysis.IsErrorType(v.Type()) {
+				return true // error sentinels are immutable by convention
+			}
+			report(kindPkgVar, n.Pos(), "package-level var "+v.Name())
+		case *ast.SelectStmt:
+			report(kindChanOp, n.Pos(), "select")
+		case *ast.SendStmt:
+			report(kindChanOp, n.Pos(), "channel send")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				report(kindChanOp, n.Pos(), "channel receive")
+			}
+		case *ast.GoStmt:
+			report(kindGo, n.Pos(), "goroutine spawn")
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					report(kindChanOp, n.Pos(), "range over channel")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// facts records impurity facts for every function so decision-path call
+// sites can see what their helpers reach.
+func facts(pass *analysis.Pass) map[*types.Func][]analysis.Fact {
+	out := make(map[*types.Func][]analysis.Fact)
+	analysis.ForEachFuncDecl(pass, func(obj *types.Func, fd *ast.FuncDecl) {
+		collect(pass.TypesInfo, fd.Body, func(kind string, pos token.Pos, detail string) {
+			out[obj] = append(out[obj], analysis.Fact{Kind: kind, Pos: pos, Detail: detail})
+		})
+	})
+	return out
 }
 
 func run(pass *analysis.Pass) error {
@@ -49,35 +116,40 @@ func run(pass *analysis.Pass) error {
 }
 
 func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
-	info := pass.TypesInfo
+	// Direct impurities in the decision path itself.
+	collect(pass.TypesInfo, fd.Body, func(kind string, pos token.Pos, detail string) {
+		switch kind {
+		case kindPkgVar:
+			pass.Reportf(pos,
+				"decision path touches %s: fault/seed decisions must be pure in (seed, stream, event)", detail)
+		case kindChanOp:
+			switch detail {
+			case "select":
+				pass.Reportf(pos, "select in a decision path depends on goroutine scheduling")
+			case "range over channel":
+				pass.Reportf(pos, "range over channel in a decision path: decisions must not communicate")
+			default:
+				pass.Reportf(pos, "%s in a decision path: decisions must not communicate", detail)
+			}
+		case kindGo:
+			pass.Reportf(pos, "goroutine spawn in a decision path: decision order must not depend on scheduling")
+		}
+	})
+	// Impurities reached through helpers outside the contract packages.
+	if pass.Program == nil {
+		return
+	}
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.Ident:
-			v, ok := info.Uses[n].(*types.Var)
-			if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
-				return true // not a package-level variable
-			}
-			if analysis.IsErrorType(v.Type()) {
-				return true // error sentinels are immutable by convention
-			}
-			pass.Reportf(n.Pos(),
-				"decision path touches package-level var %s: fault/seed decisions must be pure in (seed, stream, event)", v.Name())
-		case *ast.SelectStmt:
-			pass.Reportf(n.Pos(), "select in a decision path depends on goroutine scheduling")
-		case *ast.SendStmt:
-			pass.Reportf(n.Pos(), "channel send in a decision path: decisions must not communicate")
-		case *ast.UnaryExpr:
-			if n.Op == token.ARROW {
-				pass.Reportf(n.Pos(), "channel receive in a decision path: decisions must not communicate")
-			}
-		case *ast.GoStmt:
-			pass.Reportf(n.Pos(), "goroutine spawn in a decision path: decision order must not depend on scheduling")
-		case *ast.RangeStmt:
-			if t := info.TypeOf(n.X); t != nil {
-				if _, ok := t.Underlying().(*types.Chan); ok {
-					pass.Reportf(n.Pos(), "range over channel in a decision path: decisions must not communicate")
-				}
-			}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := analysis.Callee(pass.TypesInfo, call)
+		for _, ff := range pass.Program.FlowFacts(Analyzer, callee) {
+			pass.Reportf(call.Pos(),
+				"call to %s reaches %s (%s): fault/seed decisions must be pure in (seed, stream, event)",
+				analysis.FuncDisplayName(callee), ff.Fact.Detail,
+				pass.Program.ChainString(Analyzer, callee, ff))
 		}
 		return true
 	})

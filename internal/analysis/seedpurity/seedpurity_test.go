@@ -8,5 +8,7 @@ import (
 )
 
 func TestSeedpurity(t *testing.T) {
-	analysistest.Run(t, "testdata", seedpurity.Analyzer, "sim/internal/fault", "other")
+	// sim/seedlib is the out-of-scope helper package: loaded both as an
+	// import of sim/internal/fault (fact source) and directly (no findings).
+	analysistest.Run(t, "testdata", seedpurity.Analyzer, "sim/internal/fault", "sim/seedlib", "other")
 }

@@ -2,7 +2,11 @@
 // internal/fault: decision paths must be pure in (seed, stream, event).
 package fault
 
-import "errors"
+import (
+	"errors"
+
+	"sim/seedlib"
+)
 
 // ErrLost is an error sentinel: immutable by convention, exempt.
 var ErrLost = errors.New("data lost")
@@ -43,6 +47,27 @@ func drain(ch chan uint64) uint64 {
 		last = v
 	}
 	return last
+}
+
+// laundered reaches a package-level counter through a helper in another
+// package: reported here, at the decision-path call site.
+func laundered(seed uint64) uint64 {
+	return seed + uint64(seedlib.Bump()) // want `call to seedlib.Bump reaches package-level var counter \(seedlib.Bump\)`
+}
+
+// twoDeep reaches the same counter through a two-call helper chain.
+func twoDeep(seed uint64) uint64 {
+	return seed + uint64(seedlib.Outer()) // want `call to seedlib.Outer reaches package-level var counter \(seedlib.Outer → seedlib.inner\)`
+}
+
+// cleanHelper calls a pure helper: no diagnostic.
+func cleanHelper(seed, event uint64) uint64 {
+	return seedlib.Pure(seed, event)
+}
+
+// waivedHelper calls a helper whose impurity is root-waived: no diagnostic.
+func waivedHelper() int {
+	return seedlib.Logged()
 }
 
 // engine is scheduler plumbing, not a decision: results are collected in

@@ -1,0 +1,34 @@
+// Package seedlib is a helper package outside the purity-contract packages:
+// its impurities are never reported here, only as facts that flow to call
+// sites inside internal/fault and internal/sweep.
+package seedlib
+
+var counter int
+
+// Bump mutates a package-level counter; the fact flows to contract callers.
+func Bump() int {
+	counter++
+	return counter
+}
+
+// Outer launders the impurity one level deeper: Outer → inner → counter.
+func Outer() int {
+	return inner()
+}
+
+func inner() int {
+	counter--
+	return counter
+}
+
+// Pure is a clean helper: no fact, no diagnostic anywhere.
+func Pure(seed, event uint64) uint64 {
+	return seed ^ event
+}
+
+// Logged draws on the counter under a root waiver: the reviewed judgment
+// covers every caller, so nothing propagates.
+func Logged() int {
+	counter++ //mrm:allow-seedpurity fixture: diagnostics counter, never read by a decision
+	return 0
+}

@@ -1,0 +1,12 @@
+// Package leaf holds the fact roots for the program_test propagation fixture.
+package leaf
+
+// Leaf contains the marker construct the test analyzer attaches a fact to.
+func Leaf() string {
+	return "TAINT"
+}
+
+// Clean carries no fact.
+func Clean() string {
+	return "ok"
+}

@@ -1,0 +1,15 @@
+// Package mid relays the leaf fact one package up without containing the
+// marker construct itself.
+package mid
+
+import "factflow/leaf"
+
+// Mid inherits leaf.Leaf's fact through propagation.
+func Mid() string {
+	return leaf.Leaf()
+}
+
+// Pure calls only the clean helper.
+func Pure() string {
+	return leaf.Clean()
+}

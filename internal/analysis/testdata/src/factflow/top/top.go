@@ -1,0 +1,15 @@
+// Package top is the test analyzer's reporting scope: laundered facts from
+// leaf, two packages down, must surface at the call sites here.
+package top
+
+import "factflow/mid"
+
+// Top calls the relay; the test expects a diagnostic on the call.
+func Top() string {
+	return mid.Mid()
+}
+
+// Quiet calls only the pure relay; no diagnostic.
+func Quiet() string {
+	return mid.Pure()
+}

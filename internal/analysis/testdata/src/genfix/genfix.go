@@ -1,0 +1,17 @@
+// Package genfix checks that the Loader type-checks generic declarations and
+// that instantiated callees canonicalize to their origin objects.
+package genfix
+
+// Map is a generic helper the test resolves an instantiation of.
+func Map[T, U any](xs []T, f func(T) U) []U {
+	out := make([]U, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, f(x))
+	}
+	return out
+}
+
+// Use instantiates Map implicitly.
+func Use() []int {
+	return Map([]string{"mrm"}, func(s string) int { return len(s) })
+}

@@ -1,0 +1,15 @@
+// Package stalefix exercises the staleallow waiver lifecycle: one directive
+// that still suppresses a finding (live) and one on clean code (stale).
+package stalefix
+
+// Live returns the marker string; the directive suppresses the test
+// analyzer's finding and is therefore not stale.
+func Live() string {
+	return "TAINT" //mrm:allow-marker fixture: the waiver still earns its keep
+}
+
+// Stale is clean code under a waiver: the directive suppresses nothing and
+// the staleallow post-pass must flag it.
+func Stale() string {
+	return "ok" //mrm:allow-marker fixture: the marker this excused is long gone
+}

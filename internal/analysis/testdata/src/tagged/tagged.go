@@ -1,0 +1,9 @@
+// Package tagged checks the Loader's build-constraint filtering: the sibling
+// file is excluded by its //go:build line; if it were loaded, the duplicate
+// declaration of Answer would fail type-checking.
+package tagged
+
+// Answer is declared once in the files the Loader keeps.
+func Answer() int {
+	return 42
+}

@@ -1,0 +1,9 @@
+//go:build mrm_never_enabled
+
+// This file is excluded by its build constraint; loading it anyway would
+// redeclare Answer and break the type-check.
+package tagged
+
+func Answer() int {
+	return 7
+}

@@ -54,6 +54,25 @@ func TestRetryableTable(t *testing.T) {
 	}
 }
 
+// TestFailNodeErrorNotRetryable pins the deliberate %v in failNode (the
+// site carries an //mrm:allow-errcmp waiver): a node failure is permanent
+// even when its cause was a transient fault class, because the retry budget
+// was already spent before failNode ran. Wrapping the cause with %w would
+// make Retryable match fault.ErrUncorrectable through the chain and send
+// callers into a retry loop against a rebuilt node.
+func TestFailNodeErrorNotRetryable(t *testing.T) {
+	err := fmt.Errorf("%w (node %d): %v", ErrNodeFailed, 3, fault.ErrUncorrectable)
+	if Retryable(err) {
+		t.Errorf("Retryable(%v) = true: node-failure errors must be permanent", err)
+	}
+	if !errors.Is(err, ErrNodeFailed) {
+		t.Errorf("errors.Is(%v, ErrNodeFailed) = false: the sentinel must stay matchable", err)
+	}
+	if errors.Is(err, fault.ErrUncorrectable) {
+		t.Errorf("errors.Is(%v, fault.ErrUncorrectable) = true: the flattened cause leaked into the Is chain", err)
+	}
+}
+
 // TestBackoffFullJitter checks the draw stays inside the exponential
 // envelope: attempt k draws from [0, min(Max, Base·2^(k-1))).
 func TestBackoffFullJitter(t *testing.T) {

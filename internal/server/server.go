@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -74,7 +75,7 @@ func (s *Server) Serve() error {
 	if s.lis == nil {
 		return fmt.Errorf("server: Serve before Listen")
 	}
-	if err := s.hs.Serve(s.lis); err != nil && err != http.ErrServerClosed {
+	if err := s.hs.Serve(s.lis); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return fmt.Errorf("server: serve: %w", err)
 	}
 	return nil

@@ -417,6 +417,49 @@ func TestPanicRecoveryMiddleware(t *testing.T) {
 	}
 }
 
+// TestServeReturnsNilOnShutdown pins Serve's graceful-close contract: the
+// net/http ErrServerClosed that Serve sees on Shutdown is recognized via
+// errors.Is and mapped to nil, so callers (cmd/mrmd's errgroup-style wait)
+// do not mistake a clean drain for a crash.
+func TestServeReturnsNilOnShutdown(t *testing.T) {
+	cfg := Config{
+		Build:          testBuilder(t),
+		Nodes:          1,
+		QueueDepth:     16,
+		MaxBatch:       4,
+		RequestTimeout: 20 * time.Second,
+		DrainTimeout:   20 * time.Second,
+		Retry:          RetryPolicy{MaxAttempts: 2, Base: time.Millisecond, Max: 2 * time.Millisecond},
+		Seed:           7,
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve() }()
+	// One round trip proves the listener is live before the shutdown races it.
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if err := srv.Shutdown(nil); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve returned %v after graceful shutdown, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+}
+
 // waitFor polls cond (shell-side wall-clock helper) with a generous bound.
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()

@@ -108,9 +108,14 @@ type service struct {
 	jitter   *dist.RNG // guarded by mu
 	controls []nodeCtl // guarded by mu
 
-	wg        sync.WaitGroup
-	draining  atomic.Bool
-	nextID    atomic.Uint64
+	wg       sync.WaitGroup
+	draining atomic.Bool
+	nextID   atomic.Uint64
+	// runCtx is the workers' lifetime context: created once at startup,
+	// cancelled once by Shutdown. It gates whole sim batches, not requests —
+	// per-request deadlines live in the queue's admission layer — so storing
+	// it does not detach any request from its caller.
+	//mrm:allow-ctxflow process-lifetime context for the worker goroutines, cancelled by Shutdown; request deadlines are enforced at admission
 	runCtx    context.Context
 	cancelRun context.CancelFunc
 }
@@ -324,6 +329,11 @@ func (s *service) failCalls(n *node, err error) {
 // the poisoned sim state cannot leak into later requests.
 func (s *service) failNode(n *node, cause error) {
 	s.reg.Counter("mrmd_node_failures_total").Inc()
+	// The cause is flattened with %v on purpose: a node failure is permanent
+	// (the retry budget is spent, the node is rebuilt), and wrapping a
+	// transient cause like fault.ErrUncorrectable with %w would make
+	// Retryable resurrect it. TestFailNodeErrorNotRetryable pins this.
+	//mrm:allow-errcmp flattening is deliberate: ErrNodeFailed is permanent; %w on the cause would make Retryable match it again
 	s.failCalls(n, fmt.Errorf("%w (node %d): %v", ErrNodeFailed, n.idx, cause))
 	nd, err := s.cfg.Build(n.idx)
 	if err != nil || nd.Sim == nil {

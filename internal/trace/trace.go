@@ -218,11 +218,11 @@ func ReadCSV(r io.Reader) (*Log, error) {
 		}
 		ns, err := strconv.ParseInt(parts[0], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %v", line, err)
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
 		}
 		stream, err := streamFromString(parts[1])
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %v", line, err)
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
 		}
 		var op Op
 		switch parts[2] {
@@ -235,11 +235,11 @@ func ReadCSV(r io.Reader) (*Log, error) {
 		}
 		addr, err := strconv.ParseUint(parts[3], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %v", line, err)
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
 		}
 		size, err := strconv.ParseUint(parts[4], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %v", line, err)
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
 		}
 		l.Append(Event{
 			At:     time.Duration(ns),

@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"errors"
+	"strconv"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -120,6 +122,24 @@ func TestReadCSVErrors(t *testing.T) {
 	l, err := ReadCSV(strings.NewReader("at_ns,stream,op,addr,size\n\n"))
 	if err != nil || l.Len() != 0 {
 		t.Fatalf("header-only parse: %v, %d events", err, l.Len())
+	}
+}
+
+// TestReadCSVWrapsCause pins that field-parse failures wrap the strconv
+// cause with %w: callers can errors.Is the chain to distinguish malformed
+// numbers from structural errors.
+func TestReadCSVWrapsCause(t *testing.T) {
+	_, err := ReadCSV(strings.NewReader("x,weights,R,0,1\n"))
+	if !errors.Is(err, strconv.ErrSyntax) {
+		t.Errorf("bad at_ns error %v should wrap strconv.ErrSyntax", err)
+	}
+	_, err = ReadCSV(strings.NewReader("1,weights,R,abc,1\n"))
+	if !errors.Is(err, strconv.ErrSyntax) {
+		t.Errorf("bad addr error %v should wrap strconv.ErrSyntax", err)
+	}
+	_, err = ReadCSV(strings.NewReader("1,weights,R,0,99999999999999999999\n"))
+	if !errors.Is(err, strconv.ErrRange) {
+		t.Errorf("oversized size error %v should wrap strconv.ErrRange", err)
 	}
 }
 
