@@ -64,9 +64,10 @@ bench:
 # scan, coalesced reads, histogram bucket cache), the cluster-level serving
 # benchmarks (coalesced decode loop, batched write path, fleet run), and the
 # fleet-scale event-engine benchmarks (event vs stepping engine, 1000-node
-# fleet-day batch and streamed — BENCH_fleet.json carries the
-# BenchmarkFleetDayStream metrics) as test2json event lines for regression
-# tracking.
+# fleet-day batch and streamed, serial and pipelined, plus the
+# generation/placement microbenches that decompose the streamed day —
+# BENCH_fleet.json carries the BenchmarkFleetDayStream metrics) as test2json
+# event lines for regression tracking.
 bench-json:
 	go test -json -run '^$$' -bench '^BenchmarkSweep' -benchmem . > BENCH_sweep.json
 	@grep -c '"Action"' BENCH_sweep.json >/dev/null && echo "wrote BENCH_sweep.json"
@@ -76,14 +77,15 @@ bench-json:
 	go test -json -run '^$$' -bench '^(BenchmarkDecodeCoalesce|BenchmarkSimWritePath|BenchmarkFleetRun)' -benchmem \
 		./internal/cluster > BENCH_cluster.json
 	@grep -c '"Action"' BENCH_cluster.json >/dev/null && echo "wrote BENCH_cluster.json"
-	go test -json -run '^$$' -bench '^BenchmarkFleet' -benchmem \
+	go test -json -run '^$$' -bench '^(BenchmarkFleet|BenchmarkGeneratorStream)' -benchmem \
 		./internal/cluster > BENCH_fleet.json
 	@grep -c '"Action"' BENCH_fleet.json >/dev/null && echo "wrote BENCH_fleet.json"
 
 # bench-diff compares the device and cluster hot-path benchmarks — including
-# the streamed fleet-day path — against a saved baseline with benchstat when
-# both are available. Save a baseline with:
-#   go test -run '^$$' -bench '^(BenchmarkDevice|BenchmarkDecodeCoalesce|BenchmarkSimWritePath|BenchmarkFleetRun|BenchmarkFleetDayStream)' -count 5 ./internal/memdev ./internal/cluster > bench_baseline.txt
+# the streamed fleet-day path and its generation/placement microbenches —
+# against a saved baseline with benchstat when both are available. Save a
+# baseline with:
+#   go test -run '^$$' -bench '^(BenchmarkDevice|BenchmarkDecodeCoalesce|BenchmarkSimWritePath|BenchmarkFleetRun|BenchmarkFleetDayStream|BenchmarkGeneratorStream|BenchmarkFleetPlacement)' -count 5 ./internal/memdev ./internal/cluster > bench_baseline.txt
 # The target degrades gracefully: it explains what is missing rather than
 # failing when benchstat or the baseline is absent.
 bench-diff:
@@ -91,7 +93,7 @@ bench-diff:
 		echo "bench-diff: no bench_baseline.txt; save one with the command in the Makefile comment"; \
 		exit 0; \
 	fi; \
-	go test -run '^$$' -bench '^(BenchmarkDevice|BenchmarkDecodeCoalesce|BenchmarkSimWritePath|BenchmarkFleetRun|BenchmarkFleetDayStream)' -count 5 \
+	go test -run '^$$' -bench '^(BenchmarkDevice|BenchmarkDecodeCoalesce|BenchmarkSimWritePath|BenchmarkFleetRun|BenchmarkFleetDayStream|BenchmarkGeneratorStream|BenchmarkFleetPlacement)' -count 5 \
 		./internal/memdev ./internal/cluster > bench_new.txt; \
 	if command -v benchstat >/dev/null 2>&1; then \
 		benchstat bench_baseline.txt bench_new.txt; \

@@ -51,6 +51,8 @@ func run() int {
 		"fleetday: streamed execution window in requests (0 = default); peak memory is O(nodes x window)")
 	fleetMem := flag.String("fleet-mem", "hbm",
 		"fleetday: node memory system (hbm, lpddr, mrm, hbf)")
+	progress := flag.Bool("progress", false,
+		"fleetday: periodic requests/sec + ETA lines on stderr (stdout tables are unaffected)")
 	timing := flag.Bool("timing", false,
 		"report per-experiment wall-clock time on stderr (stdout tables are unaffected)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -390,6 +392,9 @@ func run() int {
 			p.Memory = mrm.HBMPlusHBF
 		default:
 			fail("fleetday", fmt.Errorf("unknown -fleet-mem %q", *fleetMem))
+		}
+		if *progress {
+			p.Progress = os.Stderr
 		}
 		if !failed {
 			_, tab, err := mrm.RunFleetDay(p)

@@ -2,6 +2,7 @@ package mrm
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"mrm/internal/cluster"
@@ -29,6 +30,11 @@ type FleetDayParams struct {
 	Acc        llm.Accelerator
 	MaxBatch   int
 	PageTokens int
+	// Progress, when non-nil, receives periodic requests/sec + ETA lines
+	// during the replay (mrmsim fleetday -progress points it at stderr).
+	// It is reporting-only: the replay's results and stdout tables are
+	// byte-identical with or without it.
+	Progress io.Writer
 }
 
 // DefaultFleetDayParams returns the million-user-day configuration: 1000
@@ -88,6 +94,36 @@ func RunFleetDay(p FleetDayParams) (FleetDayResult, *report.Table, error) {
 		return FleetDayResult{}, nil, err
 	}
 	fleet.Window = p.Window
+	if p.Progress != nil {
+		// Pacing is reporting-only, exactly like mrmsim's -timing: wall-clock
+		// reads feed a stderr-style writer while the replay's own output
+		// stays byte-identical. RunStream invokes the callback at its
+		// (deterministic) window boundaries; the callback throttles itself to
+		// roughly one line every 5 wall seconds. `fed` counts requests handed
+		// to node execution buffers, which for a no-failure day converges on
+		// the request count — good enough for an ETA.
+		start := time.Now() //mrm:allow-nondet -progress reports wall-clock pacing to stderr only; replay output is unaffected
+		last := start
+		total := int64(n)
+		fleet.Progress = func(fed int64) {
+			now := time.Now() //mrm:allow-nondet -progress reports wall-clock pacing to stderr only; replay output is unaffected
+			if now.Sub(last) < 5*time.Second && fed < total {
+				return
+			}
+			last = now
+			elapsed := now.Sub(start).Seconds()
+			if elapsed <= 0 || fed <= 0 {
+				return
+			}
+			rate := float64(fed) / elapsed
+			eta := time.Duration(float64(total-fed) / rate * float64(time.Second))
+			if eta < 0 {
+				eta = 0
+			}
+			fmt.Fprintf(p.Progress, "fleetday: %d/%d requests fed, %.0f req/s, ETA %s\n",
+				fed, total, rate, eta.Round(time.Second))
+		}
+	}
 	res, err := fleet.RunStream(src)
 	if err != nil {
 		return FleetDayResult{}, nil, err

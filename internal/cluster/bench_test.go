@@ -222,12 +222,11 @@ func BenchmarkFleetDay(b *testing.B) {
 	b.ReportMetric(float64(res.Completed), "completed")
 }
 
-// BenchmarkFleetDayStream is BenchmarkFleetDay through the stream-native
-// path: the same 1000 nodes and 21.6k-request day, but generated block by
-// block (Generator.Stream) and executed windowed (Fleet.RunStream), so the
-// request stream is never materialized. Results are bit-identical to the
-// batch twin; the interesting deltas are B/op and allocs/op.
-func BenchmarkFleetDayStream(b *testing.B) {
+// benchFleetDayStream is the shared body of the streamed fleet-day
+// benchmarks: the same 1000 nodes and 21.6k-request day as BenchmarkFleetDay,
+// but generated block by block (Generator.Stream) and executed windowed
+// (Fleet.RunStream), so the request stream is never materialized.
+func benchFleetDayStream(b *testing.B, workers int) {
 	var res FleetResult
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
@@ -237,7 +236,7 @@ func BenchmarkFleetDayStream(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		f.Workers = 1
+		f.Workers = workers
 		g := Generator{
 			Workload:   llm.SplitwiseConv,
 			RatePerSec: 0.25,
@@ -256,4 +255,85 @@ func BenchmarkFleetDayStream(b *testing.B) {
 	}
 	b.ReportMetric(res.WallTime.Hours(), "sim-hours")
 	b.ReportMetric(float64(res.Completed), "completed")
+}
+
+// BenchmarkFleetDayStream is the streamed fleet-day at Workers=1 — the
+// serial reference whose results are bit-identical to the batch twin; the
+// interesting deltas are B/op and allocs/op.
+func BenchmarkFleetDayStream(b *testing.B) { benchFleetDayStream(b, 1) }
+
+// BenchmarkFleetDayStreamParallel is the same day through the pipelined
+// path at the default worker count: window execution overlaps the next
+// window's generation+placement on the persistent pool, and request
+// synthesis fans out in ordered chunks. On a single-CPU host it tracks
+// BenchmarkFleetDayStream; with cores the overlap shows up as wall-time.
+func BenchmarkFleetDayStreamParallel(b *testing.B) { benchFleetDayStream(b, 0) }
+
+// dayGenerator is the fleet-day request mix shared by the generation and
+// placement microbenches: same workload, rate, and seed as the fleet-day
+// benchmarks, so their costs decompose BenchmarkFleetDayStream's.
+func dayGenerator() Generator {
+	return Generator{
+		Workload:   llm.SplitwiseConv,
+		RatePerSec: 0.25,
+		Mix:        [3]float64{0.5, 0.3, 0.2},
+		MaxContext: 4096,
+	}
+}
+
+// BenchmarkGeneratorStream isolates request synthesis: one op drains the
+// 21.6k-request fleet-day stream through the serial block iterator. Compare
+// against BenchmarkFleetPlacement and BenchmarkFleetDayStream to see where
+// a streamed replay's time actually goes.
+func BenchmarkGeneratorStream(b *testing.B) {
+	st, err := dayGenerator().Stream(dist.NewRNG(11), 21600)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		st.Reset()
+		n = 0
+		for {
+			_, ok := st.Next()
+			if !ok {
+				break
+			}
+			n++
+		}
+	}
+	b.ReportMetric(float64(n), "requests")
+}
+
+// BenchmarkFleetPlacement isolates the placement heap: one op replays the
+// 21.6k-request day through loadHeap.assign over 1000 nodes — generation
+// plus placement, no execution. Subtracting BenchmarkGeneratorStream leaves
+// the heap's own cost.
+func BenchmarkFleetPlacement(b *testing.B) {
+	st, err := dayGenerator().Stream(dist.NewRNG(11), 21600)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nodes = 1000
+	idx := make([]int, nodes)
+	for i := range idx {
+		idx[i] = i
+	}
+	load := make([]int64, nodes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Reset()
+		for j := range load {
+			load[j] = 0
+		}
+		h := newLoadHeap(idx, load)
+		for {
+			req, ok := st.Next()
+			if !ok {
+				break
+			}
+			h.assign(int64(req.PromptTokens + req.OutputTokens))
+		}
+	}
 }

@@ -143,11 +143,18 @@ func (g Generator) Stream(rng *dist.RNG, n int) (*Stream, error) {
 		output: dist.Lognormal{Median: g.Workload.OutputMedian, Sigma: g.Workload.OutputSigma},
 		base:   rng.Uint64(),
 		n:      n,
+		loaded: -1,
 	}, nil
 }
 
 // Stream iterates a Generator's request sequence block by block; see
 // Generator.Stream. The zero value is not useful — construct via Stream.
+//
+// Next is the serial iterator; GenerateBlock is the same sequence exposed
+// block by block for parallel synthesis (each block is a pure function of
+// the captured base seed and the block index), and SeekBlock repositions the
+// serial iterator at a block boundary. Next is implemented on top of
+// GenerateBlock, so the two can never drift.
 type Stream struct {
 	g      Generator
 	inter  dist.Exponential
@@ -155,21 +162,98 @@ type Stream struct {
 	output dist.Lognormal
 	base   uint64
 	n      int
-	next   int
-	clock  time.Duration
-	brng   *dist.RNG
+	// Serial-iterator state: the current block's requests (arrivals relative
+	// to the block start), the absolute clock at that block's start, and the
+	// block's total clock advance.
+	next      int
+	loaded    int // block index held in buf; -1 = none
+	buf       []Request
+	blockBase time.Duration
+	bufAdv    time.Duration
 }
 
 // Len returns the total number of requests the stream yields.
 func (s *Stream) Len() int { return s.n }
+
+// Blocks returns the number of GenBlock-sized blocks in the stream (the last
+// may be short).
+func (s *Stream) Blocks() int { return (s.n + GenBlock - 1) / GenBlock }
 
 // Reset rewinds the stream to its first request; the replayed sequence is
 // identical (block generators re-derive from the captured base seed, and the
 // arrival clock restarts its prefix sum).
 func (s *Stream) Reset() {
 	s.next = 0
-	s.clock = 0
-	s.brng = nil
+	s.loaded = -1
+	s.blockBase = 0
+	s.bufAdv = 0
+}
+
+// GenerateBlock appends block b's requests to dst and returns the extended
+// slice plus the block's total arrival-clock advance. Arrivals are relative
+// to the block's start: the absolute stream is recovered by adding the sum
+// of all earlier blocks' advances, and because arrivals are integer
+// (time.Duration) sums of per-request gaps, that regrouped sum is
+// bit-identical to the serial prefix sum Next maintains.
+//
+// The block is a pure function of (captured base seed, b): it touches no
+// iterator state, so distinct blocks may be generated concurrently from one
+// Stream — that is what lets RunStream shard request synthesis across the
+// sweep pool.
+func (s *Stream) GenerateBlock(b int, dst []Request) ([]Request, time.Duration) {
+	start := b * GenBlock
+	count := s.n - start
+	if count > GenBlock {
+		count = GenBlock
+	}
+	rng := dist.NewRNG(sweep.DeriveSeed(s.base, b))
+	var clock time.Duration
+	for k := 0; k < count; k++ {
+		clock += time.Duration(s.inter.Sample(rng) * float64(time.Second))
+		p := int(dist.Clamp(s.prompt.Sample(rng), 1, float64(s.g.MaxContext-1)))
+		maxOut := s.g.MaxContext - p
+		o := int(dist.Clamp(s.output.Sample(rng), 1, float64(maxOut)))
+		u := rng.Float64()
+		var cl SLAClass
+		switch {
+		case u < s.g.Mix[0]:
+			cl = Interactive
+		case u < s.g.Mix[0]+s.g.Mix[1]:
+			cl = Throughput
+		default:
+			cl = BestEffort
+		}
+		dst = append(dst, Request{
+			ID: uint64(start + k), Arrival: clock,
+			PromptTokens: p, OutputTokens: o, Class: cl,
+		})
+	}
+	return dst, clock
+}
+
+// SeekBlock positions the stream at the start of block b (request b·GenBlock):
+// the subsequent Next calls yield exactly the tail a full drain would have
+// yielded from that point, absolute arrivals included. Only the arrival
+// clock carries history across blocks, so seeking re-derives the first b
+// block advances (O(b) sampling, O(GenBlock) memory) without materializing
+// any requests for the caller.
+func (s *Stream) SeekBlock(b int) error {
+	if b < 0 || b > s.Blocks() {
+		return fmt.Errorf("cluster: SeekBlock(%d) outside [0, %d]", b, s.Blocks())
+	}
+	var base time.Duration
+	scratch := s.buf
+	for i := 0; i < b; i++ {
+		var adv time.Duration
+		scratch, adv = s.GenerateBlock(i, scratch[:0])
+		base += adv
+	}
+	s.buf = scratch[:0]
+	s.next = b * GenBlock
+	s.loaded = -1
+	s.blockBase = base
+	s.bufAdv = 0
+	return nil
 }
 
 // Next returns the stream's next request, or ok=false once n requests have
@@ -178,27 +262,19 @@ func (s *Stream) Next() (Request, bool) {
 	if s.next >= s.n {
 		return Request{}, false
 	}
-	if s.next%GenBlock == 0 {
-		s.brng = dist.NewRNG(sweep.DeriveSeed(s.base, s.next/GenBlock))
+	b := s.next / GenBlock
+	if s.loaded != b {
+		if s.loaded == b-1 {
+			// Walking off the previous block: fold its advance into the
+			// absolute clock. (After Reset/SeekBlock there is no previous
+			// block; blockBase was set directly.)
+			s.blockBase += s.bufAdv
+		}
+		s.buf, s.bufAdv = s.GenerateBlock(b, s.buf[:0])
+		s.loaded = b
 	}
-	s.clock += time.Duration(s.inter.Sample(s.brng) * float64(time.Second))
-	p := int(dist.Clamp(s.prompt.Sample(s.brng), 1, float64(s.g.MaxContext-1)))
-	maxOut := s.g.MaxContext - p
-	o := int(dist.Clamp(s.output.Sample(s.brng), 1, float64(maxOut)))
-	u := s.brng.Float64()
-	var cl SLAClass
-	switch {
-	case u < s.g.Mix[0]:
-		cl = Interactive
-	case u < s.g.Mix[0]+s.g.Mix[1]:
-		cl = Throughput
-	default:
-		cl = BestEffort
-	}
-	req := Request{
-		ID: uint64(s.next), Arrival: s.clock,
-		PromptTokens: p, OutputTokens: o, Class: cl,
-	}
+	req := s.buf[s.next-b*GenBlock]
+	req.Arrival += s.blockBase
 	s.next++
 	return req, true
 }

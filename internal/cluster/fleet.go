@@ -34,6 +34,13 @@ type Fleet struct {
 	// replay is O(nodes + Window + orphans), independent of stream length;
 	// smaller windows trade memory for more sweep barriers.
 	Window int
+	// Progress, when non-nil, is called by RunStream at every window
+	// dispatch with the cumulative number of requests fed into node
+	// execution buffers so far. The call points are window boundaries of the
+	// deterministic replay, so the sequence of values is itself
+	// deterministic; what the callback does with wall-clock time is the
+	// caller's business (mrmsim fleetday -progress).
+	Progress func(fed int64)
 }
 
 // DefaultWindow is RunStream's buffered-request budget when Fleet.Window is
@@ -184,6 +191,10 @@ func (f *Fleet) Run(reqs []Request) (FleetResult, error) {
 	if err != nil {
 		return FleetResult{}, err
 	}
+	// One persistent pool for every sweep in this run: the failing and
+	// surviving phases reuse the same workers instead of rebuilding them.
+	pool := sweep.NewPool(f.Workers)
+	defer pool.Close()
 	perNode := make([]Result, len(f.nodes))
 	out := FleetResult{PerNode: perNode, FailedNodes: len(failing)}
 	if len(failing) > 0 {
@@ -191,7 +202,7 @@ func (f *Fleet) Run(reqs []Request) (FleetResult, error) {
 			res  Result
 			left []Request
 		}
-		parts, err := sweep.Map(context.Background(), sweep.Config{Workers: f.Workers}, failing,
+		parts, err := sweep.MapOn(pool, 0, failing,
 			func(_ context.Context, _ sweep.Cell, node int) (partial, error) {
 				res, left, err := f.nodes[node].RunUntil(shards[node], failAt[node])
 				if err != nil {
@@ -239,7 +250,7 @@ func (f *Fleet) Run(reqs []Request) (FleetResult, error) {
 		}
 	}
 	if len(surviving) > 0 {
-		res, err := sweep.Map(context.Background(), sweep.Config{Workers: f.Workers}, surviving,
+		res, err := sweep.MapOn(pool, 0, surviving,
 			func(_ context.Context, _ sweep.Cell, node int) (Result, error) {
 				r, err := f.nodes[node].Run(shards[node])
 				if err != nil {
@@ -409,6 +420,14 @@ func (h *loadHeap) siftDown(i int) {
 // their fail-stop), their orphans merge through the requeue calendar onto
 // survivors — heap-placed against the canonical full-stream loads — and the
 // survivors then stream with orphan segments merged into admission order.
+//
+// The replay is pipelined (see DESIGN.md §14): one persistent sweep pool
+// serves the whole call; execution of window w runs asynchronously on that
+// pool while the placement loop fills window w+1 (double-buffered); request
+// synthesis for a BlockSource is sharded across the same pool and harvested
+// in order; and the first placement pass records a manifest that lets every
+// later pass skip the heap. None of it changes a single emitted byte — the
+// twin suite holds the pipelined path to Run's output exactly.
 func (f *Fleet) RunStream(src RequestSource) (FleetResult, error) {
 	failAt, failing, surviving, err := f.failurePlan()
 	if err != nil {
@@ -418,22 +437,21 @@ func (f *Fleet) RunStream(src RequestSource) (FleetResult, error) {
 	if window <= 0 {
 		window = DefaultWindow
 	}
+	pool := sweep.NewPool(f.Workers)
+	defer pool.Close()
+	sr := &streamRun{f: f, pool: pool, window: window,
+		load: make([]int64, len(f.nodes)), man: &placementManifest{}}
 	perNode := make([]Result, len(f.nodes))
 	out := FleetResult{PerNode: perNode, FailedNodes: len(failing)}
-	// Canonical full-stream placement loads, filled by the first replay pass
-	// and verified identical on every later one (a source whose replays
-	// diverge would silently corrupt placement).
-	load := make([]int64, len(f.nodes))
-	loadKnown := false
 	if len(failing) > 0 {
-		if err := f.streamPhase(src, failing, failAt, nil, load, &loadKnown, window); err != nil {
+		if err := sr.phase(src, failing, failAt, nil); err != nil {
 			return FleetResult{}, err
 		}
 		type partial struct {
 			res  Result
 			left []Request
 		}
-		parts, err := sweep.Map(context.Background(), sweep.Config{Workers: f.Workers}, failing,
+		parts, err := sweep.MapOn(pool, 0, failing,
 			func(_ context.Context, _ sweep.Cell, node int) (partial, error) {
 				res, left := f.nodes[node].Harvest(failAt[node])
 				return partial{res: res, left: left}, nil
@@ -464,7 +482,7 @@ func (f *Fleet) RunStream(src RequestSource) (FleetResult, error) {
 		// Heap-placed requeue against a copy of the canonical loads: same
 		// survivors, same (load, lowest-index) choice the linear scan makes —
 		// and the originals stay pristine for phase 2's replay check.
-		requeueLoad := append([]int64(nil), load...)
+		requeueLoad := append([]int64(nil), sr.load...)
 		h := newLoadHeap(surviving, requeueLoad)
 		orphansFor := make([][]Request, len(f.nodes))
 		for merge.Len() > 0 {
@@ -485,15 +503,15 @@ func (f *Fleet) RunStream(src RequestSource) (FleetResult, error) {
 				return o[i].Arrival < o[j].Arrival
 			})
 		}
-		if err := f.streamPhase(src, surviving, nil, orphansFor, load, &loadKnown, window); err != nil {
+		if err := sr.phase(src, surviving, nil, orphansFor); err != nil {
 			return FleetResult{}, err
 		}
 	} else {
-		if err := f.streamPhase(src, surviving, nil, nil, load, &loadKnown, window); err != nil {
+		if err := sr.phase(src, surviving, nil, nil); err != nil {
 			return FleetResult{}, err
 		}
 	}
-	res, err := sweep.Map(context.Background(), sweep.Config{Workers: f.Workers}, surviving,
+	res, err := sweep.MapOn(pool, 0, surviving,
 		func(_ context.Context, _ sweep.Cell, node int) (Result, error) {
 			r, _ := f.nodes[node].Harvest(-1)
 			return r, nil
@@ -508,31 +526,61 @@ func (f *Fleet) RunStream(src RequestSource) (FleetResult, error) {
 	return out, nil
 }
 
-// streamPhase feeds the target nodes their shards in admission order: one
+// streamRun carries the state one RunStream call shares across its phases:
+// the persistent sweep pool every dispatch in the call reuses, the canonical
+// full-stream placement loads (filled by the first replay pass and verified
+// identical on every later one — a source whose replays diverge would
+// silently corrupt placement), the placement manifest the first pass
+// records, and the cumulative fed-request count the Progress callback
+// reports.
+type streamRun struct {
+	f         *Fleet
+	pool      *sweep.Pool
+	window    int
+	load      []int64
+	loadKnown bool
+	man       *placementManifest
+	fed       int64
+}
+
+// phase feeds the target nodes their shards in admission order: one
 // placement replay of the source per SLA class, so each node receives its
 // class-c requests in arrival order, all of class c before any of class c+1
 // — exactly the (class, arrival) stable order Run's per-node sort produces.
 // Every pass replays placement over the whole stream (assignments depend on
-// the loads every earlier request accumulated, whatever its class), with a
-// fresh heap each pass so the decisions are identical; requests owned by
-// non-target nodes are placed but not buffered. Orphan lists (requeued work
-// for surviving nodes, already in admission order) merge into the feed:
-// stream requests first on equal (class, arrival) keys, matching Run's
-// shard-append-then-stable-sort order. Buffers flush into RunSegment sweeps
-// every `window` buffered requests and are recycled, so peak memory is
-// O(target × window) plus the orphans.
+// the loads every earlier request accumulated, whatever its class); the
+// first pass runs the heap and records the manifest, later passes replay
+// the manifest and verify their load sums against the canonical vector.
+// Requests owned by non-target nodes are placed but not buffered. Orphan
+// lists (requeued work for surviving nodes, already in admission order)
+// merge into the feed: stream requests first on equal (class, arrival)
+// keys, matching Run's shard-append-then-stable-sort order.
 //
-// stopAt, when non-nil, carries per-node fail-stop times (-1 = none); load
-// is filled with the full-stream placement loads on the first pass and
-// checked against every later pass, failing loudly on a source whose
-// replays diverge.
-func (f *Fleet) streamPhase(src RequestSource, target []int, stopAt []time.Duration,
-	orphans [][]Request, load []int64, loadKnown *bool, window int) error {
+// Execution is double-buffered: every `window` buffered requests, the
+// filled buffer set is dispatched asynchronously onto the pool and the loop
+// keeps filling the other set; the next dispatch first waits out the
+// previous window, so at most one window executes while one fills. The two
+// sets touch disjoint buffers and each node's Sim is only ever touched by
+// its own in-flight segment task, and segments reach each node in exactly
+// the order the serial path fed them — which is why the pipelined replay is
+// bit-identical to the barriered one. Peak memory is O(target × window)
+// (two window sets) plus the orphans and the manifest.
+//
+// stopAt, when non-nil, carries per-node fail-stop times (-1 = none).
+func (r *streamRun) phase(src RequestSource, target []int, stopAt []time.Duration,
+	orphans [][]Request) error {
+	f := r.f
 	inTarget := make([]bool, len(f.nodes))
 	for _, n := range target {
 		inTarget[n] = true
 	}
-	bufs := make([][]Request, len(f.nodes))
+	var bufs [2][][]Request // double buffer: bufs[cur] fills, bufs[cur^1] executes
+	var active [2][]int     // target nodes with buffered work, per set
+	for s := range bufs {
+		bufs[s] = make([][]Request, len(f.nodes))
+	}
+	cur := 0
+	var inflight *sweep.Handle[struct{}]
 	passLoad := make([]int64, len(f.nodes))
 	allNodes := make([]int, len(f.nodes))
 	for i := range allNodes {
@@ -540,82 +588,155 @@ func (f *Fleet) streamPhase(src RequestSource, target []int, stopAt []time.Durat
 	}
 	orphanNext := make([]int, len(f.nodes))
 	buffered := 0
-	var active []int // target nodes with buffered work this round
 
-	flush := func(final bool) error {
-		nodes := active
-		if final {
-			nodes = target // every target gets its more=false close-out call
-		}
-		if len(nodes) == 0 {
+	// harvest waits out the executing window and recycles its buffers.
+	harvest := func() error {
+		if inflight == nil {
 			return nil
 		}
-		_, err := sweep.Map(context.Background(), sweep.Config{Workers: f.Workers}, nodes,
+		_, err := inflight.Wait()
+		inflight = nil
+		prev := cur ^ 1
+		for _, n := range active[prev] {
+			bufs[prev][n] = bufs[prev][n][:0] // recycle: capacity survives
+		}
+		active[prev] = active[prev][:0]
+		return err
+	}
+	// dispatch submits one window's segments (buffer set, node list) onto
+	// the pool. The closure captures the set's slice header, not `cur`, so
+	// the fill loop is free to flip sets while the sweep runs.
+	dispatch := func(set int, nodes []int, final bool) *sweep.Handle[struct{}] {
+		segs := bufs[set]
+		return sweep.MapAsync(r.pool, 0, nodes,
 			func(_ context.Context, _ sweep.Cell, node int) (struct{}, error) {
 				stop := time.Duration(-1)
 				if stopAt != nil {
 					stop = stopAt[node]
 				}
-				if err := f.nodes[node].RunSegment(context.Background(), bufs[node], stop, !final); err != nil {
+				if err := f.nodes[node].RunSegment(context.Background(), segs[node], stop, !final); err != nil {
 					return struct{}{}, fmt.Errorf("cluster: node %d: %w", node, err)
 				}
 				return struct{}{}, nil
 			})
-		if err != nil {
+	}
+	flush := func() error {
+		if err := harvest(); err != nil {
 			return err
 		}
-		for _, n := range nodes {
-			bufs[n] = bufs[n][:0] // recycle: capacity survives the round
-		}
-		active = active[:0]
 		buffered = 0
+		if len(active[cur]) == 0 {
+			return nil
+		}
+		inflight = dispatch(cur, active[cur], false)
+		cur ^= 1
+		if f.Progress != nil {
+			f.Progress(r.fed)
+		}
 		return nil
 	}
 	emit := func(node int, req Request) {
-		if len(bufs[node]) == 0 {
-			active = append(active, node)
+		if len(bufs[cur][node]) == 0 {
+			active[cur] = append(active[cur], node)
 		}
-		bufs[node] = append(bufs[node], req)
+		bufs[cur][node] = append(bufs[cur][node], req)
 		buffered++
+		r.fed++
 	}
 
 	for class := SLAClass(0); class <= BestEffort; class++ {
-		src.Reset()
+		// Request synthesis: a BlockSource is pumped through the pool in
+		// ordered chunks (parallel generation, serial consumption); anything
+		// else is drawn serially through Next. Either way the consumption
+		// order is the stream order.
+		var next func() (Request, bool, error)
+		var pump *blockPump
+		if bs, ok := src.(BlockSource); ok && r.pool.Workers() > 1 {
+			pump = newBlockPump(bs, r.pool)
+			next = pump.next
+		} else {
+			src.Reset()
+			next = func() (Request, bool, error) {
+				req, ok := src.Next()
+				return req, ok, nil
+			}
+		}
 		for i := range passLoad {
 			passLoad[i] = 0
 		}
-		h := newLoadHeap(allNodes, passLoad)
+		// The first pass runs the placement heap and records the manifest;
+		// later passes replay the manifest (no heap) and re-accumulate the
+		// per-node sums for the divergence check below.
+		record := !r.man.complete
+		var h loadHeap
+		if record {
+			h = newLoadHeap(allNodes, passLoad)
+		}
 		prev := time.Duration(-1)
-		for {
-			req, ok := src.Next()
-			if !ok {
-				break
-			}
-			if req.Arrival < prev {
-				return fmt.Errorf("cluster: RunStream source not arrival-ordered (%v after %v)", req.Arrival, prev)
-			}
-			prev = req.Arrival
-			node := h.assign(int64(req.PromptTokens + req.OutputTokens))
-			if !inTarget[node] || req.Class != class {
-				continue
-			}
-			// Orphans sorting strictly before this stream request go first;
-			// equal keys emit the stream request first (Run's stable order).
-			if orphans != nil {
-				for o := orphans[node]; orphanNext[node] < len(o); orphanNext[node]++ {
-					or := o[orphanNext[node]]
-					if or.Class > class || (or.Class == class && or.Arrival >= req.Arrival) {
-						break
-					}
-					emit(node, or)
-				}
-			}
-			emit(node, req)
-			if buffered >= window {
-				if err := flush(false); err != nil {
+		pos := 0
+		passErr := func() error {
+			for {
+				req, ok, err := next()
+				if err != nil {
 					return err
 				}
+				if !ok {
+					return nil
+				}
+				if req.Arrival < prev {
+					return fmt.Errorf("cluster: RunStream source not arrival-ordered (%v after %v)", req.Arrival, prev)
+				}
+				prev = req.Arrival
+				tokens := int64(req.PromptTokens + req.OutputTokens)
+				var node int
+				if record {
+					node = h.assign(tokens)
+					r.man.append(node)
+				} else {
+					var err error
+					if node, err = r.man.lookup(pos, len(f.nodes)); err != nil {
+						return err
+					}
+					passLoad[node] += tokens
+				}
+				pos++
+				if !inTarget[node] || req.Class != class {
+					continue
+				}
+				// Orphans sorting strictly before this stream request go
+				// first; equal keys emit the stream request first (Run's
+				// stable order).
+				if orphans != nil {
+					for o := orphans[node]; orphanNext[node] < len(o); orphanNext[node]++ {
+						or := o[orphanNext[node]]
+						if or.Class > class || (or.Class == class && or.Arrival >= req.Arrival) {
+							break
+						}
+						emit(node, or)
+					}
+				}
+				emit(node, req)
+				if buffered >= r.window {
+					if err := flush(); err != nil {
+						return err
+					}
+				}
 			}
+		}()
+		if passErr != nil {
+			if pump != nil {
+				pump.drain()
+			}
+			if inflight != nil {
+				_, _ = inflight.Wait() // the pass error wins
+			}
+			return passErr
+		}
+		if !record && pos != r.man.n {
+			if inflight != nil {
+				_, _ = inflight.Wait()
+			}
+			return fmt.Errorf("cluster: placement manifest records %d positions but the replayed stream has %d", r.man.n, pos)
 		}
 		// Class close-out: trailing orphans of this class (arrivals past the
 		// node's last stream request of the class).
@@ -629,16 +750,34 @@ func (f *Fleet) streamPhase(src RequestSource, target []int, stopAt []time.Durat
 				}
 			}
 		}
-		if *loadKnown {
+		if r.loadKnown {
 			for i, l := range passLoad {
-				if l != load[i] {
-					return fmt.Errorf("cluster: RunStream source replay diverged (node %d load %d vs %d)", i, l, load[i])
+				if l != r.load[i] {
+					if inflight != nil {
+						_, _ = inflight.Wait()
+					}
+					return fmt.Errorf("cluster: RunStream source replay diverged (node %d load %d vs %d)", i, l, r.load[i])
 				}
 			}
 		} else {
-			copy(load, passLoad)
-			*loadKnown = true
+			copy(r.load, passLoad)
+			r.loadKnown = true
+		}
+		if record {
+			r.man.complete = true
 		}
 	}
-	return flush(true)
+	// Close-out: wait for the in-flight window, then give every target node
+	// its more=false call with whatever remains buffered.
+	if err := harvest(); err != nil {
+		return err
+	}
+	err := func() error {
+		_, err := dispatch(cur, target, true).Wait()
+		return err
+	}()
+	if err == nil && f.Progress != nil {
+		f.Progress(r.fed)
+	}
+	return err
 }

@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mrm/internal/sweep"
+)
+
+// BlockSource is a RequestSource whose stream is organized in independently
+// derivable GenBlock-sized blocks — Generator.Stream is the canonical
+// implementation. RunStream type-asserts its source against this interface:
+// when it holds, request synthesis is sharded across the sweep pool in
+// chunk-sized tasks and harvested in order, instead of being drawn serially
+// through Next.
+type BlockSource interface {
+	RequestSource
+	// Blocks returns the block count (the last block may be short).
+	Blocks() int
+	// GenerateBlock appends block b's requests to dst — arrivals relative to
+	// the block start — and returns the extended slice plus the block's
+	// total clock advance. It must be a pure function of b, safe for
+	// concurrent calls with distinct destinations.
+	GenerateBlock(b int, dst []Request) ([]Request, time.Duration)
+}
+
+// genChunkBlocks is the number of GenBlocks one generation task synthesizes:
+// large enough (16 blocks = 1024 requests) that task dispatch overhead
+// vanishes against sampling work, small enough that a handful of in-flight
+// chunks stay cache-sized.
+const genChunkBlocks = 16
+
+// genChunk is one generation task's output: a run of consecutive blocks with
+// arrivals relative to the chunk's start, plus the chunk's total clock
+// advance. Like blocks, chunks recombine exactly: absolute arrival = chunk
+// prefix advance + relative arrival, all integer sums.
+type genChunk struct {
+	reqs []Request
+	adv  time.Duration
+}
+
+// genChunkOf synthesizes chunk c of src into dst (appending), rebasing each
+// block's relative arrivals onto the chunk-local clock.
+func genChunkOf(src BlockSource, c int, dst []Request) genChunk {
+	first := c * genChunkBlocks
+	last := first + genChunkBlocks
+	if nb := src.Blocks(); last > nb {
+		last = nb
+	}
+	var adv time.Duration
+	for b := first; b < last; b++ {
+		n0 := len(dst)
+		var blockAdv time.Duration
+		dst, blockAdv = src.GenerateBlock(b, dst)
+		for i := n0; i < len(dst); i++ {
+			dst[i].Arrival += adv
+		}
+		adv += blockAdv
+	}
+	return genChunk{reqs: dst, adv: adv}
+}
+
+// blockPump streams a BlockSource through the sweep pool: it keeps a small
+// ring of chunk-generation handles in flight (an ordered bounded queue —
+// depth pool workers + 1) and hands requests to the placement loop strictly
+// in stream order, folding each consumed chunk's advance into the running
+// absolute clock. Consumed chunk buffers are recycled into the next
+// dispatch, so peak memory is O(depth × chunk), independent of stream
+// length. Only generation is parallel; the consumer — the placement heap —
+// stays serial, which is what keeps placement bit-identical to a serial
+// drain.
+type blockPump struct {
+	src     BlockSource
+	pool    *sweep.Pool
+	chunks  int
+	handles []*sweep.Handle[genChunk] // ring: chunk c lives in slot c%len
+	free    [][]Request
+
+	nextDispatch int
+	nextConsume  int
+	cur          genChunk
+	curIdx       int
+	clock        time.Duration
+}
+
+// newBlockPump starts a pump with the first ring of chunks already
+// dispatched.
+func newBlockPump(src BlockSource, pool *sweep.Pool) *blockPump {
+	chunks := (src.Blocks() + genChunkBlocks - 1) / genChunkBlocks
+	depth := pool.Workers() + 1
+	if depth > chunks {
+		depth = chunks
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	p := &blockPump{src: src, pool: pool, chunks: chunks, handles: make([]*sweep.Handle[genChunk], depth)}
+	for i := 0; i < depth; i++ {
+		p.dispatch()
+	}
+	return p
+}
+
+// dispatch submits the next chunk's generation onto the pool, reusing a
+// recycled buffer when one is free. The ring slot is free by construction:
+// chunk c is dispatched either at startup or right after chunk c-depth was
+// consumed out of the same slot.
+func (p *blockPump) dispatch() {
+	c := p.nextDispatch
+	if c >= p.chunks {
+		return
+	}
+	p.nextDispatch++
+	var buf []Request
+	if n := len(p.free); n > 0 {
+		buf, p.free = p.free[n-1][:0], p.free[:n-1]
+	}
+	src := p.src
+	p.handles[c%len(p.handles)] = sweep.MapAsync(p.pool, 0, []int{c},
+		func(_ context.Context, _ sweep.Cell, chunk int) (genChunk, error) {
+			return genChunkOf(src, chunk, buf), nil
+		})
+}
+
+// next yields the stream's next request in order, or ok=false at the end.
+func (p *blockPump) next() (Request, bool, error) {
+	if p.curIdx >= len(p.cur.reqs) {
+		if p.cur.reqs != nil {
+			p.clock += p.cur.adv
+			p.free = append(p.free, p.cur.reqs)
+			p.cur = genChunk{}
+		}
+		if p.nextConsume >= p.chunks {
+			return Request{}, false, nil
+		}
+		res, err := p.handles[p.nextConsume%len(p.handles)].Wait()
+		if err != nil {
+			return Request{}, false, err
+		}
+		p.handles[p.nextConsume%len(p.handles)] = nil
+		p.nextConsume++
+		p.dispatch()
+		p.cur = res[0]
+		p.curIdx = 0
+	}
+	req := p.cur.reqs[p.curIdx]
+	p.curIdx++
+	req.Arrival += p.clock
+	return req, true, nil
+}
+
+// drain waits out any still-in-flight chunks — called when a pass aborts
+// early so no generation task outlives its pump.
+func (p *blockPump) drain() {
+	for _, h := range p.handles {
+		if h != nil {
+			_, _ = h.Wait() // abort path: the pass error wins
+		}
+	}
+}
+
+// manifestPageSize is the placement manifest's page granularity.
+const manifestPageSize = 1 << 13
+
+// placementManifest records the node chosen for every stream position, in
+// fixed-size pages (4 bytes per request — ~40 MB for a 10M-request day,
+// noise against the fleet's own footprint). RunStream's first placement pass
+// records it; every later pass — the two remaining class passes and the
+// failover re-walk — replays placement by lookup instead of re-running the
+// heap, then verifies the per-node load sums it accumulated against the
+// canonical load vector, so a corrupted or misaligned manifest fails loudly
+// rather than silently misplacing work.
+type placementManifest struct {
+	pages    [][]uint32
+	n        int
+	complete bool
+}
+
+// append records the next position's node.
+func (m *placementManifest) append(node int) {
+	if m.n%manifestPageSize == 0 {
+		m.pages = append(m.pages, make([]uint32, 0, manifestPageSize))
+	}
+	m.pages[m.n/manifestPageSize] = append(m.pages[m.n/manifestPageSize], uint32(node))
+	m.n++
+}
+
+// at returns position i's recorded node.
+func (m *placementManifest) at(i int) int {
+	return int(m.pages[i/manifestPageSize][i%manifestPageSize])
+}
+
+// lookup validates and returns position pos's node for a replay pass.
+func (m *placementManifest) lookup(pos, numNodes int) (int, error) {
+	if pos >= m.n {
+		return 0, fmt.Errorf("cluster: placement manifest ends at %d but the replayed stream continues", m.n)
+	}
+	node := m.at(pos)
+	if node < 0 || node >= numNodes {
+		return 0, fmt.Errorf("cluster: placement manifest names bad node %d at position %d", node, pos)
+	}
+	return node, nil
+}

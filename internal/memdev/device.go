@@ -124,15 +124,19 @@ type Device struct {
 	wearTerms      [berCacheSize]berTermEnt // wear-term RawBER cache; guarded by mu
 	decayTerms     [berCacheSize]berTermEnt // decay-term RawBER cache; guarded by mu
 
-	// Single-entry memo of the pure per-size read cost. KV paging makes
-	// almost every span on the read hot path the same size, and the
-	// latency/energy arithmetic (float divide + two conversions per span)
-	// shows up in profiles; the memo is a pure function of size, so results
-	// are bit-identical. Zero size never reaches readLocked (blockRange
-	// rejects it), so lastReadSize == 0 means "empty".
-	lastReadSize   units.Bytes   // guarded by mu
-	lastReadLat    time.Duration // guarded by mu
-	lastReadEnergy units.Energy  // guarded by mu
+	// Rolling memo of the pure per-size read cost. KV paging makes almost
+	// every span on the read hot path the same size, and the latency/energy
+	// arithmetic (float divide + two conversions per span) shows up in
+	// profiles; the memo is a pure function of size, so results are
+	// bit-identical. Zero size never reaches readLocked (blockRange rejects
+	// it), so lastReadSize == 0 means "empty". Misses fall through to
+	// readCosts, a small recently-used table that absorbs the steady
+	// alternation between the weights read's size and the KV page size (one
+	// rolling entry alone thrashes twice per decode step).
+	lastReadSize   units.Bytes      // guarded by mu
+	lastReadLat    time.Duration    // guarded by mu
+	lastReadEnergy units.Energy     // guarded by mu
+	readCosts      [4]readCostEntry // guarded by mu
 
 	// trackBER controls whether reads evaluate the worst-block raw BER when no
 	// ECC budget forces it (SetBERTracking). On by default; callers that never
@@ -322,6 +326,31 @@ type Span struct {
 	Addr, Size units.Bytes
 }
 
+// readCostEntry is one slot of the per-size read-cost table: the latency and
+// energy of a read of exactly Size bytes (pure functions of the spec).
+type readCostEntry struct {
+	size units.Bytes
+	lat  time.Duration
+	e    units.Energy
+}
+
+// readCostLocked returns the latency and energy of a size-byte read through
+// the recently-used table, computing and remembering the cost on a miss. A
+// hit returns the identical floats the direct arithmetic would. Caller holds
+// d.mu; size is never zero (blockRange and the fast path reject it first).
+func (d *Device) readCostLocked(size units.Bytes) (time.Duration, units.Energy) {
+	for i := range d.readCosts {
+		if c := &d.readCosts[i]; c.size == size {
+			return c.lat, c.e
+		}
+	}
+	lat := d.spec.ReadLatency + d.spec.ReadBW.Time(size)
+	e := d.spec.ReadEnergyPerBit.PerBit(size)
+	copy(d.readCosts[1:], d.readCosts[:len(d.readCosts)-1])
+	d.readCosts[0] = readCostEntry{size: size, lat: lat, e: e}
+	return lat, e
+}
+
 // ReadSpans performs the reads described by spans exactly as if ReadAt were
 // called once per span in order — each span is a distinct logical read with
 // its own latency, energy, worst BER, read-counter increment, and fault
@@ -337,14 +366,73 @@ func (d *Device) ReadSpans(spans []Span, results []Result) (int, error) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return d.readSpansLocked(spans, results)
+}
+
+// ReadSpansQuiet is ReadSpans without per-span cost reporting: identical
+// device state — energy, counters, wear-derived BER decisions, fault-stream
+// positions, error at the first failing span — with the Result stores
+// skipped. It exists for the tier read path, which sizes a scratch Result
+// buffer it never reads (the simulator consumes read costs through the
+// manager's per-tier byte totals, not per span); dropping the stores takes a
+// measurable slice out of the KV-read hot loop.
+func (d *Device) ReadSpansQuiet(spans []Span) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.readSpansLocked(spans, nil)
+}
+
+// readSpansLocked charges every span in order, storing span costs into
+// results when non-nil. With no fault injection armed, no ECC budget, and BER
+// tracking off, a read's only effects are its memoized per-size cost and the
+// counters — the fast loop below charges exactly those, in the same order,
+// without touching the wear arrays (blockRange's range is only consumed by
+// the BER scan and the error text, and the fast loop re-checks the same
+// bounds). Caller holds d.mu.
+func (d *Device) readSpansLocked(spans []Span, results []Result) (int, error) {
+	if !d.readInjecting && d.maxBER == 0 && !d.trackBER {
+		capacity := d.spec.Capacity
+		size, lat, e := d.lastReadSize, d.lastReadLat, d.lastReadEnergy
+		eAcc, reads, readBytes := d.energy.Read, d.reads, d.readBytes
+		for i, sp := range spans {
+			if sp.Size == 0 || sp.Addr+sp.Size > capacity {
+				// Rare: surface blockRange's exact error with the slow path's
+				// partial charge (spans before i are charged, i is not).
+				d.lastReadSize, d.lastReadLat, d.lastReadEnergy = size, lat, e
+				d.energy.Read, d.reads, d.readBytes = eAcc, reads, readBytes
+				if results != nil {
+					results[i] = Result{}
+				}
+				_, _, err := d.blockRange(sp.Addr, sp.Size)
+				return i, err
+			}
+			if sp.Size != size {
+				size = sp.Size
+				lat, e = d.readCostLocked(size)
+			}
+			eAcc += e
+			reads++
+			readBytes += size
+			if results != nil {
+				results[i] = Result{Latency: lat, Energy: e}
+			}
+		}
+		d.lastReadSize, d.lastReadLat, d.lastReadEnergy = size, lat, e
+		d.energy.Read, d.reads, d.readBytes = eAcc, reads, readBytes
+		return len(spans), nil
+	}
 	for i, sp := range spans {
 		first, last, err := d.blockRange(sp.Addr, sp.Size)
 		if err != nil {
-			results[i] = Result{}
+			if results != nil {
+				results[i] = Result{}
+			}
 			return i, err
 		}
 		res, err := d.readLocked(sp.Addr, sp.Size, first, last)
-		results[i] = res
+		if results != nil {
+			results[i] = res
+		}
 		if err != nil {
 			return i, err
 		}
@@ -357,8 +445,7 @@ func (d *Device) ReadSpans(spans []Span, results []Result) (int, error) {
 func (d *Device) readLocked(addr, size units.Bytes, first, last int) (Result, error) {
 	if size != d.lastReadSize {
 		d.lastReadSize = size
-		d.lastReadLat = d.spec.ReadLatency + d.spec.ReadBW.Time(size)
-		d.lastReadEnergy = d.spec.ReadEnergyPerBit.PerBit(size)
+		d.lastReadLat, d.lastReadEnergy = d.readCostLocked(size)
 	}
 	lat := d.lastReadLat
 	e := d.lastReadEnergy

@@ -294,23 +294,20 @@ func (d *DeviceTier) Get(handle uint64) (time.Duration, error) {
 // sequential-Get equivalence (see BatchGetter).
 func (d *DeviceTier) GetBatch(handles []uint64) (int, error) {
 	d.spanBuf = d.spanBuf[:0]
-	if cap(d.resBuf) < len(handles) {
-		d.resBuf = make([]memdev.Result, len(handles))
-	}
-	for i, h := range handles {
+	for _, h := range handles {
 		sp, ok := d.objects[h]
 		if !ok {
 			// A sequential caller has read the earlier handles before failing
 			// this lookup; a device error among those takes precedence.
-			done, derr := d.dev.ReadSpans(d.spanBuf, d.resBuf[:i])
+			done, derr := d.dev.ReadSpansQuiet(d.spanBuf)
 			if derr != nil {
 				return done, derr
 			}
-			return i, fmt.Errorf("tier: %s has no object %d", d.name, h)
+			return len(d.spanBuf), fmt.Errorf("tier: %s has no object %d", d.name, h)
 		}
 		d.spanBuf = append(d.spanBuf, memdev.Span{Addr: sp.addr, Size: sp.size})
 	}
-	return d.dev.ReadSpans(d.spanBuf, d.resBuf[:len(handles)])
+	return d.dev.ReadSpansQuiet(d.spanBuf)
 }
 
 // ResolveSpan resolves a handle to its device span for planned reads (see
@@ -325,15 +322,12 @@ func (d *DeviceTier) ResolveSpan(handle uint64) (memdev.Span, error) {
 }
 
 // GetSpans reads the resolved spans as one vectored device access — the same
-// ReadSpans call GetBatch issues after its lookups, so counters, energy, and
-// fault-stream positions are identical.
+// span sequence GetBatch issues after its lookups, so counters, energy, and
+// fault-stream positions are identical. The per-span Results are never
+// consumed on this path (the simulator takes read costs from the manager's
+// per-tier totals), so it reads through ReadSpansQuiet.
 func (d *DeviceTier) GetSpans(spans []memdev.Span) (int, error) {
-	if cap(d.resBuf) < len(spans) {
-		// Grow geometrically: span counts creep up with context length, and
-		// exact-size growth would reallocate on nearly every decode step.
-		d.resBuf = make([]memdev.Result, max(len(spans), 2*cap(d.resBuf)))
-	}
-	return d.dev.ReadSpans(spans, d.resBuf[:len(spans)])
+	return d.dev.ReadSpansQuiet(spans)
 }
 
 // Delete frees an object, coalescing adjacent free spans.
